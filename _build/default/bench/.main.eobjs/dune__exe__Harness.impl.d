@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Array Bechamel Benchmark Buffer Float Hashtbl Instance List Measure Printf Stdlib String Time Toolkit Unix

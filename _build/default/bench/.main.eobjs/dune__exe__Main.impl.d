@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Float Harness List Option Printf String Sys Txq_core Txq_db Txq_fti Txq_query Txq_store Txq_temporal Txq_vxml Txq_workload Txq_xml Unix

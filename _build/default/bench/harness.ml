@@ -1,0 +1,101 @@
+(* Timing and table utilities for the experiment harness. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1e6) (* microseconds *)
+
+(* Median-of-runs wall time in microseconds. *)
+let time_us ?(warmup = 2) ?(runs = 9) f =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let samples =
+    Array.init runs (fun _ ->
+        let _, us = time_once f in
+        us)
+  in
+  Array.sort Float.compare samples;
+  samples.(runs / 2)
+
+let fmt_us us =
+  if us < 1000.0 then Printf.sprintf "%.1f us" us
+  else if us < 1_000_000.0 then Printf.sprintf "%.2f ms" (us /. 1000.0)
+  else Printf.sprintf "%.2f s" (us /. 1_000_000.0)
+
+let fmt_int n =
+  (* thousands separators for readability *)
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* --- tables ------------------------------------------------------------ *)
+
+let print_table ~title ~columns rows =
+  let widths =
+    Array.of_list
+      (List.mapi
+         (fun i col ->
+           List.fold_left
+             (fun w row -> Stdlib.max w (String.length (List.nth row i)))
+             (String.length col) rows)
+         columns)
+  in
+  let line c =
+    print_string "+";
+    Array.iter (fun w -> print_string (String.make (w + 2) c ^ "+")) widths;
+    print_newline ()
+  in
+  let print_row cells =
+    print_string "|";
+    List.iteri
+      (fun i cell -> Printf.printf " %-*s |" widths.(i) cell)
+      cells;
+    print_newline ()
+  in
+  Printf.printf "\n%s\n" title;
+  line '-';
+  print_row columns;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+let section name note =
+  Printf.printf "\n=== %s ===\n%s\n" name note
+
+(* --- bechamel glue ------------------------------------------------------- *)
+
+let bechamel_tests : Bechamel.Test.t list ref = ref []
+
+let register_bechamel test = bechamel_tests := test :: !bechamel_tests
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[monotonic_clock] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  print_endline "\n=== Bechamel microbenchmarks (monotonic clock, ns/run) ===";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [est] -> Printf.printf "  %-52s %14.1f ns\n" name est
+          | Some _ | None -> Printf.printf "  %-52s (no estimate)\n" name)
+        analyzed)
+    (List.rev !bechamel_tests)

@@ -1,0 +1,716 @@
+(* Benchmark harness.
+
+   The paper (EDBT 2002) publishes no quantitative evaluation; every
+   experiment here operationalizes a performance claim or an open question
+   stated in its text.  DESIGN.md Section 2 maps experiments to paper
+   sections; EXPERIMENTS.md records expected-vs-measured outcomes.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiment tables
+     dune exec bench/main.exe -- e4 e5        # selected experiments
+     dune exec bench/main.exe -- --bechamel   # also run microbenchmarks *)
+
+module Db = Txq_db.Db
+module Config = Txq_db.Config
+module Docstore = Txq_db.Docstore
+module Timestamp = Txq_temporal.Timestamp
+module Duration = Txq_temporal.Duration
+module Scan = Txq_core.Scan
+module Pattern = Txq_core.Pattern
+module Lifetime = Txq_core.Lifetime
+module Nav = Txq_core.Nav
+module Exec = Txq_query.Exec
+module Stratum = Txq_query.Stratum
+module Load = Txq_workload.Load
+module Restaurant = Txq_workload.Restaurant
+module Eid = Txq_vxml.Eid
+module Vnode = Txq_vxml.Vnode
+open Harness
+
+let spec ?(seed = 42) ?(documents = 8) ?(versions = 12) ?(restaurants = 20)
+    ?(rate = 1.0) () =
+  {
+    Load.seed;
+    documents;
+    versions;
+    params = { (Restaurant.change_rate rate) with Restaurant.restaurants };
+    commit_gap = Duration.hours 6;
+  }
+
+let url0 = Load.url_of 0
+
+let run_q db q =
+  match Exec.run_string db q with
+  | Ok xml -> xml
+  | Error e -> failwith (Exec.error_to_string e)
+
+let run_s s q =
+  match Stratum.run_string s q with
+  | Ok xml -> xml
+  | Error e -> failwith ("stratum: " ^ Exec.error_to_string e)
+
+(* ------------------------------------------------------------------ E1 *)
+
+let e1 () =
+  section "E1  Snapshot query: native TPatternScan vs stratum"
+    "Paper anchor: Section 1 (stratum performance), Section 6.2 Q1.\n\
+     Q1-style snapshot count at the history midpoint; document size sweeps.";
+  let rows =
+    List.map
+      (fun restaurants ->
+        let sp = spec ~documents:6 ~versions:12 ~restaurants () in
+        let db, stratum = Load.load_both sp in
+        let mid = Timestamp.to_string (Load.midpoint_ts sp) in
+        let q =
+          Printf.sprintf
+            {|SELECT COUNT(R) FROM doc("%s")[%s]/guide/restaurant R|} url0 mid
+        in
+        let qsel =
+          Printf.sprintf
+            {|SELECT R/price FROM doc("%s")[%s]/guide/restaurant R WHERE R/name = "%s"|}
+            url0 mid (Load.target_name sp)
+        in
+        let native = time_us (fun () -> run_q db q) in
+        let native_sel = time_us (fun () -> run_q db qsel) in
+        let strat = time_us (fun () -> run_s stratum q) in
+        let strat_sel = time_us (fun () -> run_s stratum qsel) in
+        [
+          string_of_int restaurants;
+          fmt_us native;
+          fmt_us strat;
+          Printf.sprintf "%.1fx" (strat /. native);
+          fmt_us native_sel;
+          fmt_us strat_sel;
+        ])
+      [10; 40; 160]
+  in
+  print_table ~title:"E1: snapshot query latency (midpoint of 12 versions)"
+    ~columns:
+      [
+        "restaurants/doc"; "native COUNT"; "stratum COUNT"; "speedup";
+        "native selective"; "stratum selective";
+      ]
+    rows;
+  (* microbenchmark: the native snapshot scan itself *)
+  let sp = spec ~documents:6 ~versions:12 ~restaurants:40 () in
+  let db = Load.load_db sp in
+  let mid = Load.midpoint_ts sp in
+  let pattern = Pattern.of_path_exn "/guide/restaurant" in
+  register_bechamel
+    (Bechamel.Test.make ~name:"e1/tpattern_scan (40 rest, 12 v)"
+       (Bechamel.Staged.stage (fun () -> Scan.tpattern_scan db pattern mid)))
+
+(* ------------------------------------------------------------------ E2 *)
+
+let e2 () =
+  section "E2  Aggregation without reconstruction"
+    "Paper anchor: Section 6.2 Q2 - \"reconstruction of the documents is not\n\
+     needed. This is important...\"  COUNT stays on the index; SUM(price)\n\
+     must reconstruct every matched element.";
+  let sp = spec ~documents:6 ~versions:16 ~restaurants:40 () in
+  let db = Load.load_db sp in
+  let mid = Timestamp.to_string (Load.midpoint_ts sp) in
+  let q_count =
+    Printf.sprintf {|SELECT COUNT(R) FROM doc("%s")[%s]/guide/restaurant R|}
+      url0 mid
+  in
+  let q_sum =
+    Printf.sprintf
+      {|SELECT SUM(R/price) FROM doc("%s")[%s]/guide/restaurant R|} url0 mid
+  in
+  let measure q =
+    Db.flush_cache db;
+    Db.reset_io db;
+    let us = time_us ~warmup:0 ~runs:1 (fun () -> run_q db q) in
+    (us, (Db.stats db).Db.reconstructions, (Db.stats db).Db.deltas_read)
+  in
+  let c_us, c_rec, c_deltas = measure q_count in
+  let s_us, s_rec, s_deltas = measure q_sum in
+  print_table ~title:"E2: COUNT vs SUM at a midpoint snapshot (cold cache)"
+    ~columns:["query"; "latency"; "reconstructions"; "deltas read"]
+    [
+      ["COUNT(R)"; fmt_us c_us; string_of_int c_rec; string_of_int c_deltas];
+      ["SUM(R/price)"; fmt_us s_us; string_of_int s_rec; string_of_int s_deltas];
+    ];
+  register_bechamel
+    (Bechamel.Test.make ~name:"e2/count_no_reconstruct"
+       (Bechamel.Staged.stage (fun () -> run_q db q_count)))
+
+(* ------------------------------------------------------------------ E3 *)
+
+let e3 () =
+  section "E3  History query: TPatternScanAll vs stratum scan"
+    "Paper anchor: Section 6.2 Q3 and Section 7.3.2, plus Section 8's call\n\
+     for techniques that reduce delta retrievals.  Price history of one\n\
+     restaurant over growing histories.  'naive' materializes every version\n\
+     independently (the paper's DocHistory-then-filter algorithm, O(n^2)\n\
+     delta reads); 'sweep' applies each delta backward once.";
+  let rows =
+    List.map
+      (fun versions ->
+        let sp = spec ~documents:3 ~versions ~restaurants:20 () in
+        let q =
+          Printf.sprintf
+            {|SELECT TIME(R), R/price FROM doc("%s")[EVERY]/guide/restaurant R WHERE R/name = "%s"|}
+            url0 (Load.target_name sp)
+        in
+        let db = Load.load_db sp in
+        let stratum = Load.load_stratum sp in
+        (* locate the target element once *)
+        let pattern =
+          Pattern.of_path_exn ~value:(Load.target_name sp)
+            "/guide/restaurant/name"
+        in
+        let eid =
+          match Scan.tpattern_scan_all db pattern with
+          | b :: _ -> Scan.eid_of_binding b
+          | [] -> failwith "E3: target not found"
+        in
+        let t1 = Timestamp.minus_infinity and t2 = Timestamp.plus_infinity in
+        let deltas_of f =
+          Db.flush_cache db;
+          Db.reset_io db;
+          ignore (f ());
+          (Db.stats db).Db.deltas_read
+        in
+        let t_naive =
+          time_us ~warmup:1 ~runs:3 (fun () ->
+              Db.flush_cache db;
+              Txq_core.History.element_history db eid ~t1 ~t2 ~distinct:true ())
+        in
+        let d_naive =
+          deltas_of (fun () ->
+              Txq_core.History.element_history db eid ~t1 ~t2 ~distinct:true ())
+        in
+        let t_sweep =
+          time_us ~warmup:1 ~runs:3 (fun () ->
+              Db.flush_cache db;
+              run_q db q)
+        in
+        let d_sweep = deltas_of (fun () -> run_q db q) in
+        let t_strat = time_us ~warmup:1 ~runs:3 (fun () -> run_s stratum q) in
+        [
+          string_of_int versions;
+          Printf.sprintf "%s (%d deltas)" (fmt_us t_naive) d_naive;
+          Printf.sprintf "%s (%d deltas)" (fmt_us t_sweep) d_sweep;
+          fmt_us t_strat;
+          Printf.sprintf "%.1fx" (t_strat /. t_sweep);
+        ])
+      [8; 32; 96]
+  in
+  print_table
+    ~title:"E3: one element's full history (EVERY + name predicate, cold)"
+    ~columns:
+      ["versions"; "naive (per-paper)"; "sweep (full query)"; "stratum";
+       "sweep speedup vs stratum"]
+    rows;
+  let sp = spec ~documents:3 ~versions:32 ~restaurants:20 () in
+  let db = Load.load_db ~config:(Config.with_snapshots 8 Config.default) sp in
+  let pattern =
+    Pattern.of_path_exn ~value:(Load.target_name sp) "/guide/restaurant/name"
+  in
+  register_bechamel
+    (Bechamel.Test.make ~name:"e3/tpattern_scan_all (32 v)"
+       (Bechamel.Staged.stage (fun () -> Scan.tpattern_scan_all db pattern)))
+
+(* ------------------------------------------------------------------ E4 *)
+
+let e4 () =
+  section "E4  Reconstruct cost vs version age and snapshot spacing"
+    "Paper anchor: Section 7.3.3 - \"With many deltas this can be very\n\
+     expensive, but there is also the possibility of snapshot versions\".\n\
+     One document, 128 versions; reconstruct at several ages.";
+  let versions = 128 in
+  let sp = spec ~documents:1 ~versions ~restaurants:40 () in
+  let variants =
+    [
+      ("none", Config.default);
+      ("k=32", Config.with_snapshots 32 Config.default);
+      ("k=8", Config.with_snapshots 8 Config.default);
+      ("k=2", Config.with_snapshots 2 Config.default);
+    ]
+  in
+  (* probe ages off the snapshot grid so each variant's walk is visible *)
+  let ages = [126; 100; 70; 33; 1] in
+  let rows =
+    List.concat_map
+      (fun (label, config) ->
+        let db = Load.load_db ~config sp in
+        let doc = List.hd (Db.doc_ids db) in
+        List.map
+          (fun v ->
+            Db.flush_cache db;
+            Db.reset_io db;
+            let us =
+              time_us ~warmup:0 ~runs:3 (fun () ->
+                  Db.flush_cache db;
+                  Db.reconstruct db doc v)
+            in
+            let deltas = (Db.stats db).Db.deltas_read / 3 in
+            [label; string_of_int v; string_of_int deltas; fmt_us us])
+          ages)
+      variants
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "E4: Reconstruct(version) of a %d-version document"
+         versions)
+    ~columns:["snapshots"; "version"; "deltas applied"; "time (cold)"]
+    rows;
+  let db = Load.load_db sp in
+  let doc = List.hd (Db.doc_ids db) in
+  register_bechamel
+    (Bechamel.Test.make ~name:"e4/reconstruct_oldest (128 deltas)"
+       (Bechamel.Staged.stage (fun () ->
+            Db.flush_cache db;
+            Db.reconstruct db doc 0)))
+
+(* ------------------------------------------------------------------ E5 *)
+
+let e5 () =
+  section "E5  FTI alternatives A1/A2/A3"
+    "Paper anchor: Section 7.2 - \"studying the relative performance of the\n\
+     three alternatives is left as a topic for future research\".  A1 indexes\n\
+     version contents, A2 indexes delta operations, A3 both.";
+  let sp = spec ~documents:6 ~versions:24 ~restaurants:20 () in
+  let mid = Timestamp.to_string (Load.midpoint_ts sp) in
+  let build mode =
+    let config = { Config.default with Config.fti_mode = mode } in
+    let t0 = Unix.gettimeofday () in
+    let db = Load.load_db ~config sp in
+    let build_s = Unix.gettimeofday () -. t0 in
+    (db, build_s)
+  in
+  let db_a1, build_a1 = build Config.Fti_versions in
+  let db_a2, build_a2 = build Config.Fti_deltas in
+  let db_a3, build_a3 = build Config.Fti_both in
+  (* pick a word that was deleted somewhere, via the A3 delta index *)
+  let deleted_word =
+    let dfti = Db.delta_fti db_a3 in
+    let candidates =
+      Array.to_list Txq_workload.Vocab.restaurant_names
+      |> List.concat_map (fun base ->
+             List.init 60 (fun i -> Printf.sprintf "%s-%d" base (i + 1)))
+    in
+    match
+      List.find_opt
+        (fun w ->
+          Txq_fti.Delta_fti.changes_of_kind dfti w Txq_fti.Delta_fti.Deleted
+          <> [])
+        candidates
+    with
+    | Some w -> w
+    | None -> failwith "E5: workload produced no deletion; raise p_delete"
+  in
+  let snapshot_q =
+    Printf.sprintf {|SELECT COUNT(R) FROM doc("%s")[%s]/guide/restaurant R|}
+      url0 mid
+  in
+  (* change query: versions in which the word was deleted, across docs *)
+  let change_a1 db () =
+    let fti = Db.fti db in
+    List.concat_map
+      (fun doc ->
+        List.filter_map
+          (fun p ->
+            if Txq_fti.Posting.is_open p then None
+            else Some (doc, p.Txq_fti.Posting.vend))
+          (Txq_fti.Fti.lookup_h_doc fti deleted_word ~doc))
+      (Db.doc_ids db)
+  in
+  let change_a2 db () =
+    List.map
+      (fun e -> (e.Txq_fti.Delta_fti.ch_doc, e.Txq_fti.Delta_fti.ch_version))
+      (Txq_fti.Delta_fti.changes_of_kind (Db.delta_fti db) deleted_word
+         Txq_fti.Delta_fti.Deleted)
+  in
+  let index_size db =
+    let fti_part =
+      if Config.maintains_version_index (Db.config db) then
+        Txq_fti.Fti.posting_count (Db.fti db)
+      else 0
+    in
+    let dfti_part =
+      if Config.maintains_delta_index (Db.config db) then
+        Txq_fti.Delta_fti.entry_count (Db.delta_fti db)
+      else 0
+    in
+    (fti_part, dfti_part)
+  in
+  let row name db build_s snapshot change =
+    let p, e = index_size db in
+    [
+      name;
+      Printf.sprintf "%.2f s" build_s;
+      fmt_int p;
+      fmt_int e;
+      (match snapshot with
+       | Some f -> fmt_us (time_us f)
+       | None -> "n/a");
+      fmt_us (time_us change);
+    ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E5: index alternatives (6 docs x 24 versions; change query: deletions of %S)"
+         deleted_word)
+    ~columns:
+      ["alternative"; "build"; "postings"; "delta entries"; "snapshot query";
+       "change query"]
+    [
+      row "A1 versions" db_a1 build_a1
+        (Some (fun () -> run_q db_a1 snapshot_q))
+        (fun () -> change_a1 db_a1 ());
+      row "A2 deltas" db_a2 build_a2 None (fun () -> change_a2 db_a2 ());
+      row "A3 both" db_a3 build_a3
+        (Some (fun () -> run_q db_a3 snapshot_q))
+        (fun () -> change_a2 db_a3 ());
+    ];
+  register_bechamel
+    (Bechamel.Test.make ~name:"e5/fti_lookup_h"
+       (Bechamel.Staged.stage (fun () ->
+            Txq_fti.Fti.lookup_h (Db.fti db_a1) "restaurant")))
+
+(* ------------------------------------------------------------------ E6 *)
+
+let e6 () =
+  section "E6  CreTime: delta traversal vs auxiliary index"
+    "Paper anchor: Section 7.3.6 - traversal \"can easily become a\n\
+     bottleneck if CreTime is a frequently used operator\"; the index makes\n\
+     it a lookup.  Target: the document root (created in version 0, so the\n\
+     traversal walks the whole chain).";
+  let rows =
+    List.map
+      (fun versions ->
+        let sp = spec ~documents:1 ~versions ~restaurants:20 () in
+        let db = Load.load_db sp (* paged B+-tree index, the default *) in
+        let db_mem =
+          Load.load_db
+            ~config:{ Config.default with Config.cretime_backing = `Memory }
+            sp
+        in
+        let teid_of db =
+          let doc = List.hd (Db.doc_ids db) in
+          let d = Db.doc db doc in
+          Eid.Temporal.make
+            (Eid.make ~doc ~xid:(Vnode.xid (Docstore.current d)))
+            (Docstore.ts_of_version d (versions - 1))
+        in
+        let teid = teid_of db and teid_mem = teid_of db_mem in
+        let traverse_us =
+          time_us (fun () ->
+              Db.flush_cache db;
+              Lifetime.cre_time db ~strategy:`Traverse teid)
+        in
+        let deltas = Lifetime.last_traverse_deltas () in
+        let paged_us =
+          time_us (fun () ->
+              Db.flush_cache db;
+              Lifetime.cre_time db ~strategy:`Index teid)
+        in
+        Db.flush_cache db;
+        Txq_store.Io_stats.reset (Db.io_stats db);
+        ignore (Lifetime.cre_time db ~strategy:`Index teid);
+        let index_reads = (Db.io_stats db).Txq_store.Io_stats.page_reads in
+        let memory_us =
+          time_us (fun () -> Lifetime.cre_time db_mem ~strategy:`Index teid_mem)
+        in
+        [
+          string_of_int versions;
+          Printf.sprintf "%s (%d deltas)" (fmt_us traverse_us) deltas;
+          Printf.sprintf "%s (%d page reads)" (fmt_us paged_us) index_reads;
+          fmt_us memory_us;
+          Printf.sprintf "%.0fx" (traverse_us /. Float.max paged_us 0.01);
+        ])
+      [16; 64; 192]
+  in
+  print_table ~title:"E6: CreTime of the oldest element (cold cache)"
+    ~columns:
+      ["versions"; "traverse"; "B+-tree index"; "memory index";
+       "paged-index speedup"]
+    rows;
+  let sp = spec ~documents:1 ~versions:64 ~restaurants:20 () in
+  let db = Load.load_db sp in
+  let doc = List.hd (Db.doc_ids db) in
+  let d = Db.doc db doc in
+  let teid =
+    Eid.Temporal.make
+      (Eid.make ~doc ~xid:(Vnode.xid (Docstore.current d)))
+      (Docstore.ts_of_version d 63)
+  in
+  register_bechamel
+    (Bechamel.Test.make ~name:"e6/cretime_index"
+       (Bechamel.Staged.stage (fun () ->
+            Lifetime.cre_time db ~strategy:`Index teid)))
+
+(* ------------------------------------------------------------------ E7 *)
+
+let e7 () =
+  section "E7  Storage: full copies vs deltas vs deltas+snapshots"
+    "Paper anchor: Section 1 - \"the cost of storing the complete document\n\
+     versions can be too high\".  4 documents x 32 versions; change rate\n\
+     scales the per-commit churn.";
+  let rows =
+    List.map
+      (fun rate ->
+        let sp = spec ~documents:4 ~versions:32 ~restaurants:30 ~rate () in
+        let db = Load.load_db sp in
+        let db_snap =
+          Load.load_db ~config:(Config.with_snapshots 8 Config.default) sp
+        in
+        let stratum = Load.load_stratum sp in
+        let native = Db.live_pages db in
+        let native_snap = Db.live_pages db_snap in
+        let strat = Stratum.stored_pages stratum in
+        [
+          Printf.sprintf "%.1f" rate;
+          fmt_int native;
+          fmt_int native_snap;
+          fmt_int strat;
+          Printf.sprintf "%.1fx" (float_of_int strat /. float_of_int native);
+        ])
+      [0.5; 1.0; 2.0; 4.0]
+  in
+  print_table ~title:"E7: live 4 KiB pages after 32 versions of 4 documents"
+    ~columns:
+      ["change rate"; "deltas only"; "deltas + snap k=8";
+       "full copies (stratum)"; "full/delta ratio"]
+    rows
+
+(* ------------------------------------------------------------------ E8 *)
+
+let e8 () =
+  section "E8  Diff and completed-delta application"
+    "Paper anchor: Section 7.3.8 and the storage model of Section 7.1: the\n\
+     commit path diffs each revision; completed deltas apply both ways.";
+  let rng = Txq_workload.Rng.create ~seed:7 in
+  let vocab = Txq_workload.Vocab.create (Txq_workload.Rng.split rng) in
+  let rows =
+    List.map
+      (fun restaurants ->
+        let params =
+          { Restaurant.default_params with Restaurant.restaurants }
+        in
+        let gen =
+          Restaurant.create ~params ~vocab (Txq_workload.Rng.split rng)
+        in
+        let xid_gen = Txq_vxml.Xid.Gen.create () in
+        let v0 =
+          Vnode.of_xml xid_gen (Txq_xml.Xml.normalize (Restaurant.initial gen))
+        in
+        let next = Restaurant.evolve gen (Vnode.to_xml v0) in
+        let diff_us =
+          time_us (fun () ->
+              (* fresh generator per run so xids do not run away *)
+              let g = Txq_vxml.Xid.Gen.create () in
+              Txq_vxml.Xid.Gen.mark_used g (Option.get (Vnode.max_xid v0));
+              Txq_vxml.Diff.diff ~gen:g ~old_tree:v0 ~new_tree:next)
+        in
+        let g = Txq_vxml.Xid.Gen.create () in
+        Txq_vxml.Xid.Gen.mark_used g (Option.get (Vnode.max_xid v0));
+        let delta, v1 =
+          Txq_vxml.Diff.diff ~gen:g ~old_tree:v0 ~new_tree:next
+        in
+        let fwd_us =
+          time_us (fun () ->
+              let m = Txq_vxml.Xidmap.of_vnode v0 in
+              Txq_vxml.Delta.apply_forward m delta)
+        in
+        let bwd_us =
+          time_us (fun () ->
+              let m = Txq_vxml.Xidmap.of_vnode v1 in
+              Txq_vxml.Delta.apply_backward m delta)
+        in
+        let encoded = Txq_vxml.Delta.encode delta in
+        [
+          string_of_int restaurants;
+          string_of_int (Vnode.size v0);
+          fmt_us diff_us;
+          string_of_int (Txq_vxml.Delta.op_count delta);
+          fmt_int (String.length encoded);
+          fmt_us fwd_us;
+          fmt_us bwd_us;
+        ])
+      [50; 200; 800]
+  in
+  print_table ~title:"E8: one commit's diff and delta application"
+    ~columns:
+      ["restaurants"; "tree nodes"; "diff"; "ops"; "delta bytes";
+       "apply fwd"; "apply bwd"]
+    rows;
+  let params = { Restaurant.default_params with Restaurant.restaurants = 200 } in
+  let gen = Restaurant.create ~params ~vocab (Txq_workload.Rng.split rng) in
+  let xid_gen = Txq_vxml.Xid.Gen.create () in
+  let v0 =
+    Vnode.of_xml xid_gen (Txq_xml.Xml.normalize (Restaurant.initial gen))
+  in
+  let next = Restaurant.evolve gen (Vnode.to_xml v0) in
+  register_bechamel
+    (Bechamel.Test.make ~name:"e8/diff (200 restaurants)"
+       (Bechamel.Staged.stage (fun () ->
+            let g = Txq_vxml.Xid.Gen.create () in
+            Txq_vxml.Xid.Gen.mark_used g (Option.get (Vnode.max_xid v0));
+            Txq_vxml.Diff.diff ~gen:g ~old_tree:v0 ~new_tree:next)))
+
+(* ------------------------------------------------------------------ E9 *)
+
+let e9 () =
+  section "E9  Delta clustering: page reads and seeks for history access"
+    "Paper anchor: Section 7.2 - \"deltas will in many cases be stored\n\
+     unclustered... each delta read will involve a disk seek in the worst\n\
+     case\".  Reconstructing every version of one document reads its whole\n\
+     delta chain; commits of 8 documents were interleaved.";
+  let sp = spec ~documents:8 ~versions:32 ~restaurants:20 () in
+  let run_one placement =
+    let config = { Config.default with Config.placement } in
+    let db = Load.load_db ~config sp in
+    let doc = List.hd (Db.doc_ids db) in
+    let d = Db.doc db doc in
+    Db.flush_cache db;
+    Txq_store.Io_stats.reset (Db.io_stats db);
+    let us =
+      time_us ~warmup:0 ~runs:1 (fun () ->
+          for v = 0 to Docstore.version_count d - 1 do
+            ignore (Db.reconstruct db doc v)
+          done)
+    in
+    let io = Db.io_stats db in
+    (us, io.Txq_store.Io_stats.page_reads, io.Txq_store.Io_stats.seeks)
+  in
+  let u_us, u_reads, u_seeks = run_one `Unclustered in
+  let c_us, c_reads, c_seeks = run_one (`Clustered 16) in
+  print_table ~title:"E9: full-history reconstruction of one document (cold)"
+    ~columns:["placement"; "page reads"; "seeks"; "time"]
+    [
+      ["unclustered"; fmt_int u_reads; fmt_int u_seeks; fmt_us u_us];
+      ["clustered (16-page extents)"; fmt_int c_reads; fmt_int c_seeks;
+       fmt_us c_us];
+    ]
+
+(* ------------------------------------------------------------------ E10 *)
+
+let e10 () =
+  section "E10  Navigation operators: delta-index lookups"
+    "Paper anchor: Section 7.3.7 - PreviousTS/NextTS/CurrentTS are lookups\n\
+     in the per-document delta index (binary search over version\n\
+     timestamps).";
+  let iterations = 10_000 in
+  let rows =
+    List.map
+      (fun versions ->
+        let sp = spec ~documents:1 ~versions ~restaurants:10 () in
+        let db = Load.load_db sp in
+        let doc = List.hd (Db.doc_ids db) in
+        let d = Db.doc db doc in
+        let eid = Eid.make ~doc ~xid:(Vnode.xid (Docstore.current d)) in
+        let mid_ts = Docstore.ts_of_version d (versions / 2) in
+        let teid = Eid.Temporal.make eid mid_ts in
+        let per_op f =
+          let us =
+            time_us (fun () ->
+                for _ = 1 to iterations do
+                  ignore (f ())
+                done)
+          in
+          us /. float_of_int iterations *. 1000.0 (* ns/op *)
+        in
+        let prev = per_op (fun () -> Nav.previous_ts db teid) in
+        let nxt = per_op (fun () -> Nav.next_ts db teid) in
+        let cur = per_op (fun () -> Nav.current_ts db eid) in
+        let vat = per_op (fun () -> Db.version_at db doc mid_ts) in
+        [
+          string_of_int versions;
+          Printf.sprintf "%.0f ns" prev;
+          Printf.sprintf "%.0f ns" nxt;
+          Printf.sprintf "%.0f ns" cur;
+          Printf.sprintf "%.0f ns" vat;
+        ])
+      [16; 128; 1024]
+  in
+  print_table ~title:"E10: per-operation cost of version navigation"
+    ~columns:["versions"; "PreviousTS"; "NextTS"; "CurrentTS"; "version_at"]
+    rows;
+  let sp = spec ~documents:1 ~versions:128 ~restaurants:10 () in
+  let db = Load.load_db sp in
+  let doc = List.hd (Db.doc_ids db) in
+  let d = Db.doc db doc in
+  let eid = Eid.make ~doc ~xid:(Vnode.xid (Docstore.current d)) in
+  let teid = Eid.Temporal.make eid (Docstore.ts_of_version d 64) in
+  register_bechamel
+    (Bechamel.Test.make ~name:"e10/previous_ts (128 v)"
+       (Bechamel.Staged.stage (fun () -> Nav.previous_ts db teid)))
+
+(* ------------------------------------------------------------------ E11 *)
+
+let e11 () =
+  section "E11  Algebraic rewriting: snapshot-to-current"
+    "Paper anchor: Section 8 - \"algebraic rewriting techniques\" as a cost\n\
+     reducer.  A query written [NOW] is semantically a snapshot query; the\n\
+     rewriter turns it into a current-version scan (open postings only),\n\
+     skipping the per-posting version resolution of FTI_lookup_T.";
+  let rows =
+    List.map
+      (fun versions ->
+        let sp = spec ~documents:6 ~versions ~restaurants:40 () in
+        let db = Load.load_db sp in
+        let q =
+          Printf.sprintf
+            {|SELECT COUNT(R) FROM doc("%s")[NOW]/guide/restaurant R|} url0
+        in
+        let parsed = Txq_query.Parser.parse_exn q in
+        let plain = time_us ~runs:15 (fun () -> Exec.run db parsed) in
+        let rewritten =
+          time_us ~runs:15 (fun () -> Txq_query.Rewrite.run db parsed)
+        in
+        (* the isolated operator-level effect, without parse/serialize *)
+        let pattern = Pattern.of_path_exn "/guide/restaurant" in
+        let now = Db.now db in
+        let scan_t =
+          time_us ~runs:15 (fun () -> Scan.tpattern_scan db pattern now)
+        in
+        let scan_cur = time_us ~runs:15 (fun () -> Scan.pattern_scan db pattern) in
+        [
+          string_of_int versions;
+          fmt_us plain;
+          fmt_us rewritten;
+          Printf.sprintf "%.1fx" (plain /. rewritten);
+          fmt_us scan_t;
+          fmt_us scan_cur;
+          Printf.sprintf "%.1fx" (scan_t /. scan_cur);
+        ])
+      [8; 32; 128]
+  in
+  print_table ~title:"E11: [NOW] snapshot count, literal vs rewritten"
+    ~columns:
+      ["versions"; "query as written"; "query rewritten"; "speedup";
+       "TPatternScan(now)"; "PatternScan"; "scan speedup"]
+    rows
+
+(* ------------------------------------------------------------------ main *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let bechamel = List.mem "--bechamel" args in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let to_run =
+    if selected = [] then experiments
+    else List.filter (fun (name, _) -> List.mem name selected) experiments
+  in
+  if to_run = [] then begin
+    Printf.eprintf "unknown experiment(s); known: %s\n"
+      (String.concat " " (List.map fst experiments));
+    exit 1
+  end;
+  print_endline "Temporal XML query operators - experiment harness";
+  print_endline "(shapes, not absolute numbers: the substrate is a simulator)";
+  List.iter (fun (_, f) -> f ()) to_run;
+  if bechamel then Harness.run_bechamel ()

@@ -1,0 +1,217 @@
+(* txmldb — command-line driver for the temporal XML database.
+
+   The store is an in-memory simulator, so every invocation builds its
+   database first: either the paper's Figure 1 (--fig1) or a generated
+   restaurant-guide workload (--docs/--versions/--seed), then runs the
+   requested action against it. *)
+
+open Cmdliner
+
+(* --- shared workload/config options ------------------------------------ *)
+
+let docs_t =
+  Arg.(value & opt int 10 & info ["docs"] ~docv:"N" ~doc:"Generated guide documents.")
+
+let versions_t =
+  Arg.(value & opt int 20 & info ["versions"] ~docv:"N" ~doc:"Versions per document.")
+
+let seed_t = Arg.(value & opt int 42 & info ["seed"] ~docv:"SEED" ~doc:"Workload seed.")
+
+let fig1_t =
+  Arg.(value & flag & info ["fig1"] ~doc:"Load the paper's Figure 1 instead of a generated workload.")
+
+let snapshots_t =
+  Arg.(value & opt (some int) None & info ["snapshot-every"] ~docv:"K"
+         ~doc:"Store a full snapshot every K versions.")
+
+let clustered_t =
+  Arg.(value & flag & info ["clustered"] ~doc:"Cluster each document's blobs (default unclustered).")
+
+let fti_mode_t =
+  let modes =
+    [ ("versions", Txq_db.Config.Fti_versions); ("deltas", Txq_db.Config.Fti_deltas);
+      ("both", Txq_db.Config.Fti_both); ("none", Txq_db.Config.Fti_none) ]
+  in
+  Arg.(value & opt (enum modes) Txq_db.Config.Fti_versions
+       & info ["fti"] ~docv:"MODE" ~doc:"Content index: $(b,versions), $(b,deltas), $(b,both) or $(b,none).")
+
+let config_of snapshots clustered fti_mode =
+  {
+    Txq_db.Config.default with
+    Txq_db.Config.snapshot_every = snapshots;
+    placement = (if clustered then `Clustered 16 else `Unclustered);
+    fti_mode;
+  }
+
+let fig1_url = "guide.com/restaurants.xml"
+
+let build_db ~fig1 ~docs ~versions ~seed config =
+  if fig1 then begin
+    let ts = Txq_temporal.Timestamp.of_string in
+    let xml = Txq_xml.Parse.parse_exn in
+    let db = Txq_db.Db.create ~config () in
+    ignore
+      (Txq_db.Db.insert_document db ~url:fig1_url ~ts:(ts "01/01/2001")
+         (xml "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>"));
+    ignore
+      (Txq_db.Db.update_document db ~url:fig1_url ~ts:(ts "15/01/2001")
+         (xml "<guide><restaurant><name>Napoli</name><price>15</price></restaurant><restaurant><name>Akropolis</name><price>13</price></restaurant></guide>"));
+    ignore
+      (Txq_db.Db.update_document db ~url:fig1_url ~ts:(ts "31/01/2001")
+         (xml "<guide><restaurant><name>Napoli</name><price>18</price></restaurant><restaurant><name>Akropolis</name><price>13</price></restaurant></guide>"));
+    db
+  end
+  else
+    Txq_workload.Load.load_db ~config
+      { Txq_workload.Load.default_spec with
+        Txq_workload.Load.seed; documents = docs; versions }
+
+let db_term =
+  let make fig1 docs versions seed snapshots clustered fti_mode =
+    build_db ~fig1 ~docs ~versions ~seed (config_of snapshots clustered fti_mode)
+  in
+  Term.(const make $ fig1_t $ docs_t $ versions_t $ seed_t $ snapshots_t
+        $ clustered_t $ fti_mode_t)
+
+(* --- query ---------------------------------------------------------------- *)
+
+let query_cmd =
+  let query_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Temporal query, e.g. 'SELECT R FROM doc(\"…\")[26/01/2001]/guide/restaurant R'.")
+  in
+  let explain_t =
+    Arg.(value & flag & info ["explain"]
+           ~doc:"Print the operator plan instead of running the query.")
+  in
+  let run db explain query =
+    if explain then
+      match Txq_query.Exec.explain_string db query with
+      | Ok plan ->
+        print_string plan;
+        `Ok ()
+      | Error e -> `Error (false, Txq_query.Exec.error_to_string e)
+    else
+      match Txq_query.Rewrite.run_string db query with
+      | Ok result ->
+        print_string (Txq_xml.Print.to_pretty result);
+        `Ok ()
+      | Error e -> `Error (false, Txq_query.Exec.error_to_string e)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a temporal query against the database.")
+    Term.(ret (const run $ db_term $ explain_t $ query_t))
+
+(* --- history ---------------------------------------------------------------- *)
+
+let history_cmd =
+  let url_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"URL" ~doc:"Document URL.")
+  in
+  let run db url =
+    match Txq_db.Db.find_all db url with
+    | [] -> `Error (false, Printf.sprintf "no document at %s" url)
+    | incarnations ->
+      List.iter
+        (fun d ->
+          let id = Txq_db.Docstore.doc_id d in
+          Printf.printf "document %d (%s)\n" id url;
+          for v = 0 to Txq_db.Docstore.version_count d - 1 do
+            let iv = Txq_db.Docstore.version_interval d v in
+            Printf.printf "  v%-3d %s  %d-node tree\n" v
+              (Txq_temporal.Interval.to_string iv)
+              (Txq_vxml.Vnode.size (Txq_db.Db.reconstruct db id v))
+          done;
+          match Txq_db.Docstore.deleted_at d with
+          | Some ts ->
+            Printf.printf "  deleted %s\n" (Txq_temporal.Timestamp.to_string ts)
+          | None -> ())
+        incarnations;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "history" ~doc:"Show the version chain of a document.")
+    Term.(ret (const run $ db_term $ url_t))
+
+(* --- show ------------------------------------------------------------------- *)
+
+let show_cmd =
+  let url_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"URL" ~doc:"Document URL.")
+  in
+  let at_t =
+    Arg.(value & opt (some string) None & info ["at"] ~docv:"DD/MM/YYYY"
+           ~doc:"Timestamp of the snapshot to show (default: current).")
+  in
+  let run db url at =
+    let shown =
+      match at with
+      | Some s -> (
+        match Txq_temporal.Timestamp.of_string_opt s with
+        | None -> Error (Printf.sprintf "bad timestamp %S" s)
+        | Some ts -> (
+          match Txq_db.Db.find_at db url ts with
+          | Some (d, v) ->
+            Ok (Txq_db.Db.reconstruct db (Txq_db.Docstore.doc_id d) v)
+          | None -> Error (Printf.sprintf "no version of %s at %s" url s)))
+      | None -> (
+        match Txq_db.Db.find_live db url with
+        | Some d -> Ok (Txq_db.Docstore.current d)
+        | None -> Error (Printf.sprintf "no live document at %s" url))
+    in
+    match shown with
+    | Ok tree ->
+      print_string (Txq_xml.Print.to_pretty (Txq_vxml.Vnode.to_xml tree));
+      `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a document version (current or at a time).")
+    Term.(ret (const run $ db_term $ url_t $ at_t))
+
+(* --- stats ------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run db =
+    let io = Txq_db.Db.io_stats db in
+    Printf.printf "documents:        %d\n" (Txq_db.Db.document_count db);
+    Printf.printf "commits:          %d\n" (Txq_db.Db.stats db).Txq_db.Db.commits;
+    Printf.printf "live pages:       %d (%d KiB)\n" (Txq_db.Db.live_pages db)
+      (Txq_db.Db.live_pages db * 4);
+    Printf.printf "io during build:  %s\n" (Txq_store.Io_stats.to_string io);
+    (match Txq_db.Db.config db with
+     | { Txq_db.Config.fti_mode = Txq_db.Config.Fti_versions | Txq_db.Config.Fti_both; _ } ->
+       let fti = Txq_db.Db.fti db in
+       Printf.printf "fti words:        %d\n" (Txq_fti.Fti.word_count fti);
+       Printf.printf "fti postings:     %d\n" (Txq_fti.Fti.posting_count fti)
+     | _ -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Build the database and print storage/index statistics.")
+    Term.(ret (const run $ db_term))
+
+(* --- verify ------------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run db =
+    match Txq_db.Db.verify db with
+    | Ok versions ->
+      Printf.printf "ok: %d versions reconstruct cleanly\n" versions;
+      `Ok ()
+    | Error diagnostics ->
+      List.iter (fun d -> Printf.eprintf "FAIL: %s\n" d) diagnostics;
+      `Error (false, Printf.sprintf "%d integrity errors" (List.length diagnostics))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Reconstruct every stored version and check chain integrity.")
+    Term.(ret (const run $ db_term))
+
+let main =
+  let doc = "temporal XML database (Nørvåg 2002 reproduction)" in
+  Cmd.group
+    (Cmd.info "txmldb" ~version:"1.0.0" ~doc)
+    [query_cmd; history_cmd; show_cmd; stats_cmd; verify_cmd]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/change_audit.ml: Printf Txq_db Txq_query Txq_temporal Txq_xml

@@ -1,0 +1,1 @@
+examples/news_archive.ml: List Printf Txq_db Txq_query Txq_temporal Txq_vxml Txq_workload Txq_xml

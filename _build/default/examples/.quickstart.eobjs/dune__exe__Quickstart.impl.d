@@ -1,0 +1,1 @@
+examples/quickstart.ml: Txq_db Txq_query Txq_temporal Txq_xml

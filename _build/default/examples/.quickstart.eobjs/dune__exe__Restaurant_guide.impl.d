@@ -1,0 +1,1 @@
+examples/restaurant_guide.ml: List Printf Txq_core Txq_db Txq_query Txq_temporal Txq_vxml Txq_xml

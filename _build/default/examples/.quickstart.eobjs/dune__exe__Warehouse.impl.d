@@ -1,0 +1,1 @@
+examples/warehouse.ml: List Printf Txq_db Txq_query Txq_temporal Txq_workload Txq_xml

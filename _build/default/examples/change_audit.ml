@@ -1,0 +1,91 @@
+(* "Which restaurants increased their prices?" — the Section 7.4 problem.
+
+   Comparing element versions requires choosing what "the same restaurant"
+   means.  The paper weighs three semantics and concludes a combination of
+   shallow equality and a similarity operator is most practical; this
+   example runs all three against a corpus where each is right or wrong in
+   a different way:
+
+   - name equality  ("=" on a subelement) is fooled by two restaurants
+     sharing a name;
+   - EID identity   ("==") is exact for edits in place, but loses an entry
+     that was accidentally deleted and reintroduced (fresh EID);
+   - similarity     ("~") recovers the reintroduced entry by content.
+
+   Run with: dune exec examples/change_audit.exe *)
+
+module Db = Txq_db.Db
+module Timestamp = Txq_temporal.Timestamp
+
+let ts = Timestamp.of_string
+let xml = Txq_xml.Parse.parse_exn
+let show = Txq_xml.Print.to_pretty
+let url = "guide.com/city.xml"
+
+let v1 =
+  xml
+    "<guide>\
+     <restaurant><name>Napoli</name><street>Via-Roma 1</street><price>15</price></restaurant>\
+     <restaurant><name>Napoli</name><street>Harbor-Road 9</street><price>12</price></restaurant>\
+     <restaurant><name>Sakura</name><street>Main-Street 3</street><price>20</price></restaurant>\
+     </guide>"
+
+(* 10/01/2001: the Via-Roma Napoli raises its price; the Sakura entry is
+   accidentally dropped by the site. *)
+let v2 =
+  xml
+    "<guide>\
+     <restaurant><name>Napoli</name><street>Via-Roma 1</street><price>18</price></restaurant>\
+     <restaurant><name>Napoli</name><street>Harbor-Road 9</street><price>12</price></restaurant>\
+     </guide>"
+
+(* 20/01/2001: Sakura is reintroduced (new EID!) with a higher price. *)
+let v3 =
+  xml
+    "<guide>\
+     <restaurant><name>Napoli</name><street>Via-Roma 1</street><price>18</price></restaurant>\
+     <restaurant><name>Napoli</name><street>Harbor-Road 9</street><price>12</price></restaurant>\
+     <restaurant><name>Sakura</name><street>Main-Street 3</street><price>24</price></restaurant>\
+     </guide>"
+
+let run db q label =
+  print_endline label;
+  (match Txq_query.Exec.run_string db q with
+   | Ok result -> print_string (show result)
+   | Error e -> Printf.printf "  error: %s\n" (Txq_query.Exec.error_to_string e));
+  print_endline ""
+
+let () =
+  let db = Db.create () in
+  ignore (Db.insert_document db ~url ~ts:(ts "01/01/2001") v1);
+  ignore (Db.update_document db ~url ~ts:(ts "10/01/2001") v2);
+  ignore (Db.update_document db ~url ~ts:(ts "20/01/2001") v3);
+
+  print_endline "Who increased prices since 05/01/2001?\n";
+
+  (* 1. compare by name: both Napolis pair with each other, producing the
+     false claim that the Harbor-Road Napoli (still 12) raised prices *)
+  run db
+    {|SELECT R2/name, R2/street, R1/price, R2/price
+      FROM doc("guide.com/city.xml")[05/01/2001]/guide/restaurant R1,
+           doc("guide.com/city.xml")/guide/restaurant R2
+      WHERE R1/name = R2/name AND R1/price < R2/price|}
+    "-- by name equality (R1/name = R2/name): over-reports --";
+
+  (* 2. compare by EID identity: exact for Napoli, but misses Sakura whose
+     element was deleted and reintroduced with a fresh EID *)
+  run db
+    {|SELECT R2/name, R2/street, R1/price, R2/price
+      FROM doc("guide.com/city.xml")[05/01/2001]/guide/restaurant R1,
+           doc("guide.com/city.xml")/guide/restaurant R2
+      WHERE R1 == R2 AND R1/price < R2/price|}
+    "-- by EID identity (R1 == R2): exact but misses the reintroduced Sakura --";
+
+  (* 3. similarity: name+street make the entries similar enough to pair
+     across the delete/reintroduce, without pairing the two Napolis *)
+  run db
+    {|SELECT R2/name, R2/street, R1/price, R2/price
+      FROM doc("guide.com/city.xml")[05/01/2001]/guide/restaurant R1,
+           doc("guide.com/city.xml")/guide/restaurant R2
+      WHERE R1 ~ R2 AND R1/price < R2/price|}
+    "-- by similarity (R1 ~ R2): catches both real increases --"

@@ -1,0 +1,70 @@
+(* Quickstart: create a temporal XML database, commit a few versions of a
+   document, and ask temporal questions about it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Db = Txq_db.Db
+module Timestamp = Txq_temporal.Timestamp
+
+let ts = Timestamp.of_string
+let xml = Txq_xml.Parse.parse_exn
+let show = Txq_xml.Print.to_pretty
+
+let () =
+  (* 1. Create a database.  The default configuration is the paper's
+     baseline: current version + completed deltas, temporal full-text index
+     over version contents, CreTime index on. *)
+  let db = Db.create () in
+
+  (* 2. Commit three versions of a document, each at its own transaction
+     time. *)
+  let url = "example.org/menu.xml" in
+  ignore
+    (Db.insert_document db ~url ~ts:(ts "01/03/2001")
+       (xml "<menu><dish><name>Margherita</name><price>8</price></dish></menu>"));
+  ignore
+    (Db.update_document db ~url ~ts:(ts "10/03/2001")
+       (xml
+          "<menu><dish><name>Margherita</name><price>9</price></dish>\
+           <dish><name>Calzone</name><price>11</price></dish></menu>"));
+  ignore
+    (Db.update_document db ~url ~ts:(ts "20/03/2001")
+       (xml
+          "<menu><dish><name>Margherita</name><price>10</price></dish>\
+           <dish><name>Calzone</name><price>11</price></dish></menu>"));
+
+  (* 3. Snapshot query: what did the menu say on 15/03? *)
+  let q1 =
+    Txq_query.Exec.run_string_exn db
+      {|SELECT D/name, D/price FROM doc("example.org/menu.xml")[15/03/2001]/menu/dish D|}
+  in
+  print_endline "--- menu on 15/03/2001 ---";
+  print_string (show q1);
+
+  (* 4. History query: the whole price history of the Margherita. *)
+  let q2 =
+    Txq_query.Exec.run_string_exn db
+      {|SELECT TIME(D), D/price
+        FROM doc("example.org/menu.xml")[EVERY]/menu/dish D
+        WHERE D/name = "Margherita"|}
+  in
+  print_endline "--- Margherita price history ---";
+  print_string (show q2);
+
+  (* 5. Change query: when did the Calzone appear? *)
+  let q3 =
+    Txq_query.Exec.run_string_exn db
+      {|SELECT CREATE TIME(D) FROM doc("example.org/menu.xml")/menu/dish D
+        WHERE D/name = "Calzone"|}
+  in
+  print_endline "--- Calzone create time ---";
+  print_string (show q3);
+
+  (* 6. What changed between the previous version and now? *)
+  let q4 =
+    Txq_query.Exec.run_string_exn db
+      {|SELECT DIFF(PREVIOUS(D), D) FROM doc("example.org/menu.xml")/menu/dish D
+        WHERE D/name = "Margherita"|}
+  in
+  print_endline "--- edit script: previous -> current Margherita ---";
+  print_string (show q4)

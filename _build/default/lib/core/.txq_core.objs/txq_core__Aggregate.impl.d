@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: List Reconstruct_op Scan Stdlib String Txq_vxml Vrange

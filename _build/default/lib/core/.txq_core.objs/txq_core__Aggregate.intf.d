@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Scan Txq_db Txq_vxml

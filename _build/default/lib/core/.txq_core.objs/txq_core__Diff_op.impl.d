@@ -1,0 +1,1 @@
+lib/core/diff_op.ml: Printf Reconstruct_op Txq_vxml

@@ -1,0 +1,1 @@
+lib/core/diff_op.mli: Txq_db Txq_vxml Txq_xml

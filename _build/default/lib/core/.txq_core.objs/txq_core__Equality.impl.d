@@ -1,0 +1,1 @@
+lib/core/equality.ml: Set String Txq_vxml Txq_xml

@@ -1,0 +1,1 @@
+lib/core/equality.mli: Txq_vxml

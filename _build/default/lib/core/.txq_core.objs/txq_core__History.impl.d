@@ -1,0 +1,1 @@
+lib/core/history.ml: List Txq_db Txq_temporal Txq_vxml

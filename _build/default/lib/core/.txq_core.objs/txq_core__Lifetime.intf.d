@@ -1,0 +1,1 @@
+lib/core/lifetime.mli: Txq_db Txq_temporal Txq_vxml

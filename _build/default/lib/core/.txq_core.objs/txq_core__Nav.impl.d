@@ -1,0 +1,1 @@
+lib/core/nav.ml: Option Txq_db Txq_vxml

@@ -1,0 +1,1 @@
+lib/core/nav.mli: Txq_db Txq_temporal Txq_vxml

@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Format List Printf String Txq_xml

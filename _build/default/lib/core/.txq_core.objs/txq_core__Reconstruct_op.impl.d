@@ -1,0 +1,1 @@
+lib/core/reconstruct_op.ml: Option Txq_db Txq_vxml

@@ -1,0 +1,1 @@
+lib/core/reconstruct_op.mli: Txq_db Txq_temporal Txq_vxml Txq_xml

@@ -1,0 +1,1 @@
+lib/core/scan.ml: Array Hashtbl Int List Pattern Stdlib Txq_db Txq_fti Txq_temporal Txq_vxml Vrange

@@ -1,0 +1,1 @@
+lib/core/scan.mli: Pattern Txq_db Txq_temporal Txq_vxml Vrange

@@ -1,0 +1,1 @@
+lib/core/vrange.ml: Format List Printf Stdlib String

@@ -1,0 +1,32 @@
+let count = List.length
+
+let count_versions bindings =
+  List.fold_left
+    (fun acc b ->
+      let n = Vrange.spans b.Scan.b_versions in
+      if n = max_int then acc + 1 else acc + n)
+    0 bindings
+
+let numeric_value db teid =
+  match Reconstruct_op.reconstruct db teid with
+  | None -> None
+  | Some tree ->
+    float_of_string_opt (String.trim (Txq_vxml.Vnode.text_content tree))
+
+let values db teids = List.filter_map (numeric_value db) teids
+
+let sum db teids = List.fold_left ( +. ) 0.0 (values db teids)
+
+let avg db teids =
+  match values db teids with
+  | [] -> None
+  | vs -> Some (List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
+
+let min_max db teids =
+  match values db teids with
+  | [] -> None
+  | v :: vs ->
+    Some
+      (List.fold_left
+         (fun (lo, hi) x -> (Stdlib.min lo x, Stdlib.max hi x))
+         (v, v) vs)

@@ -1,0 +1,20 @@
+module Vnode = Txq_vxml.Vnode
+module Delta = Txq_vxml.Delta
+module Diff = Txq_vxml.Diff
+module Xid = Txq_vxml.Xid
+module Eid = Txq_vxml.Eid
+
+let diff_trees a b =
+  let gen = Xid.Gen.create () in
+  (match Vnode.max_xid a with
+   | Some m -> Xid.Gen.mark_used gen m
+   | None -> ());
+  Delta.to_xml (Diff.diff_vnodes ~gen a b)
+
+let diff db teid1 teid2 =
+  match (Reconstruct_op.reconstruct db teid1, Reconstruct_op.reconstruct db teid2) with
+  | Some a, Some b -> Ok (diff_trees a b)
+  | None, _ ->
+    Error (Printf.sprintf "Diff: %s does not resolve" (Eid.Temporal.to_string teid1))
+  | _, None ->
+    Error (Printf.sprintf "Diff: %s does not resolve" (Eid.Temporal.to_string teid2))

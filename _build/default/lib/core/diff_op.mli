@@ -1,0 +1,18 @@
+(** The Diff operator (Sections 6.1, 7.3.8).
+
+    Computes the changes between two element versions as an edit script.
+    "In our context, the edit scripts are XML trees themselves", so the
+    operator does not break the closure property of queries: its result can
+    be returned, post-processed or queried like any other XML. *)
+
+val diff :
+  Txq_db.Db.t ->
+  Txq_vxml.Eid.Temporal.t ->
+  Txq_vxml.Eid.Temporal.t ->
+  (Txq_xml.Xml.t, string) result
+(** Edit script between the two element versions (which may belong to
+    different documents or subtrees).  Errors if either TEID does not
+    resolve. *)
+
+val diff_trees : Txq_vxml.Vnode.t -> Txq_vxml.Vnode.t -> Txq_xml.Xml.t
+(** Edit script between two already-materialized trees. *)

@@ -1,0 +1,27 @@
+module Vnode = Txq_vxml.Vnode
+module Eid = Txq_vxml.Eid
+
+let deep_equal = Vnode.deep_equal
+
+let shallow_equal a b =
+  match (a, b) with
+  | Vnode.Text x, Vnode.Text y -> String.equal x.content y.content
+  | Vnode.Elem x, Vnode.Elem y ->
+    Vnode.deep_equal
+      (Vnode.Elem { x with children = [] })
+      (Vnode.Elem { y with children = [] })
+  | Vnode.Text _, Vnode.Elem _ | Vnode.Elem _, Vnode.Text _ -> false
+
+let identical = Eid.equal
+
+module Words = Set.Make (String)
+
+let token_set tree = Words.of_list (Txq_xml.Xml.words (Vnode.to_xml tree))
+
+let similarity a b =
+  let wa = token_set a and wb = token_set b in
+  let union = Words.cardinal (Words.union wa wb) in
+  if union = 0 then 1.0
+  else float_of_int (Words.cardinal (Words.inter wa wb)) /. float_of_int union
+
+let similar ?(threshold = 0.6) a b = similarity a b >= threshold

@@ -1,0 +1,28 @@
+(** Equality, identity and similarity of element versions (Section 7.4).
+
+    The paper contrasts three readings of "the same" for versioned XML:
+    content equality ([=], deep or shallow), node identity ([==], via
+    persistent EIDs), and similarity (after Theobald & Weikum [14]), and
+    concludes a combination of shallow equality and a similarity operator is
+    the most practical.  All three are provided. *)
+
+val deep_equal : Txq_vxml.Vnode.t -> Txq_vxml.Vnode.t -> bool
+(** [=] with deep semantics: whole subtrees match in elements and values
+    ("can be too strict in practice, considering that this is XML data"). *)
+
+val shallow_equal : Txq_vxml.Vnode.t -> Txq_vxml.Vnode.t -> bool
+(** [=] with shallow semantics: the nodes themselves match (tag and
+    attributes, or text content); children are ignored. *)
+
+val identical : Txq_vxml.Eid.t -> Txq_vxml.Eid.t -> bool
+(** [==]: same persistent identity.  Survives updates to the element's
+    content, but a deleted-and-reintroduced element compares false — the
+    failure mode the paper points out. *)
+
+val similarity : Txq_vxml.Vnode.t -> Txq_vxml.Vnode.t -> float
+(** Token-level Jaccard similarity over the two subtrees' words (element
+    names included), in [\[0, 1\]].  Two empty trees are similar (1.0). *)
+
+val similar :
+  ?threshold:float -> Txq_vxml.Vnode.t -> Txq_vxml.Vnode.t -> bool
+(** The [≈] operator: [similarity a b >= threshold] (default 0.6). *)

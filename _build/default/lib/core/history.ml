@@ -1,0 +1,187 @@
+module Eid = Txq_vxml.Eid
+module Vnode = Txq_vxml.Vnode
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+module Timestamp = Txq_temporal.Timestamp
+module Interval = Txq_temporal.Interval
+
+type doc_version = {
+  dv_teid : Eid.Temporal.t;
+  dv_version : int;
+  dv_interval : Interval.t;
+}
+
+let doc_history db doc_id ~t1 ~t2 =
+  if Timestamp.(t2 <= t1) then []
+  else
+    let d = Db.doc db doc_id in
+    let window = Interval.make ~start:t1 ~stop:t2 in
+    let n = Docstore.version_count d in
+    let rec collect v acc =
+      if v >= n then acc
+      else
+        let iv = Docstore.version_interval d v in
+        match Interval.intersect iv window with
+        | None -> collect (v + 1) acc
+        | Some clipped ->
+          let root_xid = Vnode.xid (Docstore.current d) in
+          let teid =
+            Eid.Temporal.make
+              (Eid.make ~doc:doc_id ~xid:root_xid)
+              (Interval.start clipped)
+          in
+          collect (v + 1)
+            ({ dv_teid = teid; dv_version = v; dv_interval = clipped } :: acc)
+    in
+    (* collected ascending then reversed: most recent first *)
+    collect 0 []
+
+module Xidmap = Txq_vxml.Xidmap
+module Xid = Txq_vxml.Xid
+module Delta = Txq_vxml.Delta
+
+type element_version = {
+  ev_teid : Eid.Temporal.t;
+  ev_version : int;
+  ev_interval : Interval.t;
+  ev_tree : Vnode.t;
+}
+
+let element_history db eid ~t1 ~t2 ?(distinct = false) () =
+  let versions = doc_history db eid.Eid.doc ~t1 ~t2 in
+  (* doc_history is most recent first; walk it and filter the subtree *)
+  let with_trees =
+    List.filter_map
+      (fun dv ->
+        let tree = Db.reconstruct db eid.Eid.doc dv.dv_version in
+        match Vnode.find tree eid.Eid.xid with
+        | Some subtree ->
+          Some
+            {
+              ev_teid = Eid.Temporal.make eid (Interval.start dv.dv_interval);
+              ev_version = dv.dv_version;
+              ev_interval = dv.dv_interval;
+              ev_tree = subtree;
+            }
+        | None -> None)
+      versions
+  in
+  if not distinct then with_trees
+  else
+    (* collapse runs of consecutive versions with equal content: fold
+       oldest-first, merging each run into one entry spanning its whole
+       validity *)
+    let oldest_first = List.rev with_trees in
+    let _, out =
+      List.fold_left
+        (fun (prev, acc) ev ->
+          match prev with
+          | Some p when Vnode.deep_equal p.ev_tree ev.ev_tree ->
+            (* same content: extend the previous entry's interval *)
+            let merged =
+              {
+                p with
+                ev_interval =
+                  Interval.make
+                    ~start:(Interval.start p.ev_interval)
+                    ~stop:(Interval.stop ev.ev_interval);
+              }
+            in
+            (Some merged, merged :: List.tl acc)
+          | _ -> (Some ev, ev :: acc))
+        (None, []) oldest_first
+    in
+    out
+
+(* --- single-sweep element history --------------------------------------- *)
+
+(* Is [xid] the element or inside its subtree, in the current map state? *)
+let under_element map root_xid xid =
+  Xidmap.mem map xid
+  &&
+  let rec up x =
+    Xid.equal x root_xid
+    ||
+    match Xidmap.parent map x with
+    | Some p -> up p
+    | None -> false
+  in
+  up xid
+
+(* Does this forward operation (v-1 -> v) change the element's content?
+   Checked against the state at v, where every referenced parent/target
+   exists.  A move of the element itself only repositions it among its
+   siblings — its own content, hence its version, is unchanged
+   (Section 4's element-timestamp model). *)
+let op_touches map root_xid = function
+  | Delta.Update { xid; _ } | Delta.Rename { xid; _ } | Delta.Set_attr { xid; _ }
+    -> under_element map root_xid xid
+  | Delta.Insert { parent; _ } | Delta.Delete { parent; _ } ->
+    under_element map root_xid parent
+  | Delta.Move { xid; old_parent; new_parent; _ } ->
+    (under_element map root_xid xid && not (Xid.equal xid root_xid))
+    || under_element map root_xid old_parent
+    || under_element map root_xid new_parent
+
+let element_history_sweep db eid ~t1 ~t2 () =
+  let d = Db.doc db eid.Eid.doc in
+  match Docstore.versions_overlapping d ~t1 ~t2 with
+  | None -> []
+  | Some (v_lo, v_hi) ->
+    let window = Interval.make ~start:t1 ~stop:t2 in
+    let clip v =
+      match Interval.intersect (Docstore.version_interval d v) window with
+      | Some iv -> iv
+      | None -> assert false (* v in [v_lo, v_hi] overlaps by construction *)
+    in
+    let map = Xidmap.of_vnode (Db.reconstruct db eid.Eid.doc v_hi) in
+    let root_xid = eid.Eid.xid in
+    (* A run of versions [run_lo .. run_hi] shares one element state. *)
+    let out = ref [] in
+    let emit ~run_lo ~run_hi tree =
+      let interval =
+        Interval.make
+          ~start:(Interval.start (clip run_lo))
+          ~stop:(Interval.stop (clip run_hi))
+      in
+      out :=
+        {
+          ev_teid = Eid.Temporal.make eid (Interval.start interval);
+          ev_version = run_lo;
+          ev_interval = interval;
+          ev_tree = tree;
+        }
+        :: !out
+    in
+    (* walk newest -> oldest; [run_hi] is the top of the current run, and
+       [run_tree] its content (None while the element is absent) *)
+    let run_hi = ref v_hi in
+    let run_tree =
+      ref
+        (if Xidmap.mem map root_xid then Some (Xidmap.subtree map root_xid)
+         else None)
+    in
+    for v = v_hi downto v_lo + 1 do
+      (* step from state v to state v-1 *)
+      let delta = Db.read_delta db eid.Eid.doc v in
+      let touched =
+        List.exists (op_touches map root_xid) delta.Delta.ops
+      in
+      Delta.apply_backward map delta;
+      let present = Xidmap.mem map root_xid in
+      let was_present = !run_tree <> None in
+      if touched || present <> was_present then begin
+        (* the run [v .. run_hi] ends; emit it if the element existed *)
+        (match !run_tree with
+         | Some tree -> emit ~run_lo:v ~run_hi:!run_hi tree
+         | None -> ());
+        run_hi := v - 1;
+        run_tree := (if present then Some (Xidmap.subtree map root_xid) else None)
+      end
+    done;
+    (match !run_tree with
+     | Some tree -> emit ~run_lo:v_lo ~run_hi:!run_hi tree
+     | None -> ());
+    (* emitted oldest-last while walking down; !out is oldest-first, return
+       newest-first like element_history *)
+    List.rev !out

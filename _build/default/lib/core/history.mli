@@ -1,0 +1,57 @@
+(** DocHistory and ElementHistory (Sections 6.1, 7.3.4, 7.3.5). *)
+
+type doc_version = {
+  dv_teid : Txq_vxml.Eid.Temporal.t;  (** TEID of the version's root *)
+  dv_version : int;
+  dv_interval : Txq_temporal.Interval.t;  (** validity, clipped to the query
+                                              window *)
+}
+
+val doc_history :
+  Txq_db.Db.t ->
+  Txq_vxml.Eid.doc_id ->
+  t1:Txq_temporal.Timestamp.t ->
+  t2:Txq_temporal.Timestamp.t ->
+  doc_version list
+(** All versions of the document valid in [\[t1, t2)], {e most recent
+    first} — the paper notes the reconstruction algorithm naturally outputs
+    the history backwards (Section 7.3.4). *)
+
+type element_version = {
+  ev_teid : Txq_vxml.Eid.Temporal.t;
+  ev_version : int;
+  ev_interval : Txq_temporal.Interval.t;
+  ev_tree : Txq_vxml.Vnode.t;  (** the element's subtree in that version *)
+}
+
+val element_history :
+  Txq_db.Db.t ->
+  Txq_vxml.Eid.t ->
+  t1:Txq_temporal.Timestamp.t ->
+  t2:Txq_temporal.Timestamp.t ->
+  ?distinct:bool ->
+  unit ->
+  element_version list
+(** All versions of the element valid in [\[t1, t2)], most recent first,
+    implemented per the paper: DocHistory, then filter out the subtree
+    rooted at the EID ("the whole deltas would have to be read anyway").
+    Versions where the element is absent are skipped.  [distinct] collapses
+    runs of consecutive versions whose subtree did not change — the element
+    timestamp model of Section 4 (an element is updated only when it or a
+    descendant changes); default [false]. *)
+
+val element_history_sweep :
+  Txq_db.Db.t ->
+  Txq_vxml.Eid.t ->
+  t1:Txq_temporal.Timestamp.t ->
+  t2:Txq_temporal.Timestamp.t ->
+  unit ->
+  element_version list
+(** Same result as [element_history ~distinct:true], computed with a single
+    backward sweep: reconstruct the newest version in the window once, then
+    apply each completed delta backward exactly once, materializing the
+    element only at the versions where a delta operation touched its
+    subtree.  This is the kind of technique Section 8 calls for to "reduce
+    the number of delta versions that have to be retrieved": the naive
+    algorithm reads O(n²) deltas over an n-version window, the sweep reads
+    each delta once. *)

@@ -1,0 +1,94 @@
+module Eid = Txq_vxml.Eid
+module Delta = Txq_vxml.Delta
+module Xid = Txq_vxml.Xid
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+module Cretime_index = Txq_db.Cretime_index
+module Timestamp = Txq_temporal.Timestamp
+
+type strategy = [ `Traverse | `Index ]
+
+let traverse_counter = ref 0
+let last_traverse_deltas () = !traverse_counter
+
+let default_strategy db =
+  match Db.cretime db with
+  | Some _ -> `Index
+  | None -> `Traverse
+
+let index_of db =
+  match Db.cretime db with
+  | Some idx -> idx
+  | None ->
+    invalid_arg "Lifetime: `Index strategy but no CreTime index configured"
+
+let mem_xids xid xids = List.exists (Xid.equal xid) xids
+
+let cre_time_traverse db (teid : Eid.Temporal.t) =
+  traverse_counter := 0;
+  let doc = teid.Eid.Temporal.eid.Eid.doc in
+  let xid = teid.Eid.Temporal.eid.Eid.xid in
+  let d = Db.doc db doc in
+  match Docstore.version_at d teid.Eid.Temporal.ts with
+  | None -> None
+  | Some v ->
+    (* Walk deltas backward from v to the delta that introduced the
+       element; no reconstruction needed (Section 7.3.6). *)
+    let rec walk i =
+      if i <= 0 then
+        (* introduced at document creation *)
+        Some (Docstore.ts_of_version d 0)
+      else begin
+        incr traverse_counter;
+        let delta = Db.read_delta db doc i in
+        if mem_xids xid (Delta.inserted_xids delta) then
+          Some (Docstore.ts_of_version d i)
+        else walk (i - 1)
+      end
+    in
+    walk v
+
+let del_time_traverse db (teid : Eid.Temporal.t) =
+  traverse_counter := 0;
+  let doc = teid.Eid.Temporal.eid.Eid.doc in
+  let xid = teid.Eid.Temporal.eid.Eid.xid in
+  let d = Db.doc db doc in
+  match Docstore.version_at d teid.Eid.Temporal.ts with
+  | None -> None
+  | Some v ->
+    let n = Docstore.version_count d in
+    (* Walk deltas forward from the version after the TEID's. *)
+    let rec walk i =
+      if i >= n then
+        (* not removed by any delta: alive in the last version — the
+           element dies exactly when the document does *)
+        Docstore.deleted_at d
+      else begin
+        incr traverse_counter;
+        let delta = Db.read_delta db doc i in
+        if mem_xids xid (Delta.deleted_xids delta) then
+          Some (Docstore.ts_of_version d i)
+        else walk (i + 1)
+      end
+    in
+    walk (v + 1)
+
+let cre_time db ?strategy teid =
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> default_strategy db
+  in
+  match strategy with
+  | `Traverse -> cre_time_traverse db teid
+  | `Index -> Cretime_index.create_time (index_of db) teid.Eid.Temporal.eid
+
+let del_time db ?strategy teid =
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> default_strategy db
+  in
+  match strategy with
+  | `Traverse -> del_time_traverse db teid
+  | `Index -> Cretime_index.delete_time (index_of db) teid.Eid.Temporal.eid

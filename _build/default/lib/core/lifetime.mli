@@ -1,0 +1,33 @@
+(** CreTime and DelTime (Sections 6.1, 7.3.6).
+
+    Both operators come in the two strategies the paper weighs:
+
+    - [`Traverse]: walk the delta chain — backward from the element's
+      version for CreTime until the delta that introduced it, forward for
+      DelTime until the delta that removed it.  No reconstruction is needed,
+      but every delta on the way is read (the availability of the timestamp
+      in the TEID is what makes the bounded walk possible, as the paper
+      notes).
+    - [`Index]: look the EID up in the auxiliary create/delete-time index.
+
+    Experiment E6 measures the trade. *)
+
+type strategy = [ `Traverse | `Index ]
+
+val cre_time :
+  Txq_db.Db.t -> ?strategy:strategy -> Txq_vxml.Eid.Temporal.t ->
+  Txq_temporal.Timestamp.t option
+(** Create time of the element; [None] if the element never existed (or, for
+    [`Traverse], did not exist at the TEID's timestamp).  Default strategy:
+    [`Index] when the database maintains the index, else [`Traverse]. *)
+
+val del_time :
+  Txq_db.Db.t -> ?strategy:strategy -> Txq_vxml.Eid.Temporal.t ->
+  Txq_temporal.Timestamp.t option
+(** Delete time; [None] while the element is still alive.  If the document
+    itself was deleted with the element in its last version, the document's
+    deletion time is the element's (Section 7.3.6). *)
+
+val last_traverse_deltas : unit -> int
+(** Deltas read by the most recent [`Traverse] call on this thread
+    (benchmark instrumentation). *)

@@ -1,0 +1,35 @@
+module Eid = Txq_vxml.Eid
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+
+let previous_ts db (teid : Eid.Temporal.t) =
+  let d = Db.doc db teid.Eid.Temporal.eid.Eid.doc in
+  match Docstore.version_at d teid.Eid.Temporal.ts with
+  | Some v when v > 0 -> Some (Docstore.ts_of_version d (v - 1))
+  | Some _ | None -> None
+
+let next_ts db (teid : Eid.Temporal.t) =
+  let d = Db.doc db teid.Eid.Temporal.eid.Eid.doc in
+  match Docstore.version_at d teid.Eid.Temporal.ts with
+  | Some v when v + 1 < Docstore.version_count d ->
+    Some (Docstore.ts_of_version d (v + 1))
+  | Some _ | None -> None
+
+let current_ts db (eid : Eid.t) =
+  let d = Db.doc db eid.Eid.doc in
+  if Docstore.is_alive d then
+    Some (Docstore.ts_of_version d (Docstore.version_count d - 1))
+  else None
+
+let previous db teid =
+  Option.map
+    (fun ts -> Eid.Temporal.make teid.Eid.Temporal.eid ts)
+    (previous_ts db teid)
+
+let next db teid =
+  Option.map
+    (fun ts -> Eid.Temporal.make teid.Eid.Temporal.eid ts)
+    (next_ts db teid)
+
+let current db eid =
+  Option.map (fun ts -> Eid.Temporal.make eid ts) (current_ts db eid)

@@ -1,0 +1,25 @@
+(** PreviousTS, NextTS, CurrentTS (Sections 6.1, 7.3.7).
+
+    All three are delta-index lookups: the EID names the document, the
+    timestamp selects the version, and the previous/next/current timestamps
+    come straight out of the per-document version table.  Retrieving the
+    version contents afterwards is a Reconstruct. *)
+
+val previous_ts :
+  Txq_db.Db.t -> Txq_vxml.Eid.Temporal.t -> Txq_temporal.Timestamp.t option
+(** Timestamp of the version preceding the TEID's; [None] for the first. *)
+
+val next_ts :
+  Txq_db.Db.t -> Txq_vxml.Eid.Temporal.t -> Txq_temporal.Timestamp.t option
+(** Timestamp of the following version; [None] for the current one. *)
+
+val current_ts :
+  Txq_db.Db.t -> Txq_vxml.Eid.t -> Txq_temporal.Timestamp.t option
+(** Timestamp of the current version — no input timestamp needed, "as this
+    is given implicitly".  [None] once the document is deleted. *)
+
+val previous : Txq_db.Db.t -> Txq_vxml.Eid.Temporal.t -> Txq_vxml.Eid.Temporal.t option
+(** TEID of the previous version of the element (PREVIOUS(R) in queries). *)
+
+val next : Txq_db.Db.t -> Txq_vxml.Eid.Temporal.t -> Txq_vxml.Eid.Temporal.t option
+val current : Txq_db.Db.t -> Txq_vxml.Eid.t -> Txq_vxml.Eid.Temporal.t option

@@ -1,0 +1,97 @@
+type test =
+  | Tag of string
+  | Word of string
+
+type axis =
+  | Child
+  | Descendant
+
+type t = {
+  test : test;
+  axis : axis;
+  output : bool;
+  children : t list;
+}
+
+let tag ?(axis = Child) ?(output = false) name children =
+  { test = Tag name; axis; output; children }
+
+let word ?(axis = Child) w = { test = Word w; axis; output = false; children = [] }
+
+let rec output_count t =
+  (if t.output then 1 else 0)
+  + List.fold_left (fun acc c -> acc + output_count c) 0 t.children
+
+let has_output t = output_count t > 0
+
+let rec check_words_are_leaves t =
+  match t.test with
+  | Word _ -> t.children = []
+  | Tag _ -> List.for_all check_words_are_leaves t.children
+
+let validate t =
+  if output_count t <> 1 then
+    Error
+      (Printf.sprintf "pattern must have exactly one output node, found %d"
+         (output_count t))
+  else if not (check_words_are_leaves t) then
+    Error "word tests must be leaves"
+  else Ok ()
+
+let of_path ?value path =
+  match Txq_xml.Path.parse path with
+  | Error e -> Error e
+  | Ok [] -> Error "empty pattern path"
+  | Ok steps ->
+    if List.exists (fun s -> String.equal s.Txq_xml.Path.name "*") steps then
+      Error "wildcard steps are not supported in patterns"
+    else
+      let axis_of = function
+        | Txq_xml.Path.Child -> Child
+        | Txq_xml.Path.Descendant -> Descendant
+      in
+      let rec build = function
+        | [] -> assert false
+        | [last] ->
+          let children =
+            match value with
+            | Some v -> [word v]
+            | None -> []
+          in
+          {
+            test = Tag last.Txq_xml.Path.name;
+            axis = axis_of last.Txq_xml.Path.axis;
+            output = true;
+            children;
+          }
+        | step :: rest ->
+          {
+            test = Tag step.Txq_xml.Path.name;
+            axis = axis_of step.Txq_xml.Path.axis;
+            output = false;
+            children = [build rest];
+          }
+      in
+      Ok (build steps)
+
+let of_path_exn ?value path =
+  match of_path ?value path with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Pattern.of_path_exn: " ^ e)
+
+let rec to_string t =
+  let prefix = match t.axis with Child -> "/" | Descendant -> "//" in
+  let self =
+    match t.test with
+    | Tag name -> name
+    | Word w -> Printf.sprintf "~%S" w
+  in
+  let mark = if t.output then "!" else "" in
+  let kids =
+    match t.children with
+    | [] -> ""
+    | kids -> "(" ^ String.concat ", " (List.map to_string kids) ^ ")"
+  in
+  prefix ^ self ^ mark ^ kids
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

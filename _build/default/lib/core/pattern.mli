@@ -1,0 +1,45 @@
+(** Pattern trees (Section 6, after the PatternScan operator of Xyleme [2]).
+
+    A pattern is a tree of node tests connected by [isParentOf] (child axis)
+    and [isAscendantOf] (descendant axis) relationships.  Element tests match
+    element names; word tests match words occurring in an element's text or
+    attributes.  Exactly one node carries the [output] mark: its matches are
+    the operator's result (the paper's projection information). *)
+
+type test =
+  | Tag of string  (** element-name test *)
+  | Word of string  (** word-containment test (leaf only) *)
+
+type axis =
+  | Child  (** isParentOf; for a word: contained directly in the element *)
+  | Descendant  (** isAscendantOf; for a word: contained anywhere below *)
+
+type t = {
+  test : test;
+  axis : axis;  (** relation to the parent pattern node (or document root) *)
+  output : bool;
+  children : t list;
+}
+
+val tag : ?axis:axis -> ?output:bool -> string -> t list -> t
+(** Element-test node; [axis] defaults to [Child]. *)
+
+val word : ?axis:axis -> string -> t
+(** Word-test leaf; [axis] defaults to [Child] (direct containment). *)
+
+val of_path : ?value:string -> string -> (t, string) result
+(** Builds a linear pattern from a location path such as
+    ["/guide/restaurant//name"]; the last step is the output node, and
+    [value], when given, hangs a word test under it.  Rejects wildcard
+    steps (["*"]) — the index has no posting list for "any element";
+    wildcard patterns go through the navigation operators instead. *)
+
+val of_path_exn : ?value:string -> string -> t
+
+val validate : t -> (unit, string) result
+(** Checks the single-output invariant and that word tests are leaves. *)
+
+val output_count : t -> int
+val has_output : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

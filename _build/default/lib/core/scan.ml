@@ -1,0 +1,259 @@
+module Eid = Txq_vxml.Eid
+module Xidpath = Txq_vxml.Xidpath
+module Vnode = Txq_vxml.Vnode
+module Posting = Txq_fti.Posting
+module Fti = Txq_fti.Fti
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+module Timestamp = Txq_temporal.Timestamp
+
+type binding = {
+  b_doc : Eid.doc_id;
+  b_path : Xidpath.t;
+  b_versions : Vrange.t;
+}
+
+let eid_of_binding b =
+  match Xidpath.leaf b.b_path with
+  | Some xid -> Eid.make ~doc:b.b_doc ~xid
+  | None -> invalid_arg "Scan.eid_of_binding: empty path"
+
+(* --- join engine ------------------------------------------------------ *)
+
+(* A candidate: one posting of a pattern node, with the versions in which it
+   is valid, the output binding (when the output node lies in this subtree)
+   and its XID path. *)
+type cand = {
+  c_path : Xidpath.t;
+  c_out : Xidpath.t option;
+  c_versions : Vrange.t;
+}
+
+let range_of_posting p =
+  Vrange.singleton p.Posting.vstart
+    (if Posting.is_open p then max_int else p.Posting.vend)
+
+(* Does candidate [child] stand in the pattern-edge relation to [parent]?
+   Tag tests carry the path of the element itself; word tests carry the path
+   of the enclosing element (see Vnode.occurrence). *)
+let related ~(axis : Pattern.axis) ~(child_test : Pattern.test) parent_path
+    child_path =
+  match (child_test, axis) with
+  | Pattern.Tag _, Pattern.Child -> Xidpath.is_parent parent_path child_path
+  | Pattern.Tag _, Pattern.Descendant ->
+    Xidpath.is_strict_prefix parent_path child_path
+  | Pattern.Word _, Pattern.Child -> Xidpath.equal parent_path child_path
+  | Pattern.Word _, Pattern.Descendant ->
+    Xidpath.is_prefix parent_path child_path
+
+(* Evaluate a pattern node against the postings of one document.  [fetch]
+   returns that document's postings for a word and kind. *)
+let rec eval_node ~fetch (p : Pattern.t) : cand list =
+  let kind =
+    match p.Pattern.test with
+    | Pattern.Tag _ -> Vnode.Tag
+    | Pattern.Word _ -> Vnode.Word
+  in
+  let word =
+    match p.Pattern.test with
+    | Pattern.Tag w | Pattern.Word w -> w
+  in
+  let own =
+    List.map
+      (fun posting ->
+        {
+          c_path = posting.Posting.path;
+          c_out = (if p.Pattern.output then Some posting.Posting.path else None);
+          c_versions = range_of_posting posting;
+        })
+      (fetch word kind)
+  in
+  let children_matches =
+    List.map (fun c -> (c, eval_node ~fetch c)) p.Pattern.children
+  in
+  (* For every candidate, constrain by each child: non-output children
+     contribute the union of their matching validities; the output-bearing
+     child multiplies the candidate into one row per matching child
+     candidate. *)
+  List.concat_map
+    (fun cand ->
+      let constrain rows (child, matches) =
+        let child_has_output = Pattern.has_output child in
+        List.concat_map
+          (fun row ->
+            let matching =
+              List.filter
+                (fun m ->
+                  related ~axis:child.Pattern.axis
+                    ~child_test:child.Pattern.test row.c_path m.c_path)
+                matches
+            in
+            if child_has_output then
+              List.filter_map
+                (fun m ->
+                  let versions = Vrange.inter row.c_versions m.c_versions in
+                  if Vrange.is_empty versions then None
+                  else Some { row with c_out = m.c_out; c_versions = versions })
+                matching
+            else
+              let valid =
+                List.fold_left
+                  (fun acc m -> Vrange.union acc m.c_versions)
+                  Vrange.empty matching
+              in
+              let versions = Vrange.inter row.c_versions valid in
+              if Vrange.is_empty versions then []
+              else [{ row with c_versions = versions }])
+          rows
+      in
+      List.fold_left constrain [cand] children_matches)
+    own
+
+(* Root axis: a [Child] root must be the document root element. *)
+let root_ok (p : Pattern.t) cand =
+  match p.Pattern.axis with
+  | Pattern.Child -> Xidpath.depth cand.c_path = 1
+  | Pattern.Descendant -> true
+
+let run ~fetch_doc ~docs pattern =
+  (match Pattern.validate pattern with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Scan: invalid pattern: " ^ e));
+  List.concat_map
+    (fun doc ->
+      let cands =
+        List.filter (root_ok pattern)
+          (eval_node ~fetch:(fetch_doc doc) pattern)
+      in
+      List.filter_map
+        (fun c ->
+          match c.c_out with
+          | Some out ->
+            Some { b_doc = doc; b_path = out; b_versions = c.c_versions }
+          | None -> None)
+        cands)
+    docs
+
+(* Dedup bindings (the same output node can be reached through different
+   intermediate matches) and merge their version sets. *)
+let dedup bindings =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun b ->
+      let key = (b.b_doc, Array.map Txq_vxml.Xid.to_int b.b_path) in
+      match Hashtbl.find_opt table key with
+      | Some prev ->
+        Hashtbl.replace table key
+          { prev with b_versions = Vrange.union prev.b_versions b.b_versions }
+      | None ->
+        Hashtbl.replace table key b;
+        order := key :: !order)
+    bindings;
+  List.rev_map (Hashtbl.find table) !order
+
+(* Group a word's postings by doc up front so per-doc fetches are cheap. *)
+let by_doc postings =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      let bucket =
+        match Hashtbl.find_opt table p.Posting.doc with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.replace table p.Posting.doc b;
+          b
+      in
+      bucket := p :: !bucket)
+    postings;
+  table
+
+let engine pattern ~lookup =
+  let cache = Hashtbl.create 16 in
+  let postings_for word =
+    match Hashtbl.find_opt cache word with
+    | Some t -> t
+    | None ->
+      let t = by_doc (lookup word) in
+      Hashtbl.replace cache word t;
+      t
+  in
+  (* candidate documents: those with postings for the root word *)
+  let root_word =
+    match pattern.Pattern.test with
+    | Pattern.Tag w | Pattern.Word w -> w
+  in
+  let docs =
+    Hashtbl.fold (fun doc _ acc -> doc :: acc) (postings_for root_word) []
+    |> List.sort Int.compare
+  in
+  let fetch_doc doc word kind =
+    match Hashtbl.find_opt (postings_for word) doc with
+    | Some bucket -> List.filter (fun p -> p.Posting.kind = kind) !bucket
+    | None -> []
+  in
+  dedup (run ~fetch_doc ~docs pattern)
+
+(* Restrict each binding's validity to the single version the operator is
+   about: postings can span many versions, but a snapshot operator's TEIDs
+   must name the version valid at the query time (Section 6.1). *)
+let clamp ~version_of bindings =
+  List.filter_map
+    (fun b ->
+      match version_of b.b_doc with
+      | None -> None
+      | Some v ->
+        let versions = Vrange.inter b.b_versions (Vrange.singleton v (v + 1)) in
+        if Vrange.is_empty versions then None else Some { b with b_versions = versions })
+    bindings
+
+let pattern_scan db pattern =
+  let current_version doc =
+    let d = Db.doc db doc in
+    if Docstore.is_alive d then Some (Docstore.version_count d - 1) else None
+  in
+  clamp ~version_of:current_version
+    (engine pattern ~lookup:(fun w -> Fti.lookup (Db.fti db) w))
+
+let tpattern_scan db pattern ts =
+  let version_at doc = Db.version_at db doc ts in
+  clamp ~version_of:version_at
+    (engine pattern ~lookup:(fun w -> Fti.lookup_t (Db.fti db) w ~version_at))
+
+let tpattern_scan_all db pattern =
+  engine pattern ~lookup:(fun w -> Fti.lookup_h (Db.fti db) w)
+
+let binding_intervals db b =
+  let d = Db.doc db b.b_doc in
+  let n = Docstore.version_count d in
+  List.filter_map
+    (fun (lo, hi) ->
+      let lo = Stdlib.max lo 0 in
+      let hi = Stdlib.min hi n in
+      if lo >= hi then None
+      else
+        let start = Docstore.ts_of_version d lo in
+        let stop =
+          if hi >= n then
+            match Docstore.deleted_at d with
+            | Some del -> del
+            | None -> Timestamp.plus_infinity
+          else Docstore.ts_of_version d hi
+        in
+        Txq_temporal.Interval.make_opt ~start ~stop)
+    (Vrange.to_list b.b_versions)
+
+let to_teids db bindings =
+  List.concat_map
+    (fun b ->
+      match Xidpath.leaf b.b_path with
+      | None -> []
+      | Some xid ->
+        let eid = Eid.make ~doc:b.b_doc ~xid in
+        List.map
+          (fun iv -> Eid.Temporal.make eid (Txq_temporal.Interval.start iv))
+          (binding_intervals db b))
+    bindings
+
+let count = List.length

@@ -1,0 +1,29 @@
+(** Sets of version-number ranges.
+
+    The temporal multiway join of TPatternScanAll (Section 7.3.2) intersects
+    the validity of postings: "words in the pattern valid at same time".
+    Validity here is in version numbers (half-open [\[a, b)] ranges); the
+    delta index maps them back to timestamps. *)
+
+type t = (int * int) list
+(** Sorted, pairwise disjoint, non-adjacent, each [a < b]. *)
+
+val empty : t
+val whole : t
+(** All versions ([0, max_int)). *)
+
+val singleton : int -> int -> t
+(** [singleton a b] = [\[a, b)]; empty if [b <= a]. *)
+
+val of_list : (int * int) list -> t
+(** Normalizes an arbitrary range list. *)
+
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val spans : t -> int
+(** Total number of versions covered ([max_int] if unbounded). *)
+
+val to_list : t -> (int * int) list
+val pp : Format.formatter -> t -> unit

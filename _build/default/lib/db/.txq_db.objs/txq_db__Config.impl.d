@@ -1,0 +1,1 @@
+lib/db/config.ml: Txq_store

@@ -1,0 +1,1 @@
+lib/db/config.mli: Txq_store

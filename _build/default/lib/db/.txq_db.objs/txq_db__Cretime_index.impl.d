@@ -1,0 +1,1 @@
+lib/db/cretime_index.ml: Int64 Option Printf Txq_store Txq_temporal Txq_vxml

@@ -1,0 +1,1 @@
+lib/db/cretime_index.mli: Txq_store Txq_temporal Txq_vxml

@@ -1,0 +1,1 @@
+lib/db/db.ml: Config Cretime_index Docstore Hashtbl Int Int64 List Logs Option Printexc Printf Stdlib String Txq_fti Txq_store Txq_temporal Txq_vxml Txq_xml

@@ -1,0 +1,1 @@
+lib/db/db.mli: Config Cretime_index Docstore Txq_fti Txq_store Txq_temporal Txq_vxml Txq_xml

@@ -1,0 +1,1 @@
+lib/db/docstore.ml: List Printf Txq_store Txq_temporal Txq_vxml Txq_xml

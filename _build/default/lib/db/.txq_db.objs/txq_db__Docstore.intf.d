@@ -1,0 +1,1 @@
+lib/db/docstore.mli: Txq_store Txq_temporal Txq_vxml Txq_xml

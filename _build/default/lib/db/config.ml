@@ -1,0 +1,40 @@
+type fti_mode =
+  | Fti_versions
+  | Fti_deltas
+  | Fti_both
+  | Fti_none
+
+type t = {
+  snapshot_every : int option;
+  fti_mode : fti_mode;
+  cretime_index : bool;
+  cretime_backing : [ `Memory | `Paged ];
+  placement : Txq_store.Blob_store.policy;
+  buffer_pool_pages : int;
+  reconstruct_cache : int;
+  document_time_path : string option;
+}
+
+let default =
+  {
+    snapshot_every = None;
+    fti_mode = Fti_versions;
+    cretime_index = true;
+    cretime_backing = `Paged;
+    placement = `Unclustered;
+    buffer_pool_pages = 256;
+    reconstruct_cache = 0;
+    document_time_path = None;
+  }
+
+let with_snapshots k t = { t with snapshot_every = Some k }
+
+let maintains_version_index t =
+  match t.fti_mode with
+  | Fti_versions | Fti_both -> true
+  | Fti_deltas | Fti_none -> false
+
+let maintains_delta_index t =
+  match t.fti_mode with
+  | Fti_deltas | Fti_both -> true
+  | Fti_versions | Fti_none -> false

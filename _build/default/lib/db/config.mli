@@ -1,0 +1,43 @@
+(** Database configuration: the experimental knobs of Section 7.
+
+    Every option corresponds to a design alternative the paper discusses;
+    the benchmark harness sweeps them. *)
+
+type fti_mode =
+  | Fti_versions  (** alternative A1 (Section 7.2) — the paper's choice *)
+  | Fti_deltas  (** alternative A2 — index the delta operations *)
+  | Fti_both  (** alternative A3 — maintain both *)
+  | Fti_none  (** no content index; only navigation operators work *)
+
+type t = {
+  snapshot_every : int option;
+      (** Store a full snapshot every k versions (Section 7.3.3); [None]
+          keeps only the current version plus deltas. *)
+  fti_mode : fti_mode;
+  cretime_index : bool;
+      (** Maintain the auxiliary EID → (create, delete) timestamp index of
+          Section 7.3.6; without it CreTime/DelTime traverse deltas. *)
+  cretime_backing : [ `Memory | `Paged ];
+      (** [`Paged] (default) keeps the CreTime index in a page-backed
+          B+-tree whose maintenance and lookups are IO-accounted;
+          [`Memory] is the free-lookup upper bound for comparisons. *)
+  placement : Txq_store.Blob_store.policy;
+      (** Delta/version blob placement (Section 7.2's clustering remark). *)
+  buffer_pool_pages : int;
+  reconstruct_cache : int;
+      (** Entries of the (doc, version) reconstruction memo; 0 disables. *)
+  document_time_path : string option;
+      (** Location path of the {e document time} embedded in content —
+          Section 3.1's third kind of time, e.g. ["//meta/published"] for
+          XMLNews-Meta-style articles.  When set, each committed version's
+          document time is extracted and kept in the delta index, queryable
+          without reconstruction. *)
+}
+
+val default : t
+(** A1 index, CreTime index on, no snapshots, unclustered placement, 256
+    buffer pages, no reconstruction cache — the paper's baseline system. *)
+
+val with_snapshots : int -> t -> t
+val maintains_version_index : t -> bool
+val maintains_delta_index : t -> bool

@@ -1,0 +1,98 @@
+module Eid = Txq_vxml.Eid
+module Timestamp = Txq_temporal.Timestamp
+module Bptree = Txq_store.Bptree
+
+type entry = {
+  created : Timestamp.t;
+  mutable deleted : Timestamp.t option;
+}
+
+type t =
+  | Memory of entry Eid.Table.t
+  | Paged of { tree : Bptree.t; mutable count : int }
+
+let create () = Memory (Eid.Table.create 1024)
+let create_paged pool = Paged { tree = Bptree.create pool; count = 0 }
+
+let is_paged = function
+  | Paged _ -> true
+  | Memory _ -> false
+
+(* (doc, xid) packed into the B+-tree key: doc in the high 31 bits, xid in
+   the low 32.  Delete timestamp sentinel: Int64.min_int = alive. *)
+let key_of eid =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int eid.Eid.doc) 32)
+    (Int64.of_int (Txq_vxml.Xid.to_int eid.Eid.xid))
+
+let alive_sentinel = Int64.min_int
+let ts_to_i64 ts = Int64.of_int (Timestamp.to_seconds ts)
+let i64_to_ts v = Timestamp.of_seconds (Int64.to_int v)
+
+let duplicate eid =
+  invalid_arg
+    (Printf.sprintf "Cretime_index: eid %s created twice" (Eid.to_string eid))
+
+let record_created t eid ts =
+  match t with
+  | Memory table ->
+    if Eid.Table.mem table eid then duplicate eid
+    else Eid.Table.replace table eid { created = ts; deleted = None }
+  | Paged p ->
+    let key = key_of eid in
+    (match Bptree.find p.tree key with
+     | Some _ -> duplicate eid
+     | None ->
+       Bptree.insert p.tree ~key (ts_to_i64 ts, alive_sentinel);
+       p.count <- p.count + 1)
+
+let record_deleted t eid ts =
+  match t with
+  | Memory table -> (
+    match Eid.Table.find_opt table eid with
+    | Some entry -> entry.deleted <- Some ts
+    | None -> ())
+  | Paged p -> (
+    let key = key_of eid in
+    match Bptree.find p.tree key with
+    | Some (created, _) -> Bptree.insert p.tree ~key (created, ts_to_i64 ts)
+    | None -> ())
+
+let create_time t eid =
+  match t with
+  | Memory table ->
+    Option.map (fun e -> e.created) (Eid.Table.find_opt table eid)
+  | Paged p ->
+    Option.map (fun (created, _) -> i64_to_ts created)
+      (Bptree.find p.tree (key_of eid))
+
+let delete_time t eid =
+  match t with
+  | Memory table -> (
+    match Eid.Table.find_opt table eid with
+    | Some { deleted; _ } -> deleted
+    | None -> None)
+  | Paged p -> (
+    match Bptree.find p.tree (key_of eid) with
+    | Some (_, del) when not (Int64.equal del alive_sentinel) ->
+      Some (i64_to_ts del)
+    | Some _ | None -> None)
+
+let is_alive t eid =
+  match t with
+  | Memory table -> (
+    match Eid.Table.find_opt table eid with
+    | Some { deleted = None; _ } -> true
+    | Some { deleted = Some _; _ } | None -> false)
+  | Paged p -> (
+    match Bptree.find p.tree (key_of eid) with
+    | Some (_, del) -> Int64.equal del alive_sentinel
+    | None -> false)
+
+let entry_count = function
+  | Memory table -> Eid.Table.length table
+  | Paged p -> p.count
+
+let index_pages = function
+  | Memory _ -> 0
+  | Paged p -> Bptree.page_count p.tree

@@ -1,0 +1,391 @@
+module Xml = Txq_xml.Xml
+module Vnode = Txq_vxml.Vnode
+module Delta = Txq_vxml.Delta
+module Eid = Txq_vxml.Eid
+module Timestamp = Txq_temporal.Timestamp
+module Clock = Txq_temporal.Clock
+module Fti = Txq_fti.Fti
+module Delta_fti = Txq_fti.Delta_fti
+
+let log_src = Logs.Src.create "txq.db" ~doc:"Temporal XML database commits"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  mutable commits : int;
+  mutable deltas_read : int;
+  mutable reconstructions : int;
+  mutable reconstruct_cache_hits : int;
+}
+
+type cache_entry = { ce_key : Eid.doc_id * int; ce_tree : Vnode.t; mutable ce_use : int }
+
+type t = {
+  config : Config.t;
+  clock : Clock.t;
+  disk : Txq_store.Disk.t;
+  pool : Txq_store.Buffer_pool.t;
+  blobs : Txq_store.Blob_store.t;
+  docs : (Eid.doc_id, Docstore.t) Hashtbl.t;
+  urls : (string, Eid.doc_id list ref) Hashtbl.t; (* newest first *)
+  fti : Fti.t option;
+  dfti : Delta_fti.t option;
+  cretime : Cretime_index.t option;
+  mutable next_doc_id : int;
+  (* Section 3.1 document-time index: a B+-tree keyed by (document time,
+     sequence number) so equal publication instants coexist; populated when
+     the configuration names a document-time path. *)
+  dtime_path : Txq_xml.Path.t option;
+  dtime_index : Txq_store.Bptree.t;
+  mutable dtime_seq : int;
+  stats : stats;
+  rcache : (Eid.doc_id * int, cache_entry) Hashtbl.t;
+  mutable rcache_tick : int;
+}
+
+let create ?(config = Config.default) ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.create () in
+  let disk = Txq_store.Disk.create () in
+  let pool =
+    Txq_store.Buffer_pool.create ~capacity:config.Config.buffer_pool_pages disk
+  in
+  let blobs = Txq_store.Blob_store.create ~policy:config.Config.placement pool in
+  {
+    config;
+    clock;
+    disk;
+    pool;
+    blobs;
+    docs = Hashtbl.create 64;
+    urls = Hashtbl.create 64;
+    fti =
+      (if Config.maintains_version_index config then Some (Fti.create ())
+       else None);
+    dfti =
+      (if Config.maintains_delta_index config then Some (Delta_fti.create ())
+       else None);
+    cretime =
+      (if config.Config.cretime_index then
+         Some
+           (match config.Config.cretime_backing with
+            | `Paged -> Cretime_index.create_paged pool
+            | `Memory -> Cretime_index.create ())
+       else None);
+    next_doc_id = 0;
+    dtime_path =
+      Option.map Txq_xml.Path.parse_exn config.Config.document_time_path;
+    dtime_index = Txq_store.Bptree.create pool;
+    dtime_seq = 0;
+    stats =
+      { commits = 0; deltas_read = 0; reconstructions = 0;
+        reconstruct_cache_hits = 0 };
+    rcache = Hashtbl.create 64;
+    rcache_tick = 0;
+  }
+
+let config t = t.config
+let clock t = t.clock
+let now t = Clock.now t.clock
+
+let commit_ts t = function
+  | None -> Clock.tick t.clock
+  | Some ts ->
+    Clock.set t.clock ts;
+    ts
+
+let url_bucket t url =
+  match Hashtbl.find_opt t.urls url with
+  | Some bucket -> bucket
+  | None ->
+    let bucket = ref [] in
+    Hashtbl.replace t.urls url bucket;
+    bucket
+
+let doc t id =
+  match Hashtbl.find_opt t.docs id with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Db.doc: unknown document id %d" id)
+
+let find_live t url =
+  match Hashtbl.find_opt t.urls url with
+  | None -> None
+  | Some bucket -> (
+    match !bucket with
+    | [] -> None
+    | newest :: _ ->
+      let d = doc t newest in
+      if Docstore.is_alive d then Some d else None)
+
+let find_all t url =
+  match Hashtbl.find_opt t.urls url with
+  | None -> []
+  | Some bucket -> List.rev_map (doc t) !bucket
+
+let find_at t url instant =
+  List.find_map
+    (fun d ->
+      match Docstore.version_at d instant with
+      | Some v -> Some (d, v)
+      | None -> None)
+    (find_all t url)
+
+let doc_ids t = List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.docs [])
+let document_count t = Hashtbl.length t.docs
+
+let snapshot_due t version =
+  match t.config.Config.snapshot_every with
+  | Some k -> version mod k = 0
+  | None -> false
+
+let record_created_tree t d ts tree =
+  match t.cretime with
+  | None -> ()
+  | Some idx ->
+    List.iter
+      (fun xid ->
+        Cretime_index.record_created idx
+          (Eid.make ~doc:(Docstore.doc_id d) ~xid) ts)
+      (Vnode.xids tree)
+
+(* Extract the content-embedded document time, when configured. *)
+let extract_doc_time t xml =
+  match t.dtime_path with
+  | None -> None
+  | Some path -> (
+    match Txq_xml.Path.select_from_children path (Xml.normalize xml) with
+    | node :: _ ->
+      Timestamp.of_string_opt (String.trim (Xml.text_content node))
+    | [] -> None)
+
+(* Document-time keys: seconds in the high bits, a per-database sequence
+   number in the low 20, so identical publication instants stay distinct.
+   Instants beyond ±2^42 seconds (~139k years) cannot be packed; no real
+   document time is. *)
+let dtime_key_bits = 20
+
+let dtime_key seconds seq =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int seconds) dtime_key_bits)
+    (Int64.of_int (seq land ((1 lsl dtime_key_bits) - 1)))
+
+let record_doc_time t ~doc ~version = function
+  | None -> ()
+  | Some dt ->
+    let seconds = Timestamp.to_seconds dt in
+    if abs seconds < 1 lsl 42 then begin
+      Txq_store.Bptree.insert t.dtime_index
+        ~key:(dtime_key seconds t.dtime_seq)
+        (Int64.of_int doc, Int64.of_int version);
+      t.dtime_seq <- t.dtime_seq + 1
+    end
+
+let insert_document t ~url ?ts xml =
+  (match find_live t url with
+   | Some _ ->
+     invalid_arg (Printf.sprintf "Db.insert_document: %s already exists" url)
+   | None -> ());
+  let ts = commit_ts t ts in
+  let doc_id = t.next_doc_id in
+  t.next_doc_id <- doc_id + 1;
+  let doc_time = extract_doc_time t xml in
+  let d =
+    Docstore.create ~blobs:t.blobs ~doc_id ~url ~ts
+      ~snapshot:(snapshot_due t 0) ?doc_time xml
+  in
+  record_doc_time t ~doc:doc_id ~version:0 doc_time;
+  Hashtbl.replace t.docs doc_id d;
+  let bucket = url_bucket t url in
+  bucket := doc_id :: !bucket;
+  let tree = Docstore.current d in
+  Option.iter (fun fti -> Fti.index_version fti ~doc:doc_id ~version:0 tree) t.fti;
+  Option.iter (fun dfti -> Delta_fti.index_initial dfti ~doc:doc_id tree) t.dfti;
+  record_created_tree t d ts tree;
+  t.stats.commits <- t.stats.commits + 1;
+  Log.debug (fun m ->
+      m "insert %s as doc %d at %s (%d nodes)" url doc_id
+        (Timestamp.to_string ts) (Vnode.size tree));
+  doc_id
+
+let update_document t ~url ?ts xml =
+  match find_live t url with
+  | None ->
+    invalid_arg (Printf.sprintf "Db.update_document: no live document at %s" url)
+  | Some d ->
+    let ts = commit_ts t ts in
+    let version = Docstore.version_count d in
+    let doc_time = extract_doc_time t xml in
+    let delta, new_tree =
+      Docstore.commit d ~ts ~snapshot:(snapshot_due t version) ?doc_time xml
+    in
+    let doc_id = Docstore.doc_id d in
+    record_doc_time t ~doc:doc_id ~version doc_time;
+    Option.iter
+      (fun fti -> Fti.index_version fti ~doc:doc_id ~version new_tree)
+      t.fti;
+    Option.iter
+      (fun dfti -> Delta_fti.index_delta dfti ~doc:doc_id ~version delta)
+      t.dfti;
+    (match t.cretime with
+     | None -> ()
+     | Some idx ->
+       List.iter
+         (fun xid -> Cretime_index.record_created idx (Eid.make ~doc:doc_id ~xid) ts)
+         (Delta.inserted_xids delta);
+       List.iter
+         (fun xid -> Cretime_index.record_deleted idx (Eid.make ~doc:doc_id ~xid) ts)
+         (Delta.deleted_xids delta));
+    t.stats.commits <- t.stats.commits + 1;
+    Log.debug (fun m ->
+        m "update %s -> version %d at %s (%d ops)" url version
+          (Timestamp.to_string ts) (Delta.op_count delta));
+    delta
+
+let delete_document t ~url ?ts () =
+  match find_live t url with
+  | None ->
+    invalid_arg (Printf.sprintf "Db.delete_document: no live document at %s" url)
+  | Some d ->
+    let ts = commit_ts t ts in
+    let doc_id = Docstore.doc_id d in
+    let version = Docstore.version_count d in
+    Docstore.mark_deleted d ~ts;
+    Option.iter (fun fti -> Fti.delete_document fti ~doc:doc_id ~version) t.fti;
+    Option.iter
+      (fun dfti ->
+        Delta_fti.delete_document dfti ~doc:doc_id ~version (Docstore.current d))
+      t.dfti;
+    (match t.cretime with
+     | None -> ()
+     | Some idx ->
+       List.iter
+         (fun xid -> Cretime_index.record_deleted idx (Eid.make ~doc:doc_id ~xid) ts)
+         (Vnode.xids (Docstore.current d)))
+
+(* --- reconstruction --------------------------------------------------- *)
+
+let cache_get t key =
+  match Hashtbl.find_opt t.rcache key with
+  | Some entry ->
+    t.rcache_tick <- t.rcache_tick + 1;
+    entry.ce_use <- t.rcache_tick;
+    t.stats.reconstruct_cache_hits <- t.stats.reconstruct_cache_hits + 1;
+    Some entry.ce_tree
+  | None -> None
+
+let cache_put t key tree =
+  let cap = t.config.Config.reconstruct_cache in
+  if cap > 0 then begin
+    if Hashtbl.length t.rcache >= cap then begin
+      let victim = ref None in
+      Hashtbl.iter
+        (fun _ entry ->
+          match !victim with
+          | Some v when v.ce_use <= entry.ce_use -> ()
+          | _ -> victim := Some entry)
+        t.rcache;
+      match !victim with
+      | Some v -> Hashtbl.remove t.rcache v.ce_key
+      | None -> ()
+    end;
+    t.rcache_tick <- t.rcache_tick + 1;
+    Hashtbl.replace t.rcache key { ce_key = key; ce_tree = tree; ce_use = t.rcache_tick }
+  end
+
+let reconstruct t doc_id version =
+  let key = (doc_id, version) in
+  match cache_get t key with
+  | Some tree -> tree
+  | None ->
+    let d = doc t doc_id in
+    let tree, cost = Docstore.reconstruct d version in
+    t.stats.reconstructions <- t.stats.reconstructions + 1;
+    t.stats.deltas_read <- t.stats.deltas_read + cost.Docstore.deltas_applied;
+    cache_put t key tree;
+    tree
+
+let read_delta t doc_id v =
+  let delta = Docstore.read_delta (doc t doc_id) v in
+  t.stats.deltas_read <- t.stats.deltas_read + 1;
+  delta
+
+let version_at t doc_id instant = Docstore.version_at (doc t doc_id) instant
+
+let reconstruct_at t doc_id instant =
+  match version_at t doc_id instant with
+  | None -> None
+  | Some v -> Some (v, reconstruct t doc_id v)
+
+(* --- index access ----------------------------------------------------- *)
+
+let fti t =
+  match t.fti with
+  | Some fti -> fti
+  | None -> invalid_arg "Db.fti: no version-content index in this configuration"
+
+let delta_fti t =
+  match t.dfti with
+  | Some dfti -> dfti
+  | None -> invalid_arg "Db.delta_fti: no delta-operation index in this configuration"
+
+let cretime t = t.cretime
+
+let document_time t doc_id v = Docstore.doc_time_of_version (doc t doc_id) v
+
+let find_by_document_time t ~t1 ~t2 =
+  let clamp ts = Stdlib.max (-(1 lsl 42)) (Stdlib.min (1 lsl 42) (Timestamp.to_seconds ts)) in
+  let lo = dtime_key (clamp t1) 0 in
+  let hi = dtime_key (clamp t2) 0 in
+  List.map
+    (fun (key, (doc, v)) ->
+      let seconds = Int64.to_int (Int64.shift_right key dtime_key_bits) in
+      (Timestamp.of_seconds seconds, Int64.to_int doc, Int64.to_int v))
+    (Txq_store.Bptree.range t.dtime_index ~lo ~hi)
+
+(* --- integrity --------------------------------------------------------- *)
+
+let verify t =
+  let errors = ref [] in
+  let checked = ref 0 in
+  let note fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Hashtbl.iter
+    (fun id d ->
+      let n = Docstore.version_count d in
+      (* timestamps strictly monotone *)
+      for v = 1 to n - 1 do
+        if
+          Timestamp.(Docstore.ts_of_version d v <= Docstore.ts_of_version d (v - 1))
+        then note "doc %d: version %d timestamp does not advance" id v
+      done;
+      (* every version reconstructs; cache bypassed for a true readback *)
+      for v = 0 to n - 1 do
+        match Docstore.reconstruct d v with
+        | tree, _ ->
+          incr checked;
+          if v = n - 1 && not (Vnode.equal_with_xids tree (Docstore.current d))
+          then
+            note "doc %d: reconstructed newest version differs from current" id
+        | exception e ->
+          note "doc %d: version %d does not reconstruct: %s" id v
+            (Printexc.to_string e)
+      done)
+    t.docs;
+  if !errors = [] then Ok !checked else Error (List.rev !errors)
+
+(* --- accounting ------------------------------------------------------- *)
+
+let stats t = t.stats
+let io_stats t = Txq_store.Buffer_pool.stats t.pool
+
+let reset_io t =
+  Txq_store.Io_stats.reset (io_stats t);
+  t.stats.deltas_read <- 0;
+  t.stats.reconstructions <- 0;
+  t.stats.reconstruct_cache_hits <- 0
+
+let flush_cache t =
+  Txq_store.Buffer_pool.flush t.pool;
+  Hashtbl.reset t.rcache
+
+let live_pages t = Txq_store.Blob_store.live_pages t.blobs
+let blobs t = t.blobs
+let disk t = t.disk

@@ -1,0 +1,131 @@
+(** The temporal XML database façade.
+
+    Ties together the storage simulator, the document store, the temporal
+    full-text indexes and the CreTime index, and runs the commit pipeline:
+    normalize → diff → persist completed delta → replace current version →
+    maintain indexes.  The query operators of [txq_core] run against this
+    interface. *)
+
+type t
+
+type stats = {
+  mutable commits : int;
+  mutable deltas_read : int;
+  mutable reconstructions : int;
+  mutable reconstruct_cache_hits : int;
+}
+
+val create : ?config:Config.t -> ?clock:Txq_temporal.Clock.t -> unit -> t
+
+val config : t -> Config.t
+val clock : t -> Txq_temporal.Clock.t
+val now : t -> Txq_temporal.Timestamp.t
+
+(** {1 Ingestion}
+
+    Each mutating call commits at the clock's current instant, or at [ts]
+    when given ([ts] must advance the clock; transaction time is monotone).
+    Timestamps of successive versions of one document must be distinct. *)
+
+val insert_document :
+  t -> url:string -> ?ts:Txq_temporal.Timestamp.t -> Txq_xml.Xml.t ->
+  Txq_vxml.Eid.doc_id
+(** Raises [Invalid_argument] if a live document already holds the URL. *)
+
+val update_document :
+  t -> url:string -> ?ts:Txq_temporal.Timestamp.t -> Txq_xml.Xml.t ->
+  Txq_vxml.Delta.t
+(** Commits a new version of the live document at [url]; returns the stored
+    completed delta. *)
+
+val delete_document :
+  t -> url:string -> ?ts:Txq_temporal.Timestamp.t -> unit -> unit
+
+(** {1 Document access} *)
+
+val find_live : t -> string -> Docstore.t option
+(** The live document currently holding the URL. *)
+
+val find_all : t -> string -> Docstore.t list
+(** Every document that ever held the URL, oldest first (a URL is reused
+    when a document is deleted and later re-created; EIDs are not). *)
+
+val find_at :
+  t -> string -> Txq_temporal.Timestamp.t -> (Docstore.t * int) option
+(** Document and version number holding the URL at an instant. *)
+
+val doc : t -> Txq_vxml.Eid.doc_id -> Docstore.t
+(** Raises [Invalid_argument] on an unknown id. *)
+
+val doc_ids : t -> Txq_vxml.Eid.doc_id list
+val document_count : t -> int
+
+(** {1 Reconstruction} *)
+
+val reconstruct : t -> Txq_vxml.Eid.doc_id -> int -> Txq_vxml.Vnode.t
+(** Materializes one version (cached when [reconstruct_cache] > 0); all blob
+    reads are IO-accounted, and [stats] counts the deltas applied. *)
+
+val reconstruct_at :
+  t -> Txq_vxml.Eid.doc_id -> Txq_temporal.Timestamp.t ->
+  (int * Txq_vxml.Vnode.t) option
+
+val read_delta : t -> Txq_vxml.Eid.doc_id -> int -> Txq_vxml.Delta.t
+(** Reads one completed delta from the store (IO- and stats-accounted);
+    used by operators that work directly on deltas (CreTime traversal,
+    history sweeps). *)
+
+(** {1 Index access (for the query operators)} *)
+
+val fti : t -> Txq_fti.Fti.t
+(** Raises [Invalid_argument] when the configuration maintains no
+    version-content index. *)
+
+val delta_fti : t -> Txq_fti.Delta_fti.t
+(** Raises [Invalid_argument] when no delta-operation index is maintained. *)
+
+val cretime : t -> Cretime_index.t option
+
+val document_time :
+  t -> Txq_vxml.Eid.doc_id -> int -> Txq_temporal.Timestamp.t option
+(** The content-embedded document time of a version (Section 3.1), when the
+    configuration names a [document_time_path] and the version carried
+    one. *)
+
+val find_by_document_time :
+  t ->
+  t1:Txq_temporal.Timestamp.t ->
+  t2:Txq_temporal.Timestamp.t ->
+  (Txq_temporal.Timestamp.t * Txq_vxml.Eid.doc_id * int) list
+(** Versions whose document time falls in [\[t1, t2)], ordered by document
+    time — the "indexed and queried based on this document time" capability
+    of Section 3.1.  No reconstruction involved. *)
+
+val version_at : t -> Txq_vxml.Eid.doc_id -> Txq_temporal.Timestamp.t -> int option
+
+(** {1 Integrity} *)
+
+val verify : t -> (int, string list) result
+(** Full integrity check: every version of every document is reconstructed
+    from its persisted delta chain; the newest must equal the in-memory
+    current version including XIDs, timestamps must be strictly monotone,
+    and no blob may fail to decode.  Returns the number of versions checked
+    or the list of diagnostics.  (Corruption surfaces as decode failures —
+    the completed-delta chain has no other redundancy to detect it.) *)
+
+(** {1 Accounting} *)
+
+val stats : t -> stats
+val io_stats : t -> Txq_store.Io_stats.t
+val reset_io : t -> unit
+val flush_cache : t -> unit
+(** Empties buffer pool and reconstruction cache (cold-start measurements).
+*)
+
+val live_pages : t -> int
+val blobs : t -> Txq_store.Blob_store.t
+
+val disk : t -> Txq_store.Disk.t
+(** The simulated disk beneath everything; exposed for diagnostics and for
+    the failure-injection tests (which corrupt pages and expect {!verify}
+    to notice). *)

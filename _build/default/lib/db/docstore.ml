@@ -1,0 +1,238 @@
+module Xml = Txq_xml.Xml
+module Vnode = Txq_vxml.Vnode
+module Delta = Txq_vxml.Delta
+module Codec = Txq_vxml.Codec
+module Diff = Txq_vxml.Diff
+module Xidmap = Txq_vxml.Xidmap
+module Timestamp = Txq_temporal.Timestamp
+module Interval = Txq_temporal.Interval
+module Blob_store = Txq_store.Blob_store
+module Vec = Txq_store.Vec
+
+type version_entry = {
+  ve_ts : Timestamp.t;
+  ve_delta : Blob_store.blob option; (* None for version 0 *)
+  mutable ve_snapshot : Blob_store.blob option;
+  ve_doc_time : Timestamp.t option; (* Section 3.1 document time *)
+}
+
+type t = {
+  blobs : Blob_store.t;
+  doc_id : Txq_vxml.Eid.doc_id;
+  url : string;
+  gen : Txq_vxml.Xid.Gen.t;
+  entries : version_entry Vec.t;
+  mutable current : Vnode.t;
+  mutable current_blob : Blob_store.blob;
+  mutable deleted : Timestamp.t option;
+}
+
+type reconstruct_cost = {
+  deltas_applied : int;
+  anchor_was_snapshot : bool;
+  direction : [ `Backward | `Forward | `None ];
+}
+
+let doc_id t = t.doc_id
+let url t = t.url
+let gen t = t.gen
+
+let put_version_blob t vnode =
+  Blob_store.put t.blobs ~cluster:t.doc_id (Codec.encode vnode)
+
+let check_ingest xml =
+  match Codec.check_plain xml with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Docstore: cannot ingest document: " ^ msg)
+
+let create ~blobs ~doc_id ~url ~ts ~snapshot ?doc_time xml =
+  check_ingest xml;
+  let gen = Txq_vxml.Xid.Gen.create () in
+  let current = Vnode.of_xml gen (Xml.normalize xml) in
+  let t =
+    {
+      blobs;
+      doc_id;
+      url;
+      gen;
+      entries = Vec.create ();
+      current;
+      current_blob = Blob_store.put blobs ~cluster:doc_id (Codec.encode current);
+      deleted = None;
+    }
+  in
+  let ve_snapshot = if snapshot then Some (put_version_blob t current) else None in
+  Vec.push t.entries
+    { ve_ts = ts; ve_delta = None; ve_snapshot; ve_doc_time = doc_time };
+  t
+
+let version_count t = Vec.length t.entries
+let current t = t.current
+let deleted_at t = t.deleted
+let is_alive t = t.deleted = None
+let ts_of_version t v = (Vec.get t.entries v).ve_ts
+let created_at t = (Vec.get t.entries 0).ve_ts
+
+let commit t ~ts ~snapshot ?doc_time xml =
+  check_ingest xml;
+  (match t.deleted with
+   | Some _ ->
+     invalid_arg
+       (Printf.sprintf "Docstore.commit: document %s is deleted" t.url)
+   | None -> ());
+  (match Vec.last t.entries with
+   | Some last when Timestamp.(ts <= last.ve_ts) ->
+     invalid_arg "Docstore.commit: timestamp does not advance"
+   | Some _ | None -> ());
+  let v = Vec.length t.entries in
+  let delta, new_current =
+    Diff.diff ~gen:t.gen ~old_tree:t.current ~new_tree:(Xml.normalize xml)
+  in
+  let delta = Delta.make ~from_version:(v - 1) ~to_version:v delta.Delta.ops in
+  let delta_blob = Blob_store.put t.blobs ~cluster:t.doc_id (Delta.encode delta) in
+  (* Replace the stored current version. *)
+  Blob_store.free t.blobs ~cluster:t.doc_id t.current_blob;
+  t.current <- new_current;
+  t.current_blob <- put_version_blob t new_current;
+  let ve_snapshot = if snapshot then Some (put_version_blob t new_current) else None in
+  Vec.push t.entries
+    { ve_ts = ts; ve_delta = Some delta_blob; ve_snapshot; ve_doc_time = doc_time };
+  (delta, new_current)
+
+let mark_deleted t ~ts =
+  match t.deleted with
+  | Some _ -> invalid_arg "Docstore.mark_deleted: already deleted"
+  | None -> t.deleted <- Some ts
+
+let version_at t instant =
+  let alive_at =
+    match t.deleted with
+    | Some d -> Timestamp.(instant < d)
+    | None -> true
+  in
+  if not alive_at then None
+  else
+    Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts <= instant)) t.entries
+
+let version_interval t v =
+  let start = ts_of_version t v in
+  let stop =
+    if v + 1 < version_count t then ts_of_version t (v + 1)
+    else
+      match t.deleted with
+      | Some d -> d
+      | None -> Timestamp.plus_infinity
+  in
+  Interval.make ~start ~stop
+
+let versions_overlapping t ~t1 ~t2 =
+  let n = version_count t in
+  if n = 0 || Timestamp.(t2 <= t1) then None
+  else begin
+    (* v_hi: last version starting before t2 *)
+    match
+      Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts < t2)) t.entries
+    with
+    | None -> None
+    | Some v_hi ->
+      (* v_lo: first version whose interval reaches past t1 *)
+      let v_lo =
+        match
+          Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts <= t1)) t.entries
+        with
+        | None -> 0
+        | Some v -> v
+      in
+      (* the earliest candidate may still end before t1 (deleted docs) *)
+      let alive =
+        match t.deleted with
+        | Some d -> Timestamp.(t1 < d)
+        | None -> true
+      in
+      if (not alive) || v_lo > v_hi then None else Some (v_lo, v_hi)
+  end
+
+let doc_time_of_version t v = (Vec.get t.entries v).ve_doc_time
+
+let snapshot_versions t =
+  let out = ref [] in
+  Vec.iteri
+    (fun v ve -> if ve.ve_snapshot <> None then out := v :: !out)
+    t.entries;
+  List.rev !out
+
+let read_delta t v =
+  if v <= 0 || v >= version_count t then
+    invalid_arg (Printf.sprintf "Docstore.read_delta: no delta for version %d" v);
+  match (Vec.get t.entries v).ve_delta with
+  | Some blob -> Delta.decode_exn (Blob_store.get t.blobs blob)
+  | None -> assert false
+
+let reconstruct t v =
+  let n = version_count t in
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Docstore.reconstruct: no version %d" v);
+  (* Candidate anchors: the stored current version and every snapshot; pick
+     the one with the fewest deltas between it and the target. *)
+  let anchors =
+    (n - 1, t.current_blob)
+    :: List.filter_map
+         (fun s ->
+           match (Vec.get t.entries s).ve_snapshot with
+           | Some blob -> Some (s, blob)
+           | None -> None)
+         (snapshot_versions t)
+  in
+  let (anchor_v, anchor_blob), _ =
+    List.fold_left
+      (fun ((_, _), best_cost as best) (s, blob) ->
+        let cost = abs (s - v) in
+        if cost < best_cost then ((s, blob), cost) else best)
+      (((n - 1), t.current_blob), abs (n - 1 - v))
+      anchors
+  in
+  let tree = Codec.decode_exn (Blob_store.get t.blobs anchor_blob) in
+  if anchor_v = v then
+    ( tree,
+      { deltas_applied = 0; anchor_was_snapshot = anchor_v <> n - 1;
+        direction = `None } )
+  else begin
+    let map = Xidmap.of_vnode tree in
+    let deltas_applied = ref 0 in
+    if anchor_v > v then
+      (* walk backward: most recent deltas first (Section 7.3.3) *)
+      for i = anchor_v downto v + 1 do
+        Delta.apply_backward map (read_delta t i);
+        incr deltas_applied
+      done
+    else
+      for i = anchor_v + 1 to v do
+        Delta.apply_forward map (read_delta t i);
+        incr deltas_applied
+      done;
+    ( Xidmap.to_vnode map,
+      {
+        deltas_applied = !deltas_applied;
+        anchor_was_snapshot = anchor_v <> n - 1;
+        direction = (if anchor_v > v then `Backward else `Forward);
+      } )
+  end
+
+let delta_pages t =
+  Vec.fold_left
+    (fun acc ve ->
+      match ve.ve_delta with
+      | Some blob -> acc + Blob_store.pages_used blob
+      | None -> acc)
+    0 t.entries
+
+let total_pages t =
+  let snap_pages =
+    Vec.fold_left
+      (fun acc ve ->
+        match ve.ve_snapshot with
+        | Some blob -> acc + Blob_store.pages_used blob
+        | None -> acc)
+      0 t.entries
+  in
+  delta_pages t + snap_pages + Blob_store.pages_used t.current_blob

@@ -1,0 +1,93 @@
+(** Per-document version storage (Section 7.1).
+
+    A stored document consists of one complete current version plus a chain
+    of completed deltas, each persisted as a separate XML document in the
+    blob store.  The {e delta index} — the in-memory array mapping version
+    numbers to timestamps and delta blobs — is exactly the structure the
+    paper describes; optional intermediate snapshots bound reconstruction
+    cost (Section 7.3.3). *)
+
+type t
+
+type reconstruct_cost = {
+  deltas_applied : int;
+  anchor_was_snapshot : bool;
+  direction : [ `Backward | `Forward | `None ];
+}
+
+val create :
+  blobs:Txq_store.Blob_store.t ->
+  doc_id:Txq_vxml.Eid.doc_id ->
+  url:string ->
+  ts:Txq_temporal.Timestamp.t ->
+  snapshot:bool ->
+  ?doc_time:Txq_temporal.Timestamp.t ->
+  Txq_xml.Xml.t ->
+  t
+(** Ingests version 0 (the input is normalized first).  [doc_time] is the
+    content-embedded document time extracted by the caller (Section 3.1). *)
+
+val doc_id : t -> Txq_vxml.Eid.doc_id
+val url : t -> string
+val gen : t -> Txq_vxml.Xid.Gen.t
+
+val commit :
+  t ->
+  ts:Txq_temporal.Timestamp.t ->
+  snapshot:bool ->
+  ?doc_time:Txq_temporal.Timestamp.t ->
+  Txq_xml.Xml.t ->
+  Txq_vxml.Delta.t * Txq_vxml.Vnode.t
+(** Diffs the incoming revision against the current version, stores the
+    completed delta, replaces the stored current version, and appends to the
+    delta index.  [snapshot] additionally persists the full new version.
+    Returns the delta (renumbered) and the new current tree.  Raises
+    [Invalid_argument] if the document was deleted or [ts] does not advance.
+*)
+
+val mark_deleted : t -> ts:Txq_temporal.Timestamp.t -> unit
+val deleted_at : t -> Txq_temporal.Timestamp.t option
+val is_alive : t -> bool
+
+val current : t -> Txq_vxml.Vnode.t
+(** In-memory current version (no IO accounted). *)
+
+val version_count : t -> int
+(** Versions 0 .. n-1; the current one is n-1. *)
+
+val ts_of_version : t -> int -> Txq_temporal.Timestamp.t
+val version_at : t -> Txq_temporal.Timestamp.t -> int option
+(** Version valid at the instant, [None] before creation or at/after
+    deletion. *)
+
+val version_interval : t -> int -> Txq_temporal.Interval.t
+(** Validity interval of a version: [\[ts_v, ts_v+1)], the last one closed
+    by the deletion time or open-ended. *)
+
+val versions_overlapping :
+  t -> t1:Txq_temporal.Timestamp.t -> t2:Txq_temporal.Timestamp.t ->
+  (int * int) option
+(** [(v_lo, v_hi)]: the inclusive range of versions whose validity overlaps
+    [\[t1, t2)]; [None] when no version does. *)
+
+val created_at : t -> Txq_temporal.Timestamp.t
+
+val doc_time_of_version : t -> int -> Txq_temporal.Timestamp.t option
+(** The document time recorded with the version, if any. *)
+
+val snapshot_versions : t -> int list
+
+val read_delta : t -> int -> Txq_vxml.Delta.t
+(** Reads and decodes the delta leading to the given version (>= 1) from the
+    blob store (IO accounted).  Raises [Invalid_argument] for version 0. *)
+
+val reconstruct : t -> int -> Txq_vxml.Vnode.t * reconstruct_cost
+(** Materializes the given version, choosing the cheapest anchor among the
+    stored current version and any snapshots, applying completed deltas
+    backward or forward (Section 7.3.3).  All blob reads are accounted. *)
+
+val delta_pages : t -> int
+(** Pages holding delta blobs (storage accounting). *)
+
+val total_pages : t -> int
+(** Pages holding the current version, deltas and snapshots. *)

@@ -1,0 +1,1 @@
+lib/fti/delta_fti.ml: Hashtbl List String Txq_vxml

@@ -1,0 +1,1 @@
+lib/fti/delta_fti.mli: Txq_vxml

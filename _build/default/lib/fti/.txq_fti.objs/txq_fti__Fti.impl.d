@@ -1,0 +1,1 @@
+lib/fti/fti.ml: Array Hashtbl List Posting Printf Txq_vxml

@@ -1,0 +1,1 @@
+lib/fti/fti.mli: Posting Txq_vxml

@@ -1,0 +1,1 @@
+lib/fti/posting.ml: Format Int Txq_vxml

@@ -1,0 +1,1 @@
+lib/fti/posting.mli: Format Txq_vxml

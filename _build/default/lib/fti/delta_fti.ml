@@ -1,0 +1,118 @@
+module Vnode = Txq_vxml.Vnode
+module Delta = Txq_vxml.Delta
+
+type change_kind =
+  | Inserted
+  | Deleted
+  | Updated
+  | Renamed
+  | Moved
+
+let change_kind_to_string = function
+  | Inserted -> "insert"
+  | Deleted -> "delete"
+  | Updated -> "update"
+  | Renamed -> "rename"
+  | Moved -> "move"
+
+type entry = {
+  ch_doc : Txq_vxml.Eid.doc_id;
+  ch_version : int;
+  ch_kind : change_kind;
+  ch_word : string;
+  ch_xid : Txq_vxml.Xid.t;
+}
+
+type t = {
+  words : (string, entry list ref) Hashtbl.t;
+  mutable entries : int;
+}
+
+let create () = { words = Hashtbl.create 1024; entries = 0 }
+
+let add t entry =
+  let bucket =
+    match Hashtbl.find_opt t.words entry.ch_word with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.replace t.words entry.ch_word b;
+      b
+  in
+  bucket := entry :: !bucket;
+  t.entries <- t.entries + 1
+
+let add_tree_words t ~doc ~version ~kind tree =
+  List.iter
+    (fun { Vnode.occ_word; occ_path; _ } ->
+      let ch_xid =
+        match Txq_vxml.Xidpath.leaf occ_path with
+        | Some xid -> xid
+        | None -> Vnode.xid tree
+      in
+      add t { ch_doc = doc; ch_version = version; ch_kind = kind;
+              ch_word = occ_word; ch_xid })
+    (Vnode.occurrences tree)
+
+let split_words s =
+  List.filter
+    (fun w -> not (String.equal w ""))
+    (String.split_on_char ' ' s)
+
+let index_op t ~doc ~version = function
+  | Delta.Insert { tree; _ } -> add_tree_words t ~doc ~version ~kind:Inserted tree
+  | Delta.Delete { tree; _ } -> add_tree_words t ~doc ~version ~kind:Deleted tree
+  | Delta.Update { xid; old_text; new_text } ->
+    List.iter
+      (fun w ->
+        add t { ch_doc = doc; ch_version = version; ch_kind = Deleted;
+                ch_word = w; ch_xid = xid })
+      (split_words old_text);
+    List.iter
+      (fun w ->
+        add t { ch_doc = doc; ch_version = version; ch_kind = Updated;
+                ch_word = w; ch_xid = xid })
+      (split_words new_text)
+  | Delta.Rename { xid; old_tag; new_tag } ->
+    add t { ch_doc = doc; ch_version = version; ch_kind = Deleted;
+            ch_word = old_tag; ch_xid = xid };
+    add t { ch_doc = doc; ch_version = version; ch_kind = Renamed;
+            ch_word = new_tag; ch_xid = xid }
+  | Delta.Set_attr { xid; name; old_value; new_value } ->
+    let record kind = function
+      | None -> ()
+      | Some v ->
+        List.iter
+          (fun w ->
+            add t { ch_doc = doc; ch_version = version; ch_kind = kind;
+                    ch_word = w; ch_xid = xid })
+          (name :: split_words v)
+    in
+    record Deleted old_value;
+    record Updated new_value
+  | Delta.Move { xid; _ } ->
+    add t { ch_doc = doc; ch_version = version; ch_kind = Moved;
+            ch_word = "_node"; ch_xid = xid }
+
+let index_delta t ~doc ~version delta =
+  List.iter (index_op t ~doc ~version) delta.Delta.ops
+
+let index_initial t ~doc vnode =
+  add_tree_words t ~doc ~version:0 ~kind:Inserted vnode
+
+let delete_document t ~doc ~version vnode =
+  add_tree_words t ~doc ~version ~kind:Deleted vnode
+
+let changes t word =
+  match Hashtbl.find_opt t.words word with
+  | Some bucket -> List.rev !bucket
+  | None -> []
+
+let changes_of_kind t word kind =
+  List.filter (fun e -> e.ch_kind = kind) (changes t word)
+
+let deletions_in_doc t word ~doc =
+  List.filter (fun e -> e.ch_kind = Deleted && e.ch_doc = doc) (changes t word)
+
+let entry_count t = t.entries
+let word_count t = Hashtbl.length t.words

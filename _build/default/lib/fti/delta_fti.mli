@@ -1,0 +1,55 @@
+(** Delta-operation index — alternative A2 of Section 7.2: index the contents
+    of the delta documents.
+
+    Instead of indexing what each version {e contains}, this index records
+    what each delta {e did}: which words/elements were inserted, deleted,
+    updated, renamed or moved, and in which version.  It answers
+    change-oriented queries ("when was [Napoli] deleted?") with a single
+    lookup, where the version-content index must scan postings; conversely it
+    cannot serve snapshot queries at all — precisely the trade-off the paper
+    describes and leaves unmeasured.  Experiment E5 measures it. *)
+
+type change_kind =
+  | Inserted
+  | Deleted
+  | Updated  (** new text words of an update *)
+  | Renamed
+  | Moved
+
+type entry = {
+  ch_doc : Txq_vxml.Eid.doc_id;
+  ch_version : int;  (** version in which the change became visible *)
+  ch_kind : change_kind;
+  ch_word : string;
+  ch_xid : Txq_vxml.Xid.t;  (** the node the change touched *)
+}
+
+val change_kind_to_string : change_kind -> string
+
+type t
+
+val create : unit -> t
+
+val index_delta :
+  t -> doc:Txq_vxml.Eid.doc_id -> version:int -> Txq_vxml.Delta.t -> unit
+(** Indexes the operations of the delta leading {e to} [version]. *)
+
+val index_initial :
+  t -> doc:Txq_vxml.Eid.doc_id -> Txq_vxml.Vnode.t -> unit
+(** The creation of a document is one big insertion (version 0). *)
+
+val delete_document :
+  t -> doc:Txq_vxml.Eid.doc_id -> version:int -> Txq_vxml.Vnode.t -> unit
+(** Document deletion records deletions for its last content. *)
+
+val changes : t -> string -> entry list
+(** All change entries mentioning the word, oldest first. *)
+
+val changes_of_kind : t -> string -> change_kind -> entry list
+
+val deletions_in_doc :
+  t -> string -> doc:Txq_vxml.Eid.doc_id -> entry list
+(** The paper's example query shape: "delete/…/Napoli" within a document. *)
+
+val entry_count : t -> int
+val word_count : t -> int

@@ -1,0 +1,117 @@
+module Vnode = Txq_vxml.Vnode
+
+(* Key identifying one occurrence position within a document: word, kind and
+   XID path.  XIDs are ints underneath, so structural hashing and equality on
+   the triple are sound. *)
+module Occ_key = struct
+  type t = string * Vnode.occurrence_kind * int array
+
+  let of_occ (word, kind, path) : t =
+    (word, kind, Array.map Txq_vxml.Xid.to_int path)
+
+  let equal (a : t) (b : t) = a = b
+  let hash (t : t) = Hashtbl.hash t
+end
+
+module Occ_table = Hashtbl.Make (Occ_key)
+
+type doc_state = {
+  (* Open posting per live occurrence position of the document. *)
+  open_postings : Posting.t Occ_table.t;
+  (* The occurrence set of the version indexed last, to diff against. *)
+  mutable current_occs : Vnode.Occ_set.t;
+  mutable last_version : int;
+}
+
+type t = {
+  words : (string, Posting.t list ref) Hashtbl.t;
+  docs : (Txq_vxml.Eid.doc_id, doc_state) Hashtbl.t;
+  mutable postings : int;
+}
+
+let create () = { words = Hashtbl.create 1024; docs = Hashtbl.create 64; postings = 0 }
+
+let word_bucket t word =
+  match Hashtbl.find_opt t.words word with
+  | Some bucket -> bucket
+  | None ->
+    let bucket = ref [] in
+    Hashtbl.replace t.words word bucket;
+    bucket
+
+let doc_state t doc =
+  match Hashtbl.find_opt t.docs doc with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        open_postings = Occ_table.create 64;
+        current_occs = Vnode.Occ_set.empty;
+        last_version = -1;
+      }
+    in
+    Hashtbl.replace t.docs doc st;
+    st
+
+let open_posting t ~doc ~version st ((word, kind, path) as occ) =
+  let posting = Posting.make ~doc ~kind ~path ~vstart:version in
+  let bucket = word_bucket t word in
+  bucket := posting :: !bucket;
+  t.postings <- t.postings + 1;
+  Occ_table.replace st.open_postings (Occ_key.of_occ occ) posting
+
+let close_posting ~version st occ =
+  let key = Occ_key.of_occ occ in
+  match Occ_table.find_opt st.open_postings key with
+  | Some posting ->
+    posting.Posting.vend <- version;
+    Occ_table.remove st.open_postings key
+  | None -> ()
+
+let index_version t ~doc ~version vnode =
+  let st = doc_state t doc in
+  if version <= st.last_version then
+    invalid_arg
+      (Printf.sprintf
+         "Fti.index_version: version %d of doc %d indexed out of order (last \
+          %d)"
+         version doc st.last_version);
+  let occs = Vnode.occurrence_set vnode in
+  let removed = Vnode.Occ_set.diff st.current_occs occs in
+  let added = Vnode.Occ_set.diff occs st.current_occs in
+  Vnode.Occ_set.iter (close_posting ~version st) removed;
+  Vnode.Occ_set.iter (open_posting t ~doc ~version st) added;
+  st.current_occs <- occs;
+  st.last_version <- version
+
+let delete_document t ~doc ~version =
+  match Hashtbl.find_opt t.docs doc with
+  | None -> ()
+  | Some st ->
+    Vnode.Occ_set.iter (close_posting ~version st) st.current_occs;
+    st.current_occs <- Vnode.Occ_set.empty;
+    st.last_version <- version
+
+let postings_of t word =
+  match Hashtbl.find_opt t.words word with
+  | Some bucket -> !bucket
+  | None -> []
+
+let lookup t word = List.filter Posting.is_open (postings_of t word)
+
+let lookup_t t word ~version_at =
+  List.filter
+    (fun p ->
+      match version_at p.Posting.doc with
+      | Some v -> Posting.valid_at p v
+      | None -> false)
+    (postings_of t word)
+
+let lookup_h t word = postings_of t word
+
+let lookup_h_doc t word ~doc =
+  List.filter (fun p -> p.Posting.doc = doc) (postings_of t word)
+
+let word_count t = Hashtbl.length t.words
+let posting_count t = t.postings
+let vocabulary t = Hashtbl.fold (fun w _ acc -> w :: acc) t.words []

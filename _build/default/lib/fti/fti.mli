@@ -1,0 +1,48 @@
+(** Temporal free-text index — alternative A1 of Section 7.2: index the
+    contents of the versions.
+
+    Every word of every document version is indexed, including element names
+    (as [Tag] occurrences) and attribute names/values; a posting carries the
+    document id, the XID path giving hierarchy information, and the version
+    interval over which the occurrence persisted.
+
+    The three lookups of Section 7.2 are provided:
+    [lookup] (current snapshot), [lookup_t] (snapshot at a time, resolved to
+    per-document version numbers by the caller), and [lookup_h] (whole
+    history). *)
+
+type t
+
+val create : unit -> t
+
+val index_version :
+  t -> doc:Txq_vxml.Eid.doc_id -> version:int -> Txq_vxml.Vnode.t -> unit
+(** Incremental maintenance on commit of [version] (0-based) of [doc]:
+    occurrences present in the previous version but absent from this one are
+    closed at [version]; new occurrences open at [version].  Versions of a
+    document must be indexed in increasing order. *)
+
+val delete_document : t -> doc:Txq_vxml.Eid.doc_id -> version:int -> unit
+(** Closes every open posting of the document: the delete "version" bound.
+    [version] is the number the next version {e would} have had. *)
+
+val lookup : t -> string -> Posting.t list
+(** Postings of current versions only (open postings). *)
+
+val lookup_t :
+  t -> string -> version_at:(Txq_vxml.Eid.doc_id -> int option) -> Posting.t list
+(** Snapshot lookup: [version_at doc] gives the version number of [doc]
+    valid at the query time ([None] when the document did not exist); the
+    database derives it from the delta index. *)
+
+val lookup_h : t -> string -> Posting.t list
+(** Every posting ever recorded for the word. *)
+
+val lookup_h_doc : t -> string -> doc:Txq_vxml.Eid.doc_id -> Posting.t list
+(** History lookup restricted to one document. *)
+
+val word_count : t -> int
+val posting_count : t -> int
+
+val vocabulary : t -> string list
+(** All indexed words (unordered). *)

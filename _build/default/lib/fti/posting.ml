@@ -1,0 +1,27 @@
+type t = {
+  doc : Txq_vxml.Eid.doc_id;
+  kind : Txq_vxml.Vnode.occurrence_kind;
+  path : Txq_vxml.Xidpath.t;
+  vstart : int;
+  mutable vend : int;
+}
+
+let open_end = max_int
+let make ~doc ~kind ~path ~vstart = { doc; kind; path; vstart; vend = open_end }
+let is_open t = t.vend = open_end
+let valid_at t v = t.vstart <= v && v < t.vend
+let element_xid t = Txq_vxml.Xidpath.leaf t.path
+
+let compare_for_join a b =
+  match Int.compare a.doc b.doc with
+  | 0 -> (
+    match Txq_vxml.Xidpath.compare a.path b.path with
+    | 0 -> Int.compare a.vstart b.vstart
+    | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "d%d%s[%d,%s)" t.doc
+    (Txq_vxml.Xidpath.to_string t.path)
+    t.vstart
+    (if is_open t then "∞" else string_of_int t.vend)

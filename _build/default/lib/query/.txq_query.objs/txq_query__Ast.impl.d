@@ -1,0 +1,1 @@
+lib/query/ast.ml: Float List Printf String Txq_temporal Txq_xml

@@ -1,0 +1,1 @@
+lib/query/ast.mli: Txq_temporal Txq_xml

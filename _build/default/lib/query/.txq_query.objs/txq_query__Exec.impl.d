@@ -1,0 +1,1 @@
+lib/query/exec.ml: Ast Buffer Float Fun Glob Hashtbl Lazy List Option Parser Printf Seq String Txq_core Txq_db Txq_temporal Txq_vxml Txq_xml

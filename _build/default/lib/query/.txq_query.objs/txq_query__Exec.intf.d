@@ -1,0 +1,1 @@
+lib/query/exec.mli: Ast Txq_db Txq_xml

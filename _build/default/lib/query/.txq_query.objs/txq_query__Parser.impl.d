@@ -1,0 +1,1 @@
+lib/query/parser.ml: Array Ast Lexer List Printf Stdlib Txq_temporal Txq_xml

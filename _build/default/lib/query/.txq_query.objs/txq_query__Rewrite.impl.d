@@ -1,0 +1,1 @@
+lib/query/rewrite.ml: Ast Exec List Parser Txq_db Txq_temporal

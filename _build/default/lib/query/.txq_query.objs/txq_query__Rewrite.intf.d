@@ -1,0 +1,1 @@
+lib/query/rewrite.mli: Ast Exec Txq_db Txq_temporal Txq_xml

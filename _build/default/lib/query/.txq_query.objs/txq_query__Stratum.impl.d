@@ -1,0 +1,1 @@
+lib/query/stratum.ml: Ast Exec Float Fun Glob Hashtbl List Parser Printf Seq Set String Txq_temporal Txq_xml

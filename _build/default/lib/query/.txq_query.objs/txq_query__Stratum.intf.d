@@ -1,0 +1,1 @@
+lib/query/stratum.mli: Ast Exec Txq_temporal Txq_xml

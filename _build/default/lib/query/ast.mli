@@ -1,0 +1,88 @@
+(** Abstract syntax of the temporal XML query language.
+
+    The concrete language follows the paper's examples (Section 5): a
+    SELECT/FROM/WHERE skeleton in the style of Lorel and the Xyleme query
+    language, paths from XPath, plus the temporal constructs — a timestamp
+    or [EVERY] qualifier on the [doc(…)] source, [TIME]/[CREATE TIME]/
+    [DELETE TIME], [PREVIOUS]/[NEXT]/[CURRENT], [DIFF], and relative time
+    arithmetic such as [NOW - 14 DAYS]. *)
+
+type time_expr =
+  | T_literal of Txq_temporal.Timestamp.t
+  | T_now
+  | T_plus of time_expr * Txq_temporal.Duration.t
+  | T_minus of time_expr * Txq_temporal.Duration.t
+
+type time_spec =
+  | Current  (** no qualifier: the current snapshot *)
+  | At of time_expr  (** [doc("…")\[26/01/2001\]] *)
+  | Every  (** [doc("…")\[EVERY\]] — all versions *)
+
+type source_kind =
+  | Doc  (** [doc("url")] — one URL *)
+  | Collection
+      (** [collection("glob")] — every URL matching the glob ([*] matches
+          any substring); the XML-warehouse query shape, where a scan spans
+          the whole crawled collection *)
+
+type source = {
+  src_kind : source_kind;
+  src_url : string;  (** URL, or glob under [Collection] *)
+  src_time : time_spec;
+  src_path : Txq_xml.Path.t;  (** steps binding the variable *)
+  src_var : string;
+}
+
+type expr =
+  | E_var of string
+  | E_path of string * Txq_xml.Path.t  (** [R/price] *)
+  | E_string of string
+  | E_number of float
+  | E_time_lit of time_expr
+  | E_time of string  (** [TIME(R)] *)
+  | E_create_time of string
+  | E_delete_time of string
+  | E_previous of string
+  | E_next of string
+  | E_current of string
+  | E_diff of expr * expr
+  | E_count of expr
+  | E_sum of expr
+  | E_avg of expr
+  | E_apply_path of expr * Txq_xml.Path.t
+      (** postfix path on a node-valued expression, e.g.
+          [CURRENT(R)/name] *)
+
+type cmp =
+  | Eq  (** [=] — content equality *)
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Identity  (** [==] — EID identity (Section 7.4) *)
+  | Similar  (** [~] — similarity *)
+  | Contains
+
+type cond =
+  | C_cmp of expr * cmp * expr
+  | C_and of cond * cond
+  | C_or of cond * cond
+  | C_not of cond
+
+type query = {
+  distinct : bool;
+  select : expr list;
+  from : source list;
+  where : cond option;
+}
+
+val is_aggregate : expr -> bool
+val has_aggregates : query -> bool
+
+val resolve_time :
+  now:Txq_temporal.Timestamp.t -> time_expr -> Txq_temporal.Timestamp.t
+
+val expr_to_string : expr -> string
+val cmp_to_string : cmp -> string
+val to_string : query -> string

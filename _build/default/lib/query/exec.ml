@@ -1,0 +1,627 @@
+module Xml = Txq_xml.Xml
+module Path = Txq_xml.Path
+module Print = Txq_xml.Print
+module Vnode = Txq_vxml.Vnode
+module Eid = Txq_vxml.Eid
+module Timestamp = Txq_temporal.Timestamp
+module Interval = Txq_temporal.Interval
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+module Scan = Txq_core.Scan
+module Pattern = Txq_core.Pattern
+module History = Txq_core.History
+module Lifetime = Txq_core.Lifetime
+module Nav = Txq_core.Nav
+module Diff_op = Txq_core.Diff_op
+module Equality = Txq_core.Equality
+
+type error =
+  | Parse_error of string
+  | Unknown_variable of string
+  | Unsupported of string
+
+let error_to_string = function
+  | Parse_error e -> "parse error: " ^ e
+  | Unknown_variable v -> "unknown variable: " ^ v
+  | Unsupported msg -> "unsupported: " ^ msg
+
+exception Fail of error
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Fail (Unsupported s))) fmt
+
+(* --- query context ------------------------------------------------------ *)
+
+(* A query evaluates against one NOW and reconstructs each (document,
+   version) at most once, whatever the number of bindings into it — the
+   per-query memo is the first of the paper's "techniques that can reduce
+   the number of delta versions that have to be retrieved" (Section 8). *)
+type ctx = {
+  db : Db.t;
+  now : Timestamp.t;
+  memo : (Eid.doc_id * int, Vnode.t) Hashtbl.t;
+}
+
+let make_ctx db = { db; now = Db.now db; memo = Hashtbl.create 32 }
+
+let version_tree ctx doc v =
+  match Hashtbl.find_opt ctx.memo (doc, v) with
+  | Some tree -> tree
+  | None ->
+    let tree = Db.reconstruct ctx.db doc v in
+    Hashtbl.replace ctx.memo (doc, v) tree;
+    tree
+
+let subtree_at ctx (teid : Eid.Temporal.t) =
+  let doc = teid.Eid.Temporal.eid.Eid.doc in
+  match Db.version_at ctx.db doc teid.Eid.Temporal.ts with
+  | None -> None
+  | Some v -> Vnode.find (version_tree ctx doc v) teid.Eid.Temporal.eid.Eid.xid
+
+(* --- row model ---------------------------------------------------------- *)
+
+type row_binding = {
+  rb_teid : Eid.Temporal.t;
+  rb_time : Timestamp.t;  (* timestamp of the bound version (TIME(R)) *)
+  rb_tree : Vnode.t Lazy.t;  (* the element's subtree at that time *)
+}
+
+type row = (string * row_binding) list
+
+let binding row v =
+  match List.assoc_opt v row with
+  | Some rb -> rb
+  | None -> raise (Fail (Unknown_variable v))
+
+let lazy_subtree ctx teid =
+  lazy
+    (match subtree_at ctx teid with
+     | Some t -> t
+     | None -> unsupported "binding vanished: %s" (Eid.Temporal.to_string teid))
+
+(* --- path selection over vnodes ------------------------------------------ *)
+
+let vname_matches name node =
+  match Vnode.tag node with
+  | Some t -> String.equal name "*" || String.equal t name
+  | None -> false
+
+let rec vdescendants_or_self node =
+  node :: List.concat_map vdescendants_or_self (Vnode.children node)
+
+let vselect path root =
+  let step cands { Path.axis; name } =
+    match axis with
+    | Path.Child ->
+      List.concat_map
+        (fun n -> List.filter (vname_matches name) (Vnode.children n))
+        cands
+    | Path.Descendant ->
+      List.concat_map
+        (fun n ->
+          List.filter (vname_matches name)
+            (List.concat_map vdescendants_or_self (Vnode.children n)))
+        cands
+  in
+  List.fold_left step [root] path
+
+(* --- values --------------------------------------------------------------- *)
+
+type value =
+  | V_null
+  | V_string of string
+  | V_number of float
+  | V_time of Timestamp.t
+  | V_binding of row_binding
+  | V_nodes of Eid.doc_id * Vnode.t list  (* doc of the nodes' owner *)
+  | V_xml of Xml.t
+
+let rec eval_expr ctx row (expr : Ast.expr) : value =
+  match expr with
+  | Ast.E_string s -> V_string s
+  | Ast.E_number f -> V_number f
+  | Ast.E_time_lit t -> V_time (Ast.resolve_time ~now:ctx.now t)
+  | Ast.E_var v -> V_binding (binding row v)
+  | Ast.E_path (v, path) ->
+    let rb = binding row v in
+    V_nodes
+      (rb.rb_teid.Eid.Temporal.eid.Eid.doc, vselect path (Lazy.force rb.rb_tree))
+  | Ast.E_time v -> V_time (binding row v).rb_time
+  | Ast.E_create_time v -> (
+    match Lifetime.cre_time ctx.db (binding row v).rb_teid with
+    | Some ts -> V_time ts
+    | None -> V_null)
+  | Ast.E_delete_time v -> (
+    match Lifetime.del_time ctx.db (binding row v).rb_teid with
+    | Some ts -> V_time ts
+    | None -> V_null)
+  | Ast.E_previous v -> nav_binding ctx (binding row v) Nav.previous
+  | Ast.E_next v -> nav_binding ctx (binding row v) Nav.next
+  | Ast.E_current v ->
+    let rb = binding row v in
+    (match Nav.current ctx.db rb.rb_teid.Eid.Temporal.eid with
+     | Some teid -> teid_binding ctx teid
+     | None -> V_null)
+  | Ast.E_diff (a, b) -> (
+    let tree_of = function
+      | V_binding rb -> Some (Lazy.force rb.rb_tree)
+      | V_nodes (_, [n]) -> Some n
+      | _ -> None
+    in
+    match (tree_of (eval_expr ctx row a), tree_of (eval_expr ctx row b)) with
+    | Some ta, Some tb -> V_xml (Diff_op.diff_trees ta tb)
+    | _ -> V_null)
+  | Ast.E_apply_path (e, path) -> (
+    match eval_expr ctx row e with
+    | V_binding rb ->
+      V_nodes
+        (rb.rb_teid.Eid.Temporal.eid.Eid.doc, vselect path (Lazy.force rb.rb_tree))
+    | V_nodes (doc, nodes) -> V_nodes (doc, List.concat_map (vselect path) nodes)
+    | V_xml xml ->
+      let v = Vnode.of_xml (Txq_vxml.Xid.Gen.create ()) xml in
+      V_nodes (-1, vselect path v)
+    | V_null -> V_null
+    | V_string _ | V_number _ | V_time _ ->
+      unsupported "path applied to a non-node value")
+  | Ast.E_count _ | Ast.E_sum _ | Ast.E_avg _ ->
+    unsupported "aggregate in a non-aggregate position"
+
+and nav_binding ctx rb nav =
+  match nav ctx.db rb.rb_teid with
+  | Some teid -> teid_binding ctx teid
+  | None -> V_null
+
+and teid_binding ctx teid =
+  V_binding
+    {
+      rb_teid = teid;
+      rb_time = teid.Eid.Temporal.ts;
+      rb_tree = lazy_subtree ctx teid;
+    }
+
+(* --- comparisons ------------------------------------------------------------ *)
+
+type atom =
+  | A_string of string
+  | A_number of float
+  | A_time of Timestamp.t
+  | A_node of Eid.doc_id option * Vnode.t
+
+let atoms = function
+  | V_null -> []
+  | V_string s -> [A_string s]
+  | V_number f -> [A_number f]
+  | V_time t -> [A_time t]
+  | V_binding rb ->
+    [A_node (Some rb.rb_teid.Eid.Temporal.eid.Eid.doc, Lazy.force rb.rb_tree)]
+  | V_nodes (doc, nodes) -> List.map (fun n -> A_node (Some doc, n)) nodes
+  | V_xml xml -> [A_node (None, Vnode.of_xml (Txq_vxml.Xid.Gen.create ()) xml)]
+
+let atom_text = function
+  | A_string s -> s
+  | A_number f ->
+    if Float.is_integer f then string_of_int (int_of_float f)
+    else string_of_float f
+  | A_time t -> Timestamp.to_string t
+  | A_node (_, n) -> Vnode.text_content n
+
+let atom_number = function
+  | A_number f -> Some f
+  | A_string s -> float_of_string_opt (String.trim s)
+  | A_node (_, n) -> float_of_string_opt (String.trim (Vnode.text_content n))
+  | A_time _ -> None
+
+let compare_atoms op a b =
+  let ordered cmp =
+    match op with
+    | Ast.Eq -> cmp = 0
+    | Ast.Neq -> cmp <> 0
+    | Ast.Lt -> cmp < 0
+    | Ast.Le -> cmp <= 0
+    | Ast.Gt -> cmp > 0
+    | Ast.Ge -> cmp >= 0
+    | Ast.Identity | Ast.Similar | Ast.Contains -> assert false
+  in
+  match op with
+  | Ast.Identity -> (
+    (* node identity: persistent EIDs (Section 7.4) *)
+    match (a, b) with
+    | A_node (Some d1, n1), A_node (Some d2, n2) ->
+      d1 = d2 && Txq_vxml.Xid.equal (Vnode.xid n1) (Vnode.xid n2)
+    | _ -> false)
+  | Ast.Similar -> (
+    match (a, b) with
+    | A_node (_, n1), A_node (_, n2) -> Equality.similar n1 n2
+    | _ -> String.equal (atom_text a) (atom_text b))
+  | Ast.Contains ->
+    let hay = atom_text a and needle = atom_text b in
+    let hl = String.length hay and nl = String.length needle in
+    nl = 0
+    || (hl >= nl
+        && Seq.exists
+             (fun i -> String.equal (String.sub hay i nl) needle)
+             (Seq.init (hl - nl + 1) Fun.id))
+  | Ast.Eq | Ast.Neq -> (
+    match (a, b) with
+    | A_node (_, n1), A_node (_, n2) ->
+      let eq = Vnode.deep_equal n1 n2 in
+      if op = Ast.Eq then eq else not eq
+    | A_time t1, A_time t2 -> ordered (Timestamp.compare t1 t2)
+    | _ -> (
+      match (atom_number a, atom_number b) with
+      | Some x, Some y -> ordered (Float.compare x y)
+      | _ -> ordered (String.compare (atom_text a) (atom_text b))))
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+    match (a, b) with
+    | A_time t1, A_time t2 -> ordered (Timestamp.compare t1 t2)
+    | _ -> (
+      match (atom_number a, atom_number b) with
+      | Some x, Some y -> ordered (Float.compare x y)
+      | _ -> ordered (String.compare (atom_text a) (atom_text b))))
+
+let rec eval_cond ctx row = function
+  | Ast.C_and (a, b) -> eval_cond ctx row a && eval_cond ctx row b
+  | Ast.C_or (a, b) -> eval_cond ctx row a || eval_cond ctx row b
+  | Ast.C_not c -> not (eval_cond ctx row c)
+  | Ast.C_cmp (le, op, re) ->
+    let la = atoms (eval_expr ctx row le) in
+    let ra = atoms (eval_expr ctx row re) in
+    (* existential semantics over node sets, as in XPath *)
+    List.exists (fun a -> List.exists (fun b -> compare_atoms op a b) ra) la
+
+(* --- predicate pushdown ---------------------------------------------------- *)
+
+(* Collect top-level conjuncts [VAR/path = "word"] and turn them into word
+   tests inside VAR's pattern; the WHERE clause still verifies them after
+   reconstruction (containment first, equality testing second, Section
+   6.1). *)
+let rec conjuncts = function
+  | Ast.C_and (a, b) -> conjuncts a @ conjuncts b
+  | c -> [c]
+
+let single_word s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [w] when not (String.equal w "") -> Some w
+  | _ -> None
+
+let pushdown_for_var var cond =
+  match cond with
+  | None -> []
+  | Some cond ->
+    List.filter_map
+      (function
+        | Ast.C_cmp (Ast.E_path (v, path), Ast.Eq, Ast.E_string s)
+        | Ast.C_cmp (Ast.E_string s, Ast.Eq, Ast.E_path (v, path))
+          when String.equal v var && path <> [] ->
+          Option.map (fun w -> (path, w)) (single_word s)
+        | _ -> None)
+      (conjuncts cond)
+
+(* Extend a pattern with a word-test branch along [path]. *)
+let rec graft pattern path word =
+  match path with
+  | [] ->
+    { pattern with Pattern.children = Pattern.word word :: pattern.Pattern.children }
+  | { Path.axis; name } :: rest ->
+    let axis =
+      match axis with
+      | Path.Child -> Pattern.Child
+      | Path.Descendant -> Pattern.Descendant
+    in
+    let child = graft (Pattern.tag ~axis name []) rest word in
+    { pattern with Pattern.children = child :: pattern.Pattern.children }
+
+(* --- source binding ---------------------------------------------------------- *)
+
+let pattern_of_source src extra_words =
+  match Pattern.of_path (Path.to_string src.Ast.src_path) with
+  | Error e -> unsupported "source path: %s" e
+  | Ok p ->
+    (* of_path marks the last step as output; graft pushdown words there *)
+    let rec at_output p =
+      if p.Pattern.output then
+        List.fold_left (fun p (path, w) -> graft p path w) p extra_words
+      else { p with Pattern.children = List.map at_output p.Pattern.children }
+    in
+    at_output p
+
+(* Documents a source ranges over: one URL's incarnations, or — for
+   collection() — every document whose URL matches the glob. *)
+let source_docstores ctx src =
+  match src.Ast.src_kind with
+  | Ast.Doc -> Db.find_all ctx.db src.Ast.src_url
+  | Ast.Collection ->
+    List.filter_map
+      (fun id ->
+        let d = Db.doc ctx.db id in
+        if Glob.matches ~pattern:src.Ast.src_url (Docstore.url d) then Some d
+        else None)
+      (Db.doc_ids ctx.db)
+
+let source_doc_ids ctx src = List.map Docstore.doc_id (source_docstores ctx src)
+
+(* Root bindings (empty source path) go through the delta index alone. *)
+let bind_roots ctx src =
+  let docs = source_docstores ctx src in
+  match src.Ast.src_time with
+  | Ast.Current ->
+    List.filter_map
+      (fun d ->
+        if Docstore.is_alive d then begin
+          let v = Docstore.version_count d - 1 in
+          let ts = Docstore.ts_of_version d v in
+          let root_xid = Vnode.xid (Docstore.current d) in
+          let teid =
+            Eid.Temporal.make (Eid.make ~doc:(Docstore.doc_id d) ~xid:root_xid) ts
+          in
+          Some { rb_teid = teid; rb_time = ts; rb_tree = lazy_subtree ctx teid }
+        end
+        else None)
+      docs
+  | Ast.At texpr ->
+    let t = Ast.resolve_time ~now:ctx.now texpr in
+    List.filter_map
+      (fun d ->
+        match Docstore.version_at d t with
+        | Some v ->
+          let root_xid = Vnode.xid (Docstore.current d) in
+          let teid =
+            Eid.Temporal.make (Eid.make ~doc:(Docstore.doc_id d) ~xid:root_xid) t
+          in
+          Some
+            {
+              rb_teid = teid;
+              rb_time = Docstore.ts_of_version d v;
+              rb_tree = lazy_subtree ctx teid;
+            }
+        | None -> None)
+      docs
+  | Ast.Every ->
+    List.concat_map
+      (fun d ->
+        let history =
+          History.doc_history ctx.db (Docstore.doc_id d)
+            ~t1:Timestamp.minus_infinity ~t2:Timestamp.plus_infinity
+        in
+        List.rev_map
+          (fun dv ->
+            {
+              rb_teid = dv.History.dv_teid;
+              rb_time = Interval.start dv.History.dv_interval;
+              rb_tree = lazy_subtree ctx dv.History.dv_teid;
+            })
+          history)
+      docs
+
+let bind_source ctx where src : row_binding list =
+  if src.Ast.src_path = [] then bind_roots ctx src
+  else begin
+    let words = pushdown_for_var src.Ast.src_var where in
+    let pattern = pattern_of_source src words in
+    let docs = source_doc_ids ctx src in
+    let in_url b = List.mem b.Scan.b_doc docs in
+    match src.Ast.src_time with
+    | Ast.Current ->
+      let bindings = List.filter in_url (Scan.pattern_scan ctx.db pattern) in
+      List.map
+        (fun teid ->
+          {
+            rb_teid = teid;
+            rb_time = teid.Eid.Temporal.ts;
+            rb_tree = lazy_subtree ctx teid;
+          })
+        (Scan.to_teids ctx.db bindings)
+    | Ast.At texpr ->
+      let t = Ast.resolve_time ~now:ctx.now texpr in
+      let bindings = List.filter in_url (Scan.tpattern_scan ctx.db pattern t) in
+      List.filter_map
+        (fun b ->
+          let eid = Scan.eid_of_binding b in
+          let d = Db.doc ctx.db b.Scan.b_doc in
+          match Docstore.version_at d t with
+          | None -> None
+          | Some v ->
+            let teid = Eid.Temporal.make eid t in
+            Some
+              {
+                rb_teid = teid;
+                rb_time = Docstore.ts_of_version d v;
+                rb_tree = lazy_subtree ctx teid;
+              })
+        bindings
+    | Ast.Every ->
+      let bindings = List.filter in_url (Scan.tpattern_scan_all ctx.db pattern) in
+      List.concat_map
+        (fun b ->
+          let eid = Scan.eid_of_binding b in
+          List.concat_map
+            (fun iv ->
+              let evs =
+                (* the single-sweep variant reads each delta once;
+                   newest-first, so reverse into chronological order *)
+                List.rev
+                  (History.element_history_sweep ctx.db eid
+                     ~t1:(Interval.start iv) ~t2:(Interval.stop iv) ())
+              in
+              List.map
+                (fun ev ->
+                  {
+                    rb_teid = ev.History.ev_teid;
+                    rb_time = Interval.start ev.History.ev_interval;
+                    rb_tree = Lazy.from_val ev.History.ev_tree;
+                  })
+                evs)
+            (Scan.binding_intervals ctx.db b))
+        bindings
+  end
+
+(* --- result construction ------------------------------------------------------- *)
+
+let value_to_xml = function
+  | V_null -> [Xml.element "null" []]
+  | V_string s -> [Xml.text s]
+  | V_number f ->
+    [Xml.text
+       (if Float.is_integer f then string_of_int (int_of_float f)
+        else string_of_float f)]
+  | V_time t -> [Xml.element "time" [Xml.text (Timestamp.to_string t)]]
+  | V_binding rb -> [Vnode.to_xml (Lazy.force rb.rb_tree)]
+  | V_nodes (_, nodes) -> List.map Vnode.to_xml nodes
+  | V_xml xml -> [xml]
+
+let cartesian lists =
+  List.fold_right
+    (fun xs acc ->
+      List.concat_map (fun x -> List.map (fun rest -> x :: rest) acc) xs)
+    lists [[]]
+
+let run db query =
+  let ctx = make_ctx db in
+  try
+    let per_source =
+      List.map
+        (fun src ->
+          List.map
+            (fun rb -> (src.Ast.src_var, rb))
+            (bind_source ctx query.Ast.where src))
+        query.Ast.from
+    in
+    let rows : row list = cartesian per_source in
+    let rows =
+      match query.Ast.where with
+      | None -> rows
+      | Some cond -> List.filter (fun row -> eval_cond ctx row cond) rows
+    in
+    let results =
+      if Ast.has_aggregates query then begin
+        let aggregate_value = function
+          | Ast.E_count _ -> V_number (float_of_int (List.length rows))
+          | Ast.E_sum e ->
+            V_number
+              (List.fold_left
+                 (fun acc row ->
+                   List.fold_left
+                     (fun acc a ->
+                       match atom_number a with
+                       | Some f -> acc +. f
+                       | None -> acc)
+                     acc
+                     (atoms (eval_expr ctx row e)))
+                 0.0 rows)
+          | Ast.E_avg e ->
+            let values =
+              List.concat_map
+                (fun row ->
+                  List.filter_map atom_number (atoms (eval_expr ctx row e)))
+                rows
+            in
+            if values = [] then V_null
+            else
+              V_number
+                (List.fold_left ( +. ) 0.0 values
+                /. float_of_int (List.length values))
+          | _ -> unsupported "mixing aggregates and row expressions in SELECT"
+        in
+        [Xml.element "result"
+           (List.concat_map
+              (fun e -> value_to_xml (aggregate_value e))
+              query.Ast.select)]
+      end
+      else
+        List.map
+          (fun row ->
+            Xml.element "result"
+              (List.concat_map
+                 (fun e -> value_to_xml (eval_expr ctx row e))
+                 query.Ast.select))
+          rows
+    in
+    let results =
+      if query.Ast.distinct then begin
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun r ->
+            let key = Print.to_string r in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.replace seen key ();
+              true
+            end)
+          results
+      end
+      else results
+    in
+    Ok (Xml.element "results" results)
+  with Fail e -> Error e
+
+let run_string db input =
+  match Parser.parse input with
+  | Error e -> Error (Parse_error e)
+  | Ok q -> run db q
+
+(* --- explain ------------------------------------------------------------- *)
+
+let explain db query =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "query: %s\n" (Ast.to_string query);
+  List.iteri
+    (fun i src ->
+      let scope =
+        match src.Ast.src_kind with
+        | Ast.Doc -> Printf.sprintf "doc %S" src.Ast.src_url
+        | Ast.Collection -> Printf.sprintf "collection %S" src.Ast.src_url
+      in
+      addf "source %d: %s binds %s\n" (i + 1) scope src.Ast.src_var;
+      if src.Ast.src_path = [] then
+        addf "  operator: delta-index root binding (no FTI)\n"
+      else begin
+        let words = pushdown_for_var src.Ast.src_var query.Ast.where in
+        let operator =
+          match src.Ast.src_time with
+          | Ast.Current -> "PatternScan (current versions, FTI_lookup)"
+          | Ast.At _ -> "TPatternScan (snapshot, FTI_lookup_T) + Reconstruct on demand"
+          | Ast.Every ->
+            "TPatternScanAll (temporal multiway join, FTI_lookup_H) + \
+             single-sweep ElementHistory"
+        in
+        addf "  operator: %s\n" operator;
+        (try addf "  pattern:  %s\n" (Pattern.to_string (pattern_of_source src words))
+         with Fail e -> addf "  pattern:  <invalid: %s>\n" (error_to_string e));
+        if words <> [] then
+          addf "  pushdown: %d equality predicate(s) as word tests, re-verified after scan\n"
+            (List.length words)
+      end)
+    query.Ast.from;
+  (match query.Ast.where with
+   | Some cond ->
+     let n = List.length (conjuncts cond) in
+     addf "where: %d conjunct(s), evaluated per row%s\n" n
+       (if List.exists
+            (fun src -> pushdown_for_var src.Ast.src_var query.Ast.where <> [])
+            query.Ast.from
+        then " (some already pushed into patterns)"
+        else "")
+   | None -> ());
+  (if Ast.has_aggregates query then
+     addf "select: aggregate over bindings%s\n"
+       (if
+          List.for_all
+            (function Ast.E_count _ -> true | _ -> false)
+            query.Ast.select
+        then " (COUNT only: no reconstruction, the Q2 fast path)"
+        else " (values force reconstruction, memoized per (doc, version))")
+   else
+     addf "select: %d expression(s) per row; node values reconstruct lazily\n"
+       (List.length query.Ast.select));
+  ignore db;
+  Buffer.contents buf
+
+let explain_string db input =
+  match Parser.parse input with
+  | Error e -> Error (Parse_error e)
+  | Ok q -> Ok (explain db q)
+
+let run_string_exn db input =
+  match run_string db input with
+  | Ok xml -> xml
+  | Error e -> invalid_arg (error_to_string e)

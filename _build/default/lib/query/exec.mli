@@ -1,0 +1,40 @@
+(** Query executor: compiles the AST onto the operator algebra of
+    [txq_core] and evaluates it.
+
+    Source compilation (Section 6.2's operator mappings):
+    - a source with a timestamp → TPatternScan at that time (Q1);
+    - a source with [EVERY] → TPatternScanAll, then per-element version
+      expansion with coalescing of unchanged states (Q3);
+    - no qualifier → PatternScan over current versions;
+    - an empty source path binds document roots through the delta index
+      (no FTI involved).
+
+    Simple equality predicates ([R/name = "Napoli"]) are pushed into the
+    pattern as word tests and re-verified after reconstruction, the
+    containment-then-test strategy of Section 6.1.  [COUNT] over snapshot
+    sources runs without reconstruction (the Q2 observation). *)
+
+type error =
+  | Parse_error of string
+  | Unknown_variable of string
+  | Unsupported of string
+
+val error_to_string : error -> string
+
+val run : Txq_db.Db.t -> Ast.query -> (Txq_xml.Xml.t, error) result
+(** Evaluates the query at the database's current NOW; the result document
+    is [<results><result>…</result>…</results>] (Section 5). *)
+
+val run_string : Txq_db.Db.t -> string -> (Txq_xml.Xml.t, error) result
+(** Parse and run. *)
+
+val run_string_exn : Txq_db.Db.t -> string -> Txq_xml.Xml.t
+
+val explain : Txq_db.Db.t -> Ast.query -> string
+(** Human-readable evaluation plan: which of the paper's operators each
+    source compiles to (PatternScan / TPatternScan / TPatternScanAll /
+    delta-index root binding), the pattern tree after predicate pushdown,
+    and how the SELECT list is produced.  Purely informational; computing
+    it runs nothing. *)
+
+val explain_string : Txq_db.Db.t -> string -> (string, error) result

@@ -1,0 +1,27 @@
+let matches ~pattern subject =
+  let np = String.length pattern and ns = String.length subject in
+  (* classic two-pointer wildcard match with backtracking on the last star *)
+  let i = ref 0 and j = ref 0 in
+  let star = ref (-1) and mark = ref 0 in
+  let ok = ref true in
+  while !j < ns && !ok do
+    if !i < np && (pattern.[!i] = subject.[!j]) then begin
+      incr i;
+      incr j
+    end
+    else if !i < np && pattern.[!i] = '*' then begin
+      star := !i;
+      mark := !j;
+      incr i
+    end
+    else if !star >= 0 then begin
+      i := !star + 1;
+      incr mark;
+      j := !mark
+    end
+    else ok := false
+  done;
+  while !ok && !i < np && pattern.[!i] = '*' do
+    incr i
+  done;
+  !ok && !i = np

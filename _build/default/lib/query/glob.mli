@@ -1,0 +1,4 @@
+(** URL globs for [collection("…")] sources: [*] matches any (possibly
+    empty) substring; every other character matches itself. *)
+
+val matches : pattern:string -> string -> bool

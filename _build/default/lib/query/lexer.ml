@@ -1,0 +1,144 @@
+type token =
+  | KW of string
+  | IDENT of string
+  | STRING of string
+  | NUMBER of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SLASH
+  | DSLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | IDEQ
+  | TILDE
+  | PLUS
+  | MINUS
+  | EOF
+
+let token_to_string = function
+  | KW k -> k
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | NUMBER s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SLASH -> "/"
+  | DSLASH -> "//"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | IDEQ -> "=="
+  | TILDE -> "~"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | EOF -> "<eof>"
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "EVERY"; "NOW";
+    "TIME"; "CREATE"; "DELETE"; "PREVIOUS"; "NEXT"; "CURRENT"; "DIFF"; "COUNT";
+    "SUM"; "AVG"; "CONTAINS"; "DOC"; "COLLECTION";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '-' || c = '.'
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let error = ref None in
+  let emit t = out := t :: !out in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let c = input.[!i] in
+       if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+       else if c = '(' then (emit LPAREN; incr i)
+       else if c = ')' then (emit RPAREN; incr i)
+       else if c = '[' then (emit LBRACKET; incr i)
+       else if c = ']' then (emit RBRACKET; incr i)
+       else if c = ',' then (emit COMMA; incr i)
+       else if c = '+' then (emit PLUS; incr i)
+       else if c = '~' then (emit TILDE; incr i)
+       else if c = '-' then (emit MINUS; incr i)
+       else if c = '/' then
+         if !i + 1 < n && input.[!i + 1] = '/' then (emit DSLASH; i := !i + 2)
+         else (emit SLASH; incr i)
+       else if c = '=' then
+         if !i + 1 < n && input.[!i + 1] = '=' then (emit IDEQ; i := !i + 2)
+         else (emit EQ; incr i)
+       else if c = '!' then
+         if !i + 1 < n && input.[!i + 1] = '=' then (emit NEQ; i := !i + 2)
+         else begin
+           error := Some (Printf.sprintf "unexpected character '!' at %d" !i);
+           raise Exit
+         end
+       else if c = '<' then
+         if !i + 1 < n && input.[!i + 1] = '=' then (emit LE; i := !i + 2)
+         else if !i + 1 < n && input.[!i + 1] = '>' then (emit NEQ; i := !i + 2)
+         else (emit LT; incr i)
+       else if c = '>' then
+         if !i + 1 < n && input.[!i + 1] = '=' then (emit GE; i := !i + 2)
+         else (emit GT; incr i)
+       else if c = '"' then begin
+         let buf = Buffer.create 16 in
+         incr i;
+         let closed = ref false in
+         while (not !closed) && !i < n do
+           if input.[!i] = '"' then begin
+             closed := true;
+             incr i
+           end
+           else begin
+             Buffer.add_char buf input.[!i];
+             incr i
+           end
+         done;
+         if !closed then emit (STRING (Buffer.contents buf))
+         else begin
+           error := Some "unterminated string literal";
+           raise Exit
+         end
+       end
+       else if is_digit c then begin
+         let start = !i in
+         while !i < n && (is_digit input.[!i] || input.[!i] = '.') do
+           incr i
+         done;
+         emit (NUMBER (String.sub input start (!i - start)))
+       end
+       else if is_ident_start c then begin
+         let start = !i in
+         while !i < n && is_ident_char input.[!i] do
+           incr i
+         done;
+         let word = String.sub input start (!i - start) in
+         let upper = String.uppercase_ascii word in
+         if List.mem upper keywords then emit (KW upper) else emit (IDENT word)
+       end
+       else begin
+         error := Some (Printf.sprintf "unexpected character %C at %d" c !i);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (List.rev (EOF :: !out))

@@ -1,0 +1,31 @@
+(** Hand-written lexer for the query language. *)
+
+type token =
+  | KW of string  (** keyword, normalized to uppercase *)
+  | IDENT of string
+  | STRING of string  (** double-quoted literal, quotes stripped *)
+  | NUMBER of string  (** raw digits (kept textual so dates such as
+                          [26/01/2001] can be reassembled losslessly) *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SLASH
+  | DSLASH  (** [//] *)
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | IDEQ  (** [==] *)
+  | TILDE
+  | PLUS
+  | MINUS
+  | EOF
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token list, string) result
+(** Keywords are recognized case-insensitively. *)

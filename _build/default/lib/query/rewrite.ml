@@ -1,0 +1,123 @@
+module Timestamp = Txq_temporal.Timestamp
+
+(* Fold constant arithmetic; NOW stays symbolic (a query may be planned
+   before it runs), but suffixes applied to literals disappear. *)
+let rec time_expr ~now te =
+  match te with
+  | Ast.T_literal _ | Ast.T_now -> te
+  | Ast.T_plus (e, d) -> (
+    match time_expr ~now e with
+    | Ast.T_literal ts -> Ast.T_literal (Timestamp.add ts d)
+    | e' -> Ast.T_plus (e', d))
+  | Ast.T_minus (e, d) -> (
+    match time_expr ~now e with
+    | Ast.T_literal ts -> Ast.T_literal (Timestamp.sub ts d)
+    | e' -> Ast.T_minus (e', d))
+
+(* Lower bound of a time expression, assuming NOW >= now (transaction time
+   never decreases).  Sound for deciding spec >= current-time. *)
+let rec lower_bound ~now = function
+  | Ast.T_literal ts -> ts
+  | Ast.T_now -> now
+  | Ast.T_plus (e, _) -> lower_bound ~now e (* duration >= 0 *)
+  | Ast.T_minus (e, d) -> Timestamp.sub (lower_bound ~now e) d
+
+let source ~now src =
+  match src.Ast.src_time with
+  | Ast.Current | Ast.Every -> src
+  | Ast.At te ->
+    let te = time_expr ~now te in
+    (* a snapshot at or after NOW is the current snapshot *)
+    if Timestamp.(lower_bound ~now te >= now) then
+      { src with Ast.src_time = Ast.Current }
+    else { src with Ast.src_time = Ast.At te }
+
+let rec expr ~now e =
+  match e with
+  | Ast.E_time_lit te -> Ast.E_time_lit (time_expr ~now te)
+  | Ast.E_diff (a, b) -> Ast.E_diff (expr ~now a, expr ~now b)
+  | Ast.E_count a -> Ast.E_count (expr ~now a)
+  | Ast.E_sum a -> Ast.E_sum (expr ~now a)
+  | Ast.E_avg a -> Ast.E_avg (expr ~now a)
+  | Ast.E_apply_path (a, p) -> Ast.E_apply_path (expr ~now a, p)
+  | Ast.E_var _ | Ast.E_path _ | Ast.E_string _ | Ast.E_number _ | Ast.E_time _
+  | Ast.E_create_time _ | Ast.E_delete_time _ | Ast.E_previous _ | Ast.E_next _
+  | Ast.E_current _ -> e
+
+(* Three-valued outcome of rewriting a condition: decided or residual. *)
+type folded =
+  | Decided of bool
+  | Residual of Ast.cond
+
+let known_cmp op a b =
+  let c = Timestamp.compare a b in
+  match op with
+  | Ast.Eq -> Some (c = 0)
+  | Ast.Neq -> Some (c <> 0)
+  | Ast.Lt -> Some (c < 0)
+  | Ast.Le -> Some (c <= 0)
+  | Ast.Gt -> Some (c > 0)
+  | Ast.Ge -> Some (c >= 0)
+  | Ast.Identity | Ast.Similar | Ast.Contains -> None
+
+let rec cond ~now c =
+  match c with
+  | Ast.C_cmp (a, op, b) -> (
+    let a = expr ~now a and b = expr ~now b in
+    match (a, op, b) with
+    | Ast.E_time_lit (Ast.T_literal ta), _, Ast.E_time_lit (Ast.T_literal tb)
+      -> (
+      match known_cmp op ta tb with
+      | Some decided -> Decided decided
+      | None -> Residual (Ast.C_cmp (a, op, b)))
+    | _ -> Residual (Ast.C_cmp (a, op, b)))
+  | Ast.C_not inner -> (
+    match cond ~now inner with
+    | Decided b -> Decided (not b)
+    | Residual r -> Residual (Ast.C_not r))
+  | Ast.C_and (l, r) -> (
+    match (cond ~now l, cond ~now r) with
+    | Decided false, _ | _, Decided false -> Decided false
+    | Decided true, other | other, Decided true -> other
+    | Residual a, Residual b -> Residual (Ast.C_and (a, b)))
+  | Ast.C_or (l, r) -> (
+    match (cond ~now l, cond ~now r) with
+    | Decided true, _ | _, Decided true -> Decided true
+    | Decided false, other | other, Decided false -> other
+    | Residual a, Residual b -> Residual (Ast.C_or (a, b)))
+
+let query ~now q =
+  let from = List.map (source ~now) q.Ast.from in
+  let select = List.map (expr ~now) q.Ast.select in
+  let where =
+    match q.Ast.where with
+    | None -> `Keep None
+    | Some c -> (
+      match cond ~now c with
+      | Decided true -> `Keep None
+      | Decided false -> `Empty
+      | Residual r -> `Keep (Some r))
+  in
+  let distinct = q.Ast.distinct && not (Ast.has_aggregates q) in
+  match where with
+  | `Keep where -> { Ast.distinct; select; from; where }
+  | `Empty ->
+    (* a provably-false WHERE keeps the query well-formed but binds no
+       rows: bind an impossible time window *)
+    {
+      Ast.distinct;
+      select;
+      from =
+        List.map
+          (fun src ->
+            { src with Ast.src_time = Ast.At (Ast.T_literal Timestamp.minus_infinity) })
+          from;
+      where = None;
+    }
+
+let run db q = Exec.run db (query ~now:(Txq_db.Db.now db) q)
+
+let run_string db input =
+  match Parser.parse input with
+  | Error e -> Error (Exec.Parse_error e)
+  | Ok q -> run db q

@@ -1,0 +1,31 @@
+(** Algebraic query rewriting.
+
+    Section 8 names "algebraic rewriting techniques" as one of the two
+    strategies for reducing the cost of the temporal operators.  The rules
+    here are the ones that pay off on this engine; each preserves results
+    exactly (property-tested):
+
+    - {b snapshot-to-current}: a source qualified with a time that is
+      provably ≥ NOW evaluates over current versions — [FTI_lookup] on open
+      postings instead of the costlier [FTI_lookup_T];
+    - {b time folding}: [26/01/2001 + 2 WEEKS - 1 DAY] becomes one literal,
+      so it is resolved once, not per comparison row;
+    - {b condition pruning}: comparisons between two time literals are
+      decided at rewrite time and collapsed through the boolean connectives
+      ([TRUE AND c] → [c], [NOT FALSE] → [TRUE], …);
+    - {b distinct-under-aggregate}: [DISTINCT] is dropped when the SELECT
+      list is all aggregates (one row; deduplication is a no-op). *)
+
+val time_expr :
+  now:Txq_temporal.Timestamp.t -> Ast.time_expr -> Ast.time_expr
+(** Folds to [T_literal] when no [NOW] occurs; otherwise folds the constant
+    parts. *)
+
+val query : now:Txq_temporal.Timestamp.t -> Ast.query -> Ast.query
+(** Applies all rules.  [now] is the transaction-time instant the query
+    will run at (rewriting is the last step before execution). *)
+
+val run : Txq_db.Db.t -> Ast.query -> (Txq_xml.Xml.t, Exec.error) result
+(** [Exec.run] after rewriting. *)
+
+val run_string : Txq_db.Db.t -> string -> (Txq_xml.Xml.t, Exec.error) result

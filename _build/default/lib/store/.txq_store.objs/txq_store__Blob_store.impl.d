@@ -1,0 +1,1 @@
+lib/store/blob_store.ml: Array Buffer Buffer_pool Bytes Disk Hashtbl List Stdlib String

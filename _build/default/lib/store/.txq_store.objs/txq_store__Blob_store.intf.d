@@ -1,0 +1,1 @@
+lib/store/blob_store.mli: Buffer_pool

@@ -1,0 +1,1 @@
+lib/store/bptree.ml: Array Buffer_pool Bytes Char Disk Int32 Int64 List

@@ -1,0 +1,1 @@
+lib/store/bptree.mli: Buffer_pool

@@ -1,0 +1,1 @@
+lib/store/buffer_pool.ml: Bytes Disk Hashtbl Io_stats

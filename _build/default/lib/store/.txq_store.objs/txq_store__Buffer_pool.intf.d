@@ -1,0 +1,1 @@
+lib/store/buffer_pool.mli: Disk Io_stats

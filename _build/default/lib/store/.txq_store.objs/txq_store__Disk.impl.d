@@ -1,0 +1,1 @@
+lib/store/disk.ml: Array Bytes Io_stats Printf Stdlib

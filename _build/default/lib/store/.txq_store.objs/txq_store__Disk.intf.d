@@ -1,0 +1,1 @@
+lib/store/disk.mli: Io_stats

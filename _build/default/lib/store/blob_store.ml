@@ -1,0 +1,104 @@
+type policy = [ `Unclustered | `Clustered of int ]
+type blob = { pages : int array; length : int }
+
+type extent = { mutable free_slots : int list }
+
+type t = {
+  pool : Buffer_pool.t;
+  policy : policy;
+  extents : (int, extent) Hashtbl.t; (* cluster key -> free slots *)
+  mutable global_free : int list;
+  mutable allocated : int;
+  mutable live : int;
+}
+
+let create ?(policy = `Unclustered) pool =
+  (match policy with
+   | `Clustered extent when extent <= 0 ->
+     invalid_arg "Blob_store.create: extent must be positive"
+   | `Clustered _ | `Unclustered -> ());
+  {
+    pool;
+    policy;
+    extents = Hashtbl.create 64;
+    global_free = [];
+    allocated = 0;
+    live = 0;
+  }
+
+let policy t = t.policy
+
+let next_page t cluster =
+  t.live <- t.live + 1;
+  match (t.policy, cluster) with
+  | `Unclustered, _ | `Clustered _, None -> (
+    match t.global_free with
+    | id :: rest ->
+      t.global_free <- rest;
+      id
+    | [] ->
+      t.allocated <- t.allocated + 1;
+      Buffer_pool.alloc t.pool)
+  | `Clustered extent_size, Some key -> (
+    let ext =
+      match Hashtbl.find_opt t.extents key with
+      | Some e -> e
+      | None ->
+        let e = { free_slots = [] } in
+        Hashtbl.replace t.extents key e;
+        e
+    in
+    match ext.free_slots with
+    | id :: rest ->
+      ext.free_slots <- rest;
+      id
+    | [] ->
+      (* Grow the cluster by a fresh contiguous extent. *)
+      let fresh = List.init extent_size (fun _ -> Buffer_pool.alloc t.pool) in
+      t.allocated <- t.allocated + extent_size;
+      (match fresh with
+       | first :: rest ->
+         ext.free_slots <- rest;
+         first
+       | [] -> assert false))
+
+let put t ?cluster data =
+  let len = String.length data in
+  let n_pages = Stdlib.max 1 ((len + Disk.page_size - 1) / Disk.page_size) in
+  let pages = Array.init n_pages (fun _ -> next_page t cluster) in
+  Array.iteri
+    (fun i id ->
+      let off = i * Disk.page_size in
+      let chunk_len = Stdlib.max 0 (Stdlib.min Disk.page_size (len - off)) in
+      let buf = Bytes.create chunk_len in
+      Bytes.blit_string data off buf 0 chunk_len;
+      Buffer_pool.write t.pool id buf)
+    pages;
+  { pages; length = len }
+
+let free t ?cluster blob =
+  t.live <- t.live - Array.length blob.pages;
+  match (t.policy, cluster) with
+  | `Unclustered, _ | `Clustered _, None ->
+    t.global_free <- Array.to_list blob.pages @ t.global_free
+  | `Clustered _, Some key -> (
+    match Hashtbl.find_opt t.extents key with
+    | Some ext -> ext.free_slots <- Array.to_list blob.pages @ ext.free_slots
+    | None -> t.global_free <- Array.to_list blob.pages @ t.global_free)
+
+let get t blob =
+  let buf = Buffer.create blob.length in
+  Array.iteri
+    (fun i id ->
+      let page = Buffer_pool.read t.pool id in
+      let off = i * Disk.page_size in
+      let chunk_len = Stdlib.min Disk.page_size (blob.length - off) in
+      if chunk_len > 0 then Buffer.add_subbytes buf page 0 chunk_len)
+    blob.pages;
+  Buffer.contents buf
+
+let length blob = blob.length
+let page_ids blob = Array.to_list blob.pages
+let pages_used blob = Array.length blob.pages
+let total_pages t = t.allocated
+let live_pages t = t.live

@@ -1,0 +1,46 @@
+(** Blob store: byte strings laid out over disk pages.
+
+    Document versions and delta documents are stored as blobs.  The placement
+    policy is the experimental knob of Section 7.2's clustering remark:
+
+    - [`Unclustered]: every blob takes the next free pages of the global
+      append area, so the deltas of one document end up interleaved with
+      everything else written in between — "the deltas from one particular
+      document is not stored together", each read seeks;
+    - [`Clustered extent]: blobs that share a cluster key (we use the
+      document id) are placed in per-cluster extents of [extent] pages, so a
+      document's delta chain is read mostly sequentially. *)
+
+type policy = [ `Unclustered | `Clustered of int ]
+
+type blob
+(** Handle to a stored blob; the page directory lives in memory, like the
+    paper's in-memory delta index (Section 7.1). *)
+
+type t
+
+val create : ?policy:policy -> Buffer_pool.t -> t
+(** Default policy: [`Unclustered]. *)
+
+val policy : t -> policy
+
+val put : t -> ?cluster:int -> string -> blob
+(** Stores the string and returns its handle.  [cluster] selects the
+    placement group under [`Clustered]; ignored under [`Unclustered]. *)
+
+val get : t -> blob -> string
+
+val length : blob -> int
+val page_ids : blob -> int list
+val pages_used : blob -> int
+
+val free : t -> ?cluster:int -> blob -> unit
+(** Releases the blob's pages for reuse by later [put]s (same cluster when
+    clustered).  The handle must not be used afterwards. *)
+
+val total_pages : t -> int
+(** Pages ever allocated by this store (high-water mark). *)
+
+val live_pages : t -> int
+(** Pages currently holding live blobs; the storage-space experiments (E7)
+    report this. *)

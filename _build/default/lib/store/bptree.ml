@@ -1,0 +1,267 @@
+type value = int64 * int64
+
+(* Page layout (4096 bytes):
+   offset 0      : tag (0 = leaf, 1 = internal)
+   offset 2..3   : entry count n (16-bit LE)
+   offset 4..7   : leaf only: next-leaf page id (int32 LE, -1 = none)
+   offset 8..    : payload
+     leaf        : n entries of 24 bytes (key, v1, v2; int64 LE each)
+     internal    : keys at 8 (cap-1 slots of 8 bytes), then child page ids
+                   (cap slots of 4 bytes) *)
+
+let header_bytes = 8
+let leaf_entry_bytes = 24
+let leaf_capacity = (Disk.page_size - header_bytes) / leaf_entry_bytes
+
+(* internal: (cap-1)*8 + cap*4 <= page - header  =>  cap <= (page-header+8)/12 *)
+let internal_capacity = (Disk.page_size - header_bytes + 8) / 12
+let internal_keys_offset = header_bytes
+let internal_children_offset = header_bytes + ((internal_capacity - 1) * 8)
+
+type node =
+  | Leaf of {
+      mutable keys : int64 array; (* length n *)
+      mutable vals : value array;
+      mutable next : int; (* page id of the right sibling, -1 = none *)
+    }
+  | Internal of {
+      mutable keys : int64 array; (* length n *)
+      mutable children : int array; (* length n + 1 *)
+    }
+
+type t = {
+  pool : Buffer_pool.t;
+  mutable root : int;
+  mutable entries : int;
+  mutable height : int;
+  mutable pages : int;
+}
+
+(* --- page codec --------------------------------------------------------- *)
+
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let encode node =
+  let b = Bytes.make Disk.page_size '\000' in
+  (match node with
+   | Leaf l ->
+     Bytes.set b 0 '\000';
+     set_u16 b 2 (Array.length l.keys);
+     Bytes.set_int32_le b 4 (Int32.of_int l.next);
+     Array.iteri
+       (fun i k ->
+         let off = header_bytes + (i * leaf_entry_bytes) in
+         let v1, v2 = l.vals.(i) in
+         Bytes.set_int64_le b off k;
+         Bytes.set_int64_le b (off + 8) v1;
+         Bytes.set_int64_le b (off + 16) v2)
+       l.keys
+   | Internal n ->
+     Bytes.set b 0 '\001';
+     set_u16 b 2 (Array.length n.keys);
+     Array.iteri
+       (fun i k -> Bytes.set_int64_le b (internal_keys_offset + (i * 8)) k)
+       n.keys;
+     Array.iteri
+       (fun i c ->
+         Bytes.set_int32_le b (internal_children_offset + (i * 4)) (Int32.of_int c))
+       n.children);
+  b
+
+let decode b =
+  let n = get_u16 b 2 in
+  match Bytes.get b 0 with
+  | '\000' ->
+    let keys = Array.make n 0L and vals = Array.make n (0L, 0L) in
+    for i = 0 to n - 1 do
+      let off = header_bytes + (i * leaf_entry_bytes) in
+      keys.(i) <- Bytes.get_int64_le b off;
+      vals.(i) <- (Bytes.get_int64_le b (off + 8), Bytes.get_int64_le b (off + 16))
+    done;
+    Leaf { keys; vals; next = Int32.to_int (Bytes.get_int32_le b 4) }
+  | '\001' ->
+    let keys = Array.init n (fun i -> Bytes.get_int64_le b (internal_keys_offset + (i * 8))) in
+    let children =
+      Array.init (n + 1) (fun i ->
+          Int32.to_int (Bytes.get_int32_le b (internal_children_offset + (i * 4))))
+    in
+    Internal { keys; children }
+  | _ -> failwith "Bptree: corrupt page tag"
+
+let read_node t page = decode (Buffer_pool.read t.pool page)
+let write_node t page node = Buffer_pool.write t.pool page (encode node)
+
+let alloc_page t =
+  t.pages <- t.pages + 1;
+  Buffer_pool.alloc t.pool
+
+(* --- construction -------------------------------------------------------- *)
+
+let create pool =
+  let t = { pool; root = 0; entries = 0; height = 1; pages = 0 } in
+  let root = alloc_page t in
+  t.root <- root;
+  write_node t root (Leaf { keys = [||]; vals = [||]; next = -1 });
+  t
+
+(* --- search --------------------------------------------------------------- *)
+
+(* first index i with keys.(i) > key (for child descent) *)
+let child_slot keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* index of key in a leaf, or the insertion point *)
+let leaf_slot keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find_leaf t page key =
+  match read_node t page with
+  | Leaf _ as leaf -> (page, leaf)
+  | Internal n -> find_leaf t n.children.(child_slot n.keys key) key
+
+let find t key =
+  match find_leaf t t.root key with
+  | _, Leaf l ->
+    let i = leaf_slot l.keys key in
+    if i < Array.length l.keys && Int64.equal l.keys.(i) key then Some l.vals.(i)
+    else None
+  | _, Internal _ -> assert false
+
+(* --- insertion -------------------------------------------------------------- *)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+(* Insert into the subtree rooted at [page]; returns [Some (sep, right)]
+   when the node split, with [sep] the smallest key of [right]'s subtree. *)
+let rec insert_into t page key value : (int64 * int) option =
+  match read_node t page with
+  | Leaf l ->
+    let i = leaf_slot l.keys key in
+    if i < Array.length l.keys && Int64.equal l.keys.(i) key then begin
+      l.vals.(i) <- value;
+      write_node t page (Leaf l);
+      None
+    end
+    else begin
+      t.entries <- t.entries + 1;
+      let keys = array_insert l.keys i key in
+      let vals = array_insert l.vals i value in
+      if Array.length keys <= leaf_capacity then begin
+        write_node t page (Leaf { l with keys; vals });
+        None
+      end
+      else begin
+        (* split in half; right leaf takes the upper entries *)
+        let mid = Array.length keys / 2 in
+        let right_page = alloc_page t in
+        let right =
+          Leaf
+            {
+              keys = Array.sub keys mid (Array.length keys - mid);
+              vals = Array.sub vals mid (Array.length vals - mid);
+              next = l.next;
+            }
+        in
+        write_node t right_page right;
+        write_node t page
+          (Leaf { keys = Array.sub keys 0 mid; vals = Array.sub vals 0 mid;
+                  next = right_page });
+        Some (keys.(mid), right_page)
+      end
+    end
+  | Internal n -> (
+    let slot = child_slot n.keys key in
+    match insert_into t n.children.(slot) key value with
+    | None -> None
+    | Some (sep, right) ->
+      let keys = array_insert n.keys slot sep in
+      let children = array_insert n.children (slot + 1) right in
+      if Array.length children <= internal_capacity then begin
+        write_node t page (Internal { keys; children });
+        None
+      end
+      else begin
+        (* split: middle key moves up *)
+        let mid = Array.length keys / 2 in
+        let up = keys.(mid) in
+        let right_page = alloc_page t in
+        write_node t right_page
+          (Internal
+             {
+               keys = Array.sub keys (mid + 1) (Array.length keys - mid - 1);
+               children =
+                 Array.sub children (mid + 1) (Array.length children - mid - 1);
+             });
+        write_node t page
+          (Internal
+             { keys = Array.sub keys 0 mid; children = Array.sub children 0 (mid + 1) });
+        Some (up, right_page)
+      end)
+
+let insert t ~key value =
+  match insert_into t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+    let new_root = alloc_page t in
+    write_node t new_root (Internal { keys = [| sep |]; children = [| t.root; right |] });
+    t.root <- new_root;
+    t.height <- t.height + 1
+
+(* --- scans ---------------------------------------------------------------- *)
+
+let range t ~lo ~hi =
+  if Int64.compare lo hi >= 0 then []
+  else begin
+    let out = ref [] in
+    let rec walk page start_slot =
+      match read_node t page with
+      | Internal _ -> assert false
+      | Leaf l ->
+        let n = Array.length l.keys in
+        let rec emit i =
+          if i >= n then if l.next >= 0 then walk l.next 0 else ()
+          else if Int64.compare l.keys.(i) hi >= 0 then ()
+          else begin
+            out := (l.keys.(i), l.vals.(i)) :: !out;
+            emit (i + 1)
+          end
+        in
+        emit start_slot
+    in
+    let page, leaf = find_leaf t t.root lo in
+    (match leaf with
+     | Leaf l -> walk page (leaf_slot l.keys lo)
+     | Internal _ -> assert false);
+    List.rev !out
+  end
+
+let iter t f =
+  let rec walk page =
+    match read_node t page with
+    | Internal _ -> assert false
+    | Leaf l ->
+      Array.iteri (fun i k -> f k l.vals.(i)) l.keys;
+      if l.next >= 0 then walk l.next
+  in
+  let page, _ = find_leaf t t.root Int64.min_int in
+  walk page
+
+let entry_count t = t.entries
+let height t = t.height
+let page_count t = t.pages

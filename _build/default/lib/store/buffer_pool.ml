@@ -1,0 +1,63 @@
+type entry = { page : bytes; mutable last_use : int }
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ?(capacity = 256) disk =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  { disk; capacity; table = Hashtbl.create (2 * capacity); tick = 0 }
+
+let capacity t = t.capacity
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_use <- t.tick
+
+let evict_if_full t =
+  if Hashtbl.length t.table >= t.capacity then begin
+    let victim = ref (-1) in
+    let oldest = ref max_int in
+    Hashtbl.iter
+      (fun id entry ->
+        if entry.last_use < !oldest then begin
+          oldest := entry.last_use;
+          victim := id
+        end)
+      t.table;
+    if !victim >= 0 then Hashtbl.remove t.table !victim
+  end
+
+let insert t id page =
+  evict_if_full t;
+  let entry = { page; last_use = 0 } in
+  touch t entry;
+  Hashtbl.replace t.table id entry
+
+let read t id =
+  match Hashtbl.find_opt t.table id with
+  | Some entry ->
+    let stats = Disk.stats t.disk in
+    stats.Io_stats.cache_hits <- stats.Io_stats.cache_hits + 1;
+    touch t entry;
+    entry.page
+  | None ->
+    let stats = Disk.stats t.disk in
+    stats.Io_stats.cache_misses <- stats.Io_stats.cache_misses + 1;
+    let page = Disk.read t.disk id in
+    insert t id page;
+    page
+
+let write t id buf =
+  Disk.write t.disk id buf;
+  (* Cache the padded page image, as a later read would see it. *)
+  let page = Bytes.make Disk.page_size '\000' in
+  Bytes.blit buf 0 page 0 (Bytes.length buf);
+  insert t id page
+
+let alloc t = Disk.alloc t.disk
+let flush t = Hashtbl.reset t.table
+let stats t = Disk.stats t.disk

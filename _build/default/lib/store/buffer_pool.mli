@@ -1,0 +1,27 @@
+(** LRU buffer pool over the simulated disk.
+
+    Temporal query processing is IO-bound on delta reads; a buffer pool makes
+    the simulator's cost model realistic (repeated reconstruction of nearby
+    versions hits cache) and exposes hit/miss counts to the benchmarks. *)
+
+type t
+
+val create : ?capacity:int -> Disk.t -> t
+(** [capacity] is the number of resident pages (default 256). *)
+
+val capacity : t -> int
+
+val read : t -> int -> bytes
+(** The page contents; cached copies are shared, do not mutate. *)
+
+val write : t -> int -> bytes -> unit
+(** Write-through: updates both the cache and the disk. *)
+
+val alloc : t -> int
+
+val flush : t -> unit
+(** Drops all cached pages (the disk already holds every write). *)
+
+val stats : t -> Io_stats.t
+(** The underlying disk's counters; cache hits/misses are recorded here
+    too. *)

@@ -1,0 +1,58 @@
+let page_size = 4096
+
+type t = {
+  mutable pages : bytes array;
+  mutable used : int;
+  mutable last_accessed : int;
+  stats : Io_stats.t;
+}
+
+let create () =
+  {
+    pages = Array.make 64 Bytes.empty;
+    used = 0;
+    last_accessed = -1;
+    stats = Io_stats.create ();
+  }
+
+let page_count t = t.used
+
+let ensure_capacity t n =
+  if n > Array.length t.pages then begin
+    let bigger = Array.make (Stdlib.max n (2 * Array.length t.pages)) Bytes.empty in
+    Array.blit t.pages 0 bigger 0 t.used;
+    t.pages <- bigger
+  end
+
+let alloc t =
+  ensure_capacity t (t.used + 1);
+  t.pages.(t.used) <- Bytes.make page_size '\000';
+  t.used <- t.used + 1;
+  t.used - 1
+
+let check t id =
+  if id < 0 || id >= t.used then
+    invalid_arg (Printf.sprintf "Disk: bad page id %d (of %d)" id t.used)
+
+let account_seek t id =
+  if t.last_accessed >= 0 && abs (id - t.last_accessed) > 1 then
+    t.stats.Io_stats.seeks <- t.stats.Io_stats.seeks + 1;
+  t.last_accessed <- id
+
+let read t id =
+  check t id;
+  account_seek t id;
+  t.stats.Io_stats.page_reads <- t.stats.Io_stats.page_reads + 1;
+  Bytes.copy t.pages.(id)
+
+let write t id buf =
+  check t id;
+  if Bytes.length buf > page_size then
+    invalid_arg "Disk.write: buffer larger than a page";
+  account_seek t id;
+  t.stats.Io_stats.page_writes <- t.stats.Io_stats.page_writes + 1;
+  let page = Bytes.make page_size '\000' in
+  Bytes.blit buf 0 page 0 (Bytes.length buf);
+  t.pages.(id) <- page
+
+let stats t = t.stats

@@ -1,0 +1,27 @@
+(** Simulated disk: a growable array of fixed-size pages.
+
+    Stands in for the Xyleme repository's disk (see DESIGN.md substitutions).
+    Reads and writes update {!Io_stats}; an access to a page that is not
+    adjacent to the previously accessed page counts as a seek, which is the
+    cost model behind the paper's clustering discussion (Section 7.2). *)
+
+type t
+
+val page_size : int
+(** Bytes per page (4096). *)
+
+val create : unit -> t
+
+val page_count : t -> int
+
+val alloc : t -> int
+(** Appends a fresh zeroed page and returns its id. *)
+
+val read : t -> int -> bytes
+(** Copy of the page contents.  Raises [Invalid_argument] on a bad id. *)
+
+val write : t -> int -> bytes -> unit
+(** Overwrites a page.  The buffer must be at most [page_size] bytes; shorter
+    buffers are zero-padded. *)
+
+val stats : t -> Io_stats.t

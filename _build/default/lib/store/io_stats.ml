@@ -1,0 +1,49 @@
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable seeks : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let create () =
+  { page_reads = 0; page_writes = 0; seeks = 0; cache_hits = 0; cache_misses = 0 }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.seeks <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0
+
+let copy t =
+  {
+    page_reads = t.page_reads;
+    page_writes = t.page_writes;
+    seeks = t.seeks;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+  }
+
+let diff ~after ~before =
+  {
+    page_reads = after.page_reads - before.page_reads;
+    page_writes = after.page_writes - before.page_writes;
+    seeks = after.seeks - before.seeks;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+  }
+
+let add acc x =
+  acc.page_reads <- acc.page_reads + x.page_reads;
+  acc.page_writes <- acc.page_writes + x.page_writes;
+  acc.seeks <- acc.seeks + x.seeks;
+  acc.cache_hits <- acc.cache_hits + x.cache_hits;
+  acc.cache_misses <- acc.cache_misses + x.cache_misses
+
+let to_string t =
+  Printf.sprintf
+    "reads=%d writes=%d seeks=%d cache_hits=%d cache_misses=%d" t.page_reads
+    t.page_writes t.seeks t.cache_hits t.cache_misses
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,27 @@
+(** IO accounting.
+
+    The paper argues about operator cost in terms of delta reads and disk
+    seeks ("each delta read will involve a disk seek in the worst case",
+    Section 7.2).  Every layer of the storage simulator feeds these counters
+    so the benchmarks can report exactly those quantities. *)
+
+type t = {
+  mutable page_reads : int;  (** pages fetched from the simulated disk *)
+  mutable page_writes : int;
+  mutable seeks : int;
+      (** non-adjacent page accesses, the simulator's proxy for arm moves *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val diff : after:t -> before:t -> t
+(** Counter deltas between two snapshots. *)
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,59 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let cap = Stdlib.max 8 (2 * Array.length t.data) in
+    let bigger = Array.make cap x in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (len %d)" i t.len)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let find_last_index pred t =
+  if t.len = 0 || not (pred t.data.(0)) then None
+  else begin
+    (* invariant: pred holds at lo, fails at hi (or hi = len) *)
+    let lo = ref 0 and hi = ref t.len in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if pred t.data.(mid) then lo := mid else hi := mid
+    done;
+    Some !lo
+  end

@@ -1,0 +1,21 @@
+(** Minimal growable vector (append + random access), used for version
+    chains and posting lists.  OCaml 5.1 predates [Dynarray]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+val last : 'a t -> 'a option
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+
+val find_last_index : ('a -> bool) -> 'a t -> int option
+(** Largest index whose element satisfies the predicate, assuming the
+    predicate is monotone (true prefix, false suffix); binary search. *)

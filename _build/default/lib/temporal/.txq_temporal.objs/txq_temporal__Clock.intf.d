@@ -1,0 +1,1 @@
+lib/temporal/clock.mli: Duration Timestamp

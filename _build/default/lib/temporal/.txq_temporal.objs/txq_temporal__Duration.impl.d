@@ -1,0 +1,1 @@
+lib/temporal/duration.ml: Format Int Printf String

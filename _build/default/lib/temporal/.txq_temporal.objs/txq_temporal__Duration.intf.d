@@ -1,0 +1,1 @@
+lib/temporal/duration.mli: Format

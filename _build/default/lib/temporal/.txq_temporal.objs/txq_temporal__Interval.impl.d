@@ -1,0 +1,1 @@
+lib/temporal/interval.ml: Format Fun List Printf Timestamp

@@ -1,0 +1,1 @@
+lib/temporal/timestamp.ml: Duration Format Int Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/temporal/timestamp.mli: Duration Format

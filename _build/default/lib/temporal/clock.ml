@@ -1,0 +1,16 @@
+type t = { mutable now : Timestamp.t }
+
+let default_start = Timestamp.of_date ~day:1 ~month:1 ~year:2001
+let create ?(start = default_start) () = { now = start }
+let now t = t.now
+
+let advance t d =
+  t.now <- Timestamp.add t.now d;
+  t.now
+
+let tick t = advance t (Duration.seconds 1)
+
+let set t ts =
+  if Timestamp.(ts < t.now) then
+    invalid_arg "Clock.set: transaction time cannot move backwards"
+  else t.now <- ts

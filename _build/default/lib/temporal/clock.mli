@@ -1,0 +1,22 @@
+(** Logical transaction-time clock.
+
+    A temporal database needs a monotonically increasing notion of NOW when
+    it stamps commits (Section 3.1).  Tests and the workload generator drive
+    this clock explicitly so that every run is deterministic. *)
+
+type t
+
+val create : ?start:Timestamp.t -> unit -> t
+(** Starts at [start] (default [01/01/2001]). *)
+
+val now : t -> Timestamp.t
+
+val advance : t -> Duration.t -> Timestamp.t
+(** Moves the clock forward and returns the new NOW. *)
+
+val tick : t -> Timestamp.t
+(** [advance] by one second; the smallest distinguishable step. *)
+
+val set : t -> Timestamp.t -> unit
+(** Jumps to an instant.  Raises [Invalid_argument] if it would move the
+    clock backwards (transaction time never decreases). *)

@@ -1,0 +1,42 @@
+type t = int
+
+let seconds n =
+  if n < 0 then invalid_arg "Duration.seconds: negative span" else n
+
+let minutes n = seconds (n * 60)
+let hours n = seconds (n * 3600)
+let days n = seconds (n * 86_400)
+let weeks n = seconds (n * 7 * 86_400)
+
+let to_seconds t = t
+let zero = 0
+let add a b = a + b
+let scale k t = seconds (k * t)
+let compare = Int.compare
+let equal = Int.equal
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Duration.of_string: %S" s) in
+  match String.split_on_char ' ' (String.trim s) with
+  | [n; unit] ->
+    let n = match int_of_string_opt n with Some n -> n | None -> fail () in
+    let mk f = (try f n with Invalid_argument _ -> fail ()) in
+    (match String.uppercase_ascii unit with
+     | "SECOND" | "SECONDS" -> mk seconds
+     | "MINUTE" | "MINUTES" -> mk minutes
+     | "HOUR" | "HOURS" -> mk hours
+     | "DAY" | "DAYS" -> mk days
+     | "WEEK" | "WEEKS" -> mk weeks
+     | _ -> fail ())
+  | _ -> fail ()
+
+let to_string t =
+  let exact size = t mod size = 0 && t / size > 0 in
+  if t = 0 then "0 SECONDS"
+  else if exact (7 * 86_400) then Printf.sprintf "%d WEEKS" (t / (7 * 86_400))
+  else if exact 86_400 then Printf.sprintf "%d DAYS" (t / 86_400)
+  else if exact 3600 then Printf.sprintf "%d HOURS" (t / 3600)
+  else if exact 60 then Printf.sprintf "%d MINUTES" (t / 60)
+  else Printf.sprintf "%d SECONDS" t
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

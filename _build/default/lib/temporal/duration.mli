@@ -1,0 +1,35 @@
+(** Durations for relative-time expressions.
+
+    The paper's query syntax (Section 5) allows expressions such as
+    [NOW - 14 DAYS] and [26/01/2001 + 2 WEEKS]; a duration is the span these
+    expressions add to or subtract from an instant. *)
+
+type t = private int
+(** A span of time in seconds; always non-negative. *)
+
+val seconds : int -> t
+(** Raises [Invalid_argument] on a negative span. *)
+
+val minutes : int -> t
+val hours : int -> t
+val days : int -> t
+val weeks : int -> t
+
+val to_seconds : t -> int
+
+val zero : t
+val add : t -> t -> t
+val scale : int -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_string : string -> t
+(** Parses ["<n> SECONDS|MINUTES|HOURS|DAYS|WEEKS"] (case-insensitive,
+    singular unit names also accepted).  Raises [Invalid_argument] on
+    malformed input. *)
+
+val to_string : t -> string
+(** Largest exact unit, e.g. [to_string (days 14)] = ["14 DAYS"]. *)
+
+val pp : Format.formatter -> t -> unit

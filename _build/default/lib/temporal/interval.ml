@@ -1,0 +1,63 @@
+type t = { start : Timestamp.t; stop : Timestamp.t }
+
+let make ~start ~stop =
+  if Timestamp.(stop <= start) then
+    invalid_arg
+      (Printf.sprintf "Interval.make: empty interval [%s, %s)"
+         (Timestamp.to_string start) (Timestamp.to_string stop))
+  else { start; stop }
+
+let make_opt ~start ~stop =
+  if Timestamp.(stop <= start) then None else Some { start; stop }
+
+let since start = { start; stop = Timestamp.plus_infinity }
+let always = { start = Timestamp.minus_infinity; stop = Timestamp.plus_infinity }
+let start t = t.start
+let stop t = t.stop
+let is_current t = Timestamp.equal t.stop Timestamp.plus_infinity
+let contains t ts = Timestamp.(t.start <= ts) && Timestamp.(ts < t.stop)
+let overlaps a b = Timestamp.(a.start < b.stop) && Timestamp.(b.start < a.stop)
+
+let intersect a b =
+  make_opt ~start:(Timestamp.max a.start b.start)
+    ~stop:(Timestamp.min a.stop b.stop)
+
+let meets a b = Timestamp.equal a.stop b.start
+
+let duration_seconds t =
+  if is_current t || Timestamp.equal t.start Timestamp.minus_infinity then
+    max_int
+  else Timestamp.diff_seconds t.stop t.start
+
+let equal a b = Timestamp.equal a.start b.start && Timestamp.equal a.stop b.stop
+
+let compare a b =
+  match Timestamp.compare a.start b.start with
+  | 0 -> Timestamp.compare a.stop b.stop
+  | c -> c
+
+let coalesce intervals =
+  let sorted = List.sort compare intervals in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | iv :: rest -> (
+      match acc with
+      | prev :: acc' when Timestamp.(iv.start <= prev.stop) ->
+        merge ({ prev with stop = Timestamp.max prev.stop iv.stop } :: acc')
+          rest
+      | _ -> merge (iv :: acc) rest)
+  in
+  merge [] sorted
+
+let subtract a b =
+  if not (overlaps a b) then [a]
+  else
+    let left = make_opt ~start:a.start ~stop:b.start in
+    let right = make_opt ~start:b.stop ~stop:a.stop in
+    List.filter_map Fun.id [left; right]
+
+let to_string t =
+  Printf.sprintf "[%s, %s)" (Timestamp.to_string t.start)
+    (Timestamp.to_string t.stop)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

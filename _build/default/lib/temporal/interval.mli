@@ -1,0 +1,47 @@
+(** Half-open time intervals [\[start, stop)].
+
+    The paper writes the interval from [t1] to [t2] "including [t1] but not
+    [t2] (open-ended upper bound)" (Section 6.1); every validity range in the
+    system is such a half-open interval.  A version that is still current has
+    [stop = Timestamp.plus_infinity]. *)
+
+type t = private { start : Timestamp.t; stop : Timestamp.t }
+
+val make : start:Timestamp.t -> stop:Timestamp.t -> t
+(** Raises [Invalid_argument] if [stop <= start] (intervals are non-empty). *)
+
+val make_opt : start:Timestamp.t -> stop:Timestamp.t -> t option
+
+val since : Timestamp.t -> t
+(** [\[start, +inf)] — the validity of a current version. *)
+
+val always : t
+(** [\[-inf, +inf)]. *)
+
+val start : t -> Timestamp.t
+val stop : t -> Timestamp.t
+val is_current : t -> bool
+
+val contains : t -> Timestamp.t -> bool
+val overlaps : t -> t -> bool
+val intersect : t -> t -> t option
+val meets : t -> t -> bool
+(** [meets a b] iff [a.stop = b.start] (adjacent, in order). *)
+
+val duration_seconds : t -> int
+(** Length in seconds; [max_int] when unbounded. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by start, then stop. *)
+
+val coalesce : t list -> t list
+(** Merges overlapping and adjacent intervals; the result is sorted, pairwise
+    disjoint and non-adjacent.  This is the coalescing operator Section 3.1
+    says a valid-time deployment additionally needs. *)
+
+val subtract : t -> t -> t list
+(** [subtract a b] is the (0, 1 or 2) parts of [a] not covered by [b]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,135 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+
+(* Infinities are kept well inside [min_int, max_int] so that duration
+   arithmetic near them cannot wrap around. *)
+let minus_infinity = min_int / 4
+let plus_infinity = max_int / 4
+
+let of_seconds s =
+  if Stdlib.( <= ) s minus_infinity || Stdlib.( >= ) s plus_infinity then
+    invalid_arg "Timestamp.of_seconds: out of range"
+  else s
+
+let to_seconds t = t
+let epoch = 0
+
+(* Civil-date conversion: proleptic Gregorian calendar, epoch 01/01/1970.
+   Standard era-based algorithm (Hinnant, "chrono-Compatible Low-Level Date
+   Algorithms"). *)
+
+let days_from_civil ~year ~month ~day =
+  let y = if Stdlib.( <= ) month 2 then year - 1 else year in
+  let era = (if Stdlib.( >= ) y 0 then y else y - 399) / 400 in
+  let yoe = y - era * 400 in
+  let mp = (month + 9) mod 12 in
+  let doy = (153 * mp + 2) / 5 + day - 1 in
+  let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy in
+  era * 146_097 + doe - 719_468
+
+let civil_from_days z =
+  let z = z + 719_468 in
+  let era = (if Stdlib.( >= ) z 0 then z else z - 146_096) / 146_097 in
+  let doe = z - era * 146_097 in
+  let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365 in
+  let y = yoe + era * 400 in
+  let doy = doe - (365 * yoe + yoe / 4 - yoe / 100) in
+  let mp = (5 * doy + 2) / 153 in
+  let day = doy - (153 * mp + 2) / 5 + 1 in
+  let month = if Stdlib.( < ) mp 10 then mp + 3 else mp - 9 in
+  let year = if Stdlib.( <= ) month 2 then y + 1 else y in
+  (day, month, year)
+
+let is_leap_year y = y mod 4 = 0 && (y mod 100 <> 0 || y mod 400 = 0)
+
+let days_in_month ~month ~year =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year year then 29 else 28
+  | _ -> invalid_arg "Timestamp.days_in_month"
+
+let of_date ~day ~month ~year =
+  if
+    Stdlib.( < ) month 1 || Stdlib.( > ) month 12 || Stdlib.( < ) day 1
+    || Stdlib.( > ) day (days_in_month ~month ~year)
+  then
+    invalid_arg
+      (Printf.sprintf "Timestamp.of_date: invalid date %02d/%02d/%04d" day
+         month year)
+  else of_seconds (days_from_civil ~year ~month ~day * 86_400)
+
+let to_date t =
+  let days =
+    if Stdlib.( >= ) t 0 then t / 86_400
+    else (t - 86_399) / 86_400 (* floor division *)
+  in
+  civil_from_days days
+
+let of_string_opt s =
+  let s = String.trim s in
+  let date_of d m y =
+    match (int_of_string_opt d, int_of_string_opt m, int_of_string_opt y) with
+    | Some day, Some month, Some year ->
+      (try Some (of_date ~day ~month ~year) with Invalid_argument _ -> None)
+    | _ -> None
+  in
+  let time_of hh mm ss =
+    match
+      (int_of_string_opt hh, int_of_string_opt mm, int_of_string_opt ss)
+    with
+    | Some h, Some m, Some sec
+      when Stdlib.( >= ) h 0
+           && Stdlib.( < ) h 24
+           && Stdlib.( >= ) m 0
+           && Stdlib.( < ) m 60
+           && Stdlib.( >= ) sec 0
+           && Stdlib.( < ) sec 60 -> Some ((h * 3600) + (m * 60) + sec)
+    | _ -> None
+  in
+  match String.split_on_char ' ' s with
+  | [date] -> (
+    match String.split_on_char '/' date with
+    | [d; m; y] -> date_of d m y
+    | _ -> None)
+  | [date; time] -> (
+    match
+      (String.split_on_char '/' date, String.split_on_char ':' time)
+    with
+    | [d; m; y], [hh; mm; ss] -> (
+      match (date_of d m y, time_of hh mm ss) with
+      | Some base, Some secs -> Some (of_seconds (to_seconds base + secs))
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Timestamp.of_string: %S" s)
+
+let to_string t =
+  if equal t minus_infinity then "BOT"
+  else if equal t plus_infinity then "UC"
+  else
+    let day, month, year = to_date t in
+    let secs = ((t mod 86_400) + 86_400) mod 86_400 in
+    if secs = 0 then Printf.sprintf "%02d/%02d/%04d" day month year
+    else
+      Printf.sprintf "%02d/%02d/%04d %02d:%02d:%02d" day month year
+        (secs / 3600)
+        (secs mod 3600 / 60)
+        (secs mod 60)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let min (a : t) b = Stdlib.min a b
+let max (a : t) b = Stdlib.max a b
+let add t d = of_seconds (t + Duration.to_seconds d)
+let sub t d = of_seconds (t - Duration.to_seconds d)
+let diff_seconds later earlier = later - earlier

@@ -1,0 +1,61 @@
+(** Transaction-time timestamps.
+
+    The paper (Section 3.1) works in a transaction-time setting where
+    timestamps are totally ordered instants.  We model an instant as a number
+    of seconds since the epoch 01/01/1970, stored in an [int].  Dates in the
+    paper's query syntax are written [DD/MM/YYYY] (e.g. [26/01/2001]) and
+    parse to the midnight instant of that civil day. *)
+
+type t = private int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val of_seconds : int -> t
+(** [of_seconds s] is the instant [s] seconds after the epoch.  Negative
+    values denote instants before the epoch. *)
+
+val to_seconds : t -> int
+
+val epoch : t
+
+val minus_infinity : t
+(** An instant before every other instant; used as the lower bound of
+    "since the beginning" intervals. *)
+
+val plus_infinity : t
+(** An instant after every other instant; the "until changed" upper bound of
+    a current version's validity interval, also printed as [UC]. *)
+
+val of_date : day:int -> month:int -> year:int -> t
+(** Midnight (00:00:00) of the given civil date, proleptic Gregorian
+    calendar.  Raises [Invalid_argument] on an invalid date. *)
+
+val to_date : t -> int * int * int
+(** [(day, month, year)] of the civil day containing the instant. *)
+
+val of_string : string -> t
+(** Parses the paper's syntax: ["DD/MM/YYYY"] or ["DD/MM/YYYY hh:mm:ss"].
+    Raises [Invalid_argument] on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+(** Prints ["DD/MM/YYYY"] when the instant is a civil midnight and
+    ["DD/MM/YYYY hh:mm:ss"] otherwise.  [minus_infinity] prints ["BOT"],
+    [plus_infinity] prints ["UC"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val add : t -> Duration.t -> t
+val sub : t -> Duration.t -> t
+
+val diff_seconds : t -> t -> int
+(** [diff_seconds later earlier] = seconds from [earlier] to [later]. *)

@@ -1,0 +1,1 @@
+lib/vxml/codec.ml: List Option Printf Result String Txq_xml Vnode Xid

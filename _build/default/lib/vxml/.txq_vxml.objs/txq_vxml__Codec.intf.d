@@ -1,0 +1,1 @@
+lib/vxml/codec.mli: Txq_xml Vnode

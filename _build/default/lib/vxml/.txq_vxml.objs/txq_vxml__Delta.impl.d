@@ -1,0 +1,1 @@
+lib/vxml/delta.ml: Codec Format List Option Printf Result Txq_xml Vnode Xid Xidmap

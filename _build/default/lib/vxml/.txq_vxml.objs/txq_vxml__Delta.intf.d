@@ -1,0 +1,1 @@
+lib/vxml/delta.mli: Format Txq_xml Vnode Xid Xidmap

@@ -1,0 +1,1 @@
+lib/vxml/diff.ml: Array Delta Hashtbl List Queue Stdlib String Txq_xml Vnode Xid Xidmap

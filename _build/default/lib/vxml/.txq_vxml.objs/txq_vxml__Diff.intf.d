@@ -1,0 +1,1 @@
+lib/vxml/diff.mli: Delta Txq_xml Vnode Xid

@@ -1,0 +1,1 @@
+lib/vxml/eid.ml: Format Hashtbl Int Map Printf Set Txq_temporal Xid

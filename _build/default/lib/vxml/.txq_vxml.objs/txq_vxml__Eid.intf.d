@@ -1,0 +1,1 @@
+lib/vxml/eid.mli: Format Hashtbl Map Set Txq_temporal Xid

@@ -1,0 +1,1 @@
+lib/vxml/vnode.ml: Array Buffer Format Hashtbl List Set Stdlib String Txq_xml Xid Xidpath

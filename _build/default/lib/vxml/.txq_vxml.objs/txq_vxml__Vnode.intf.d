@@ -1,0 +1,1 @@
+lib/vxml/vnode.mli: Format Set Txq_xml Xid

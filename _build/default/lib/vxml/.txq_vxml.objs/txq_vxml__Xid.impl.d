@@ -1,0 +1,1 @@
+lib/vxml/xid.ml: Format Hashtbl Int Map Printf Set

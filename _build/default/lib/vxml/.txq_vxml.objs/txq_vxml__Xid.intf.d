@@ -1,0 +1,1 @@
+lib/vxml/xid.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/vxml/xidmap.ml: List Printf String Vnode Xid

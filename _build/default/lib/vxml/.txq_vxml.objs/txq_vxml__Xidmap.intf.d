@@ -1,0 +1,1 @@
+lib/vxml/xidmap.mli: Vnode Xid

@@ -1,0 +1,1 @@
+lib/vxml/xidpath.ml: Array Format Int String Xid

@@ -1,0 +1,1 @@
+lib/vxml/xidpath.mli: Format Xid

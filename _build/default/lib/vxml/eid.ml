@@ -1,0 +1,50 @@
+type doc_id = int
+type t = { doc : doc_id; xid : Xid.t }
+
+let make ~doc ~xid = { doc; xid }
+
+let compare a b =
+  match Int.compare a.doc b.doc with
+  | 0 -> Xid.compare a.xid b.xid
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (t.doc, Xid.to_int t.xid)
+let to_string t = Printf.sprintf "d%d#%d" t.doc (Xid.to_int t.xid)
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Temporal = struct
+  type eid = t
+  type nonrec t = { eid : eid; ts : Txq_temporal.Timestamp.t }
+
+  let make eid ts = { eid; ts }
+
+  let compare a b =
+    match compare a.eid b.eid with
+    | 0 -> Txq_temporal.Timestamp.compare a.ts b.ts
+    | c -> c
+
+  let equal a b = compare a b = 0
+
+  let to_string t =
+    Printf.sprintf "%s@%s" (to_string t.eid)
+      (Txq_temporal.Timestamp.to_string t.ts)
+
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end

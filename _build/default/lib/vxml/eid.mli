@@ -1,0 +1,34 @@
+(** Element identities across time.
+
+    Section 3.2: an {b EID} is the concatenation of document id and XID and
+    "identifies uniquely a particular element in a particular document"; a
+    {b TEID} (temporal EID) additionally carries a timestamp and identifies
+    one {e version} of that element. *)
+
+type doc_id = int
+
+type t = { doc : doc_id; xid : Xid.t }
+
+val make : doc:doc_id -> xid:Xid.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t
+
+module Temporal : sig
+  type eid := t
+
+  type t = { eid : eid; ts : Txq_temporal.Timestamp.t }
+  (** The timestamp names the version of the element valid at [ts]. *)
+
+  val make : eid -> Txq_temporal.Timestamp.t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end

@@ -1,0 +1,212 @@
+type t =
+  | Elem of elem
+  | Text of { xid : Xid.t; content : string }
+
+and elem = {
+  xid : Xid.t;
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+let xid = function
+  | Elem e -> e.xid
+  | Text t -> t.xid
+
+let rec of_xml gen node =
+  let xid = Xid.Gen.next gen in
+  match node with
+  | Txq_xml.Xml.Text content -> Text { xid; content }
+  | Txq_xml.Xml.Element e ->
+    let attrs =
+      List.map
+        (fun { Txq_xml.Xml.attr_name; attr_value } -> (attr_name, attr_value))
+        e.attrs
+    in
+    Elem { xid; tag = e.tag; attrs; children = List.map (of_xml gen) e.children }
+
+let rec to_xml = function
+  | Text { content; _ } -> Txq_xml.Xml.text content
+  | Elem e -> Txq_xml.Xml.element ~attrs:e.attrs e.tag (List.map to_xml e.children)
+
+(* Attribute order is insignificant in XML; equality and hashing compare
+   attribute lists as sets so that the diff need not express reorders. *)
+let sort_attrs attrs =
+  List.sort
+    (fun (n1, v1) (n2, v2) ->
+      match String.compare n1 n2 with
+      | 0 -> String.compare v1 v2
+      | c -> c)
+    attrs
+
+let attrs_equal a b =
+  List.compare_lengths a b = 0
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && String.equal v1 v2)
+       (sort_attrs a) (sort_attrs b)
+
+let rec deep_equal a b =
+  match (a, b) with
+  | Text x, Text y -> String.equal x.content y.content
+  | Elem x, Elem y ->
+    String.equal x.tag y.tag
+    && attrs_equal x.attrs y.attrs
+    && List.compare_lengths x.children y.children = 0
+    && List.for_all2 deep_equal x.children y.children
+  | Text _, Elem _ | Elem _, Text _ -> false
+
+let rec equal_with_xids a b =
+  match (a, b) with
+  | Text x, Text y -> Xid.equal x.xid y.xid && String.equal x.content y.content
+  | Elem x, Elem y ->
+    Xid.equal x.xid y.xid
+    && String.equal x.tag y.tag
+    && attrs_equal x.attrs y.attrs
+    && List.compare_lengths x.children y.children = 0
+    && List.for_all2 equal_with_xids x.children y.children
+  | Text _, Elem _ | Elem _, Text _ -> false
+
+(* A simple 64-bit-ish polynomial combiner; only structural content feeds
+   the hash, never XIDs, so deep_equal trees hash equally. *)
+let combine h x = (h * 1_000_003) lxor x
+
+let hash_string h s = combine h (Hashtbl.hash s)
+
+let rec structural_hash = function
+  | Text { content; _ } -> hash_string 7 content
+  | Elem e ->
+    let h = hash_string 11 e.tag in
+    let h =
+      List.fold_left
+        (fun h (n, v) -> hash_string (hash_string h n) v)
+        h (sort_attrs e.attrs)
+    in
+    List.fold_left (fun h c -> combine h (structural_hash c)) h e.children
+
+let rec size = function
+  | Text _ -> 1
+  | Elem e -> 1 + List.fold_left (fun acc c -> acc + size c) 0 e.children
+
+let rec find node target =
+  if Xid.equal (xid node) target then Some node
+  else
+    match node with
+    | Text _ -> None
+    | Elem e -> List.find_map (fun c -> find c target) e.children
+
+let xids node =
+  let rec go acc = function
+    | Text { xid; _ } -> xid :: acc
+    | Elem e -> List.fold_left go (e.xid :: acc) e.children
+  in
+  List.rev (go [] node)
+
+let max_xid node =
+  match xids node with
+  | [] -> None
+  | ids -> Some (List.fold_left (fun m x -> if Xid.compare x m > 0 then x else m)
+                   (List.hd ids) ids)
+
+let attr node name =
+  match node with
+  | Text _ -> None
+  | Elem e ->
+    List.find_map
+      (fun (n, v) -> if String.equal n name then Some v else None)
+      e.attrs
+
+let rec text_content = function
+  | Text { content; _ } -> content
+  | Elem e -> String.concat "" (List.map text_content e.children)
+
+let tag = function
+  | Elem e -> Some e.tag
+  | Text _ -> None
+
+let children = function
+  | Elem e -> e.children
+  | Text _ -> []
+
+type occurrence_kind =
+  | Tag
+  | Word
+
+type occurrence = {
+  occ_word : string;
+  occ_kind : occurrence_kind;
+  occ_path : Xid.t array;
+}
+
+let split_words s =
+  let is_sep c =
+    match c with
+    | ' ' | '\t' | '\n' | '\r' | ',' | ';' | '.' | '!' | '?' | '(' | ')' | '"'
+      -> true
+    | _ -> false
+  in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_sep c then flush () else Buffer.add_char buf c) s;
+  flush ();
+  List.rev !out
+
+let occurrences root =
+  let acc = ref [] in
+  let emit occ_word occ_kind rev_path =
+    acc :=
+      { occ_word; occ_kind; occ_path = Array.of_list (List.rev rev_path) }
+      :: !acc
+  in
+  (* [rev_path] is the reversed XID path of the current enclosing element. *)
+  let rec go rev_path node =
+    match node with
+    | Text { content; _ } ->
+      List.iter (fun w -> emit w Word rev_path) (split_words content)
+    | Elem e ->
+      let here = e.xid :: rev_path in
+      emit e.tag Tag here;
+      List.iter
+        (fun (n, v) ->
+          emit n Word here;
+          List.iter (fun w -> emit w Word here) (split_words v))
+        e.attrs;
+      List.iter (go here) e.children
+  in
+  go [] root;
+  List.rev !acc
+
+module Occ_set = Set.Make (struct
+  type t = string * occurrence_kind * Xid.t array
+
+  let compare (w1, k1, p1) (w2, k2, p2) =
+    match String.compare w1 w2 with
+    | 0 -> (
+      match Stdlib.compare k1 k2 with
+      | 0 -> Xidpath.compare p1 p2
+      | c -> c)
+    | c -> c
+end)
+
+let occurrence_set root =
+  List.fold_left
+    (fun set { occ_word; occ_kind; occ_path } ->
+      Occ_set.add (occ_word, occ_kind, occ_path) set)
+    Occ_set.empty (occurrences root)
+
+let rec pp ppf = function
+  | Text { xid; content } -> Format.fprintf ppf "%a%S" Xid.pp xid content
+  | Elem e ->
+    Format.fprintf ppf "@[<hv 2><%s%a" e.tag Xid.pp e.xid;
+    List.iter (fun (n, v) -> Format.fprintf ppf " %s=%S" n v) e.attrs;
+    if e.children = [] then Format.fprintf ppf "/>"
+    else begin
+      Format.fprintf ppf ">";
+      List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) e.children;
+      Format.fprintf ppf "@]@,</%s>" e.tag
+    end

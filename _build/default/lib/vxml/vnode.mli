@@ -1,0 +1,78 @@
+(** Versioned XML trees: plain XML plus persistent XIDs on every node.
+
+    This is the in-memory form of a stored document version (Section 4):
+    a tree whose elements (and text nodes) carry XIDs that survive from one
+    version of the document to the next. *)
+
+type t =
+  | Elem of elem
+  | Text of { xid : Xid.t; content : string }
+
+and elem = {
+  xid : Xid.t;
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+val xid : t -> Xid.t
+
+val of_xml : Xid.Gen.t -> Txq_xml.Xml.t -> t
+(** Assigns fresh XIDs to every node, document order. *)
+
+val to_xml : t -> Txq_xml.Xml.t
+(** Strips the XIDs. *)
+
+val deep_equal : t -> t -> bool
+(** Structural equality {e ignoring} XIDs — the content-based [=] of
+    Section 7.4.  Attribute order is insignificant, per the XML
+    recommendation. *)
+
+val equal_with_xids : t -> t -> bool
+(** Structural equality including XIDs; two reconstructions of the same
+    version must satisfy this. *)
+
+val structural_hash : t -> int
+(** Hash of the XID-free structure; equal trees (by {!deep_equal}) hash
+    equally.  Used by the diff's subtree matching. *)
+
+val size : t -> int
+val find : t -> Xid.t -> t option
+(** Node with the given XID, if present in the tree. *)
+
+val xids : t -> Xid.t list
+(** All XIDs in the tree, pre-order. *)
+
+val max_xid : t -> Xid.t option
+
+val attr : t -> string -> string option
+val text_content : t -> string
+val tag : t -> string option
+val children : t -> t list
+
+type occurrence_kind =
+  | Tag  (** an element name *)
+  | Word  (** a word from text content, an attribute name or value *)
+
+type occurrence = {
+  occ_word : string;
+  occ_kind : occurrence_kind;
+  occ_path : Xid.t array;
+      (** XIDs from the root to the occurrence's element: for a [Tag]
+          occurrence the path ends with the element's own XID; a [Word]
+          occurrence carries the path of its enclosing element.  Parent and
+          ancestor tests in the pattern-scan join are prefix tests on these
+          paths (Section 7.2's "information that can be used to determine
+          hierarchical relationships"). *)
+}
+
+val occurrences : t -> occurrence list
+(** All occurrences in the tree, document order, duplicates included. *)
+
+module Occ_set : Set.S with type elt = string * occurrence_kind * Xid.t array
+
+val occurrence_set : t -> Occ_set.t
+(** Deduplicated occurrences; the unit of temporal FTI maintenance. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug form showing XIDs. *)

@@ -1,0 +1,36 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let to_int t = t
+
+let of_int i =
+  if i < 0 then invalid_arg (Printf.sprintf "Xid.of_int: negative id %d" i)
+  else i
+
+let pp ppf t = Format.fprintf ppf "#%d" t
+
+module Gen = struct
+  type nonrec t = { mutable next_id : int }
+
+  let create () = { next_id = 1 }
+
+  let next g =
+    let id = g.next_id in
+    g.next_id <- g.next_id + 1;
+    id
+
+  let mark_used g xid = if xid >= g.next_id then g.next_id <- xid + 1
+  let used g = g.next_id - 1
+end
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,39 @@
+(** Persistent element identifiers.
+
+    Following Xyleme's XIDs (Section 3.2): an XID identifies an element of a
+    particular document "in a time independent manner, and will not be reused
+    when an element is deleted".  XIDs are allocated per document by a
+    monotonic generator that is part of the document's persistent state. *)
+
+type t = private int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_int : t -> int
+val of_int : int -> t
+(** Raises [Invalid_argument] on a negative id (used when decoding persisted
+    deltas and snapshots). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Gen : sig
+  type xid := t
+  type t
+
+  val create : unit -> t
+  val next : t -> xid
+  (** Strictly increasing; never reuses an id. *)
+
+  val mark_used : t -> xid -> unit
+  (** Informs the generator that [xid] is in use, so future [next] calls
+      return larger ids.  Needed when rebuilding a document from persisted
+      deltas. *)
+
+  val used : t -> int
+  (** Number of ids handed out so far. *)
+end
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

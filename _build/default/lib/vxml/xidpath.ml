@@ -1,0 +1,37 @@
+type t = Xid.t array
+
+let compare p q =
+  let lp = Array.length p and lq = Array.length q in
+  let rec go i =
+    if i >= lp || i >= lq then Int.compare lp lq
+    else
+      match Xid.compare p.(i) q.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let equal p q = compare p q = 0
+
+let is_prefix p q =
+  let lp = Array.length p and lq = Array.length q in
+  if lp > lq then false
+  else
+    let rec go i = i >= lp || (Xid.equal p.(i) q.(i) && go (i + 1)) in
+    go 0
+
+let is_strict_prefix p q = Array.length p < Array.length q && is_prefix p q
+let is_parent p q = Array.length q = Array.length p + 1 && is_prefix p q
+
+let leaf p =
+  let n = Array.length p in
+  if n = 0 then None else Some p.(n - 1)
+
+let depth = Array.length
+
+let to_string p =
+  "/"
+  ^ String.concat "/"
+      (Array.to_list (Array.map (fun x -> string_of_int (Xid.to_int x)) p))
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

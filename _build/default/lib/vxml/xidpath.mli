@@ -1,0 +1,30 @@
+(** XID paths: the hierarchy encoding carried by index postings.
+
+    A path is the sequence of XIDs from the document root down to a node.
+    Because XIDs are persistent, [isParentOf] and [isAscendantOf] tests
+    between postings reduce to prefix tests on these paths, independent of
+    the version being considered (as long as the node has not moved, which
+    the incremental indexer handles by closing and reopening postings). *)
+
+type t = Xid.t array
+
+val compare : t -> t -> int
+(** Lexicographic; a proper prefix sorts before its extensions, so the
+    descendants of a node form a contiguous run in sorted posting lists. *)
+
+val equal : t -> t -> bool
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p q]: [p] is a (possibly equal) prefix of [q]. *)
+
+val is_strict_prefix : t -> t -> bool
+
+val is_parent : t -> t -> bool
+(** [is_parent p q]: [q] = [p] plus exactly one trailing XID. *)
+
+val leaf : t -> Xid.t option
+(** Last component — the node's own XID. *)
+
+val depth : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

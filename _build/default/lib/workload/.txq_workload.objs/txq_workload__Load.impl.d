@@ -1,0 +1,1 @@
+lib/workload/load.ml: Array List Printf Restaurant Rng Txq_db Txq_query Txq_temporal Vocab

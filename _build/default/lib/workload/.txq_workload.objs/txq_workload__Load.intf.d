@@ -1,0 +1,1 @@
+lib/workload/load.mli: Restaurant Txq_db Txq_query Txq_temporal

@@ -1,0 +1,1 @@
+lib/workload/news.ml: List Printf Rng Txq_temporal Txq_xml Vocab

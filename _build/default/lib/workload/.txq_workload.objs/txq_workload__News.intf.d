@@ -1,0 +1,1 @@
+lib/workload/news.mli: Rng Txq_temporal Txq_xml Vocab

@@ -1,0 +1,1 @@
+lib/workload/restaurant.ml: Array Float List Printf Rng String Txq_xml Vocab

@@ -1,0 +1,1 @@
+lib/workload/restaurant.mli: Rng Txq_xml Vocab

@@ -1,0 +1,79 @@
+module Timestamp = Txq_temporal.Timestamp
+module Duration = Txq_temporal.Duration
+
+type spec = {
+  seed : int;
+  documents : int;
+  versions : int;
+  params : Restaurant.params;
+  commit_gap : Duration.t;
+}
+
+let default_spec =
+  {
+    seed = 42;
+    documents = 10;
+    versions = 20;
+    params = Restaurant.default_params;
+    commit_gap = Duration.days 1;
+  }
+
+let url_of i = Printf.sprintf "guide.example.org/city-%d.xml" i
+let base_ts = Timestamp.of_date ~day:1 ~month:1 ~year:2001
+
+(* Generate the full history once so db and stratum ingest identical bytes. *)
+let histories spec =
+  let rng = Rng.create ~seed:spec.seed in
+  let vocab = Vocab.create (Rng.split rng) in
+  List.init spec.documents (fun d ->
+      let gen = Restaurant.create ~params:spec.params ~vocab (Rng.split rng) in
+      let v0 = Restaurant.initial gen in
+      let rec versions acc prev k =
+        if k = 0 then List.rev acc
+        else
+          let next = Restaurant.evolve gen prev in
+          versions (next :: acc) next (k - 1)
+      in
+      (url_of d, v0 :: versions [] v0 (spec.versions - 1)))
+
+let ts_of_commit spec ~doc ~version =
+  (* interleave commits across documents so deltas of different documents
+     mix in the store, as on a real site *)
+  Timestamp.add base_ts
+    (Duration.scale ((version * spec.documents) + doc) spec.commit_gap)
+
+let load_db ?config spec =
+  let db = Txq_db.Db.create ?config () in
+  let hs = histories spec in
+  (* commit round-robin: version v of every document before version v+1 *)
+  for v = 0 to spec.versions - 1 do
+    List.iteri
+      (fun d (url, versions) ->
+        let xml = List.nth versions v in
+        let ts = ts_of_commit spec ~doc:d ~version:v in
+        if v = 0 then ignore (Txq_db.Db.insert_document db ~url ~ts xml)
+        else ignore (Txq_db.Db.update_document db ~url ~ts xml))
+      hs
+  done;
+  db
+
+let load_stratum spec =
+  let s = Txq_query.Stratum.create () in
+  let hs = histories spec in
+  for v = 0 to spec.versions - 1 do
+    List.iteri
+      (fun d (url, versions) ->
+        let xml = List.nth versions v in
+        let ts = ts_of_commit spec ~doc:d ~version:v in
+        if v = 0 then Txq_query.Stratum.insert_document s ~url ~ts xml
+        else Txq_query.Stratum.update_document s ~url ~ts xml)
+      hs
+  done;
+  s
+
+let load_both ?config spec = (load_db ?config spec, load_stratum spec)
+
+let midpoint_ts spec =
+  ts_of_commit spec ~doc:0 ~version:(spec.versions / 2)
+
+let target_name _spec = Vocab.restaurant_names.(0)

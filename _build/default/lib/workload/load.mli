@@ -1,0 +1,37 @@
+(** Database loaders: build whole temporal databases from the corpus
+    generators, deterministically from a seed.  Shared by the benchmarks,
+    the examples and the CLI. *)
+
+type spec = {
+  seed : int;
+  documents : int;  (** guide documents *)
+  versions : int;  (** versions per document *)
+  params : Restaurant.params;
+  commit_gap : Txq_temporal.Duration.t;  (** time between commits *)
+}
+
+val default_spec : spec
+(** seed 42, 10 documents, 20 versions, default restaurant parameters, one
+    day between commits. *)
+
+val url_of : int -> string
+(** URL of the i-th generated guide document. *)
+
+val load_db :
+  ?config:Txq_db.Config.t -> spec -> Txq_db.Db.t
+(** Builds a temporal database from the spec; the clock starts 01/01/2001
+    and every commit advances it by [commit_gap]. *)
+
+val load_stratum : spec -> Txq_query.Stratum.t
+(** The same history loaded into the stratum baseline (identical documents
+    and timestamps, byte for byte). *)
+
+val load_both :
+  ?config:Txq_db.Config.t -> spec -> Txq_db.Db.t * Txq_query.Stratum.t
+
+val midpoint_ts : spec -> Txq_temporal.Timestamp.t
+(** An instant in the middle of the generated history (snapshot-query
+    target). *)
+
+val target_name : spec -> string
+(** A restaurant name present from version 0 on (query target). *)

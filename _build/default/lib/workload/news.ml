@@ -1,0 +1,76 @@
+module Xml = Txq_xml.Xml
+
+type params = {
+  paragraphs : int;
+  paragraph_words : int;
+  p_revise_body : float;
+  p_revise_title : float;
+}
+
+let default_params =
+  { paragraphs = 4; paragraph_words = 30; p_revise_body = 0.5; p_revise_title = 0.15 }
+
+type t = { params : params; vocab : Vocab.t; rng : Rng.t }
+
+let create ?(params = default_params) ~vocab rng = { params; vocab; rng }
+
+let title t topic = Printf.sprintf "%s %s" topic (Vocab.words t.vocab 4)
+
+let paragraph t =
+  Xml.element "p" [Xml.text (Vocab.words t.vocab t.params.paragraph_words)]
+
+let article t ~topic ~published =
+  Xml.element "article"
+    [
+      Xml.element "meta"
+        [
+          Xml.element "topic" [Xml.text topic];
+          Xml.element "published"
+            [Xml.text (Txq_temporal.Timestamp.to_string published)];
+          Xml.element "agency" [Xml.text "txq-news"];
+        ];
+      Xml.element "title" [Xml.text (title t topic)];
+      Xml.element "body"
+        (List.init t.params.paragraphs (fun _ -> paragraph t));
+    ]
+
+let revise t article =
+  match article with
+  | Xml.Text _ -> article
+  | Xml.Element e ->
+    let children =
+      List.map
+        (fun c ->
+          match Xml.tag c with
+          | Some "title" when Rng.bool t.rng t.params.p_revise_title ->
+            let topic =
+              match
+                Txq_xml.Path.select_from_children
+                  (Txq_xml.Path.parse_exn "/meta/topic")
+                  article
+              with
+              | node :: _ -> Xml.text_content node
+              | [] -> "news"
+            in
+            Xml.element "title" [Xml.text (title t topic)]
+          | Some "body" when Rng.bool t.rng t.params.p_revise_body ->
+            let paragraphs = Xml.children c in
+            let n = List.length paragraphs in
+            if n = 0 then Xml.element "body" [paragraph t]
+            else begin
+              (* revise one paragraph, sometimes append another *)
+              let victim = Rng.int t.rng n in
+              let revised =
+                List.mapi
+                  (fun i p -> if i = victim then paragraph t else p)
+                  paragraphs
+              in
+              let revised =
+                if Rng.bool t.rng 0.3 then revised @ [paragraph t] else revised
+              in
+              Xml.element "body" revised
+            end
+          | _ -> c)
+        e.Xml.children
+    in
+    Xml.Element { e with Xml.children }

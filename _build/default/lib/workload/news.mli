@@ -1,0 +1,29 @@
+(** News-archive corpus.
+
+    Models the paper's XML-warehouse setting (Section 3.1): documents are
+    {e crawled} from the Web rather than committed locally — retrieval times
+    are irregular, intermediate versions can be missed, and each document
+    carries its own publication timestamp in content (document time, after
+    XMLNews-Meta).  Articles are created, revised a few times, and taken
+    down. *)
+
+type params = {
+  paragraphs : int;  (** body paragraphs per article *)
+  paragraph_words : int;
+  p_revise_body : float;  (** per-crawl probability the body changed *)
+  p_revise_title : float;
+}
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> vocab:Vocab.t -> Rng.t -> t
+
+val article :
+  t -> topic:string -> published:Txq_temporal.Timestamp.t -> Txq_xml.Xml.t
+(** A fresh article; the [published] instant is embedded as document time in
+    a [<meta><published>…] element. *)
+
+val revise : t -> Txq_xml.Xml.t -> Txq_xml.Xml.t
+(** The article as the next crawl would see it. *)

@@ -1,0 +1,132 @@
+module Xml = Txq_xml.Xml
+
+type params = {
+  restaurants : int;
+  review_words : int;
+  p_price_update : float;
+  p_review_update : float;
+  p_insert : float;
+  p_delete : float;
+  p_move : float;
+}
+
+let default_params =
+  {
+    restaurants = 20;
+    review_words = 12;
+    p_price_update = 0.2;
+    p_review_update = 0.1;
+    p_insert = 0.15;
+    p_delete = 0.15;
+    p_move = 0.1;
+  }
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let change_rate r =
+  let d = default_params in
+  {
+    d with
+    p_price_update = clamp01 (d.p_price_update *. r);
+    p_review_update = clamp01 (d.p_review_update *. r);
+    p_insert = clamp01 (d.p_insert *. r);
+    p_delete = clamp01 (d.p_delete *. r);
+    p_move = clamp01 (d.p_move *. r);
+  }
+
+type t = { params : params; vocab : Vocab.t; rng : Rng.t; mutable minted : int }
+
+let create ?(params = default_params) ~vocab rng =
+  { params; vocab; rng; minted = 0 }
+
+let price t = string_of_int (5 + Rng.int t.rng 45)
+
+let fresh_name t =
+  t.minted <- t.minted + 1;
+  Printf.sprintf "%s-%d" (Rng.pick t.rng Vocab.restaurant_names) t.minted
+
+let restaurant t ~name =
+  Xml.element "restaurant"
+    [
+      Xml.element "name" [Xml.text name];
+      Xml.element "price" [Xml.text (price t)];
+      Xml.element "address"
+        [
+          Xml.element "street"
+            [Xml.text (Printf.sprintf "%s %d" (Rng.pick t.rng Vocab.street_names)
+                         (1 + Rng.int t.rng 120))];
+          Xml.element "city" [Xml.text (Rng.pick t.rng Vocab.cities)];
+        ];
+      Xml.element "cuisine" [Xml.text (Rng.pick t.rng Vocab.cuisines)];
+      Xml.element "rating" [Xml.text (string_of_int (1 + Rng.int t.rng 5))];
+      Xml.element "review" [Xml.text (Vocab.words t.vocab t.params.review_words)];
+    ]
+
+let known_name t = ignore t; Vocab.restaurant_names.(0)
+
+let initial t =
+  let names =
+    Array.init t.params.restaurants (fun i ->
+        if i = 0 then Vocab.restaurant_names.(0) else fresh_name t)
+  in
+  Xml.element "guide"
+    (Array.to_list (Array.map (fun name -> restaurant t ~name) names))
+
+(* One evolution step: rebuild the child list with localized changes. *)
+let evolve t guide =
+  let children = Array.of_list (Xml.children guide) in
+  let replace tag make children =
+    List.map
+      (fun c ->
+        match Xml.tag c with
+        | Some ct when String.equal ct tag -> make ()
+        | _ -> c)
+      children
+  in
+  let mutate_restaurant node =
+    match node with
+    | Xml.Element e ->
+      let children = e.Xml.children in
+      let children =
+        if Rng.bool t.rng t.params.p_price_update then
+          replace "price" (fun () -> Xml.element "price" [Xml.text (price t)])
+            children
+        else children
+      in
+      let children =
+        if Rng.bool t.rng t.params.p_review_update then
+          replace "review"
+            (fun () ->
+              Xml.element "review"
+                [Xml.text (Vocab.words t.vocab t.params.review_words)])
+            children
+        else children
+      in
+      Xml.Element { e with Xml.children }
+    | Xml.Text _ -> node
+  in
+  let mutated = Array.map mutate_restaurant children in
+  let as_list = ref (Array.to_list mutated) in
+  if Rng.bool t.rng t.params.p_delete && List.length !as_list > 1 then begin
+    let victim = Rng.int t.rng (List.length !as_list) in
+    as_list := List.filteri (fun i _ -> i <> victim) !as_list
+  end;
+  if Rng.bool t.rng t.params.p_insert then begin
+    let pos = Rng.int t.rng (List.length !as_list + 1) in
+    let fresh = restaurant t ~name:(fresh_name t) in
+    let before = List.filteri (fun i _ -> i < pos) !as_list in
+    let after = List.filteri (fun i _ -> i >= pos) !as_list in
+    as_list := before @ [fresh] @ after
+  end;
+  if Rng.bool t.rng t.params.p_move && List.length !as_list > 1 then begin
+    let arr = Array.of_list !as_list in
+    let i = Rng.int t.rng (Array.length arr) in
+    let j = Rng.int t.rng (Array.length arr) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp;
+    as_list := Array.to_list arr
+  end;
+  match guide with
+  | Xml.Element e -> Xml.Element { e with Xml.children = !as_list }
+  | Xml.Text _ -> guide

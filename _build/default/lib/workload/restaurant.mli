@@ -1,0 +1,37 @@
+(** Restaurant-guide corpus: the paper's running example (Figure 1) scaled
+    up.
+
+    A guide document holds a list of restaurants, each with name, price,
+    address, cuisine, rating and a free-text review.  The evolver applies a
+    parameterized mix of updates (price changes dominate, as in the paper's
+    narrative), insertions, deletions and moves, producing the next version
+    of the document as plain XML — the shape a crawler would deliver. *)
+
+type params = {
+  restaurants : int;  (** restaurants in the initial version *)
+  review_words : int;  (** words per review (document "weight") *)
+  p_price_update : float;  (** per-restaurant probability of a price change *)
+  p_review_update : float;
+  p_insert : float;  (** probability of inserting one restaurant per commit *)
+  p_delete : float;
+  p_move : float;  (** probability of reordering one restaurant *)
+}
+
+val default_params : params
+(** 20 restaurants, 12-word reviews, price churn 0.2, review churn 0.1,
+    insert/delete 0.15, move 0.1. *)
+
+val change_rate : float -> params
+(** [change_rate r] scales all churn probabilities by [r] relative to
+    {!default_params} (clamped to [\[0,1\]]); the E7/E8 sweep parameter. *)
+
+type t
+
+val create : ?params:params -> vocab:Vocab.t -> Rng.t -> t
+val initial : t -> Txq_xml.Xml.t
+val evolve : t -> Txq_xml.Xml.t -> Txq_xml.Xml.t
+(** Next version of a guide document. *)
+
+val known_name : t -> string
+(** A restaurant name guaranteed to appear in the initial version (query
+    target). *)

@@ -1,0 +1,25 @@
+(** Deterministic random numbers (splitmix64).
+
+    Every benchmark and generated corpus must be reproducible from a seed,
+    independent of the OCaml stdlib's generator evolution. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]; [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice; the array must be non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+
+val split : t -> t
+(** Independent child generator (for parallel streams). *)

@@ -1,0 +1,1 @@
+lib/xml/path.ml: List Printf String Xml

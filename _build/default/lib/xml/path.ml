@@ -1,0 +1,98 @@
+type axis =
+  | Child
+  | Descendant
+
+type step = { axis : axis; name : string }
+type t = step list
+
+let parse input =
+  let s = String.trim input in
+  if String.equal s "" then Ok []
+  else
+    let n = String.length s in
+    let rec steps acc i =
+      if i >= n then Ok (List.rev acc)
+      else
+        let axis, i =
+          if i + 1 < n && s.[i] = '/' && s.[i + 1] = '/' then (Descendant, i + 2)
+          else if s.[i] = '/' then (Child, i + 1)
+          else (Child, i)
+        in
+        let start = i in
+        let rec name_end j = if j < n && s.[j] <> '/' then name_end (j + 1) else j in
+        let stop = name_end start in
+        if stop = start then Error (Printf.sprintf "empty step in path %S" input)
+        else
+          let name = String.sub s start (stop - start) in
+          steps ({ axis; name } :: acc) stop
+    in
+    steps [] 0
+
+let parse_exn input =
+  match parse input with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Path.parse_exn: " ^ msg)
+
+let to_string path =
+  String.concat ""
+    (List.map
+       (fun { axis; name } ->
+         match axis with
+         | Child -> "/" ^ name
+         | Descendant -> "//" ^ name)
+       path)
+
+let name_matches name node =
+  match Xml.tag node with
+  | Some t -> String.equal name "*" || String.equal t name
+  | None -> false
+
+let rec descendants_or_self node =
+  node :: List.concat_map descendants_or_self (Xml.children node)
+
+(* Evaluate steps against a candidate set; each step maps the set to the
+   nodes reached by that step.  Document order is preserved and duplicates
+   (possible with // over nested same-name elements) removed by physical
+   identity. *)
+let dedup nodes =
+  (* List.memq-based dedup is quadratic but per-document candidate sets are
+     small. *)
+  let seen = ref [] in
+  List.filter
+    (fun n ->
+      if List.memq n !seen then false
+      else begin
+        seen := n :: !seen;
+        true
+      end)
+    nodes
+
+let apply_step candidates { axis; name } =
+  let next =
+    match axis with
+    | Child ->
+      List.concat_map
+        (fun node -> List.filter (name_matches name) (Xml.children node))
+        candidates
+    | Descendant ->
+      List.concat_map
+        (fun node ->
+          List.filter (name_matches name)
+            (List.concat_map descendants_or_self (Xml.children node)))
+        candidates
+  in
+  dedup next
+
+let select path root =
+  match path with
+  | [] -> [root]
+  | first :: rest ->
+    let initial =
+      match first.axis with
+      | Child -> if name_matches first.name root then [root] else []
+      | Descendant ->
+        List.filter (name_matches first.name) (descendants_or_self root)
+    in
+    List.fold_left apply_step initial rest
+
+let select_from_children path root = List.fold_left apply_step [root] path

@@ -1,0 +1,35 @@
+(** Simple location paths.
+
+    The paper's queries use rooted paths with child ([/]) and descendant
+    ([//]) steps, e.g. [doc("…")/restaurant/name] (Section 5).  This module
+    evaluates such paths against plain XML trees; it is used for value
+    extraction in the query executor and as the matching engine of the
+    stratum baseline. *)
+
+type axis =
+  | Child
+  | Descendant
+
+type step = { axis : axis; name : string }
+(** [name = "*"] matches any element. *)
+
+type t = step list
+
+val parse : string -> (t, string) result
+(** Parses ["/a//b/*"] or ["a/b"] (a leading [/] is implicit).  Empty string
+    parses to the empty path. *)
+
+val parse_exn : string -> t
+
+val to_string : t -> string
+
+val select : t -> Xml.t -> Xml.t list
+(** Nodes reached from the root by the path, in document order.  The empty
+    path selects the root itself.  The first step applies to the root node:
+    [/restaurant] selects the root if the root's tag is [restaurant], mirroring
+    how the paper's [doc("guide.com/restaurants.xml")/restaurant R] binds the
+    root elements of the guide. *)
+
+val select_from_children : t -> Xml.t -> Xml.t list
+(** Like {!select} but the first step applies to the node's children, the
+    usual XPath reading of a path applied to a document node. *)

@@ -1,0 +1,85 @@
+let escape buf ~quot s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when quot -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~quot:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~quot:true s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun { Xml.attr_name; attr_value } ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf attr_name;
+      Buffer.add_string buf "=\"";
+      escape buf ~quot:true attr_value;
+      Buffer.add_char buf '"')
+    attrs
+
+let to_string node =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Xml.Text s -> escape buf ~quot:false s
+    | Xml.Element e ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      add_attrs buf e.attrs;
+      if e.children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter go e.children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_char buf '>'
+      end
+  in
+  go node;
+  Buffer.contents buf
+
+let to_pretty node =
+  let buf = Buffer.create 256 in
+  let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go level = function
+    | Xml.Text s ->
+      indent level;
+      escape buf ~quot:false s;
+      Buffer.add_char buf '\n'
+    | Xml.Element e -> (
+      indent level;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      add_attrs buf e.attrs;
+      match e.children with
+      | [] -> Buffer.add_string buf "/>\n"
+      | [Xml.Text s] ->
+        Buffer.add_char buf '>';
+        escape buf ~quot:false s;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_string buf ">\n"
+      | children ->
+        Buffer.add_string buf ">\n";
+        List.iter (go (level + 1)) children;
+        indent level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_string buf ">\n")
+  in
+  go 0 node;
+  Buffer.contents buf
+
+let pp ppf node = Format.pp_print_string ppf (to_pretty node)
+let document node = "<?xml version=\"1.0\"?>" ^ to_string node

@@ -1,0 +1,22 @@
+(** XML serialization.
+
+    [to_string] produces a compact form whose round-trip through
+    {!Parse.parse} is the identity (texts are escaped; whitespace-only text
+    nodes are never emitted by the library's own constructors).  [to_pretty]
+    is an indented human-readable form for examples and the CLI. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val to_string : Xml.t -> string
+(** Compact serialization, no added whitespace. *)
+
+val to_pretty : Xml.t -> string
+(** Indented serialization (2 spaces per level).  Elements whose children
+    are a single text node stay on one line. *)
+
+val pp : Format.formatter -> Xml.t -> unit
+(** Pretty form, via {!to_pretty}. *)
+
+val document : Xml.t -> string
+(** Compact serialization prefixed by an XML declaration. *)

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Bytes Config Cretime_index Db Docstore Fun List Option Printf QCheck QCheck_alcotest String Txq_db Txq_fti Txq_query Txq_store Txq_temporal Txq_test_support Txq_vxml Txq_xml

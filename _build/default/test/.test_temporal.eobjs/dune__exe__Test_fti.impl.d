@@ -1,0 +1,1 @@
+test/test_fti.ml: Alcotest Array Delta_fti Fti Fun List Posting QCheck QCheck_alcotest String Txq_fti Txq_test_support Txq_vxml Txq_xml

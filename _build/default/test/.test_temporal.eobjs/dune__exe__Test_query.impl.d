@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Ast Exec Fun Glob List Parser Printf QCheck QCheck_alcotest Stratum String Txq_db Txq_query Txq_temporal Txq_test_support Txq_xml

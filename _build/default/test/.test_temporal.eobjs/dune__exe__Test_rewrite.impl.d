@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Ast Exec List Parser QCheck QCheck_alcotest Rewrite String Txq_db Txq_query Txq_temporal Txq_test_support Txq_xml

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Blob_store Bptree Buffer_pool Bytes Char Disk Int64 Io_stats List Map Printf QCheck QCheck_alcotest String Txq_store Vec

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Bool Clock Duration Interval List QCheck QCheck_alcotest Timestamp Txq_temporal

@@ -1,0 +1,1 @@
+test/test_vxml.ml: Alcotest Array Codec Delta Diff Gen List Printf QCheck QCheck_alcotest Stdlib String Txq_test_support Txq_vxml Txq_xml Vnode Xid Xidmap Xidpath

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Hashtbl Int List Load News Option Printf Restaurant Result Rng Stdlib String Txq_db Txq_query Txq_temporal Txq_vxml Txq_workload Txq_xml Vocab

@@ -1,0 +1,1 @@
+test/support/gen_xml.ml: Array Hashtbl List Printf QCheck String Txq_xml

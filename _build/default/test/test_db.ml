@@ -1,0 +1,498 @@
+module Xml = Txq_xml.Xml
+module Parse = Txq_xml.Parse
+module Print = Txq_xml.Print
+module Vnode = Txq_vxml.Vnode
+module Timestamp = Txq_temporal.Timestamp
+open Txq_db
+
+let xml_testable = Alcotest.testable Print.pp Xml.equal
+let parse = Parse.parse_exn
+let ts = Timestamp.of_string
+let url = "guide.com/restaurants.xml"
+
+(* The paper's Figure 1: the restaurant list at guide.com in four states. *)
+let fig1_v0 =
+  parse
+    {|<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>|}
+
+let fig1_v1 =
+  parse
+    {|<guide><restaurant><name>Napoli</name><price>15</price></restaurant>
+            <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>|}
+
+let fig1_v2 =
+  parse
+    {|<guide><restaurant><name>Napoli</name><price>18</price></restaurant>
+            <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>|}
+
+let fig1_db ?config () =
+  let db = Db.create ?config () in
+  let id = Db.insert_document db ~url ~ts:(ts "01/01/2001") fig1_v0 in
+  ignore (Db.update_document db ~url ~ts:(ts "15/01/2001") fig1_v1);
+  ignore (Db.update_document db ~url ~ts:(ts "31/01/2001") fig1_v2);
+  (db, id)
+
+let test_insert_and_current () =
+  let db, id = fig1_db () in
+  let d = Db.doc db id in
+  Alcotest.(check int) "three versions" 3 (Docstore.version_count d);
+  Alcotest.check xml_testable "current content" (Xml.normalize fig1_v2)
+    (Vnode.to_xml (Docstore.current d));
+  Alcotest.(check bool) "alive" true (Docstore.is_alive d)
+
+let test_duplicate_insert_rejected () =
+  let db, _ = fig1_db () in
+  Alcotest.check_raises "duplicate URL"
+    (Invalid_argument
+       "Db.insert_document: guide.com/restaurants.xml already exists")
+    (fun () -> ignore (Db.insert_document db ~url fig1_v0))
+
+let test_version_at () =
+  let db, id = fig1_db () in
+  let d = Db.doc db id in
+  Alcotest.(check (option int)) "before creation" None
+    (Docstore.version_at d (ts "31/12/2000"));
+  Alcotest.(check (option int)) "on creation day" (Some 0)
+    (Docstore.version_at d (ts "01/01/2001"));
+  Alcotest.(check (option int)) "between v0 and v1" (Some 0)
+    (Docstore.version_at d (ts "10/01/2001"));
+  Alcotest.(check (option int)) "on v1 day" (Some 1)
+    (Docstore.version_at d (ts "15/01/2001"));
+  Alcotest.(check (option int)) "query Q1's 26/01/2001" (Some 1)
+    (Docstore.version_at d (ts "26/01/2001"));
+  Alcotest.(check (option int)) "after last" (Some 2)
+    (Docstore.version_at d (ts "01/06/2001"))
+
+let test_reconstruct_all_versions () =
+  let db, id = fig1_db () in
+  let check v expected =
+    Alcotest.check xml_testable
+      (Printf.sprintf "version %d" v)
+      (Xml.normalize expected)
+      (Vnode.to_xml (Db.reconstruct db id v))
+  in
+  check 0 fig1_v0;
+  check 1 fig1_v1;
+  check 2 fig1_v2
+
+let test_reconstruct_at () =
+  let db, id = fig1_db () in
+  match Db.reconstruct_at db id (ts "26/01/2001") with
+  | Some (v, tree) ->
+    Alcotest.(check int) "version" 1 v;
+    Alcotest.check xml_testable "snapshot content" (Xml.normalize fig1_v1)
+      (Vnode.to_xml tree)
+  | None -> Alcotest.fail "expected a version at 26/01/2001"
+
+let test_xids_persist_across_commits () =
+  let db, id = fig1_db () in
+  let v0 = Db.reconstruct db id 0 and v2 = Db.reconstruct db id 2 in
+  let napoli_xid tree =
+    List.find_map
+      (fun r ->
+        match Vnode.children r with
+        | name :: _ when String.equal (Vnode.text_content name) "Napoli" ->
+          Some (Vnode.xid r)
+        | _ -> None)
+      (Vnode.children tree)
+  in
+  match (napoli_xid v0, napoli_xid v2) with
+  | Some a, Some b ->
+    Alcotest.(check int) "Napoli restaurant keeps its XID"
+      (Txq_vxml.Xid.to_int a) (Txq_vxml.Xid.to_int b)
+  | _ -> Alcotest.fail "Napoli not found in both versions"
+
+let test_delete_document () =
+  let db, id = fig1_db () in
+  Db.delete_document db ~url ~ts:(ts "01/02/2001") ();
+  let d = Db.doc db id in
+  Alcotest.(check bool) "not alive" false (Docstore.is_alive d);
+  Alcotest.(check (option int)) "no version after delete" None
+    (Docstore.version_at d (ts "02/02/2001"));
+  Alcotest.(check (option int)) "history intact" (Some 1)
+    (Docstore.version_at d (ts "20/01/2001"));
+  Alcotest.(check bool) "find_live is gone" true (Db.find_live db url = None);
+  (* reconstruction of historical versions still works *)
+  Alcotest.check xml_testable "reconstruct after delete" (Xml.normalize fig1_v0)
+    (Vnode.to_xml (Db.reconstruct db id 0))
+
+let test_url_reuse_gets_fresh_doc () =
+  let db, id0 = fig1_db () in
+  Db.delete_document db ~url ~ts:(ts "01/02/2001") ();
+  let id1 = Db.insert_document db ~url ~ts:(ts "10/02/2001") fig1_v0 in
+  Alcotest.(check bool) "new doc id" true (id1 <> id0);
+  (match Db.find_at db url (ts "20/01/2001") with
+   | Some (d, _) -> Alcotest.(check int) "old doc at old time" id0 (Docstore.doc_id d)
+   | None -> Alcotest.fail "old doc not found");
+  match Db.find_at db url (ts "11/02/2001") with
+  | Some (d, _) -> Alcotest.(check int) "new doc at new time" id1 (Docstore.doc_id d)
+  | None -> Alcotest.fail "new doc not found"
+
+let test_version_intervals () =
+  let db, id = fig1_db () in
+  let d = Db.doc db id in
+  let iv = Docstore.version_interval d 1 in
+  Alcotest.(check string) "interval of v1" "[15/01/2001, 31/01/2001)"
+    (Txq_temporal.Interval.to_string iv);
+  let last = Docstore.version_interval d 2 in
+  Alcotest.(check bool) "last is open" true (Txq_temporal.Interval.is_current last)
+
+let test_timestamps_must_advance () =
+  let db, _ = fig1_db () in
+  Alcotest.check_raises "same timestamp rejected"
+    (Invalid_argument "Clock.set: transaction time cannot move backwards")
+    (fun () ->
+      ignore (Db.update_document db ~url ~ts:(ts "15/01/2001") fig1_v1))
+
+let test_snapshots_reduce_delta_reads () =
+  let versions = 40 in
+  let build config =
+    let db = Db.create ~config () in
+    let base = Timestamp.of_date ~day:1 ~month:1 ~year:2001 in
+    ignore
+      (Db.insert_document db ~url ~ts:base
+         (parse "<g><r><name>Napoli</name><price>0</price></r></g>"));
+    for i = 1 to versions - 1 do
+      let xml =
+        parse
+          (Printf.sprintf "<g><r><name>Napoli</name><price>%d</price></r></g>" i)
+      in
+      ignore
+        (Db.update_document db ~url
+           ~ts:(Timestamp.add base (Txq_temporal.Duration.days i))
+           xml)
+    done;
+    db
+  in
+  let deltas_for db =
+    (match Db.find_live db url with
+     | Some d ->
+       Db.reset_io db;
+       ignore (Db.reconstruct db (Docstore.doc_id d) 1)
+     | None -> Alcotest.fail "doc missing");
+    (Db.stats db).Db.deltas_read
+  in
+  let no_snap = deltas_for (build Config.default) in
+  let with_snap = deltas_for (build (Config.with_snapshots 8 Config.default)) in
+  Alcotest.(check int) "no snapshots: walk the whole chain" (versions - 2) no_snap;
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshots shorten the walk (%d < %d)" with_snap no_snap)
+    true
+    (with_snap <= 4)
+
+let test_reconstruct_cache () =
+  let config = { Config.default with Config.reconstruct_cache = 8 } in
+  let db = Db.create ~config () in
+  ignore (Db.insert_document db ~url ~ts:(ts "01/01/2001") fig1_v0);
+  ignore (Db.update_document db ~url ~ts:(ts "15/01/2001") fig1_v1);
+  (match Db.find_live db url with
+   | Some d ->
+     let id = Docstore.doc_id d in
+     ignore (Db.reconstruct db id 0);
+     let before = (Db.stats db).Db.reconstructions in
+     ignore (Db.reconstruct db id 0);
+     Alcotest.(check int) "second hit served from cache" before
+       (Db.stats db).Db.reconstructions;
+     Alcotest.(check int) "cache hit counted" 1
+       (Db.stats db).Db.reconstruct_cache_hits
+   | None -> Alcotest.fail "doc missing")
+
+let test_cretime_maintenance () =
+  let db, id = fig1_db () in
+  match Db.cretime db with
+  | None -> Alcotest.fail "cretime index expected in default config"
+  | Some idx ->
+    (* the Akropolis restaurant appeared in v1 (15/01) *)
+    let v2 = Db.reconstruct db id 2 in
+    let akropolis =
+      List.find
+        (fun r -> String.equal (Vnode.text_content r) "Akropolis13")
+        (Vnode.children v2)
+    in
+    let eid = Txq_vxml.Eid.make ~doc:id ~xid:(Vnode.xid akropolis) in
+    Alcotest.(check (option string)) "create time" (Some "15/01/2001")
+      (Option.map Timestamp.to_string (Cretime_index.create_time idx eid));
+    Alcotest.(check (option string)) "still alive" None
+      (Option.map Timestamp.to_string (Cretime_index.delete_time idx eid))
+
+let test_fti_maintained_on_commit () =
+  let db, id = fig1_db () in
+  let fti = Db.fti db in
+  (* "Akropolis" appears from version 1 on *)
+  let postings = Txq_fti.Fti.lookup_h fti "Akropolis" in
+  Alcotest.(check int) "one posting" 1 (List.length postings);
+  let p = List.hd postings in
+  Alcotest.(check int) "vstart" 1 p.Txq_fti.Posting.vstart;
+  Alcotest.(check bool) "still open" true (Txq_fti.Posting.is_open p);
+  (* "15" (Napoli's price) was replaced by "18" in version 2 *)
+  let p15 = Txq_fti.Fti.lookup_h fti "15" in
+  Alcotest.(check (list int)) "15 closed at v2" [2]
+    (List.map (fun p -> p.Txq_fti.Posting.vend) p15);
+  (* snapshot lookup at Q1's date *)
+  let version_at d = Db.version_at db d (ts "26/01/2001") in
+  Alcotest.(check int) "snapshot sees 15" 1
+    (List.length (Txq_fti.Fti.lookup_t fti "15" ~version_at));
+  Alcotest.(check int) "current misses 15" 0
+    (List.length (Txq_fti.Fti.lookup fti "15"));
+  ignore id
+
+let test_fti_none_config () =
+  let config = { Config.default with Config.fti_mode = Config.Fti_none } in
+  let db = Db.create ~config () in
+  ignore (Db.insert_document db ~url ~ts:(ts "01/01/2001") fig1_v0);
+  Alcotest.check_raises "no fti"
+    (Invalid_argument "Db.fti: no version-content index in this configuration")
+    (fun () -> ignore (Db.fti db))
+
+let test_delta_fti_records_changes () =
+  let config = { Config.default with Config.fti_mode = Config.Fti_both } in
+  let db = Db.create ~config () in
+  ignore (Db.insert_document db ~url ~ts:(ts "01/01/2001") fig1_v0);
+  ignore (Db.update_document db ~url ~ts:(ts "15/01/2001") fig1_v1);
+  ignore (Db.update_document db ~url ~ts:(ts "31/01/2001") fig1_v2);
+  let dfti = Db.delta_fti db in
+  let akro = Txq_fti.Delta_fti.changes_of_kind dfti "Akropolis" Txq_fti.Delta_fti.Inserted in
+  Alcotest.(check int) "Akropolis inserted once" 1 (List.length akro);
+  Alcotest.(check int) "in version 1" 1
+    (List.hd akro).Txq_fti.Delta_fti.ch_version;
+  let deleted15 = Txq_fti.Delta_fti.changes_of_kind dfti "15" Txq_fti.Delta_fti.Deleted in
+  Alcotest.(check int) "15 deleted once (price update)" 1 (List.length deleted15)
+
+(* property: reconstruction of every version of a random history equals the
+   reference copies kept aside *)
+let prop_reconstruct_matches_reference =
+  QCheck.Test.make ~count:60 ~name:"db reconstruct ≡ retained references"
+    (Txq_test_support.Gen_xml.arb_history ~max_versions:8)
+    (fun (doc0, versions) ->
+      let db = Db.create () in
+      let base = Timestamp.of_date ~day:1 ~month:1 ~year:2001 in
+      let id = Db.insert_document db ~url ~ts:base doc0 in
+      List.iteri
+        (fun i v ->
+          ignore
+            (Db.update_document db ~url
+               ~ts:(Timestamp.add base (Txq_temporal.Duration.days (i + 1)))
+               v))
+        versions;
+      List.for_all2
+        (fun v reference ->
+          Xml.equal
+            (Xml.normalize reference)
+            (Vnode.to_xml (Db.reconstruct db id v)))
+        (List.init (1 + List.length versions) Fun.id)
+        (doc0 :: versions))
+
+let prop_fti_agrees_with_bruteforce =
+  QCheck.Test.make ~count:40 ~name:"fti lookup_t ≡ brute-force snapshot search"
+    (Txq_test_support.Gen_xml.arb_history ~max_versions:6)
+    (fun (doc0, versions) ->
+      let db = Db.create () in
+      let base = Timestamp.of_date ~day:1 ~month:1 ~year:2001 in
+      let id = Db.insert_document db ~url ~ts:base doc0 in
+      List.iteri
+        (fun i v ->
+          ignore
+            (Db.update_document db ~url
+               ~ts:(Timestamp.add base (Txq_temporal.Duration.days (i + 1)))
+               v))
+        versions;
+      let fti = Db.fti db in
+      let all_versions = doc0 :: versions in
+      List.for_all
+        (fun (v, reference) ->
+          let probe = Timestamp.add base (Txq_temporal.Duration.days v) in
+          let version_at d = Db.version_at db d probe in
+          let reference_words =
+            List.sort_uniq String.compare (Xml.words (Xml.normalize reference))
+          in
+          (* every reference word is found at that time, and a word absent
+             from the reference is not reported *)
+          List.for_all
+            (fun w ->
+              Txq_fti.Fti.lookup_t fti w ~version_at <> [])
+            reference_words
+          && (let absent = "zzz-never-generated" in
+              Txq_fti.Fti.lookup_t fti absent ~version_at = [])
+          && ignore id = ())
+        (List.mapi (fun i r -> (i, r)) all_versions))
+
+(* --- document time (Section 3.1) --------------------------------------------- *)
+
+let test_document_time_extraction () =
+  let config =
+    { Config.default with Config.document_time_path = Some "//meta/published" }
+  in
+  let db = Db.create ~config () in
+  let article published body =
+    parse
+      (Printf.sprintf
+         "<article><meta><published>%s</published></meta><body>%s</body></article>"
+         published body)
+  in
+  let id =
+    Db.insert_document db ~url:"news" ~ts:(ts "05/06/2001")
+      (article "01/06/2001" "first")
+  in
+  ignore
+    (Db.update_document db ~url:"news" ~ts:(ts "09/06/2001")
+       (article "08/06/2001" "revised"));
+  Alcotest.(check (option string)) "v0 doc time" (Some "01/06/2001")
+    (Option.map Timestamp.to_string (Db.document_time db id 0));
+  Alcotest.(check (option string)) "v1 doc time" (Some "08/06/2001")
+    (Option.map Timestamp.to_string (Db.document_time db id 1));
+  (* range query over the document-time index *)
+  let hits =
+    Db.find_by_document_time db ~t1:(ts "01/06/2001") ~t2:(ts "05/06/2001")
+  in
+  Alcotest.(check (list (pair int int))) "published in the first window"
+    [(id, 0)]
+    (List.map (fun (_, d, v) -> (d, v)) hits);
+  (* a document without the element contributes nothing *)
+  ignore
+    (Db.insert_document db ~url:"other" ~ts:(ts "10/06/2001")
+       (parse "<article><body>untimed</body></article>"));
+  Alcotest.(check int) "untimed docs are not indexed" 2
+    (List.length
+       (Db.find_by_document_time db ~t1:Timestamp.minus_infinity
+          ~t2:Timestamp.plus_infinity))
+
+let test_document_time_disabled_by_default () =
+  let db, id = fig1_db () in
+  Alcotest.(check (option string)) "no doc time without config" None
+    (Option.map Timestamp.to_string (Db.document_time db id 0))
+
+(* --- integrity -------------------------------------------------------------- *)
+
+let test_verify_clean_db () =
+  let db, _ = fig1_db () in
+  match Db.verify db with
+  | Ok versions -> Alcotest.(check int) "three versions checked" 3 versions
+  | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es)
+
+let test_verify_detects_corruption () =
+  let db, _ = fig1_db () in
+  (* scribble over every page: reconstruction must fail loudly, never
+     return wrong data silently *)
+  let disk = Db.disk db in
+  let garbage = Bytes.of_string "<<not-xml>>" in
+  for page = 0 to Txq_store.Disk.page_count disk - 1 do
+    Txq_store.Disk.write disk page garbage
+  done;
+  Db.flush_cache db;
+  match Db.verify db with
+  | Ok _ -> Alcotest.fail "corruption not detected"
+  | Error diagnostics ->
+    Alcotest.(check bool) "at least one diagnostic" true (diagnostics <> [])
+
+let test_verify_detects_single_page_corruption () =
+  (* corrupt exactly one delta page: verification must flag at least the
+     versions whose chains cross it, and never crash *)
+  let db, id = fig1_db () in
+  (* find a page holding delta data: reconstruct v0 cold and watch reads *)
+  Db.flush_cache db;
+  Txq_store.Io_stats.reset (Db.io_stats db);
+  ignore (Db.reconstruct db id 0);
+  let disk = Db.disk db in
+  (* clobber a page in the middle of the allocated range *)
+  Txq_store.Disk.write disk
+    (Txq_store.Disk.page_count disk / 2)
+    (Bytes.of_string "garbage that is definitely not xml <<<");
+  Db.flush_cache db;
+  (match Db.verify db with
+   | Ok _ ->
+     (* the damaged page may have been a freed one; that's legal *)
+     ()
+   | Error diagnostics ->
+     Alcotest.(check bool) "diagnostics name the document" true
+       (List.exists
+          (fun d ->
+            String.length d > 0
+            && (String.sub d 0 3 = "doc" || String.length d > 3))
+          diagnostics))
+
+let test_query_empty_db () =
+  let db = Db.create () in
+  (match Txq_query.Exec.run_string db {|SELECT R FROM doc("nowhere")/a R|} with
+   | Ok xml ->
+     Alcotest.(check string) "no rows" "<results/>" (Txq_xml.Print.to_string xml)
+   | Error e -> Alcotest.failf "unexpected: %s" (Txq_query.Exec.error_to_string e));
+  match
+    Txq_query.Exec.run_string db
+      {|SELECT COUNT(R) FROM collection("*")[EVERY]//x R|}
+  with
+  | Ok xml ->
+    Alcotest.(check string) "count zero"
+      "<results><result>0</result></results>" (Txq_xml.Print.to_string xml)
+  | Error e -> Alcotest.failf "unexpected: %s" (Txq_query.Exec.error_to_string e)
+
+let test_verify_after_delete () =
+  let db, _ = fig1_db () in
+  Db.delete_document db ~url ~ts:(ts "01/02/2001") ();
+  match Db.verify db with
+  | Ok versions -> Alcotest.(check int) "history still verifies" 3 versions
+  | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es)
+
+let test_reserved_names_rejected () =
+  let db = Db.create () in
+  Alcotest.check_raises "reserved element"
+    (Invalid_argument
+       "Docstore: cannot ingest document: reserved element name <_xid>")
+    (fun () ->
+      ignore (Db.insert_document db ~url:"bad" (parse "<a><_xid/></a>")));
+  Alcotest.check_raises "reserved attribute"
+    (Invalid_argument
+       "Docstore: cannot ingest document: reserved attribute name \"_tx\"")
+    (fun () ->
+      ignore (Db.insert_document db ~url:"bad2" (parse "<a _tx=\"1\"/>")))
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "insert and current" `Quick test_insert_and_current;
+          Alcotest.test_case "duplicate insert" `Quick test_duplicate_insert_rejected;
+          Alcotest.test_case "delete" `Quick test_delete_document;
+          Alcotest.test_case "url reuse" `Quick test_url_reuse_gets_fresh_doc;
+          Alcotest.test_case "monotone timestamps" `Quick test_timestamps_must_advance;
+        ] );
+      ( "versions",
+        [
+          Alcotest.test_case "version_at" `Quick test_version_at;
+          Alcotest.test_case "intervals" `Quick test_version_intervals;
+          Alcotest.test_case "reconstruct all" `Quick test_reconstruct_all_versions;
+          Alcotest.test_case "reconstruct_at" `Quick test_reconstruct_at;
+          Alcotest.test_case "xids persist" `Quick test_xids_persist_across_commits;
+          Alcotest.test_case "snapshots cut delta reads" `Quick
+            test_snapshots_reduce_delta_reads;
+          Alcotest.test_case "reconstruction cache" `Quick test_reconstruct_cache;
+          QCheck_alcotest.to_alcotest prop_reconstruct_matches_reference;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "cretime" `Quick test_cretime_maintenance;
+          Alcotest.test_case "fti on commit" `Quick test_fti_maintained_on_commit;
+          Alcotest.test_case "fti disabled" `Quick test_fti_none_config;
+          Alcotest.test_case "delta fti" `Quick test_delta_fti_records_changes;
+          QCheck_alcotest.to_alcotest prop_fti_agrees_with_bruteforce;
+        ] );
+      ( "document_time",
+        [
+          Alcotest.test_case "extraction and range query" `Quick
+            test_document_time_extraction;
+          Alcotest.test_case "off by default" `Quick
+            test_document_time_disabled_by_default;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "verify clean db" `Quick test_verify_clean_db;
+          Alcotest.test_case "verify detects corruption" `Quick
+            test_verify_detects_corruption;
+          Alcotest.test_case "single-page corruption" `Quick
+            test_verify_detects_single_page_corruption;
+          Alcotest.test_case "query empty db" `Quick test_query_empty_db;
+          Alcotest.test_case "verify after delete" `Quick test_verify_after_delete;
+          Alcotest.test_case "reserved names rejected" `Quick
+            test_reserved_names_rejected;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+module Vnode = Txq_vxml.Vnode
+module Xid = Txq_vxml.Xid
+open Txq_fti
+
+let vnode s = Vnode.of_xml (Xid.Gen.create ()) (Txq_xml.Parse.parse_exn s)
+
+(* --- posting ----------------------------------------------------------- *)
+
+let test_posting_validity () =
+  let p =
+    Posting.make ~doc:1 ~kind:Vnode.Word ~path:[| Xid.of_int 1 |] ~vstart:3
+  in
+  Alcotest.(check bool) "open" true (Posting.is_open p);
+  Alcotest.(check bool) "valid at start" true (Posting.valid_at p 3);
+  Alcotest.(check bool) "valid later" true (Posting.valid_at p 1000);
+  Alcotest.(check bool) "not before" false (Posting.valid_at p 2);
+  p.Posting.vend <- 5;
+  Alcotest.(check bool) "closed upper open" false (Posting.valid_at p 5);
+  Alcotest.(check bool) "still valid at 4" true (Posting.valid_at p 4)
+
+let test_posting_join_order () =
+  let mk doc path vstart =
+    Posting.make ~doc ~kind:Vnode.Tag
+      ~path:(Array.of_list (List.map Xid.of_int path))
+      ~vstart
+  in
+  let sorted =
+    List.sort Posting.compare_for_join
+      [mk 2 [1] 0; mk 1 [1; 3] 0; mk 1 [1; 2] 1; mk 1 [1; 2] 0]
+  in
+  Alcotest.(check (list (pair int int)))
+    "doc, then path, then version"
+    [(1, 0); (1, 1); (1, 0); (2, 0)]
+    (List.map (fun p -> (p.Posting.doc, p.Posting.vstart)) sorted)
+
+(* --- fti lifecycle ------------------------------------------------------ *)
+
+let test_fti_open_close () =
+  let fti = Fti.create () in
+  Fti.index_version fti ~doc:0 ~version:0 (vnode "<a><b>hello</b></a>");
+  Fti.index_version fti ~doc:0 ~version:1 (vnode "<a><b>world</b></a>");
+  (* "hello" closed at v1, "world" open from v1, tags persist *)
+  let hello = Fti.lookup_h fti "hello" in
+  Alcotest.(check (list (pair int int))) "hello interval" [(0, 1)]
+    (List.map (fun p -> (p.Posting.vstart, p.Posting.vend)) hello);
+  let world = Fti.lookup fti "world" in
+  Alcotest.(check int) "world open" 1 (List.length world);
+  let b_tag = Fti.lookup_h fti "b" in
+  Alcotest.(check int) "tag persists as one posting" 1 (List.length b_tag);
+  Alcotest.(check bool) "b still open" true
+    (Posting.is_open (List.hd b_tag))
+
+let test_fti_snapshot_lookup () =
+  let fti = Fti.create () in
+  Fti.index_version fti ~doc:0 ~version:0 (vnode "<a>x</a>");
+  Fti.index_version fti ~doc:0 ~version:1 (vnode "<a>y</a>");
+  Fti.index_version fti ~doc:0 ~version:2 (vnode "<a>x</a>");
+  let at v = Fti.lookup_t fti "x" ~version_at:(fun _ -> Some v) in
+  Alcotest.(check int) "x at v0" 1 (List.length (at 0));
+  Alcotest.(check int) "x gone at v1" 0 (List.length (at 1));
+  Alcotest.(check int) "x back at v2" 1 (List.length (at 2));
+  (* reappearance = a second posting, not a resurrected one *)
+  Alcotest.(check int) "two postings total" 2
+    (List.length (Fti.lookup_h fti "x"));
+  Alcotest.(check int) "doc missing at query time" 0
+    (List.length (Fti.lookup_t fti "x" ~version_at:(fun _ -> None)))
+
+let test_fti_delete_document () =
+  let fti = Fti.create () in
+  Fti.index_version fti ~doc:0 ~version:0 (vnode "<a>x</a>");
+  Fti.delete_document fti ~doc:0 ~version:1;
+  Alcotest.(check int) "nothing current" 0 (List.length (Fti.lookup fti "x"));
+  Alcotest.(check int) "history remains" 1 (List.length (Fti.lookup_h fti "x"));
+  Alcotest.(check int) "posting closed at the delete bound" 1
+    (List.hd (Fti.lookup_h fti "x")).Posting.vend
+
+let test_fti_out_of_order_rejected () =
+  let fti = Fti.create () in
+  Fti.index_version fti ~doc:0 ~version:1 (vnode "<a>x</a>");
+  Alcotest.check_raises "monotone versions"
+    (Invalid_argument
+       "Fti.index_version: version 0 of doc 0 indexed out of order (last 1)")
+    (fun () -> Fti.index_version fti ~doc:0 ~version:0 (vnode "<a>y</a>"))
+
+let test_fti_multi_doc () =
+  let fti = Fti.create () in
+  Fti.index_version fti ~doc:0 ~version:0 (vnode "<a>shared</a>");
+  Fti.index_version fti ~doc:1 ~version:0 (vnode "<b>shared</b>");
+  Alcotest.(check int) "postings across docs" 2
+    (List.length (Fti.lookup fti "shared"));
+  Alcotest.(check int) "doc filter" 1
+    (List.length (Fti.lookup_h_doc fti "shared" ~doc:1));
+  Alcotest.(check bool) "vocabulary covers tags and words" true
+    (let v = Fti.vocabulary fti in
+     List.mem "a" v && List.mem "b" v && List.mem "shared" v)
+
+let test_fti_stats () =
+  let fti = Fti.create () in
+  Alcotest.(check int) "empty words" 0 (Fti.word_count fti);
+  Fti.index_version fti ~doc:0 ~version:0 (vnode "<a k=\"v\">w w</a>");
+  (* words: a (tag), k, v, w — duplicate w collapses per position *)
+  Alcotest.(check int) "word count" 4 (Fti.word_count fti);
+  Alcotest.(check int) "posting count" 4 (Fti.posting_count fti)
+
+(* a moved element closes the old-path postings and opens new ones *)
+let test_fti_move_reindexes_path () =
+  let fti = Fti.create () in
+  Fti.index_version fti ~doc:0 ~version:0
+    (vnode "<r><a><x>deep</x></a><b/></r>");
+  (* same nodes, x moved under b: simulate with explicit xids *)
+  let v1 =
+    (* r=1 a=2 x=3 text=4 b=5 — move x under b *)
+    Vnode.Elem
+      {
+        xid = Xid.of_int 1;
+        tag = "r";
+        attrs = [];
+        children =
+          [
+            Vnode.Elem { xid = Xid.of_int 2; tag = "a"; attrs = []; children = [] };
+            Vnode.Elem
+              {
+                xid = Xid.of_int 5;
+                tag = "b";
+                attrs = [];
+                children =
+                  [
+                    Vnode.Elem
+                      {
+                        xid = Xid.of_int 3;
+                        tag = "x";
+                        attrs = [];
+                        children =
+                          [Vnode.Text { xid = Xid.of_int 4; content = "deep" }];
+                      };
+                  ];
+              };
+          ];
+      }
+  in
+  Fti.index_version fti ~doc:0 ~version:1 v1;
+  let deep = Fti.lookup_h fti "deep" in
+  Alcotest.(check int) "old posting closed + new posting" 2 (List.length deep);
+  let open_ones = List.filter Posting.is_open deep in
+  (match open_ones with
+   | [p] ->
+     Alcotest.(check (list int)) "new path r/b/x" [1; 5; 3]
+       (Array.to_list (Array.map Xid.to_int p.Posting.path))
+   | _ -> Alcotest.fail "expected exactly one open posting")
+
+(* --- delta fti ----------------------------------------------------------- *)
+
+let test_delta_fti_ops () =
+  let dfti = Delta_fti.create () in
+  Delta_fti.index_initial dfti ~doc:0 (vnode "<g><r>old</r></g>");
+  let delta =
+    Txq_vxml.Delta.make ~from_version:0 ~to_version:1
+      [
+        Txq_vxml.Delta.Update
+          { xid = Xid.of_int 3; old_text = "old"; new_text = "new" };
+        Txq_vxml.Delta.Rename
+          { xid = Xid.of_int 2; old_tag = "r"; new_tag = "s" };
+        Txq_vxml.Delta.Insert
+          {
+            parent = Xid.of_int 1;
+            after = None;
+            tree = vnode "<extra>stuff</extra>";
+          };
+      ]
+  in
+  Delta_fti.index_delta dfti ~doc:0 ~version:1 delta;
+  let kinds w k = List.length (Delta_fti.changes_of_kind dfti w k) in
+  Alcotest.(check int) "initial insert of 'old'" 1 (kinds "old" Delta_fti.Inserted);
+  Alcotest.(check int) "'old' deleted by the update" 1 (kinds "old" Delta_fti.Deleted);
+  Alcotest.(check int) "'new' updated in" 1 (kinds "new" Delta_fti.Updated);
+  Alcotest.(check int) "rename recorded" 1 (kinds "s" Delta_fti.Renamed);
+  Alcotest.(check int) "old tag recorded deleted" 1 (kinds "r" Delta_fti.Deleted);
+  Alcotest.(check int) "inserted subtree words" 1 (kinds "stuff" Delta_fti.Inserted);
+  Alcotest.(check bool) "entry counts add up" true (Delta_fti.entry_count dfti > 5)
+
+let test_delta_fti_deletions_in_doc () =
+  let dfti = Delta_fti.create () in
+  let tree = vnode "<r>bye</r>" in
+  Delta_fti.index_delta dfti ~doc:7 ~version:3
+    (Txq_vxml.Delta.make ~from_version:2 ~to_version:3
+       [Txq_vxml.Delta.Delete { parent = Xid.of_int 99; after = None; tree }]);
+  (match Delta_fti.deletions_in_doc dfti "bye" ~doc:7 with
+   | [e] ->
+     Alcotest.(check int) "version" 3 e.Delta_fti.ch_version;
+     Alcotest.(check int) "doc" 7 e.Delta_fti.ch_doc
+   | other -> Alcotest.failf "expected one entry, got %d" (List.length other));
+  Alcotest.(check int) "other doc empty" 0
+    (List.length (Delta_fti.deletions_in_doc dfti "bye" ~doc:8))
+
+(* property: FTI incremental maintenance ≡ indexing each version from
+   scratch *)
+let prop_incremental_equals_scratch =
+  QCheck.Test.make ~count:40 ~name:"fti incremental ≡ from-scratch"
+    (Txq_test_support.Gen_xml.arb_history ~max_versions:6)
+    (fun (doc0, versions) ->
+      let gen = Xid.Gen.create () in
+      (* identified versions via diff, like the db commit path *)
+      let v0 = Vnode.of_xml gen (Txq_xml.Xml.normalize doc0) in
+      let identified =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (prev, acc) xml ->
+                  let _, next =
+                    Txq_vxml.Diff.diff ~gen ~old_tree:prev
+                      ~new_tree:(Txq_xml.Xml.normalize xml)
+                  in
+                  (next, next :: acc))
+                (v0, [v0]) versions))
+      in
+      let incremental = Fti.create () in
+      List.iteri
+        (fun v tree -> Fti.index_version incremental ~doc:0 ~version:v tree)
+        identified;
+      (* compare against per-version brute force for every word *)
+      List.for_all
+        (fun word ->
+          List.for_all
+            (fun v ->
+              let via_index =
+                List.length
+                  (Fti.lookup_t incremental word ~version_at:(fun _ -> Some v))
+              in
+              let brute =
+                Vnode.Occ_set.cardinal
+                  (Vnode.Occ_set.filter
+                     (fun (w, _, _) -> String.equal w word)
+                     (Vnode.occurrence_set (List.nth identified v)))
+              in
+              via_index = brute)
+            (List.init (List.length identified) Fun.id))
+        (Fti.vocabulary incremental))
+
+let () =
+  Alcotest.run "fti"
+    [
+      ( "posting",
+        [
+          Alcotest.test_case "validity" `Quick test_posting_validity;
+          Alcotest.test_case "join order" `Quick test_posting_join_order;
+        ] );
+      ( "fti",
+        [
+          Alcotest.test_case "open/close" `Quick test_fti_open_close;
+          Alcotest.test_case "snapshot lookup" `Quick test_fti_snapshot_lookup;
+          Alcotest.test_case "delete document" `Quick test_fti_delete_document;
+          Alcotest.test_case "out-of-order rejected" `Quick
+            test_fti_out_of_order_rejected;
+          Alcotest.test_case "multi-document" `Quick test_fti_multi_doc;
+          Alcotest.test_case "stats" `Quick test_fti_stats;
+          Alcotest.test_case "move reindexes path" `Quick
+            test_fti_move_reindexes_path;
+          QCheck_alcotest.to_alcotest prop_incremental_equals_scratch;
+        ] );
+      ( "delta_fti",
+        [
+          Alcotest.test_case "operation kinds" `Quick test_delta_fti_ops;
+          Alcotest.test_case "deletions in doc" `Quick
+            test_delta_fti_deletions_in_doc;
+        ] );
+    ]

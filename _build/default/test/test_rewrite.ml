@@ -1,0 +1,112 @@
+module Xml = Txq_xml.Xml
+module Print = Txq_xml.Print
+module Timestamp = Txq_temporal.Timestamp
+open Txq_query
+
+let ts = Timestamp.of_string
+let now = ts "31/01/2001"
+let rw q = Ast.to_string (Rewrite.query ~now (Parser.parse_exn q))
+
+(* --- individual rules ----------------------------------------------------- *)
+
+let test_time_folding () =
+  Alcotest.(check string) "literal chain folds"
+    "SELECT R FROM doc(\"u\")[14/01/2001]/r R"
+    (rw {|SELECT R FROM doc("u")[01/01/2001 + 2 WEEKS - 1 DAY]/r R|});
+  (* NOW stays symbolic *)
+  Alcotest.(check string) "NOW-relative times are not folded away"
+    "SELECT R FROM doc(\"u\")[NOW - 2 WEEKS]/r R"
+    (rw {|SELECT R FROM doc("u")[NOW - 14 DAYS]/r R|})
+
+let test_snapshot_to_current () =
+  Alcotest.(check string) "[NOW] becomes a current scan"
+    "SELECT R FROM doc(\"u\")/r R" (rw {|SELECT R FROM doc("u")[NOW]/r R|});
+  Alcotest.(check string) "future snapshot becomes a current scan"
+    "SELECT R FROM doc(\"u\")/r R"
+    (rw {|SELECT R FROM doc("u")[NOW + 3 DAYS]/r R|});
+  Alcotest.(check string) "past snapshot untouched"
+    "SELECT R FROM doc(\"u\")[26/01/2001]/r R"
+    (rw {|SELECT R FROM doc("u")[26/01/2001]/r R|});
+  (* NOW - d could be in the past: must stay a snapshot *)
+  Alcotest.(check string) "NOW minus duration stays temporal"
+    "SELECT R FROM doc(\"u\")[NOW - 1 DAYS]/r R"
+    (rw {|SELECT R FROM doc("u")[NOW - 1 DAY]/r R|})
+
+let test_condition_pruning () =
+  Alcotest.(check string) "true conjunct removed"
+    "SELECT R FROM doc(\"u\")/r R WHERE R/p < 10"
+    (rw {|SELECT R FROM doc("u")/r R WHERE 01/01/2001 < 02/01/2001 AND R/p < 10|});
+  Alcotest.(check string) "NOT folds"
+    "SELECT R FROM doc(\"u\")/r R WHERE R/p < 10"
+    (rw
+       {|SELECT R FROM doc("u")/r R WHERE NOT (02/01/2001 < 01/01/2001) AND R/p < 10|});
+  Alcotest.(check string) "true disjunct decides the whole OR"
+    "SELECT R FROM doc(\"u\")/r R"
+    (rw {|SELECT R FROM doc("u")/r R WHERE R/p < 10 OR 01/01/2001 < 02/01/2001|})
+
+let test_false_where_empties () =
+  (* a provably-false WHERE must produce zero rows, not an error *)
+  let db = Txq_db.Db.create () in
+  ignore
+    (Txq_db.Db.insert_document db ~url:"u" ~ts:(ts "01/01/2001")
+       (Txq_xml.Parse.parse_exn "<r><p>5</p></r>"));
+  match
+    Rewrite.run_string db
+      {|SELECT R FROM doc("u")/r R WHERE 02/01/2001 < 01/01/2001|}
+  with
+  | Ok xml -> Alcotest.(check string) "empty results" "<results/>" (Print.to_string xml)
+  | Error e -> Alcotest.fail (Exec.error_to_string e)
+
+let test_distinct_under_aggregate () =
+  Alcotest.(check string) "DISTINCT dropped"
+    "SELECT COUNT(R) FROM doc(\"u\")/r R"
+    (rw {|SELECT DISTINCT COUNT(R) FROM doc("u")/r R|});
+  Alcotest.(check string) "DISTINCT kept on rows"
+    "SELECT DISTINCT R FROM doc(\"u\")/r R"
+    (rw {|SELECT DISTINCT R FROM doc("u")/r R|})
+
+(* --- equivalence property ---------------------------------------------------- *)
+
+let prop_rewrite_preserves_results =
+  QCheck.Test.make ~count:25 ~name:"rewrite preserves query results"
+    (Txq_test_support.Gen_xml.arb_history ~max_versions:4)
+    (fun (doc0, versions) ->
+      let db = Txq_db.Db.create () in
+      let base = Timestamp.of_date ~day:1 ~month:1 ~year:2001 in
+      ignore (Txq_db.Db.insert_document db ~url:"u" ~ts:base doc0);
+      List.iteri
+        (fun i v ->
+          ignore
+            (Txq_db.Db.update_document db ~url:"u"
+               ~ts:(Timestamp.add base (Txq_temporal.Duration.days (i + 1)))
+               v))
+        versions;
+      List.for_all
+        (fun q ->
+          let plain = Exec.run_string db q in
+          let rewritten = Rewrite.run_string db q in
+          match (plain, rewritten) with
+          | Ok a, Ok b -> String.equal (Print.to_string a) (Print.to_string b)
+          | Error _, Error _ -> true
+          | _ -> false)
+        [
+          {|SELECT COUNT(R) FROM doc("u")[NOW]/doc R|};
+          {|SELECT R FROM doc("u")[02/01/2001 + 1 DAY]//name R|};
+          {|SELECT R FROM doc("u")//price R WHERE 01/01/2001 < 02/01/2001 AND R/name CONTAINS "x"|};
+          {|SELECT COUNT(R) FROM doc("u")[NOW - 1 DAY]//item R|};
+        ])
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "time folding" `Quick test_time_folding;
+          Alcotest.test_case "snapshot to current" `Quick test_snapshot_to_current;
+          Alcotest.test_case "condition pruning" `Quick test_condition_pruning;
+          Alcotest.test_case "false WHERE" `Quick test_false_where_empties;
+          Alcotest.test_case "distinct under aggregate" `Quick
+            test_distinct_under_aggregate;
+        ] );
+      ("equivalence", [QCheck_alcotest.to_alcotest prop_rewrite_preserves_results]);
+    ]

@@ -1,0 +1,242 @@
+open Txq_temporal
+
+let ts = Timestamp.of_string
+let check_ts = Alcotest.testable Timestamp.pp Timestamp.equal
+
+(* --- Timestamp -------------------------------------------------------- *)
+
+let test_date_roundtrip () =
+  let t = Timestamp.of_date ~day:26 ~month:1 ~year:2001 in
+  Alcotest.(check (triple int int int))
+    "to_date" (26, 1, 2001) (Timestamp.to_date t);
+  Alcotest.(check string) "to_string" "26/01/2001" (Timestamp.to_string t)
+
+let test_parse_print () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Timestamp.to_string (ts s)))
+    ["01/01/1970"; "26/01/2001"; "29/02/2000"; "31/12/1999"; "15/06/2026";
+     "26/01/2001 13:45:10"]
+
+let test_parse_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option check_ts)) s None (Timestamp.of_string_opt s))
+    ["30/02/2001"; "32/01/2001"; "01/13/2001"; "29/02/2001"; "foo";
+     "1/2"; "01/01/2001 25:00:00"; ""]
+
+let test_epoch () =
+  Alcotest.check check_ts "epoch is 01/01/1970"
+    (Timestamp.of_date ~day:1 ~month:1 ~year:1970)
+    Timestamp.epoch
+
+let test_before_epoch () =
+  let t = Timestamp.of_date ~day:31 ~month:12 ~year:1969 in
+  Alcotest.(check bool) "before epoch" true Timestamp.(t < Timestamp.epoch);
+  Alcotest.(check (triple int int int))
+    "civil date preserved" (31, 12, 1969) (Timestamp.to_date t)
+
+let test_ordering () =
+  let a = ts "01/01/2001" and b = ts "15/01/2001" in
+  Alcotest.(check bool) "a < b" true Timestamp.(a < b);
+  Alcotest.(check bool) "b > a" true Timestamp.(b > a);
+  Alcotest.(check bool) "a <= a" true Timestamp.(a <= a);
+  Alcotest.(check bool) "minus_inf < a" true
+    Timestamp.(Timestamp.minus_infinity < a);
+  Alcotest.(check bool) "a < plus_inf" true
+    Timestamp.(a < Timestamp.plus_infinity)
+
+let test_arithmetic () =
+  let a = ts "26/01/2001" in
+  Alcotest.check check_ts "NOW - 14 DAYS style arithmetic" (ts "12/01/2001")
+    (Timestamp.sub a (Duration.days 14));
+  Alcotest.check check_ts "26/01/2001 + 2 WEEKS" (ts "09/02/2001")
+    (Timestamp.add a (Duration.weeks 2));
+  Alcotest.(check int) "diff_seconds" (14 * 86_400)
+    (Timestamp.diff_seconds a (ts "12/01/2001"))
+
+let test_leap_years () =
+  Alcotest.check check_ts "leap day parses" (ts "29/02/2024")
+    (Timestamp.of_date ~day:29 ~month:2 ~year:2024);
+  Alcotest.(check int) "2000-03-01 minus 2000-02-28 is 2 days" (2 * 86_400)
+    (Timestamp.diff_seconds (ts "01/03/2000") (ts "28/02/2000"));
+  Alcotest.(check int) "1900 is not leap (Gregorian)" 86_400
+    (Timestamp.diff_seconds
+       (Timestamp.of_date ~day:1 ~month:3 ~year:1900)
+       (Timestamp.of_date ~day:28 ~month:2 ~year:1900))
+
+let test_infinities_print () =
+  Alcotest.(check string) "BOT" "BOT" (Timestamp.to_string Timestamp.minus_infinity);
+  Alcotest.(check string) "UC" "UC" (Timestamp.to_string Timestamp.plus_infinity)
+
+(* --- Duration --------------------------------------------------------- *)
+
+let test_duration_units () =
+  Alcotest.(check int) "weeks" (7 * 86_400) (Duration.to_seconds (Duration.weeks 1));
+  Alcotest.(check int) "days" 86_400 (Duration.to_seconds (Duration.days 1));
+  Alcotest.(check int) "hours" 3600 (Duration.to_seconds (Duration.hours 1));
+  Alcotest.(check int) "minutes" 60 (Duration.to_seconds (Duration.minutes 1))
+
+let test_duration_parse () =
+  Alcotest.(check int) "14 DAYS" (14 * 86_400)
+    (Duration.to_seconds (Duration.of_string "14 DAYS"));
+  Alcotest.(check int) "2 weeks, case-insensitive" (14 * 86_400)
+    (Duration.to_seconds (Duration.of_string "2 weeks"));
+  Alcotest.(check int) "1 DAY singular" 86_400
+    (Duration.to_seconds (Duration.of_string "1 DAY"));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Duration.of_string: \"-3 DAYS\"") (fun () ->
+      ignore (Duration.of_string "-3 DAYS"))
+
+let test_duration_print () =
+  Alcotest.(check string) "13 DAYS" "13 DAYS" (Duration.to_string (Duration.days 13));
+  Alcotest.(check string) "14 days prints as weeks" "2 WEEKS"
+    (Duration.to_string (Duration.days 14));
+  Alcotest.(check string) "90 MINUTES" "90 MINUTES"
+    (Duration.to_string (Duration.minutes 90));
+  Alcotest.(check string) "zero" "0 SECONDS" (Duration.to_string Duration.zero)
+
+(* --- Interval --------------------------------------------------------- *)
+
+let iv a b = Interval.make ~start:(ts a) ~stop:(ts b)
+let check_iv = Alcotest.testable Interval.pp Interval.equal
+
+let test_interval_basics () =
+  let i = iv "01/01/2001" "15/01/2001" in
+  Alcotest.(check bool) "contains start" true (Interval.contains i (ts "01/01/2001"));
+  Alcotest.(check bool) "open upper bound" false
+    (Interval.contains i (ts "15/01/2001"));
+  Alcotest.(check bool) "contains middle" true (Interval.contains i (ts "07/01/2001"));
+  Alcotest.check_raises "empty interval rejected"
+    (Invalid_argument
+       "Interval.make: empty interval [15/01/2001, 15/01/2001)") (fun () ->
+      ignore (iv "15/01/2001" "15/01/2001"))
+
+let test_interval_current () =
+  let i = Interval.since (ts "01/01/2001") in
+  Alcotest.(check bool) "is_current" true (Interval.is_current i);
+  Alcotest.(check bool) "contains far future" true
+    (Interval.contains i (ts "01/01/2100"))
+
+let test_interval_overlap () =
+  let a = iv "01/01/2001" "15/01/2001" in
+  let b = iv "10/01/2001" "20/01/2001" in
+  let c = iv "15/01/2001" "20/01/2001" in
+  Alcotest.(check bool) "overlapping" true (Interval.overlaps a b);
+  Alcotest.(check bool) "meeting intervals do not overlap" false
+    (Interval.overlaps a c);
+  Alcotest.(check bool) "meets" true (Interval.meets a c);
+  Alcotest.(check (option check_iv))
+    "intersect" (Some (iv "10/01/2001" "15/01/2001")) (Interval.intersect a b);
+  Alcotest.(check (option check_iv)) "disjoint intersect" None
+    (Interval.intersect a c)
+
+let test_interval_subtract () =
+  let a = iv "01/01/2001" "31/01/2001" in
+  Alcotest.(check (list check_iv))
+    "carve middle"
+    [iv "01/01/2001" "10/01/2001"; iv "20/01/2001" "31/01/2001"]
+    (Interval.subtract a (iv "10/01/2001" "20/01/2001"));
+  Alcotest.(check (list check_iv))
+    "disjoint" [a]
+    (Interval.subtract a (iv "01/03/2001" "02/03/2001"));
+  Alcotest.(check (list check_iv))
+    "swallowed" []
+    (Interval.subtract a (iv "01/12/2000" "01/03/2001"))
+
+let test_coalesce () =
+  let input =
+    [iv "10/01/2001" "15/01/2001"; iv "01/01/2001" "05/01/2001";
+     iv "05/01/2001" "10/01/2001"; iv "20/01/2001" "25/01/2001"]
+  in
+  Alcotest.(check (list check_iv))
+    "adjacent and out-of-order merge"
+    [iv "01/01/2001" "15/01/2001"; iv "20/01/2001" "25/01/2001"]
+    (Interval.coalesce input)
+
+let prop_coalesce_invariants =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 12)
+        (map2
+           (fun a len ->
+             Interval.make
+               ~start:(Timestamp.of_seconds (a * 86_400))
+               ~stop:(Timestamp.of_seconds ((a + 1 + len) * 86_400)))
+           (int_range 0 50) (int_range 0 10)))
+  in
+  QCheck.Test.make ~count:300 ~name:"coalesce: disjoint, sorted, same coverage"
+    (QCheck.make gen) (fun ivs ->
+      let out = Interval.coalesce ivs in
+      (* sorted and pairwise disjoint, non-adjacent *)
+      let rec sorted_disjoint = function
+        | a :: (b :: _ as rest) ->
+          Timestamp.(Interval.stop a < Interval.start b) && sorted_disjoint rest
+        | [_] | [] -> true
+      in
+      (* coverage preserved: probe day boundaries *)
+      let covered intervals t = List.exists (fun i -> Interval.contains i t) intervals in
+      let probes = List.init 70 (fun d -> Timestamp.of_seconds (d * 86_400)) in
+      sorted_disjoint out
+      && List.for_all (fun t -> Bool.equal (covered ivs t) (covered out t)) probes)
+
+let test_interval_duration () =
+  Alcotest.(check int) "two weeks" (14 * 86_400)
+    (Interval.duration_seconds (iv "01/01/2001" "15/01/2001"));
+  Alcotest.(check int) "open-ended is unbounded" max_int
+    (Interval.duration_seconds (Interval.since (ts "01/01/2001")));
+  Alcotest.(check int) "always is unbounded" max_int
+    (Interval.duration_seconds Interval.always)
+
+let test_timestamp_min_max () =
+  let a = ts "01/01/2001" and b = ts "15/01/2001" in
+  Alcotest.check check_ts "min" a (Timestamp.min a b);
+  Alcotest.check check_ts "max" b (Timestamp.max b a)
+
+(* --- Clock ------------------------------------------------------------ *)
+
+let test_clock () =
+  let c = Clock.create ~start:(ts "01/01/2001") () in
+  Alcotest.check check_ts "initial" (ts "01/01/2001") (Clock.now c);
+  let t2 = Clock.advance c (Duration.days 14) in
+  Alcotest.check check_ts "advanced" (ts "15/01/2001") t2;
+  let t3 = Clock.tick c in
+  Alcotest.(check int) "tick is one second" 1
+    (Timestamp.diff_seconds t3 t2);
+  Alcotest.check_raises "no travel to the past"
+    (Invalid_argument "Clock.set: transaction time cannot move backwards")
+    (fun () -> Clock.set c (ts "01/01/2000"))
+
+let () =
+  Alcotest.run "temporal"
+    [
+      ( "timestamp",
+        [
+          Alcotest.test_case "date roundtrip" `Quick test_date_roundtrip;
+          Alcotest.test_case "parse/print" `Quick test_parse_print;
+          Alcotest.test_case "invalid dates" `Quick test_parse_invalid;
+          Alcotest.test_case "epoch" `Quick test_epoch;
+          Alcotest.test_case "before epoch" `Quick test_before_epoch;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "leap years" `Quick test_leap_years;
+          Alcotest.test_case "infinities print" `Quick test_infinities_print;
+        ] );
+      ( "duration",
+        [
+          Alcotest.test_case "units" `Quick test_duration_units;
+          Alcotest.test_case "parse" `Quick test_duration_parse;
+          Alcotest.test_case "print" `Quick test_duration_print;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "current" `Quick test_interval_current;
+          Alcotest.test_case "overlap/intersect" `Quick test_interval_overlap;
+          Alcotest.test_case "subtract" `Quick test_interval_subtract;
+          Alcotest.test_case "coalesce" `Quick test_coalesce;
+          Alcotest.test_case "duration" `Quick test_interval_duration;
+          Alcotest.test_case "min/max" `Quick test_timestamp_min_max;
+          QCheck_alcotest.to_alcotest prop_coalesce_invariants;
+        ] );
+      ("clock", [Alcotest.test_case "monotonic clock" `Quick test_clock]);
+    ]

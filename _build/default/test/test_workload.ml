@@ -1,0 +1,216 @@
+module Xml = Txq_xml.Xml
+open Txq_workload
+
+(* --- rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Rng.create ~seed:43 in
+  Alcotest.(check bool) "different seed differs" true (seq a <> seq c)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7);
+    let f = Rng.float r in
+    Alcotest.(check bool) "unit interval" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:5 in
+  let child = Rng.split r in
+  let a = List.init 5 (fun _ -> Rng.int r 100) in
+  let b = List.init 5 (fun _ -> Rng.int child 100) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create ~seed:9 in
+  let arr = Array.init 30 Fun.id in
+  Rng.shuffle r arr;
+  Alcotest.(check (list int)) "same multiset"
+    (List.init 30 Fun.id)
+    (List.sort Int.compare (Array.to_list arr))
+
+(* --- vocab -------------------------------------------------------------- *)
+
+let test_vocab_zipf_skew () =
+  let r = Rng.create ~seed:3 in
+  let v = Vocab.create ~size:100 ~exponent:1.2 r in
+  let counts = Hashtbl.create 128 in
+  for _ = 1 to 5000 do
+    let w = Vocab.word v in
+    Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w))
+  done;
+  let freqs = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+  let max_freq = List.fold_left Stdlib.max 0 freqs in
+  Alcotest.(check bool) "head word dominates (zipf)" true
+    (max_freq > 5000 / 10);
+  Alcotest.(check bool) "long tail exists" true (Hashtbl.length counts > 20)
+
+let test_vocab_words_sentence () =
+  let r = Rng.create ~seed:4 in
+  let v = Vocab.create ~size:50 r in
+  let sentence = Vocab.words v 7 in
+  Alcotest.(check int) "7 words" 7
+    (List.length (String.split_on_char ' ' sentence))
+
+(* --- restaurant corpus --------------------------------------------------- *)
+
+let mk_gen ?params seed =
+  let r = Rng.create ~seed in
+  let v = Vocab.create ~size:200 (Rng.split r) in
+  Restaurant.create ?params ~vocab:v (Rng.split r)
+
+let test_restaurant_initial_shape () =
+  let gen = mk_gen 42 in
+  let doc = Restaurant.initial gen in
+  Alcotest.(check (option string)) "root" (Some "guide") (Xml.tag doc);
+  let restaurants = Xml.find_children doc "restaurant" in
+  Alcotest.(check int) "default count" 20 (List.length restaurants);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun field ->
+          Alcotest.(check bool)
+            (Printf.sprintf "has %s" field)
+            true
+            (Xml.find_child r field <> None))
+        ["name"; "price"; "address"; "cuisine"; "rating"; "review"])
+    restaurants;
+  (* the known query target is present *)
+  Alcotest.(check bool) "known name present" true
+    (List.exists
+       (fun r ->
+         match Xml.find_child r "name" with
+         | Some n -> String.equal (Xml.text_content n) (Restaurant.known_name gen)
+         | None -> false)
+       restaurants)
+
+let test_restaurant_evolution_valid () =
+  let gen = mk_gen 7 in
+  let rec steps doc k =
+    if k = 0 then ()
+    else begin
+      let next = Restaurant.evolve gen doc in
+      Alcotest.(check (option string)) "root stays guide" (Some "guide")
+        (Xml.tag next);
+      Alcotest.(check bool) "normalized" true (Xml.is_normalized (Xml.normalize next));
+      Alcotest.(check bool) "ingestible" true
+        (Result.is_ok (Txq_vxml.Codec.check_plain next));
+      steps next (k - 1)
+    end
+  in
+  steps (Restaurant.initial gen) 15
+
+let test_change_rate_scales () =
+  let churn rate =
+    let params = Restaurant.change_rate rate in
+    params.Restaurant.p_price_update
+  in
+  Alcotest.(check bool) "0 rate, no churn" true (churn 0.0 = 0.0);
+  Alcotest.(check bool) "monotone" true (churn 0.5 < churn 2.0);
+  Alcotest.(check bool) "clamped at 1" true (churn 100.0 <= 1.0)
+
+(* --- news corpus ----------------------------------------------------------- *)
+
+let test_news_article_shape () =
+  let r = Rng.create ~seed:11 in
+  let v = Vocab.create ~size:100 (Rng.split r) in
+  let gen = News.create ~vocab:v (Rng.split r) in
+  let published = Txq_temporal.Timestamp.of_string "01/06/2001" in
+  let article = News.article gen ~topic:"science" ~published in
+  Alcotest.(check (option string)) "root" (Some "article") (Xml.tag article);
+  (match Txq_xml.Path.select_from_children
+           (Txq_xml.Path.parse_exn "/meta/published") article
+   with
+   | [node] ->
+     Alcotest.(check string) "document time embedded" "01/06/2001"
+       (Xml.text_content node)
+   | _ -> Alcotest.fail "expected one <published>");
+  let revised = News.revise gen article in
+  Alcotest.(check (option string)) "revision keeps root" (Some "article")
+    (Xml.tag revised);
+  (match Txq_xml.Path.select_from_children
+           (Txq_xml.Path.parse_exn "/meta/published") revised
+   with
+   | [node] ->
+     Alcotest.(check string) "document time survives revisions" "01/06/2001"
+       (Xml.text_content node)
+   | _ -> Alcotest.fail "published lost")
+
+(* --- loader ------------------------------------------------------------------ *)
+
+let small_spec =
+  { Load.default_spec with Load.documents = 3; versions = 5 }
+
+let test_loader_builds () =
+  let db = Load.load_db small_spec in
+  Alcotest.(check int) "documents" 3 (Txq_db.Db.document_count db);
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "versions" 5
+        (Txq_db.Docstore.version_count (Txq_db.Db.doc db id)))
+    (Txq_db.Db.doc_ids db)
+
+let test_loader_deterministic () =
+  let db1 = Load.load_db small_spec and db2 = Load.load_db small_spec in
+  List.iter2
+    (fun a b ->
+      let ta = Txq_db.Docstore.current (Txq_db.Db.doc db1 a) in
+      let tb = Txq_db.Docstore.current (Txq_db.Db.doc db2 b) in
+      Alcotest.(check bool) "identical current content" true
+        (Txq_vxml.Vnode.equal_with_xids ta tb))
+    (Txq_db.Db.doc_ids db1) (Txq_db.Db.doc_ids db2)
+
+let test_loader_db_equals_stratum () =
+  let db, stratum = Load.load_both small_spec in
+  (* the same bytes went into both stores: snapshot query agrees *)
+  let mid = Txq_temporal.Timestamp.to_string (Load.midpoint_ts small_spec) in
+  let q =
+    Printf.sprintf {|SELECT COUNT(R) FROM doc("%s")[%s]/guide/restaurant R|}
+      (Load.url_of 1) mid
+  in
+  let a = Txq_query.Exec.run_string_exn db q in
+  match Txq_query.Stratum.run_string stratum q with
+  | Ok b ->
+    Alcotest.(check string) "same count" (Txq_xml.Print.to_string a)
+      (Txq_xml.Print.to_string b)
+  | Error e -> Alcotest.fail (Txq_query.Exec.error_to_string e)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "vocab",
+        [
+          Alcotest.test_case "zipf skew" `Quick test_vocab_zipf_skew;
+          Alcotest.test_case "sentences" `Quick test_vocab_words_sentence;
+        ] );
+      ( "restaurant",
+        [
+          Alcotest.test_case "initial shape" `Quick test_restaurant_initial_shape;
+          Alcotest.test_case "evolution stays valid" `Quick
+            test_restaurant_evolution_valid;
+          Alcotest.test_case "change rate" `Quick test_change_rate_scales;
+        ] );
+      ("news", [Alcotest.test_case "article shape" `Quick test_news_article_shape]);
+      ( "loader",
+        [
+          Alcotest.test_case "builds" `Quick test_loader_builds;
+          Alcotest.test_case "deterministic" `Quick test_loader_deterministic;
+          Alcotest.test_case "db ≡ stratum ingestion" `Quick
+            test_loader_db_equals_stratum;
+        ] );
+    ]
