@@ -687,12 +687,56 @@ let e11 () =
        "TPatternScan(now)"; "PatternScan"; "scan speedup"]
     rows
 
+(* ------------------------------------------------------------------ E12 *)
+
+let e12 () =
+  section "E12  Durability: journaling overhead and recovery time"
+    "Beyond the paper: the delta index of Section 7.1 is in-memory, so a\n\
+     crash loses the version history.  The commit journal appends one\n\
+     record per mutating operation; recovery scans the disk, replays the\n\
+     journal, and rebuilds every derived index.";
+  let rows =
+    List.map
+      (fun versions ->
+        let sp = spec ~documents:4 ~versions ~restaurants:20 () in
+        let plain_us = time_us ~runs:3 (fun () -> ignore (Load.load_db sp)) in
+        let config = Config.durable Config.default in
+        let db = Load.load_db ~config sp in
+        let durable_us =
+          time_us ~runs:3 (fun () -> ignore (Load.load_db ~config sp))
+        in
+        let recover_us =
+          time_us ~runs:3 (fun () -> ignore (Db.recover (Db.disk db) config))
+        in
+        let journal_pages =
+          match Db.journal db with
+          | Some j -> Txq_store.Journal.page_count j
+          | None -> 0
+        in
+        [
+          string_of_int versions;
+          fmt_us plain_us;
+          fmt_us durable_us;
+          Printf.sprintf "%.2fx" (durable_us /. plain_us);
+          fmt_us recover_us;
+          fmt_int journal_pages;
+          fmt_int (Db.live_pages db);
+        ])
+      [8; 32; 128]
+  in
+  print_table ~title:"E12: commit journaling and recovery (4 documents)"
+    ~columns:
+      ["versions/doc"; "ingest"; "ingest+journal"; "overhead"; "recover";
+       "journal pages"; "live pages"]
+    rows
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12);
   ]
 
 let () =

@@ -13,6 +13,7 @@ type t = {
   buffer_pool_pages : int;
   reconstruct_cache : int;
   document_time_path : string option;
+  durability : [ `None | `Journal ];
 }
 
 let default =
@@ -25,7 +26,10 @@ let default =
     buffer_pool_pages = 256;
     reconstruct_cache = 0;
     document_time_path = None;
+    durability = `None;
   }
+
+let durable t = { t with durability = `Journal }
 
 let with_snapshots k t = { t with snapshot_every = Some k }
 

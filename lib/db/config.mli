@@ -32,6 +32,13 @@ type t = {
           XMLNews-Meta-style articles.  When set, each committed version's
           document time is extracted and kept in the delta index, queryable
           without reconstruction. *)
+  durability : [ `None | `Journal ];
+      (** [`Journal] appends one commit-journal record per mutating
+          operation, after the operation's blobs are durably written and
+          before any in-memory structure changes, making every commit
+          atomic and {!Db.recover}able.  [`None] (the default, and the
+          paper's setting) keeps the delta index purely in memory: a crash
+          loses the version history. *)
 }
 
 val default : t
@@ -39,5 +46,8 @@ val default : t
     buffer pages, no reconstruction cache — the paper's baseline system. *)
 
 val with_snapshots : int -> t -> t
+val durable : t -> t
+(** Turns on [`Journal] durability. *)
+
 val maintains_version_index : t -> bool
 val maintains_delta_index : t -> bool

@@ -26,6 +26,7 @@ type t = {
   disk : Txq_store.Disk.t;
   pool : Txq_store.Buffer_pool.t;
   blobs : Txq_store.Blob_store.t;
+  journal : Txq_store.Journal.t option;
   docs : (Eid.doc_id, Docstore.t) Hashtbl.t;
   urls : (string, Eid.doc_id list ref) Hashtbl.t; (* newest first *)
   fti : Fti.t option;
@@ -56,6 +57,10 @@ let create ?(config = Config.default) ?clock () =
     disk;
     pool;
     blobs;
+    journal =
+      (match config.Config.durability with
+       | `Journal -> Some (Txq_store.Journal.create pool)
+       | `None -> None);
     docs = Hashtbl.create 64;
     urls = Hashtbl.create 64;
     fti =
@@ -179,6 +184,21 @@ let record_doc_time t ~doc ~version = function
       t.dtime_seq <- t.dtime_seq + 1
     end
 
+(* --- journaling -------------------------------------------------------- *)
+
+let blob_ref b =
+  {
+    Journal_record.br_pages = Txq_store.Blob_store.page_ids b;
+    br_length = Txq_store.Blob_store.length b;
+  }
+
+let journal_append t record =
+  match t.journal with
+  | None -> ()
+  | Some j -> Txq_store.Journal.append j (Journal_record.encode record)
+
+let seconds ts = Timestamp.to_seconds ts
+
 let insert_document t ~url ?ts xml =
   (match find_live t url with
    | Some _ ->
@@ -186,12 +206,23 @@ let insert_document t ~url ?ts xml =
    | None -> ());
   let ts = commit_ts t ts in
   let doc_id = t.next_doc_id in
-  t.next_doc_id <- doc_id + 1;
   let doc_time = extract_doc_time t xml in
   let d =
     Docstore.create ~blobs:t.blobs ~doc_id ~url ~ts
       ~snapshot:(snapshot_due t 0) ?doc_time xml
   in
+  (* Commit point: the version-0 blobs are on disk, nothing registered yet. *)
+  journal_append t
+    (Journal_record.Insert
+       {
+         r_doc = doc_id;
+         r_url = url;
+         r_ts = seconds ts;
+         r_doc_time = Option.map seconds doc_time;
+         r_current = blob_ref (Docstore.current_blob d);
+         r_snapshot = Option.map blob_ref (Docstore.snapshot_blob d 0);
+       });
+  t.next_doc_id <- doc_id + 1;
   record_doc_time t ~doc:doc_id ~version:0 doc_time;
   Hashtbl.replace t.docs doc_id d;
   let bucket = url_bucket t url in
@@ -214,10 +245,25 @@ let update_document t ~url ?ts xml =
     let ts = commit_ts t ts in
     let version = Docstore.version_count d in
     let doc_time = extract_doc_time t xml in
-    let delta, new_tree =
-      Docstore.commit d ~ts ~snapshot:(snapshot_due t version) ?doc_time xml
-    in
     let doc_id = Docstore.doc_id d in
+    let on_durable cb =
+      journal_append t
+        (Journal_record.Commit
+           {
+             r_doc = doc_id;
+             r_version = version;
+             r_ts = seconds ts;
+             r_doc_time = Option.map seconds doc_time;
+             r_delta = blob_ref cb.Docstore.cb_delta;
+             r_current = blob_ref cb.Docstore.cb_current;
+             r_snapshot = Option.map blob_ref cb.Docstore.cb_snapshot;
+             r_freed = cb.Docstore.cb_freed;
+           })
+    in
+    let delta, new_tree =
+      Docstore.commit ~on_durable d ~ts ~snapshot:(snapshot_due t version)
+        ?doc_time xml
+    in
     record_doc_time t ~doc:doc_id ~version doc_time;
     Option.iter
       (fun fti -> Fti.index_version fti ~doc:doc_id ~version new_tree)
@@ -248,6 +294,7 @@ let delete_document t ~url ?ts () =
     let ts = commit_ts t ts in
     let doc_id = Docstore.doc_id d in
     let version = Docstore.version_count d in
+    journal_append t (Journal_record.Delete { r_doc = doc_id; r_ts = seconds ts });
     Docstore.mark_deleted d ~ts;
     Option.iter (fun fti -> Fti.delete_document fti ~doc:doc_id ~version) t.fti;
     Option.iter
@@ -370,6 +417,275 @@ let verify t =
       done)
     t.docs;
   if !errors = [] then Ok !checked else Error (List.rev !errors)
+
+(* --- crash recovery ---------------------------------------------------- *)
+
+(* Per-document accumulator while replaying journal records (pass A). *)
+type doc_build = {
+  b_url : string;
+  mutable b_entries : Docstore.restored_entry list; (* newest first *)
+  mutable b_current : Txq_store.Blob_store.blob;
+  mutable b_deleted : Timestamp.t option;
+}
+
+let restore_blob r =
+  Txq_store.Blob_store.restore_blob ~pages:r.Journal_record.br_pages
+    ~length:r.Journal_record.br_length
+
+let recover disk config =
+  let pool =
+    Txq_store.Buffer_pool.create ~capacity:config.Config.buffer_pool_pages disk
+  in
+  let { Txq_store.Journal.journal; records = raw_records; journal_pages } =
+    Txq_store.Journal.recover pool
+  in
+  let records = List.map Journal_record.decode_exn raw_records in
+  let blobs = Txq_store.Blob_store.create ~policy:config.Config.placement pool in
+  (* Pass A: replay records into per-document chains.  Only blobs reachable
+     from the latest record mentioning them are live; everything a crash
+     left half-written is unreferenced and simply becomes free space. *)
+  let builders : (Eid.doc_id, doc_build) Hashtbl.t = Hashtbl.create 64 in
+  let insert_order = ref [] in
+  (* page -> cluster (doc id) for pages released by a committed commit *)
+  let freed_cluster : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let commits = ref 0 in
+  let last_ts = ref None in
+  let note_ts s =
+    let ts = Timestamp.of_seconds s in
+    match !last_ts with
+    | Some prev when Timestamp.(prev >= ts) -> ()
+    | _ -> last_ts := Some ts
+  in
+  let builder doc what =
+    match Hashtbl.find_opt builders doc with
+    | Some b -> b
+    | None ->
+      failwith
+        (Printf.sprintf "Db.recover: journal %s for unknown document %d" what doc)
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Journal_record.Insert
+          { r_doc; r_url; r_ts; r_doc_time; r_current; r_snapshot } ->
+        note_ts r_ts;
+        incr commits;
+        Hashtbl.replace builders r_doc
+          {
+            b_url = r_url;
+            b_entries =
+              [
+                {
+                  Docstore.re_ts = Timestamp.of_seconds r_ts;
+                  re_delta = None;
+                  re_snapshot = Option.map restore_blob r_snapshot;
+                  re_doc_time = Option.map Timestamp.of_seconds r_doc_time;
+                };
+              ];
+            b_current = restore_blob r_current;
+            b_deleted = None;
+          };
+        insert_order := r_doc :: !insert_order
+      | Journal_record.Commit
+          { r_doc; r_version = _; r_ts; r_doc_time; r_delta; r_current;
+            r_snapshot; r_freed } ->
+        note_ts r_ts;
+        incr commits;
+        let b = builder r_doc "commit" in
+        b.b_entries <-
+          {
+            Docstore.re_ts = Timestamp.of_seconds r_ts;
+            re_delta = Some (restore_blob r_delta);
+            re_snapshot = Option.map restore_blob r_snapshot;
+            re_doc_time = Option.map Timestamp.of_seconds r_doc_time;
+          }
+          :: b.b_entries;
+        List.iter (fun p -> Hashtbl.replace freed_cluster p r_doc) r_freed;
+        b.b_current <- restore_blob r_current
+      | Journal_record.Delete { r_doc; r_ts } ->
+        note_ts r_ts;
+        (builder r_doc "delete").b_deleted <- Some (Timestamp.of_seconds r_ts))
+    records;
+  (* Rebuild the blob allocator: a page is live iff a surviving chain
+     references it; journal pages stay owned by the journal; the rest —
+     crash debris, superseded versions, dead index pages — is free. *)
+  let page_total = Txq_store.Disk.page_count disk in
+  let live = Array.make (Stdlib.max 1 page_total) false in
+  let claim b =
+    List.iter (fun p -> live.(p) <- true) (Txq_store.Blob_store.page_ids b)
+  in
+  Hashtbl.iter
+    (fun _ b ->
+      claim b.b_current;
+      List.iter
+        (fun e ->
+          Option.iter claim e.Docstore.re_delta;
+          Option.iter claim e.Docstore.re_snapshot)
+        b.b_entries)
+    builders;
+  let journal_owned = Array.make (Stdlib.max 1 page_total) false in
+  List.iter (fun p -> journal_owned.(p) <- true) journal_pages;
+  let live_count = ref 0 in
+  let free_global = ref [] in
+  let free_clustered : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  for p = page_total - 1 downto 0 do
+    if live.(p) then incr live_count
+    else if not journal_owned.(p) then begin
+      match Hashtbl.find_opt freed_cluster p with
+      | Some doc when config.Config.placement <> `Unclustered ->
+        let slot =
+          match Hashtbl.find_opt free_clustered doc with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace free_clustered doc l;
+            l
+        in
+        slot := p :: !slot
+      | _ -> free_global := p :: !free_global
+    end
+  done;
+  Txq_store.Blob_store.restore_state blobs
+    ~allocated:(page_total - List.length journal_pages)
+    ~live:!live_count ~free_global:!free_global
+    ~free_clustered:
+      (Hashtbl.fold (fun doc l acc -> (doc, !l) :: acc) free_clustered []);
+  (* Rebuild document stores and the URL directory. *)
+  let docs = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id b ->
+      Hashtbl.replace docs id
+        (Docstore.restore ~blobs ~doc_id:id ~url:b.b_url
+           ~entries:(List.rev b.b_entries) ~current_blob:b.b_current
+           ~deleted:b.b_deleted))
+    builders;
+  let urls = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      let url = (Hashtbl.find builders id).b_url in
+      match Hashtbl.find_opt urls url with
+      | Some bucket -> bucket := id :: !bucket
+      | None -> Hashtbl.replace urls url (ref [ id ]))
+    (List.rev !insert_order);
+  let clock = Clock.create () in
+  (match !last_ts with
+   | Some ts when Timestamp.(ts > Clock.now clock) -> Clock.set clock ts
+   | _ -> ());
+  let t =
+    {
+      config;
+      clock;
+      disk;
+      pool;
+      blobs;
+      journal =
+        (match config.Config.durability with
+         | `Journal -> Some journal
+         | `None -> None);
+      docs;
+      urls;
+      fti =
+        (if Config.maintains_version_index config then Some (Fti.create ())
+         else None);
+      dfti =
+        (if Config.maintains_delta_index config then Some (Delta_fti.create ())
+         else None);
+      cretime =
+        (if config.Config.cretime_index then
+           Some
+             (match config.Config.cretime_backing with
+              | `Paged -> Cretime_index.create_paged pool
+              | `Memory -> Cretime_index.create ())
+         else None);
+      next_doc_id =
+        1 + Hashtbl.fold (fun id _ acc -> Stdlib.max id acc) builders (-1);
+      dtime_path =
+        Option.map Txq_xml.Path.parse_exn config.Config.document_time_path;
+      dtime_index = Txq_store.Bptree.create pool;
+      dtime_seq = 0;
+      stats =
+        { commits = !commits; deltas_read = 0; reconstructions = 0;
+          reconstruct_cache_hits = 0 };
+      rcache = Hashtbl.create 64;
+      rcache_tick = 0;
+    }
+  in
+  (* Pass B: rebuild the derived indexes.  The document-time index replays
+     in global record order (its tie-breaking sequence number follows
+     commit order); the content indexes replay each document's versions
+     forward — version trees are regenerated from the delta chain, since
+     intermediate current-version blobs were reclaimed long ago. *)
+  List.iter
+    (fun r ->
+      match r with
+      | Journal_record.Insert { r_doc; r_doc_time; _ } ->
+        record_doc_time t ~doc:r_doc ~version:0
+          (Option.map Timestamp.of_seconds r_doc_time)
+      | Journal_record.Commit { r_doc; r_version; r_doc_time; _ } ->
+        record_doc_time t ~doc:r_doc ~version:r_version
+          (Option.map Timestamp.of_seconds r_doc_time)
+      | Journal_record.Delete _ -> ())
+    records;
+  if t.fti <> None || t.dfti <> None || t.cretime <> None then
+    List.iter
+      (fun id ->
+        let d = Hashtbl.find t.docs id in
+        let n = Docstore.version_count d in
+        let tree0, _ = Docstore.reconstruct d 0 in
+        Option.iter
+          (fun fti -> Fti.index_version fti ~doc:id ~version:0 tree0)
+          t.fti;
+        Option.iter (fun dfti -> Delta_fti.index_initial dfti ~doc:id tree0) t.dfti;
+        record_created_tree t d (Docstore.ts_of_version d 0) tree0;
+        let map = Txq_vxml.Xidmap.of_vnode tree0 in
+        for v = 1 to n - 1 do
+          let delta = Docstore.read_delta d v in
+          Delta.apply_forward map delta;
+          let ts = Docstore.ts_of_version d v in
+          Option.iter
+            (fun fti ->
+              Fti.index_version fti ~doc:id ~version:v
+                (Txq_vxml.Xidmap.to_vnode map))
+            t.fti;
+          Option.iter
+            (fun dfti -> Delta_fti.index_delta dfti ~doc:id ~version:v delta)
+            t.dfti;
+          match t.cretime with
+          | None -> ()
+          | Some idx ->
+            List.iter
+              (fun xid ->
+                Cretime_index.record_created idx (Eid.make ~doc:id ~xid) ts)
+              (Delta.inserted_xids delta);
+            List.iter
+              (fun xid ->
+                Cretime_index.record_deleted idx (Eid.make ~doc:id ~xid) ts)
+              (Delta.deleted_xids delta)
+        done;
+        match Docstore.deleted_at d with
+        | None -> ()
+        | Some dts ->
+          Option.iter (fun fti -> Fti.delete_document fti ~doc:id ~version:n) t.fti;
+          Option.iter
+            (fun dfti ->
+              Delta_fti.delete_document dfti ~doc:id ~version:n
+                (Docstore.current d))
+            t.dfti;
+          (match t.cretime with
+           | None -> ()
+           | Some idx ->
+             List.iter
+               (fun xid ->
+                 Cretime_index.record_deleted idx (Eid.make ~doc:id ~xid) dts)
+               (Vnode.xids (Docstore.current d))))
+      (List.sort Int.compare
+         (Hashtbl.fold (fun id _ acc -> id :: acc) t.docs []));
+  Log.debug (fun m ->
+      m "recovered %d documents from %d journal records" (Hashtbl.length t.docs)
+        (List.length records));
+  t
+
+let journal t = t.journal
 
 (* --- accounting ------------------------------------------------------- *)
 

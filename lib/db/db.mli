@@ -113,6 +113,24 @@ val verify : t -> (int, string list) result
     or the list of diagnostics.  (Corruption surfaces as decode failures —
     the completed-delta chain has no other redundancy to detect it.) *)
 
+(** {1 Crash recovery} *)
+
+val recover : Txq_store.Disk.t -> Config.t -> t
+(** Rebuilds a database from the disk image alone, as after a crash: scans
+    for the commit journal, discards any record a crash left incomplete,
+    and replays the committed ones — document chains, blob directory and
+    free lists, URL directory, full-text/CreTime/document-time indexes —
+    to a state equivalent to the last committed operation.  Works equally
+    on an uncrashed disk (clean restart).  [config] must describe the same
+    layout the database was created with (placement policy, durability);
+    index maintenance knobs take effect on the rebuilt state.  Requires a
+    database created with a [`Journal] durability configuration — a disk
+    without journal records recovers to an empty database. *)
+
+val journal : t -> Txq_store.Journal.t option
+(** The commit journal, when the configuration enables one (its page count
+    is the durability storage overhead). *)
+
 (** {1 Accounting} *)
 
 val stats : t -> stats

@@ -33,6 +33,13 @@ type reconstruct_cost = {
   direction : [ `Backward | `Forward | `None ];
 }
 
+type committed_blobs = {
+  cb_delta : Blob_store.blob;
+  cb_current : Blob_store.blob;
+  cb_snapshot : Blob_store.blob option;
+  cb_freed : int list;
+}
+
 let doc_id t = t.doc_id
 let url t = t.url
 let gen t = t.gen
@@ -68,12 +75,14 @@ let create ~blobs ~doc_id ~url ~ts ~snapshot ?doc_time xml =
 
 let version_count t = Vec.length t.entries
 let current t = t.current
+let current_blob t = t.current_blob
 let deleted_at t = t.deleted
 let is_alive t = t.deleted = None
 let ts_of_version t v = (Vec.get t.entries v).ve_ts
 let created_at t = (Vec.get t.entries 0).ve_ts
+let snapshot_blob t v = (Vec.get t.entries v).ve_snapshot
 
-let commit t ~ts ~snapshot ?doc_time xml =
+let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
   check_ingest xml;
   (match t.deleted with
    | Some _ ->
@@ -89,12 +98,28 @@ let commit t ~ts ~snapshot ?doc_time xml =
     Diff.diff ~gen:t.gen ~old_tree:t.current ~new_tree:(Xml.normalize xml)
   in
   let delta = Delta.make ~from_version:(v - 1) ~to_version:v delta.Delta.ops in
+  (* Write every blob of this commit before touching the delta index or the
+     free list: up to the commit point below, the previous version — and in
+     particular its still-allocated current blob — remains fully intact, so
+     an interrupted commit leaves only unreachable pages behind. *)
   let delta_blob = Blob_store.put t.blobs ~cluster:t.doc_id (Delta.encode delta) in
-  (* Replace the stored current version. *)
+  let new_current_blob = put_version_blob t new_current in
+  let ve_snapshot = if snapshot then Some (put_version_blob t new_current) else None in
+  (* Commit point: all blobs durable.  The journal hook runs here; if it
+     raises (a crash), no in-memory structure has changed yet. *)
+  (match on_durable with
+   | Some f ->
+     f
+       {
+         cb_delta = delta_blob;
+         cb_current = new_current_blob;
+         cb_snapshot = ve_snapshot;
+         cb_freed = Blob_store.page_ids t.current_blob;
+       }
+   | None -> ());
   Blob_store.free t.blobs ~cluster:t.doc_id t.current_blob;
   t.current <- new_current;
-  t.current_blob <- put_version_blob t new_current;
-  let ve_snapshot = if snapshot then Some (put_version_blob t new_current) else None in
+  t.current_blob <- new_current_blob;
   Vec.push t.entries
     { ve_ts = ts; ve_delta = Some delta_blob; ve_snapshot; ve_doc_time = doc_time };
   (delta, new_current)
@@ -225,6 +250,42 @@ let delta_pages t =
       | Some blob -> acc + Blob_store.pages_used blob
       | None -> acc)
     0 t.entries
+
+(* --- recovery ---------------------------------------------------------- *)
+
+type restored_entry = {
+  re_ts : Timestamp.t;
+  re_delta : Blob_store.blob option;
+  re_snapshot : Blob_store.blob option;
+  re_doc_time : Timestamp.t option;
+}
+
+let restore ~blobs ~doc_id ~url ~entries ~current_blob ~deleted =
+  if entries = [] then invalid_arg "Docstore.restore: no versions";
+  let current = Codec.decode_exn (Blob_store.get blobs current_blob) in
+  let gen = Txq_vxml.Xid.Gen.create () in
+  let t =
+    { blobs; doc_id; url; gen; entries = Vec.create (); current; current_blob;
+      deleted }
+  in
+  List.iter
+    (fun re ->
+      Vec.push t.entries
+        { ve_ts = re.re_ts; ve_delta = re.re_delta; ve_snapshot = re.re_snapshot;
+          ve_doc_time = re.re_doc_time })
+    entries;
+  (* XIDs are never reused (Section 3.2): advance the generator past every
+     id that ever existed.  Ids alive now are in the current tree; every id
+     born after version 0 appears in some delta's insert trees; ids gone by
+     now appear in some delta's delete trees; v0 ids are covered by the
+     union of the current tree and the delete trees. *)
+  List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Vnode.xids current);
+  for v = 1 to Vec.length t.entries - 1 do
+    let delta = read_delta t v in
+    List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Delta.inserted_xids delta);
+    List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Delta.deleted_xids delta)
+  done;
+  t
 
 let total_pages t =
   let snap_pages =

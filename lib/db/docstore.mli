@@ -15,6 +15,18 @@ type reconstruct_cost = {
   direction : [ `Backward | `Forward | `None ];
 }
 
+type committed_blobs = {
+  cb_delta : Txq_store.Blob_store.blob;  (** the completed delta *)
+  cb_current : Txq_store.Blob_store.blob;  (** the new current version *)
+  cb_snapshot : Txq_store.Blob_store.blob option;
+  cb_freed : int list;
+      (** pages of the superseded current version — still intact when the
+          commit hook runs, released immediately after *)
+}
+(** What a commit wrote, handed to the [on_durable] hook of {!commit} at the
+    commit point (all blobs written, nothing in memory changed yet).  The
+    database's journal serializes this into its commit record. *)
+
 val create :
   blobs:Txq_store.Blob_store.t ->
   doc_id:Txq_vxml.Eid.doc_id ->
@@ -32,6 +44,7 @@ val url : t -> string
 val gen : t -> Txq_vxml.Xid.Gen.t
 
 val commit :
+  ?on_durable:(committed_blobs -> unit) ->
   t ->
   ts:Txq_temporal.Timestamp.t ->
   snapshot:bool ->
@@ -43,7 +56,11 @@ val commit :
     delta index.  [snapshot] additionally persists the full new version.
     Returns the delta (renumbered) and the new current tree.  Raises
     [Invalid_argument] if the document was deleted or [ts] does not advance.
-*)
+
+    Write ordering: {e every} blob is written before any in-memory
+    structure (delta index, free list, current pointer) changes.
+    [on_durable] runs exactly at that boundary; if it raises, the document
+    is left as if the commit never started (modulo unreachable pages). *)
 
 val mark_deleted : t -> ts:Txq_temporal.Timestamp.t -> unit
 val deleted_at : t -> Txq_temporal.Timestamp.t option
@@ -51,6 +68,12 @@ val is_alive : t -> bool
 
 val current : t -> Txq_vxml.Vnode.t
 (** In-memory current version (no IO accounted). *)
+
+val current_blob : t -> Txq_store.Blob_store.blob
+(** The stored current version's blob (journaling reads its page list). *)
+
+val snapshot_blob : t -> int -> Txq_store.Blob_store.blob option
+(** The snapshot blob persisted with a version, if any. *)
 
 val version_count : t -> int
 (** Versions 0 .. n-1; the current one is n-1. *)
@@ -85,6 +108,30 @@ val reconstruct : t -> int -> Txq_vxml.Vnode.t * reconstruct_cost
 (** Materializes the given version, choosing the cheapest anchor among the
     stored current version and any snapshots, applying completed deltas
     backward or forward (Section 7.3.3).  All blob reads are accounted. *)
+
+(** {1 Recovery} *)
+
+type restored_entry = {
+  re_ts : Txq_temporal.Timestamp.t;
+  re_delta : Txq_store.Blob_store.blob option;  (** [None] for version 0 *)
+  re_snapshot : Txq_store.Blob_store.blob option;
+  re_doc_time : Txq_temporal.Timestamp.t option;
+}
+
+val restore :
+  blobs:Txq_store.Blob_store.t ->
+  doc_id:Txq_vxml.Eid.doc_id ->
+  url:string ->
+  entries:restored_entry list ->
+  current_blob:Txq_store.Blob_store.blob ->
+  deleted:Txq_temporal.Timestamp.t option ->
+  t
+(** Rebuilds a document from journal-recovered parts: decodes the current
+    version from [current_blob], re-creates the delta index from [entries]
+    (version order), and advances the XID generator past every id that ever
+    existed in the document, so post-recovery commits never reuse one.
+    Raises [Invalid_argument] on an empty [entries] and [Failure] if a blob
+    fails to decode. *)
 
 val delta_pages : t -> int
 (** Pages holding delta blobs (storage accounting). *)

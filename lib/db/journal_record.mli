@@ -1,0 +1,48 @@
+(** Typed commit-journal records and their byte-level codec.
+
+    One record per mutating database operation, appended to
+    {!Txq_store.Journal} after the operation's blobs are on disk.  A record
+    carries everything recovery needs that is not derivable from the blobs
+    themselves: document identity, timestamps, and the {e page directories}
+    of the blobs the operation wrote (the blob directory is otherwise
+    in-memory only, like the paper's delta index of Section 7.1).
+
+    [Commit] additionally lists the pages the operation released (the
+    superseded current version), so recovery can attribute free pages to
+    the right placement cluster. *)
+
+type blob_ref = { br_pages : int list; br_length : int }
+
+type t =
+  | Insert of {
+      r_doc : int;
+      r_url : string;
+      r_ts : int;  (** timestamp, seconds *)
+      r_doc_time : int option;
+      r_current : blob_ref;  (** version-0 tree *)
+      r_snapshot : blob_ref option;
+    }
+  | Commit of {
+      r_doc : int;
+      r_version : int;  (** the version this commit creates *)
+      r_ts : int;
+      r_doc_time : int option;
+      r_delta : blob_ref;  (** completed delta v-1 → v *)
+      r_current : blob_ref;  (** new current version *)
+      r_snapshot : blob_ref option;
+      r_freed : int list;  (** pages of the superseded current version *)
+    }
+  | Delete of { r_doc : int; r_ts : int }
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+(** Total: never raises on malformed input.  [encode]/[decode] round-trip
+    (property-tested). *)
+
+val decode_exn : string -> t
+(** Raises [Failure]; used on payloads the journal already digest-checked,
+    where malformation means a bug, not corruption. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -102,3 +102,22 @@ let page_ids blob = Array.to_list blob.pages
 let pages_used blob = Array.length blob.pages
 let total_pages t = t.allocated
 let live_pages t = t.live
+
+(* --- recovery ---------------------------------------------------------- *)
+
+let restore_blob ~pages ~length =
+  if pages = [] then invalid_arg "Blob_store.restore_blob: no pages";
+  if length < 0 then invalid_arg "Blob_store.restore_blob: negative length";
+  { pages = Array.of_list pages; length }
+
+let restore_state t ~allocated ~live ~free_global ~free_clustered =
+  t.allocated <- allocated;
+  t.live <- live;
+  t.global_free <- free_global;
+  Hashtbl.reset t.extents;
+  List.iter
+    (fun (key, pages) ->
+      match Hashtbl.find_opt t.extents key with
+      | Some ext -> ext.free_slots <- pages @ ext.free_slots
+      | None -> Hashtbl.replace t.extents key { free_slots = pages })
+    free_clustered

@@ -44,3 +44,24 @@ val total_pages : t -> int
 val live_pages : t -> int
 (** Pages currently holding live blobs; the storage-space experiments (E7)
     report this. *)
+
+(** {1 Recovery}
+
+    After a crash the blob directory is rebuilt from the commit journal:
+    handles are re-created from the page lists the journal recorded, and the
+    allocator is told which pages are reusable. *)
+
+val restore_blob : pages:int list -> length:int -> blob
+(** A handle over pages already holding the blob's bytes (pure; no IO). *)
+
+val restore_state :
+  t ->
+  allocated:int ->
+  live:int ->
+  free_global:int list ->
+  free_clustered:(int * int list) list ->
+  unit
+(** Resets the allocator: [allocated]/[live] page counters, the global free
+    list, and per-cluster free slots.  Extent boundaries of a [`Clustered]
+    store are not reconstructed — only which pages a cluster may reuse —
+    so post-recovery placement is best-effort, never unsafe. *)

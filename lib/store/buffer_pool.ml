@@ -61,3 +61,5 @@ let write t id buf =
 let alloc t = Disk.alloc t.disk
 let flush t = Hashtbl.reset t.table
 let stats t = Disk.stats t.disk
+let disk t = t.disk
+let page_count t = Disk.page_count t.disk

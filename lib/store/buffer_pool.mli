@@ -25,3 +25,9 @@ val flush : t -> unit
 val stats : t -> Io_stats.t
 (** The underlying disk's counters; cache hits/misses are recorded here
     too. *)
+
+val disk : t -> Disk.t
+(** The disk beneath the pool (fault injection and recovery hook into it). *)
+
+val page_count : t -> int
+(** Pages currently on the underlying disk. *)

@@ -1,9 +1,13 @@
 let page_size = 4096
 
+exception Crash
+
 type t = {
   mutable pages : bytes array;
   mutable used : int;
   mutable last_accessed : int;
+  mutable fault_countdown : int; (* 0 = disarmed; n > 0: the n-th write tears *)
+  mutable crashed : bool;
   stats : Io_stats.t;
 }
 
@@ -12,6 +16,8 @@ let create () =
     pages = Array.make 64 Bytes.empty;
     used = 0;
     last_accessed = -1;
+    fault_countdown = 0;
+    crashed = false;
     stats = Io_stats.create ();
   }
 
@@ -49,10 +55,37 @@ let write t id buf =
   check t id;
   if Bytes.length buf > page_size then
     invalid_arg "Disk.write: buffer larger than a page";
+  if t.crashed then raise Crash;
+  if t.fault_countdown > 0 then begin
+    t.fault_countdown <- t.fault_countdown - 1;
+    if t.fault_countdown = 0 then begin
+      (* Torn write: a prefix of the buffer lands, the rest of the page is
+         junk — neither old nor new content survives there. *)
+      account_seek t id;
+      t.stats.Io_stats.page_writes <- t.stats.Io_stats.page_writes + 1;
+      let page = Bytes.make page_size '\xde' in
+      let keep = Stdlib.min (Bytes.length buf) (page_size / 2) in
+      Bytes.blit buf 0 page 0 keep;
+      t.pages.(id) <- page;
+      t.crashed <- true;
+      raise Crash
+    end
+  end;
   account_seek t id;
   t.stats.Io_stats.page_writes <- t.stats.Io_stats.page_writes + 1;
   let page = Bytes.make page_size '\000' in
   Bytes.blit buf 0 page 0 (Bytes.length buf);
   t.pages.(id) <- page
+
+let fail_after_writes t n =
+  if n < 1 then invalid_arg "Disk.fail_after_writes: n must be >= 1";
+  t.fault_countdown <- n;
+  t.crashed <- false
+
+let clear_fault t =
+  t.fault_countdown <- 0;
+  t.crashed <- false
+
+let crashed t = t.crashed
 
 let stats t = t.stats

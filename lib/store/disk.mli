@@ -7,6 +7,11 @@
 
 type t
 
+exception Crash
+(** Raised by {!write} when an injected fault fires (and by every write
+    thereafter until {!clear_fault}).  Reads keep working: recovery code
+    inspects the disk exactly as it was left. *)
+
 val page_size : int
 (** Bytes per page (4096). *)
 
@@ -23,5 +28,24 @@ val read : t -> int -> bytes
 val write : t -> int -> bytes -> unit
 (** Overwrites a page.  The buffer must be at most [page_size] bytes; shorter
     buffers are zero-padded. *)
+
+(** {1 Deterministic fault injection}
+
+    The crash-consistency tests provoke a crash at every possible write
+    boundary.  Arming [fail_after_writes d n] makes the [n]-th subsequent
+    {!write} {e tear}: only a prefix of the buffer reaches the page, the rest
+    of the page is overwritten with junk (neither the old nor the new content
+    survives — the strictest torn-page model), and {!Crash} is raised.  Every
+    later write raises {!Crash} without touching the disk, as a crashed
+    machine accepts no further IO. *)
+
+val fail_after_writes : t -> int -> unit
+(** Arms the fault: the [n]-th write from now fails ([n >= 1]).  Raises
+    [Invalid_argument] on [n < 1]. *)
+
+val clear_fault : t -> unit
+(** Disarms any pending fault and clears the crashed state. *)
+
+val crashed : t -> bool
 
 val stats : t -> Io_stats.t

@@ -1,0 +1,137 @@
+(* Page layout (page_size bytes):
+
+     0 ..  3   magic "TXJP"
+     4 .. 19   MD5 digest of bytes [20, page_size)
+    20 .. 23   record sequence number (int32 be)
+    24 .. 27   page index within the record (int32 be)
+    28 .. 31   page count of the record (int32 be)
+    32 .. 35   payload bytes used in this page (int32 be)
+    36 ..      payload
+
+   A blob page cannot masquerade as a journal page: it would need both the
+   magic and a correct MD5 of its own body. *)
+
+let magic = "TXJP"
+let header_bytes = 36
+let digest_off = 4
+let body_off = 20
+let payload_capacity = Disk.page_size - header_bytes
+
+type t = {
+  pool : Buffer_pool.t;
+  mutable next_seq : int;
+  mutable records : int;
+  mutable pages : int;
+}
+
+let create pool = { pool; next_seq = 0; records = 0; pages = 0 }
+let record_count t = t.records
+let page_count t = t.pages
+
+let get_i32 page off = Int32.to_int (Bytes.get_int32_be page off)
+
+let encode_page ~seq ~index ~count chunk =
+  let page = Bytes.make Disk.page_size '\000' in
+  Bytes.blit_string magic 0 page 0 4;
+  Bytes.set_int32_be page 20 (Int32.of_int seq);
+  Bytes.set_int32_be page 24 (Int32.of_int index);
+  Bytes.set_int32_be page 28 (Int32.of_int count);
+  Bytes.set_int32_be page 32 (Int32.of_int (String.length chunk));
+  Bytes.blit_string chunk 0 page header_bytes (String.length chunk);
+  let digest =
+    Digest.subbytes page body_off (Disk.page_size - body_off)
+  in
+  Bytes.blit_string digest 0 page digest_off 16;
+  page
+
+(* [None] when the page is not a (whole, untorn) journal page. *)
+let decode_page page =
+  if Bytes.length page <> Disk.page_size then None
+  else if not (String.equal (Bytes.sub_string page 0 4) magic) then None
+  else
+    let stored = Bytes.sub_string page digest_off 16 in
+    let actual = Digest.subbytes page body_off (Disk.page_size - body_off) in
+    if not (String.equal stored actual) then None
+    else
+      let seq = get_i32 page 20 in
+      let index = get_i32 page 24 in
+      let count = get_i32 page 28 in
+      let len = get_i32 page 32 in
+      if seq < 0 || count < 1 || index < 0 || index >= count
+         || len < 0 || len > payload_capacity
+      then None
+      else Some (seq, index, count, Bytes.sub_string page header_bytes len)
+
+let append t payload =
+  let len = String.length payload in
+  if len = 0 then invalid_arg "Journal.append: empty record";
+  let count = (len + payload_capacity - 1) / payload_capacity in
+  (* The sequence number is consumed up front: should the append crash
+     part-way, recovery burns it and the torn record can never complete. *)
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  for index = 0 to count - 1 do
+    let off = index * payload_capacity in
+    let chunk = String.sub payload off (Stdlib.min payload_capacity (len - off)) in
+    let id = Buffer_pool.alloc t.pool in
+    t.pages <- t.pages + 1;
+    Buffer_pool.write t.pool id (encode_page ~seq ~index ~count chunk)
+  done;
+  t.records <- t.records + 1
+
+type recovery = {
+  journal : t;
+  records : string list;
+  journal_pages : int list;
+}
+
+let recover pool =
+  let n = Buffer_pool.page_count pool in
+  let by_seq : (int, (int * string array)) Hashtbl.t = Hashtbl.create 64 in
+  let pages = ref [] in
+  let max_seq = ref (-1) in
+  for id = 0 to n - 1 do
+    match decode_page (Buffer_pool.read pool id) with
+    | None -> ()
+    | Some (seq, index, count, chunk) ->
+      pages := id :: !pages;
+      if seq > !max_seq then max_seq := seq;
+      let slots =
+        match Hashtbl.find_opt by_seq seq with
+        | Some (c, slots) when c = count -> slots
+        | Some _ ->
+          (* A digest-valid page disagreeing on the record's shape cannot
+             arise from this writer; treat the record as unreadable. *)
+          let slots = Array.make count "" in
+          Hashtbl.replace by_seq seq (-1, slots);
+          slots
+        | None ->
+          let slots = Array.make count "" in
+          Hashtbl.replace by_seq seq (count, slots);
+          slots
+      in
+      if index < Array.length slots then slots.(index) <- chunk
+  done;
+  let records = ref [] in
+  let committed = ref 0 in
+  for seq = 0 to !max_seq do
+    match Hashtbl.find_opt by_seq seq with
+    | None -> () (* burned sequence number: the append never completed *)
+    | Some (c, slots) ->
+      (* every page present?  (the empty string cannot occur as a chunk of a
+         committed record: all chunks but possibly none are non-empty, and a
+         record is non-empty) *)
+      if c > 0 && Array.for_all (fun s -> s <> "") slots then begin
+        records := String.concat "" (Array.to_list slots) :: !records;
+        incr committed
+      end
+  done;
+  let journal =
+    {
+      pool;
+      next_seq = !max_seq + 1;
+      records = !committed;
+      pages = List.length !pages;
+    }
+  in
+  { journal; records = List.rev !records; journal_pages = List.rev !pages }

@@ -1,0 +1,54 @@
+(** Page-level commit journal (write-ahead log) over the simulated disk.
+
+    The database's in-memory structures — the delta index, the blob
+    directory, every auxiliary index — die with a crash; the journal is the
+    single on-disk structure from which they are rebuilt.  Each committed
+    operation is appended as one {e atomic record}: an opaque byte string,
+    framed over one or more freshly allocated pages.
+
+    Atomicity under torn pages comes from the page format, not from write
+    ordering.  Every journal page is self-validating: it carries a magic
+    tag, the record's sequence number, its position within the record
+    ([page_index]/[page_count]) and an MD5 digest of the page body.  A page
+    is never rewritten once it holds part of a committed record, so a torn
+    write can only damage the record being appended, never an earlier one.
+    A record exists after recovery iff {e all} of its pages are present and
+    digest-valid; otherwise the append never happened.
+
+    Recovery ({!recover}) scans the whole disk for journal pages — there is
+    no superblock to corrupt — groups them by sequence number, drops
+    incomplete records, and returns the committed payloads in append order
+    together with a journal positioned to continue appending (sequence
+    numbers of incomplete records are burned, so their surviving pages can
+    never be confused with later appends). *)
+
+type t
+
+val create : Buffer_pool.t -> t
+(** A fresh journal.  Pages are allocated from the pool on demand; nothing
+    is written until the first {!append}. *)
+
+val append : t -> string -> unit
+(** Appends one record.  The record is durable — visible to {!recover} —
+    exactly when the call returns; if the disk crashes mid-append the
+    record is discarded on recovery.  Raises [Invalid_argument] on the
+    empty string (an empty record is indistinguishable from none). *)
+
+val record_count : t -> int
+(** Committed records this journal knows of (appended plus recovered). *)
+
+val page_count : t -> int
+(** Pages owned by the journal (its storage overhead). *)
+
+type recovery = {
+  journal : t;  (** positioned to append after the last record *)
+  records : string list;  (** committed payloads, in append order *)
+  journal_pages : int list;
+      (** every disk page bearing a valid journal header, including pages of
+          incomplete records; the blob allocator must not hand these out *)
+}
+
+val recover : Buffer_pool.t -> recovery
+(** Scans every page of the underlying disk.  Also the read path for a
+    clean (uncrashed) restart: on a disk without journal pages it returns
+    an empty journal. *)
