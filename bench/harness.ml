@@ -36,9 +36,110 @@ let fmt_int n =
     s;
   Buffer.contents buf
 
+(* --- machine-readable results ------------------------------------------ *)
+
+(* Hand-rolled JSON writer: the container ships no JSON library and the
+   output is write-only (consumed by scripts and EXPERIMENTS.md updates). *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let add_escaped buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    write buf t;
+    Buffer.contents buf
+end
+
+(* Every printed table is mirrored into the current experiment's JSON;
+   experiments record raw (unformatted) numbers with [record_json]. *)
+let json_tables : Json.t list ref = ref []
+let json_extra : (string * Json.t) list ref = ref []
+
+let record_json name v = json_extra := (name, v) :: !json_extra
+
+let write_json ~experiment =
+  let obj =
+    Json.Obj
+      (("experiment", Json.Str experiment)
+       :: ("tables", Json.Arr (List.rev !json_tables))
+       :: List.rev !json_extra)
+  in
+  json_tables := [];
+  json_extra := [];
+  let path = Printf.sprintf "BENCH_%s.json" experiment in
+  let oc = open_out path in
+  output_string oc (Json.to_string obj);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[json] wrote %s\n" path
+
 (* --- tables ------------------------------------------------------------ *)
 
 let print_table ~title ~columns rows =
+  json_tables :=
+    Json.Obj
+      [
+        ("title", Json.Str title);
+        ("columns", Json.Arr (List.map (fun c -> Json.Str c) columns));
+        ( "rows",
+          Json.Arr
+            (List.map
+               (fun r -> Json.Arr (List.map (fun c -> Json.Str c) r))
+               rows) );
+      ]
+    :: !json_tables;
   let widths =
     Array.of_list
       (List.mapi

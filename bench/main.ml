@@ -8,7 +8,11 @@
    Usage:
      dune exec bench/main.exe                 # all experiment tables
      dune exec bench/main.exe -- e4 e5        # selected experiments
-     dune exec bench/main.exe -- --bechamel   # also run microbenchmarks *)
+     dune exec bench/main.exe -- --bechamel   # also run microbenchmarks
+     dune exec bench/main.exe -- e13 --smoke  # tiny workloads (CI)
+
+   Each executed experiment also writes BENCH_<name>.json: every printed
+   table plus any raw counters the experiment records. *)
 
 module Db = Txq_db.Db
 module Config = Txq_db.Config
@@ -26,6 +30,9 @@ module Restaurant = Txq_workload.Restaurant
 module Eid = Txq_vxml.Eid
 module Vnode = Txq_vxml.Vnode
 open Harness
+
+(* --smoke shrinks workloads so CI can execute an experiment end-to-end *)
+let smoke = ref false
 
 let spec ?(seed = 42) ?(documents = 8) ?(versions = 12) ?(restaurants = 20)
     ?(rate = 1.0) () =
@@ -730,18 +737,174 @@ let e12 () =
        "journal pages"; "live pages"]
     rows
 
+(* ------------------------------------------------------------------ E13 *)
+
+let e13 () =
+  section "E13  Version cache and batched sweep: delta applications"
+    "Paper anchor: Section 7.3.3 (reconstruction \"can be very expensive\")\n\
+     and Section 8's call to \"reduce the number of delta versions that\n\
+     have to be retrieved\".  One document; DocHistory materializes every\n\
+     version, ElementHistory follows the root element.  'per-version' loops\n\
+     Reconstruct over the window (cache off = the pre-cache behavior);\n\
+     'batched' is the single reconstruct_range/sweep pass.";
+  let versions = if !smoke then 8 else 64 in
+  let sp =
+    spec ~documents:1 ~versions ~restaurants:(if !smoke then 5 else 20) ()
+  in
+  let t1 = Timestamp.minus_infinity and t2 = Timestamp.plus_infinity in
+  let measurements = ref [] in
+  let measure ~snap ~op ~mode db f =
+    Db.flush_cache db;
+    Db.reset_io db;
+    let us = time_us ~warmup:0 ~runs:1 f in
+    let io = Db.io_stats db in
+    let deltas = io.Txq_store.Io_stats.deltas_applied in
+    let hits = io.Txq_store.Io_stats.vcache_hits in
+    let misses = io.Txq_store.Io_stats.vcache_misses in
+    measurements :=
+      Harness.Json.Obj
+        [
+          ("snapshots", Harness.Json.Str snap);
+          ("op", Harness.Json.Str op);
+          ("mode", Harness.Json.Str mode);
+          ("deltas_applied", Harness.Json.Int deltas);
+          ("vcache_hits", Harness.Json.Int hits);
+          ("vcache_misses", Harness.Json.Int misses);
+          ("wall_us", Harness.Json.Float us);
+        ]
+      :: !measurements;
+    ( [
+        snap; op; mode; string_of_int deltas; string_of_int hits;
+        string_of_int misses; fmt_us us;
+      ],
+      deltas )
+  in
+  let speedups = ref [] in
+  let rows =
+    List.concat_map
+      (fun (snap, base_config) ->
+        let load budget =
+          let config =
+            { base_config with Config.version_cache_bytes = budget }
+          in
+          let db = Load.load_db ~config sp in
+          let doc = List.hd (Db.doc_ids db) in
+          (db, doc)
+        in
+        let db_off, doc_off = load 0 in
+        let db_on, doc_on = load Config.default.Config.version_cache_bytes in
+        let root_eid db doc =
+          Eid.make ~doc
+            ~xid:(Vnode.xid (Docstore.current (Db.doc db doc)))
+        in
+        (* DocHistory, per-version loop: one Reconstruct per version in the
+           window, newest first — with the cache off this is the quadratic
+           chain re-walk this PR removes *)
+        let dochist_loop db doc () =
+          List.iter
+            (fun dv ->
+              ignore (Db.reconstruct db doc dv.Txq_core.History.dv_version))
+            (Txq_core.History.doc_history db doc ~t1 ~t2)
+        in
+        let dochist_batched db doc () =
+          ignore (Txq_core.History.doc_history_trees db doc ~t1 ~t2)
+        in
+        (* ElementHistory of the root element: the paper's naive form is
+           DocHistory then filter the subtree out of every version *)
+        let elemhist_loop db doc () =
+          let eid = root_eid db doc in
+          List.iter
+            (fun dv ->
+              let tree =
+                Db.reconstruct db doc dv.Txq_core.History.dv_version
+              in
+              ignore (Vnode.find tree eid.Eid.xid))
+            (Txq_core.History.doc_history db doc ~t1 ~t2)
+        in
+        let elemhist_batched db doc () =
+          ignore
+            (Txq_core.History.element_history db (root_eid db doc) ~t1 ~t2
+               ~distinct:true ())
+        in
+        let doc_rows =
+          [
+            measure ~snap ~op:"DocHistory" ~mode:"per-version, cache off"
+              db_off (dochist_loop db_off doc_off);
+            measure ~snap ~op:"DocHistory" ~mode:"per-version, cache on"
+              db_on (dochist_loop db_on doc_on);
+            measure ~snap ~op:"DocHistory" ~mode:"batched sweep" db_on
+              (dochist_batched db_on doc_on);
+          ]
+        in
+        let elem_rows =
+          [
+            measure ~snap ~op:"ElementHistory" ~mode:"per-version, cache off"
+              db_off (elemhist_loop db_off doc_off);
+            measure ~snap ~op:"ElementHistory" ~mode:"per-version, cache on"
+              db_on (elemhist_loop db_on doc_on);
+            measure ~snap ~op:"ElementHistory" ~mode:"batched sweep" db_on
+              (elemhist_batched db_on doc_on);
+          ]
+        in
+        List.iter
+          (fun (op, group) ->
+            match List.map snd group with
+            | [off; _on; batched] ->
+              let x = float_of_int off /. float_of_int (Stdlib.max batched 1) in
+              speedups := (snap, op, x) :: !speedups
+            | _ -> assert false)
+          [("DocHistory", doc_rows); ("ElementHistory", elem_rows)];
+        List.map fst (doc_rows @ elem_rows))
+      [
+        ("none", Config.default);
+        ("k=4", Config.with_snapshots 4 Config.default);
+      ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E13: delta applications over a %d-version document (cold start)"
+         versions)
+    ~columns:
+      [
+        "snapshots"; "operator"; "mode"; "deltas applied"; "vcache hits";
+        "vcache misses"; "time";
+      ]
+    rows;
+  List.iter
+    (fun (snap, op, x) ->
+      Printf.printf "  %s, snapshots %s: %.1fx fewer deltas (off vs batched)\n"
+        op snap x)
+    (List.rev !speedups);
+  Harness.record_json "versions" (Harness.Json.Int versions);
+  Harness.record_json "smoke" (Harness.Json.Bool !smoke);
+  Harness.record_json "measurements"
+    (Harness.Json.Arr (List.rev !measurements));
+  Harness.record_json "speedup_off_vs_batched"
+    (Harness.Json.Arr
+       (List.rev_map
+          (fun (snap, op, x) ->
+            Harness.Json.Obj
+              [
+                ("snapshots", Harness.Json.Str snap);
+                ("op", Harness.Json.Str op);
+                ("x", Harness.Json.Float x);
+              ])
+          !speedups))
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12);
+    ("e12", e12); ("e13", e13);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let bechamel = List.mem "--bechamel" args in
+  smoke := List.mem "--smoke" args;
   let selected =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
@@ -756,5 +919,9 @@ let () =
   end;
   print_endline "Temporal XML query operators - experiment harness";
   print_endline "(shapes, not absolute numbers: the substrate is a simulator)";
-  List.iter (fun (_, f) -> f ()) to_run;
+  List.iter
+    (fun (name, f) ->
+      f ();
+      Harness.write_json ~experiment:name)
+    to_run;
   if bechamel then Harness.run_bechamel ()

@@ -47,51 +47,32 @@ type element_version = {
   ev_tree : Vnode.t;
 }
 
-let element_history db eid ~t1 ~t2 ?(distinct = false) () =
-  let versions = doc_history db eid.Eid.doc ~t1 ~t2 in
-  (* doc_history is most recent first; walk it and filter the subtree *)
-  let with_trees =
-    List.filter_map
-      (fun dv ->
-        let tree = Db.reconstruct db eid.Eid.doc dv.dv_version in
-        match Vnode.find tree eid.Eid.xid with
-        | Some subtree ->
-          Some
-            {
-              ev_teid = Eid.Temporal.make eid (Interval.start dv.dv_interval);
-              ev_version = dv.dv_version;
-              ev_interval = dv.dv_interval;
-              ev_tree = subtree;
-            }
-        | None -> None)
-      versions
-  in
-  if not distinct then with_trees
+let doc_history_trees db doc_id ~t1 ~t2 =
+  if Timestamp.(t2 <= t1) then []
   else
-    (* collapse runs of consecutive versions with equal content: fold
-       oldest-first, merging each run into one entry spanning its whole
-       validity *)
-    let oldest_first = List.rev with_trees in
-    let _, out =
-      List.fold_left
-        (fun (prev, acc) ev ->
-          match prev with
-          | Some p when Vnode.deep_equal p.ev_tree ev.ev_tree ->
-            (* same content: extend the previous entry's interval *)
-            let merged =
-              {
-                p with
-                ev_interval =
-                  Interval.make
-                    ~start:(Interval.start p.ev_interval)
-                    ~stop:(Interval.stop ev.ev_interval);
-              }
-            in
-            (Some merged, merged :: List.tl acc)
-          | _ -> (Some ev, ev :: acc))
-        (None, []) oldest_first
-    in
-    out
+    let d = Db.doc db doc_id in
+    match Docstore.versions_overlapping d ~t1 ~t2 with
+    | None -> []
+    | Some (v_lo, v_hi) ->
+      let window = Interval.make ~start:t1 ~stop:t2 in
+      let root_xid = Vnode.xid (Docstore.current d) in
+      List.map
+        (fun (v, tree) ->
+          let clipped =
+            match Interval.intersect (Docstore.version_interval d v) window with
+            | Some iv -> iv
+            | None -> assert false (* v overlaps by construction *)
+          in
+          ( {
+              dv_teid =
+                Eid.Temporal.make
+                  (Eid.make ~doc:doc_id ~xid:root_xid)
+                  (Interval.start clipped);
+              dv_version = v;
+              dv_interval = clipped;
+            },
+            tree ))
+        (Db.reconstruct_range db doc_id ~lo:v_lo ~hi:v_hi)
 
 (* --- single-sweep element history --------------------------------------- *)
 
@@ -123,36 +104,21 @@ let op_touches map root_xid = function
     || under_element map root_xid old_parent
     || under_element map root_xid new_parent
 
-let element_history_sweep db eid ~t1 ~t2 () =
+(* Runs of consecutive versions over which the element's subtree is
+   unchanged (no delta operation touched it and its presence never
+   flipped), newest first.  Within a run the subtree is byte- and
+   XID-identical across versions, so the per-version history is just the
+   run expanded. *)
+let sweep_runs db eid ~t1 ~t2 =
   let d = Db.doc db eid.Eid.doc in
   match Docstore.versions_overlapping d ~t1 ~t2 with
   | None -> []
   | Some (v_lo, v_hi) ->
-    let window = Interval.make ~start:t1 ~stop:t2 in
-    let clip v =
-      match Interval.intersect (Docstore.version_interval d v) window with
-      | Some iv -> iv
-      | None -> assert false (* v in [v_lo, v_hi] overlaps by construction *)
-    in
     let map = Xidmap.of_vnode (Db.reconstruct db eid.Eid.doc v_hi) in
     let root_xid = eid.Eid.xid in
-    (* A run of versions [run_lo .. run_hi] shares one element state. *)
+    let io = Db.io_stats db in
     let out = ref [] in
-    let emit ~run_lo ~run_hi tree =
-      let interval =
-        Interval.make
-          ~start:(Interval.start (clip run_lo))
-          ~stop:(Interval.stop (clip run_hi))
-      in
-      out :=
-        {
-          ev_teid = Eid.Temporal.make eid (Interval.start interval);
-          ev_version = run_lo;
-          ev_interval = interval;
-          ev_tree = tree;
-        }
-        :: !out
-    in
+    let emit ~run_lo ~run_hi tree = out := (run_lo, run_hi, tree) :: !out in
     (* walk newest -> oldest; [run_hi] is the top of the current run, and
        [run_tree] its content (None while the element is absent) *)
     let run_hi = ref v_hi in
@@ -168,6 +134,8 @@ let element_history_sweep db eid ~t1 ~t2 () =
         List.exists (op_touches map root_xid) delta.Delta.ops
       in
       Delta.apply_backward map delta;
+      io.Txq_store.Io_stats.deltas_applied <-
+        io.Txq_store.Io_stats.deltas_applied + 1;
       let present = Xidmap.mem map root_xid in
       let was_present = !run_tree <> None in
       if touched || present <> was_present then begin
@@ -183,5 +151,51 @@ let element_history_sweep db eid ~t1 ~t2 () =
      | Some tree -> emit ~run_lo:v_lo ~run_hi:!run_hi tree
      | None -> ());
     (* emitted oldest-last while walking down; !out is oldest-first, return
-       newest-first like element_history *)
+       newest-first *)
     List.rev !out
+
+let clip_interval d ~t1 ~t2 v =
+  let window = Interval.make ~start:t1 ~stop:t2 in
+  match Interval.intersect (Docstore.version_interval d v) window with
+  | Some iv -> iv
+  | None -> assert false (* callers only clip overlapping versions *)
+
+let element_history_sweep db eid ~t1 ~t2 () =
+  let d = Db.doc db eid.Eid.doc in
+  let clip = clip_interval d ~t1 ~t2 in
+  List.map
+    (fun (run_lo, run_hi, tree) ->
+      let interval =
+        Interval.make
+          ~start:(Interval.start (clip run_lo))
+          ~stop:(Interval.stop (clip run_hi))
+      in
+      {
+        ev_teid = Eid.Temporal.make eid (Interval.start interval);
+        ev_version = run_lo;
+        ev_interval = interval;
+        ev_tree = tree;
+      })
+    (sweep_runs db eid ~t1 ~t2)
+
+let element_history db eid ~t1 ~t2 ?(distinct = false) () =
+  if distinct then element_history_sweep db eid ~t1 ~t2 ()
+  else
+    (* per-version history = the distinct runs expanded: within a run the
+       subtree is identical (XIDs included), only the intervals differ *)
+    let d = Db.doc db eid.Eid.doc in
+    let clip = clip_interval d ~t1 ~t2 in
+    List.concat_map
+      (fun (run_lo, run_hi, tree) ->
+        List.init
+          (run_hi - run_lo + 1)
+          (fun i ->
+            let v = run_hi - i in
+            let interval = clip v in
+            {
+              ev_teid = Eid.Temporal.make eid (Interval.start interval);
+              ev_version = v;
+              ev_interval = interval;
+              ev_tree = tree;
+            }))
+      (sweep_runs db eid ~t1 ~t2)

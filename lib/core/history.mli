@@ -15,7 +15,19 @@ val doc_history :
   doc_version list
 (** All versions of the document valid in [\[t1, t2)], {e most recent
     first} — the paper notes the reconstruction algorithm naturally outputs
-    the history backwards (Section 7.3.4). *)
+    the history backwards (Section 7.3.4).  Metadata only: no
+    reconstruction happens. *)
+
+val doc_history_trees :
+  Txq_db.Db.t ->
+  Txq_vxml.Eid.doc_id ->
+  t1:Txq_temporal.Timestamp.t ->
+  t2:Txq_temporal.Timestamp.t ->
+  (doc_version * Txq_vxml.Vnode.t) list
+(** {!doc_history} with every version materialized, most recent first.  The
+    trees come from one batched {!Txq_db.Db.reconstruct_range} sweep — one
+    delta application per step instead of one chain walk per version — and
+    land in the version cache for later single-version requests. *)
 
 type element_version = {
   ev_teid : Txq_vxml.Eid.Temporal.t;
@@ -32,13 +44,19 @@ val element_history :
   ?distinct:bool ->
   unit ->
   element_version list
-(** All versions of the element valid in [\[t1, t2)], most recent first,
-    implemented per the paper: DocHistory, then filter out the subtree
-    rooted at the EID ("the whole deltas would have to be read anyway").
+(** All versions of the element valid in [\[t1, t2)], most recent first.
     Versions where the element is absent are skipped.  [distinct] collapses
     runs of consecutive versions whose subtree did not change — the element
     timestamp model of Section 4 (an element is updated only when it or a
-    descendant changes); default [false]. *)
+    descendant changes); default [false].
+
+    Both modes are computed from the single backward sweep of
+    {!element_history_sweep}: within a run no delta operation touched the
+    subtree, so the per-version ([distinct:false]) entries of a run share
+    one tree (XIDs included) and differ only in their validity intervals.
+    The paper's naive form — DocHistory, then filter the subtree out of
+    every version — survives as the differential oracle in the test
+    suite. *)
 
 val element_history_sweep :
   Txq_db.Db.t ->

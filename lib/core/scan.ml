@@ -33,22 +33,43 @@ let range_of_posting p =
   Vrange.singleton p.Posting.vstart
     (if Posting.is_open p then max_int else p.Posting.vend)
 
-(* Does candidate [child] stand in the pattern-edge relation to [parent]?
-   Tag tests carry the path of the element itself; word tests carry the path
-   of the enclosing element (see Vnode.occurrence). *)
-let related ~(axis : Pattern.axis) ~(child_test : Pattern.test) parent_path
-    child_path =
-  match (child_test, axis) with
-  | Pattern.Tag _, Pattern.Child -> Xidpath.is_parent parent_path child_path
-  | Pattern.Tag _, Pattern.Descendant ->
-    Xidpath.is_strict_prefix parent_path child_path
-  | Pattern.Word _, Pattern.Child -> Xidpath.equal parent_path child_path
-  | Pattern.Word _, Pattern.Descendant ->
-    Xidpath.is_prefix parent_path child_path
+(* --- sorted-array search primitives ----------------------------------- *)
+
+(* First index >= [hint] at which [pred] holds.  [pred] must be monotone
+   (false then true) over [arr], and the boundary must not lie before
+   [hint] — callers walk rows in path order, so boundaries only move right
+   and the previous answer is a valid hint.  Galloping from the hint makes
+   a whole constrain pass linear in the distance actually traveled rather
+   than O(rows · log matches). *)
+let gallop arr ~hint pred =
+  let n = Array.length arr in
+  if hint >= n then n
+  else if pred arr.(hint) then hint
+  else begin
+    (* exponential probe for the first true element *)
+    let step = ref 1 in
+    let last_false = ref hint in
+    let probe = ref (hint + 1) in
+    while !probe < n && not (pred arr.(!probe)) do
+      last_false := !probe;
+      step := !step * 2;
+      probe := !probe + !step
+    done;
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if pred arr.(mid) then bisect lo mid else bisect (mid + 1) hi
+    in
+    bisect (!last_false + 1) (Stdlib.min !probe n)
+  end
 
 (* Evaluate a pattern node against the postings of one document.  [fetch]
-   returns that document's postings for a word and kind. *)
-let rec eval_node ~fetch (p : Pattern.t) : cand list =
+   returns that document's postings for a word and kind, sorted by path.
+   The returned candidates are sorted by [c_path] (non-decreasing): the
+   fetched posting arrays are path-sorted, and constraining preserves row
+   order. *)
+let rec eval_node ~fetch (p : Pattern.t) : cand array =
   let kind =
     match p.Pattern.test with
     | Pattern.Tag _ -> Vnode.Tag
@@ -59,7 +80,7 @@ let rec eval_node ~fetch (p : Pattern.t) : cand list =
     | Pattern.Tag w | Pattern.Word w -> w
   in
   let own =
-    List.map
+    Array.map
       (fun posting ->
         {
           c_path = posting.Posting.path;
@@ -68,46 +89,70 @@ let rec eval_node ~fetch (p : Pattern.t) : cand list =
         })
       (fetch word kind)
   in
-  let children_matches =
-    List.map (fun c -> (c, eval_node ~fetch c)) p.Pattern.children
-  in
-  (* For every candidate, constrain by each child: non-output children
-     contribute the union of their matching validities; the output-bearing
-     child multiplies the candidate into one row per matching child
-     candidate. *)
-  List.concat_map
-    (fun cand ->
-      let constrain rows (child, matches) =
-        let child_has_output = Pattern.has_output child in
-        List.concat_map
-          (fun row ->
-            let matching =
-              List.filter
-                (fun m ->
-                  related ~axis:child.Pattern.axis
-                    ~child_test:child.Pattern.test row.c_path m.c_path)
-                matches
-            in
-            if child_has_output then
-              List.filter_map
-                (fun m ->
-                  let versions = Vrange.inter row.c_versions m.c_versions in
-                  if Vrange.is_empty versions then None
-                  else Some { row with c_out = m.c_out; c_versions = versions })
-                matching
-            else
-              let valid =
-                List.fold_left
-                  (fun acc m -> Vrange.union acc m.c_versions)
-                  Vrange.empty matching
-              in
-              let versions = Vrange.inter row.c_versions valid in
-              if Vrange.is_empty versions then []
-              else [{ row with c_versions = versions }])
-          rows
+  List.fold_left
+    (fun rows child -> constrain rows child (eval_node ~fetch child))
+    own p.Pattern.children
+
+(* Constrain each row by one pattern child.  Because [Xidpath.compare]
+   sorts a path immediately before its extensions, the candidates standing
+   in any hierarchical relation to [row.c_path] form a contiguous run of
+   [matches]: equal paths first, then strict extensions.  Two galloping
+   searches delimit the run — the merge-join replacement for the old
+   O(rows × matches) relation filter.  Non-output children contribute the
+   union of their matching validities; an output-bearing child multiplies
+   the row into one per matching candidate. *)
+and constrain rows child matches =
+  let child_has_output = Pattern.has_output child in
+  let out = ref [] in
+  let hint = ref 0 in
+  Array.iter
+    (fun row ->
+      let start =
+        gallop matches ~hint:!hint
+          (fun m -> Xidpath.compare m.c_path row.c_path >= 0)
       in
-      List.fold_left constrain [cand] children_matches)
-    own
+      hint := start;
+      (* end of the equal-path run, then end of the extension run *)
+      let eq_stop =
+        gallop matches ~hint:start
+          (fun m -> Xidpath.compare m.c_path row.c_path > 0)
+      in
+      let stop =
+        gallop matches ~hint:eq_stop
+          (fun m -> not (Xidpath.is_prefix row.c_path m.c_path))
+      in
+      (* Tag tests carry the path of the element itself; word tests carry
+         the path of the enclosing element (see Vnode.occurrence). *)
+      let m_start, m_stop, child_depth =
+        match (child.Pattern.test, child.Pattern.axis) with
+        | Pattern.Word _, Pattern.Child -> (start, eq_stop, None)
+        | Pattern.Word _, Pattern.Descendant -> (start, stop, None)
+        | Pattern.Tag _, Pattern.Descendant -> (eq_stop, stop, None)
+        | Pattern.Tag _, Pattern.Child ->
+          (eq_stop, stop, Some (Xidpath.depth row.c_path + 1))
+      in
+      let matching f =
+        for i = m_start to m_stop - 1 do
+          let m = matches.(i) in
+          match child_depth with
+          | Some d when Xidpath.depth m.c_path <> d -> ()
+          | _ -> f m
+        done
+      in
+      if child_has_output then
+        matching (fun m ->
+            let versions = Vrange.inter row.c_versions m.c_versions in
+            if not (Vrange.is_empty versions) then
+              out := { row with c_out = m.c_out; c_versions = versions } :: !out)
+      else begin
+        let valid = ref Vrange.empty in
+        matching (fun m -> valid := Vrange.union !valid m.c_versions);
+        let versions = Vrange.inter row.c_versions !valid in
+        if not (Vrange.is_empty versions) then
+          out := { row with c_versions = versions } :: !out
+      end)
+    rows;
+  Array.of_list (List.rev !out)
 
 (* Root axis: a [Child] root must be the document root element. *)
 let root_ok (p : Pattern.t) cand =
@@ -121,17 +166,17 @@ let run ~fetch_doc ~docs pattern =
    | Error e -> invalid_arg ("Scan: invalid pattern: " ^ e));
   List.concat_map
     (fun doc ->
-      let cands =
-        List.filter (root_ok pattern)
-          (eval_node ~fetch:(fetch_doc doc) pattern)
-      in
-      List.filter_map
+      let cands = eval_node ~fetch:(fetch_doc doc) pattern in
+      let out = ref [] in
+      Array.iter
         (fun c ->
-          match c.c_out with
-          | Some out ->
-            Some { b_doc = doc; b_path = out; b_versions = c.c_versions }
-          | None -> None)
-        cands)
+          if root_ok pattern c then
+            match c.c_out with
+            | Some path ->
+              out := { b_doc = doc; b_path = path; b_versions = c.c_versions } :: !out
+            | None -> ())
+        cands;
+      List.rev !out)
     docs
 
 (* Dedup bindings (the same output node can be reached through different
@@ -152,47 +197,53 @@ let dedup bindings =
     bindings;
   List.rev_map (Hashtbl.find table) !order
 
-(* Group a word's postings by doc up front so per-doc fetches are cheap. *)
-let by_doc postings =
-  let table = Hashtbl.create 64 in
-  List.iter
-    (fun p ->
-      let bucket =
-        match Hashtbl.find_opt table p.Posting.doc with
-        | Some b -> b
-        | None ->
-          let b = ref [] in
-          Hashtbl.replace table p.Posting.doc b;
-          b
-      in
-      bucket := p :: !bucket)
-    postings;
-  table
+(* Postings of one (word, kind), as an array sorted by (doc, path): the
+   per-document run is found by two galloping searches on doc, and within
+   it paths are sorted — exactly what the merge join in [constrain] needs. *)
+let compare_doc_path a b =
+  match Int.compare a.Posting.doc b.Posting.doc with
+  | 0 -> Xidpath.compare a.Posting.path b.Posting.path
+  | c -> c
 
 let engine pattern ~lookup =
   let cache = Hashtbl.create 16 in
-  let postings_for word =
-    match Hashtbl.find_opt cache word with
-    | Some t -> t
+  let postings_for word kind =
+    match Hashtbl.find_opt cache (word, kind) with
+    | Some arr -> arr
     | None ->
-      let t = by_doc (lookup word) in
-      Hashtbl.replace cache word t;
-      t
+      let arr =
+        Array.of_list
+          (List.filter (fun p -> p.Posting.kind = kind) (lookup word))
+      in
+      Array.sort compare_doc_path arr;
+      Hashtbl.replace cache (word, kind) arr;
+      arr
   in
-  (* candidate documents: those with postings for the root word *)
-  let root_word =
+  let kind_of = function
+    | Pattern.Tag _ -> Vnode.Tag
+    | Pattern.Word _ -> Vnode.Word
+  in
+  let doc_slice arr doc =
+    let start = gallop arr ~hint:0 (fun p -> p.Posting.doc >= doc) in
+    let stop = gallop arr ~hint:start (fun p -> p.Posting.doc > doc) in
+    Array.sub arr start (stop - start)
+  in
+  (* candidate documents: those with postings for the root test *)
+  let root_word, root_kind =
     match pattern.Pattern.test with
-    | Pattern.Tag w | Pattern.Word w -> w
+    | (Pattern.Tag w | Pattern.Word w) as t -> (w, kind_of t)
   in
   let docs =
-    Hashtbl.fold (fun doc _ acc -> doc :: acc) (postings_for root_word) []
-    |> List.sort Int.compare
+    Array.fold_left
+      (fun acc p ->
+        match acc with
+        | d :: _ when d = p.Posting.doc -> acc
+        | _ -> p.Posting.doc :: acc)
+      []
+      (postings_for root_word root_kind)
+    |> List.rev
   in
-  let fetch_doc doc word kind =
-    match Hashtbl.find_opt (postings_for word) doc with
-    | Some bucket -> List.filter (fun p -> p.Posting.kind = kind) !bucket
-    | None -> []
-  in
+  let fetch_doc doc word kind = doc_slice (postings_for word kind) doc in
   dedup (run ~fetch_doc ~docs pattern)
 
 (* Restrict each binding's validity to the single version the operator is

@@ -11,7 +11,7 @@ type t = {
   cretime_backing : [ `Memory | `Paged ];
   placement : Txq_store.Blob_store.policy;
   buffer_pool_pages : int;
-  reconstruct_cache : int;
+  version_cache_bytes : int;
   document_time_path : string option;
   durability : [ `None | `Journal ];
 }
@@ -24,7 +24,7 @@ let default =
     cretime_backing = `Paged;
     placement = `Unclustered;
     buffer_pool_pages = 256;
-    reconstruct_cache = 0;
+    version_cache_bytes = 8 * 1024 * 1024;
     document_time_path = None;
     durability = `None;
   }

@@ -24,8 +24,11 @@ type t = {
   placement : Txq_store.Blob_store.policy;
       (** Delta/version blob placement (Section 7.2's clustering remark). *)
   buffer_pool_pages : int;
-  reconstruct_cache : int;
-      (** Entries of the (doc, version) reconstruction memo; 0 disables. *)
+  version_cache_bytes : int;
+      (** Byte budget of the LRU version cache holding materialized
+          [(doc, version)] trees; residents also serve as anchors for
+          incremental reconstruction.  0 disables the cache entirely,
+          reproducing uncached IO behavior exactly. *)
   document_time_path : string option;
       (** Location path of the {e document time} embedded in content —
           Section 3.1's third kind of time, e.g. ["//meta/published"] for
@@ -43,7 +46,8 @@ type t = {
 
 val default : t
 (** A1 index, CreTime index on, no snapshots, unclustered placement, 256
-    buffer pages, no reconstruction cache — the paper's baseline system. *)
+    buffer pages, 8 MiB version cache — the paper's baseline system plus
+    the cache every serious implementation assumes. *)
 
 val with_snapshots : int -> t -> t
 val durable : t -> t

@@ -18,8 +18,6 @@ type stats = {
   mutable reconstruct_cache_hits : int;
 }
 
-type cache_entry = { ce_key : Eid.doc_id * int; ce_tree : Vnode.t; mutable ce_use : int }
-
 type t = {
   config : Config.t;
   clock : Clock.t;
@@ -40,8 +38,7 @@ type t = {
   dtime_index : Txq_store.Bptree.t;
   mutable dtime_seq : int;
   stats : stats;
-  rcache : (Eid.doc_id * int, cache_entry) Hashtbl.t;
-  mutable rcache_tick : int;
+  vcache : Vcache.t;
 }
 
 let create ?(config = Config.default) ?clock () =
@@ -84,8 +81,9 @@ let create ?(config = Config.default) ?clock () =
     stats =
       { commits = 0; deltas_read = 0; reconstructions = 0;
         reconstruct_cache_hits = 0 };
-    rcache = Hashtbl.create 64;
-    rcache_tick = 0;
+    vcache =
+      Vcache.create ~budget:config.Config.version_cache_bytes
+        ~io:(Txq_store.Buffer_pool.stats pool);
   }
 
 let config t = t.config
@@ -306,49 +304,71 @@ let delete_document t ~url ?ts () =
      | Some idx ->
        List.iter
          (fun xid -> Cretime_index.record_deleted idx (Eid.make ~doc:doc_id ~xid) ts)
-         (Vnode.xids (Docstore.current d)))
+         (Vnode.xids (Docstore.current d)));
+    (* Defensive eviction: entries for a deleted document stay correct
+       (versions are immutable) but will never be asked for again. *)
+    Vcache.evict_doc t.vcache doc_id
 
 (* --- reconstruction --------------------------------------------------- *)
 
-let cache_get t key =
-  match Hashtbl.find_opt t.rcache key with
-  | Some entry ->
-    t.rcache_tick <- t.rcache_tick + 1;
-    entry.ce_use <- t.rcache_tick;
+let io_stats t = Txq_store.Buffer_pool.stats t.pool
+
+let cache_find t doc_id version =
+  match Vcache.find t.vcache doc_id version with
+  | Some tree ->
     t.stats.reconstruct_cache_hits <- t.stats.reconstruct_cache_hits + 1;
-    Some entry.ce_tree
+    Some tree
   | None -> None
 
-let cache_put t key tree =
-  let cap = t.config.Config.reconstruct_cache in
-  if cap > 0 then begin
-    if Hashtbl.length t.rcache >= cap then begin
-      let victim = ref None in
-      Hashtbl.iter
-        (fun _ entry ->
-          match !victim with
-          | Some v when v.ce_use <= entry.ce_use -> ()
-          | _ -> victim := Some entry)
-        t.rcache;
-      match !victim with
-      | Some v -> Hashtbl.remove t.rcache v.ce_key
-      | None -> ()
-    end;
-    t.rcache_tick <- t.rcache_tick + 1;
-    Hashtbl.replace t.rcache key { ce_key = key; ce_tree = tree; ce_use = t.rcache_tick }
-  end
+let count_reconstruction t ~versions ~deltas =
+  t.stats.reconstructions <- t.stats.reconstructions + versions;
+  t.stats.deltas_read <- t.stats.deltas_read + deltas;
+  let io = io_stats t in
+  io.Txq_store.Io_stats.deltas_applied <-
+    io.Txq_store.Io_stats.deltas_applied + deltas
 
 let reconstruct t doc_id version =
-  let key = (doc_id, version) in
-  match cache_get t key with
+  match cache_find t doc_id version with
   | Some tree -> tree
   | None ->
     let d = doc t doc_id in
-    let tree, cost = Docstore.reconstruct d version in
-    t.stats.reconstructions <- t.stats.reconstructions + 1;
-    t.stats.deltas_read <- t.stats.deltas_read + cost.Docstore.deltas_applied;
-    cache_put t key tree;
+    let cached = Vcache.nearest t.vcache doc_id version in
+    let tree, cost = Docstore.reconstruct ?cached d version in
+    count_reconstruction t ~versions:1 ~deltas:cost.Docstore.deltas_applied;
+    Vcache.put t.vcache doc_id version tree;
     tree
+
+let reconstruct_range t doc_id ~lo ~hi =
+  if lo > hi then []
+  else begin
+    let fully_cached =
+      if not (Vcache.enabled t.vcache) then None
+      else begin
+        (* probe newest-first; prepending yields ascending order *)
+        let rec probe v acc =
+          if v < lo then Some acc
+          else
+            match cache_find t doc_id v with
+            | Some tree -> probe (v - 1) ((v, tree) :: acc)
+            | None -> None
+        in
+        probe hi []
+      end
+    in
+    match fully_cached with
+    | Some ascending -> List.rev ascending
+    | None ->
+      let d = doc t doc_id in
+      let cached = Vcache.best_anchor t.vcache doc_id ~lo ~hi in
+      let out = ref [] in
+      let emit v tree =
+        Vcache.put t.vcache doc_id v tree;
+        out := (v, tree) :: !out
+      in
+      let deltas = Docstore.reconstruct_range ?cached d ~lo ~hi ~f:emit in
+      count_reconstruction t ~versions:(hi - lo + 1) ~deltas;
+      List.sort (fun (a, _) (b, _) -> Int.compare b a) !out
+  end
 
 let read_delta t doc_id v =
   let delta = Docstore.read_delta (doc t doc_id) v in
@@ -606,8 +626,10 @@ let recover disk config =
       stats =
         { commits = !commits; deltas_read = 0; reconstructions = 0;
           reconstruct_cache_hits = 0 };
-      rcache = Hashtbl.create 64;
-      rcache_tick = 0;
+      (* A fresh, empty cache: recovery must never serve pre-crash trees. *)
+      vcache =
+        Vcache.create ~budget:config.Config.version_cache_bytes
+          ~io:(Txq_store.Buffer_pool.stats pool);
     }
   in
   (* Pass B: rebuild the derived indexes.  The document-time index replays
@@ -690,7 +712,6 @@ let journal t = t.journal
 (* --- accounting ------------------------------------------------------- *)
 
 let stats t = t.stats
-let io_stats t = Txq_store.Buffer_pool.stats t.pool
 
 let reset_io t =
   Txq_store.Io_stats.reset (io_stats t);
@@ -700,7 +721,7 @@ let reset_io t =
 
 let flush_cache t =
   Txq_store.Buffer_pool.flush t.pool;
-  Hashtbl.reset t.rcache
+  Vcache.clear t.vcache
 
 let live_pages t = Txq_store.Blob_store.live_pages t.blobs
 let blobs t = t.blobs

@@ -63,8 +63,20 @@ val document_count : t -> int
 (** {1 Reconstruction} *)
 
 val reconstruct : t -> Txq_vxml.Eid.doc_id -> int -> Txq_vxml.Vnode.t
-(** Materializes one version (cached when [reconstruct_cache] > 0); all blob
-    reads are IO-accounted, and [stats] counts the deltas applied. *)
+(** Materializes one version.  Served from the version cache on a hit;
+    on a miss the nearest cached version competes with the stored current
+    version and snapshots as the reconstruction anchor, so only the deltas
+    between the nearest anchor and the target are applied.  All blob reads
+    are IO-accounted; [stats] and [io_stats] count the deltas applied. *)
+
+val reconstruct_range :
+  t -> Txq_vxml.Eid.doc_id -> lo:int -> hi:int ->
+  (int * Txq_vxml.Vnode.t) list
+(** Materializes every version in [\[lo, hi\]] (inclusive), newest first, in
+    a single sweep: one delta application per step instead of one chain walk
+    per version (the batched form of Section 7.3.3's reconstruction), and
+    populates the version cache as it goes.  When every version is already
+    resident the sweep is skipped entirely.  Empty if [lo > hi]. *)
 
 val reconstruct_at :
   t -> Txq_vxml.Eid.doc_id -> Txq_temporal.Timestamp.t ->

@@ -29,7 +29,7 @@ type t = {
 
 type reconstruct_cost = {
   deltas_applied : int;
-  anchor_was_snapshot : bool;
+  anchor : [ `Current | `Snapshot | `Cached ];
   direction : [ `Backward | `Forward | `None ];
 }
 
@@ -193,34 +193,58 @@ let read_delta t v =
   | Some blob -> Delta.decode_exn (Blob_store.get t.blobs blob)
   | None -> assert false
 
-let reconstruct t v =
+(* Stored anchors: the current version's blob and every snapshot blob.
+   Reconstruction starts from whichever anchor (stored or caller-cached)
+   minimizes the number of deltas between it and the target. *)
+let stored_anchors t =
+  let n = version_count t in
+  (n - 1, t.current_blob)
+  :: List.filter_map
+       (fun s ->
+         match (Vec.get t.entries s).ve_snapshot with
+         | Some blob -> Some (s, blob)
+         | None -> None)
+       (snapshot_versions t)
+
+(* Deltas needed to materialize every version of [lo, hi] from an anchor at
+   [a]: interior anchors walk outward both ways and attain the minimum. *)
+let range_cost ~lo ~hi a =
+  if a > hi then a - lo else if a < lo then hi - a else hi - lo
+
+(* Best anchor for covering [lo, hi].  A cached tree wins ties against a
+   stored blob of equal cost: it needs no blob read or decode. *)
+let pick_anchor ?cached t ~lo ~hi =
+  let n = version_count t in
+  let best =
+    List.fold_left
+      (fun (_, best_cost as best) (s, blob) ->
+        let cost = range_cost ~lo ~hi s in
+        if cost < best_cost then ((s, `Blob blob), cost) else best)
+      (((n - 1), `Blob t.current_blob), range_cost ~lo ~hi (n - 1))
+      (stored_anchors t)
+  in
+  match cached with
+  | Some (cv, ctree) when range_cost ~lo ~hi cv <= snd best ->
+    (cv, `Tree ctree)
+  | _ -> fst best
+
+let anchor_tree t = function
+  | `Tree tree -> tree
+  | `Blob blob -> Codec.decode_exn (Blob_store.get t.blobs blob)
+
+let anchor_kind t anchor_v = function
+  | `Tree _ -> `Cached
+  | `Blob _ -> if anchor_v = version_count t - 1 then `Current else `Snapshot
+
+let reconstruct ?cached t v =
   let n = version_count t in
   if v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Docstore.reconstruct: no version %d" v);
-  (* Candidate anchors: the stored current version and every snapshot; pick
-     the one with the fewest deltas between it and the target. *)
-  let anchors =
-    (n - 1, t.current_blob)
-    :: List.filter_map
-         (fun s ->
-           match (Vec.get t.entries s).ve_snapshot with
-           | Some blob -> Some (s, blob)
-           | None -> None)
-         (snapshot_versions t)
-  in
-  let (anchor_v, anchor_blob), _ =
-    List.fold_left
-      (fun ((_, _), best_cost as best) (s, blob) ->
-        let cost = abs (s - v) in
-        if cost < best_cost then ((s, blob), cost) else best)
-      (((n - 1), t.current_blob), abs (n - 1 - v))
-      anchors
-  in
-  let tree = Codec.decode_exn (Blob_store.get t.blobs anchor_blob) in
+  let anchor_v, anchor = pick_anchor ?cached t ~lo:v ~hi:v in
+  let tree = anchor_tree t anchor in
+  let anchor = anchor_kind t anchor_v anchor in
   if anchor_v = v then
-    ( tree,
-      { deltas_applied = 0; anchor_was_snapshot = anchor_v <> n - 1;
-        direction = `None } )
+    (tree, { deltas_applied = 0; anchor; direction = `None })
   else begin
     let map = Xidmap.of_vnode tree in
     let deltas_applied = ref 0 in
@@ -238,10 +262,45 @@ let reconstruct t v =
     ( Xidmap.to_vnode map,
       {
         deltas_applied = !deltas_applied;
-        anchor_was_snapshot = anchor_v <> n - 1;
+        anchor;
         direction = (if anchor_v > v then `Backward else `Forward);
       } )
   end
+
+let reconstruct_range ?cached t ~lo ~hi ~f =
+  let n = version_count t in
+  if lo < 0 || hi >= n || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Docstore.reconstruct_range: bad range [%d, %d]" lo hi);
+  let anchor_v, anchor = pick_anchor ?cached t ~lo ~hi in
+  let tree = anchor_tree t anchor in
+  let deltas_applied = ref 0 in
+  (* One delta application per step; a version inside [lo, hi] is emitted
+     as soon as the walk reaches it. *)
+  let backward_to map from down_to =
+    for i = from downto down_to + 1 do
+      Delta.apply_backward map (read_delta t i);
+      incr deltas_applied;
+      if i - 1 <= hi then f (i - 1) (Xidmap.to_vnode map)
+    done
+  in
+  let forward_to map from up_to =
+    for i = from + 1 to up_to do
+      Delta.apply_forward map (read_delta t i);
+      incr deltas_applied;
+      if i >= lo then f i (Xidmap.to_vnode map)
+    done
+  in
+  if anchor_v > hi then backward_to (Xidmap.of_vnode tree) anchor_v lo
+  else if anchor_v < lo then forward_to (Xidmap.of_vnode tree) anchor_v hi
+  else begin
+    (* interior anchor: emit it, then walk outward in both directions
+       (two independent maps seeded from the same tree — no extra IO) *)
+    f anchor_v tree;
+    if anchor_v > lo then backward_to (Xidmap.of_vnode tree) anchor_v lo;
+    if anchor_v < hi then forward_to (Xidmap.of_vnode tree) anchor_v hi
+  end;
+  !deltas_applied
 
 let delta_pages t =
   Vec.fold_left

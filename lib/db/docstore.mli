@@ -11,7 +11,9 @@ type t
 
 type reconstruct_cost = {
   deltas_applied : int;
-  anchor_was_snapshot : bool;
+  anchor : [ `Current | `Snapshot | `Cached ];
+      (** where the walk started: the stored current version, a stored
+          snapshot, or a caller-supplied cached tree *)
   direction : [ `Backward | `Forward | `None ];
 }
 
@@ -104,10 +106,25 @@ val read_delta : t -> int -> Txq_vxml.Delta.t
 (** Reads and decodes the delta leading to the given version (>= 1) from the
     blob store (IO accounted).  Raises [Invalid_argument] for version 0. *)
 
-val reconstruct : t -> int -> Txq_vxml.Vnode.t * reconstruct_cost
+val reconstruct :
+  ?cached:int * Txq_vxml.Vnode.t -> t -> int ->
+  Txq_vxml.Vnode.t * reconstruct_cost
 (** Materializes the given version, choosing the cheapest anchor among the
-    stored current version and any snapshots, applying completed deltas
-    backward or forward (Section 7.3.3).  All blob reads are accounted. *)
+    stored current version, any snapshots, and an optional already-
+    materialized [cached] version supplied by the caller, applying completed
+    deltas backward or forward (Section 7.3.3).  A cached anchor wins cost
+    ties — it needs no blob read.  All blob reads are accounted. *)
+
+val reconstruct_range :
+  ?cached:int * Txq_vxml.Vnode.t ->
+  t -> lo:int -> hi:int -> f:(int -> Txq_vxml.Vnode.t -> unit) -> int
+(** Materializes {e every} version in [\[lo, hi\]] in a single sweep — one
+    delta application per step instead of one full walk per version — and
+    hands each to [f] (order unspecified; an interior anchor walks outward
+    both ways).  Anchor selection as in {!reconstruct}, minimizing total
+    applications: an anchor inside the range attains the [hi - lo] minimum.
+    Returns the number of deltas applied.  Raises [Invalid_argument] on an
+    empty or out-of-bounds range. *)
 
 (** {1 Recovery} *)
 

@@ -1,0 +1,139 @@
+module Vnode = Txq_vxml.Vnode
+module Eid = Txq_vxml.Eid
+module Io_stats = Txq_store.Io_stats
+
+type entry = {
+  e_doc : Eid.doc_id;
+  e_version : int;
+  e_tree : Vnode.t;
+  e_bytes : int;
+  mutable e_use : int;
+}
+
+type t = {
+  budget : int;
+  (* doc -> version -> entry; two levels so per-document eviction and
+     nearest-anchor search touch only that document's residents *)
+  by_doc : (Eid.doc_id, (int, entry) Hashtbl.t) Hashtbl.t;
+  io : Io_stats.t;
+  mutable bytes : int;
+  mutable tick : int;
+}
+
+let create ~budget ~io =
+  { budget = Stdlib.max 0 budget; by_doc = Hashtbl.create 16; io; bytes = 0;
+    tick = 0 }
+
+let enabled t = t.budget > 0
+let bytes t = t.bytes
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.e_use <- t.tick
+
+let find t doc version =
+  if not (enabled t) then None
+  else
+    match Hashtbl.find_opt t.by_doc doc with
+    | None ->
+      t.io.Io_stats.vcache_misses <- t.io.Io_stats.vcache_misses + 1;
+      None
+    | Some versions -> (
+      match Hashtbl.find_opt versions version with
+      | Some entry ->
+        touch t entry;
+        t.io.Io_stats.vcache_hits <- t.io.Io_stats.vcache_hits + 1;
+        Some entry.e_tree
+      | None ->
+        t.io.Io_stats.vcache_misses <- t.io.Io_stats.vcache_misses + 1;
+        None)
+
+(* Deltas needed to cover [lo, hi] from an anchor at version [a]: an
+   interior anchor walks outward both ways (hi - lo applications, the
+   attainable minimum); an exterior one first reaches the range. *)
+let range_cost ~lo ~hi a =
+  if a > hi then a - lo else if a < lo then hi - a else hi - lo
+
+let best_anchor t doc ~lo ~hi =
+  if not (enabled t) then None
+  else
+    match Hashtbl.find_opt t.by_doc doc with
+    | None -> None
+    | Some versions ->
+      Hashtbl.fold
+        (fun v entry best ->
+          match best with
+          | Some (bv, _) when range_cost ~lo ~hi bv <= range_cost ~lo ~hi v ->
+            best
+          | _ -> Some (v, entry.e_tree))
+        versions None
+
+let nearest t doc v = best_anchor t doc ~lo:v ~hi:v
+
+let remove_entry t entry =
+  (match Hashtbl.find_opt t.by_doc entry.e_doc with
+   | Some versions ->
+     Hashtbl.remove versions entry.e_version;
+     if Hashtbl.length versions = 0 then Hashtbl.remove t.by_doc entry.e_doc
+   | None -> ());
+  t.bytes <- t.bytes - entry.e_bytes
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ versions ->
+      Hashtbl.iter
+        (fun _ entry ->
+          match !victim with
+          | Some v when v.e_use <= entry.e_use -> ()
+          | _ -> victim := Some entry)
+        versions)
+    t.by_doc;
+  match !victim with
+  | Some entry -> remove_entry t entry
+  | None -> ()
+
+let put t doc version tree =
+  if enabled t then begin
+    let e_bytes = Vnode.approx_bytes tree in
+    (* Oversized trees would evict everything and still not fit. *)
+    if e_bytes <= t.budget then begin
+      (match Hashtbl.find_opt t.by_doc doc with
+       | Some versions -> (
+         match Hashtbl.find_opt versions version with
+         | Some old -> remove_entry t old
+         | None -> ())
+       | None -> ());
+      while t.bytes + e_bytes > t.budget && t.bytes > 0 do
+        evict_lru t
+      done;
+      let entry = { e_doc = doc; e_version = version; e_tree = tree; e_bytes;
+                    e_use = 0 }
+      in
+      touch t entry;
+      let versions =
+        match Hashtbl.find_opt t.by_doc doc with
+        | Some versions -> versions
+        | None ->
+          let versions = Hashtbl.create 8 in
+          Hashtbl.replace t.by_doc doc versions;
+          versions
+      in
+      Hashtbl.replace versions version entry;
+      t.bytes <- t.bytes + e_bytes
+    end;
+    t.io.Io_stats.vcache_bytes <- t.bytes
+  end
+
+let evict_doc t doc =
+  (match Hashtbl.find_opt t.by_doc doc with
+   | Some versions ->
+     Hashtbl.iter (fun _ e -> t.bytes <- t.bytes - e.e_bytes) versions;
+     Hashtbl.remove t.by_doc doc
+   | None -> ());
+  t.io.Io_stats.vcache_bytes <- t.bytes
+
+let clear t =
+  Hashtbl.reset t.by_doc;
+  t.bytes <- 0;
+  t.io.Io_stats.vcache_bytes <- 0

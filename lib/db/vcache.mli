@@ -1,0 +1,48 @@
+(** Byte-budgeted LRU cache of materialized document versions.
+
+    Keyed by [(doc_id, version)].  A cached entry is immutable forever:
+    version numbers are never reassigned (commits only append, document ids
+    are never reused), so a hit can be served without any validation —
+    eviction exists purely to bound memory, and explicit eviction on
+    document deletion or recovery is defensive housekeeping, not a
+    correctness requirement.
+
+    Residents double as {e anchors} for incremental reconstruction
+    (Section 7.3.3): when version [v] is wanted and some [v'] is cached,
+    applying the [|v - v'|] deltas between them is often far cheaper than
+    walking from the stored current version or the nearest snapshot.
+
+    Hit/miss counts and the byte-residency gauge are reported through the
+    {!Txq_store.Io_stats} record handed to {!create}.  A budget of [0]
+    disables the cache completely: every operation is a no-op and no
+    counter moves. *)
+
+type t
+
+val create : budget:int -> io:Txq_store.Io_stats.t -> t
+(** [budget] in (approximate) bytes; [0] disables. *)
+
+val enabled : t -> bool
+val bytes : t -> int
+(** Current residency. *)
+
+val find : t -> Txq_vxml.Eid.doc_id -> int -> Txq_vxml.Vnode.t option
+(** Exact lookup; counts a hit or miss. *)
+
+val nearest : t -> Txq_vxml.Eid.doc_id -> int -> (int * Txq_vxml.Vnode.t) option
+(** The cached version of the document nearest to the target — an anchor
+    candidate, not an answer, so no hit/miss is counted. *)
+
+val best_anchor :
+  t -> Txq_vxml.Eid.doc_id -> lo:int -> hi:int ->
+  (int * Txq_vxml.Vnode.t) option
+(** The cached version minimizing the deltas needed to materialize every
+    version in [\[lo, hi\]] (an anchor inside the range attains the
+    minimum, [hi - lo]). *)
+
+val put : t -> Txq_vxml.Eid.doc_id -> int -> Txq_vxml.Vnode.t -> unit
+(** Inserts, evicting least-recently-used entries until within budget;
+    trees larger than the whole budget are not cached. *)
+
+val evict_doc : t -> Txq_vxml.Eid.doc_id -> unit
+val clear : t -> unit

@@ -378,16 +378,18 @@ let bind_roots ctx src =
   | Ast.Every ->
     List.concat_map
       (fun d ->
+        (* one batched sweep materializes every version: the per-binding
+           lazy reconstruction re-walked the chain once per version *)
         let history =
-          History.doc_history ctx.db (Docstore.doc_id d)
+          History.doc_history_trees ctx.db (Docstore.doc_id d)
             ~t1:Timestamp.minus_infinity ~t2:Timestamp.plus_infinity
         in
         List.rev_map
-          (fun dv ->
+          (fun (dv, tree) ->
             {
               rb_teid = dv.History.dv_teid;
               rb_time = Interval.start dv.History.dv_interval;
-              rb_tree = lazy_subtree ctx dv.History.dv_teid;
+              rb_tree = Lazy.from_val tree;
             })
           history)
       docs

@@ -4,17 +4,28 @@ type t = {
   mutable seeks : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable vcache_hits : int;
+  mutable vcache_misses : int;
+  mutable vcache_bytes : int;
+  mutable deltas_applied : int;
 }
 
 let create () =
-  { page_reads = 0; page_writes = 0; seeks = 0; cache_hits = 0; cache_misses = 0 }
+  { page_reads = 0; page_writes = 0; seeks = 0; cache_hits = 0;
+    cache_misses = 0; vcache_hits = 0; vcache_misses = 0; vcache_bytes = 0;
+    deltas_applied = 0 }
 
 let reset t =
   t.page_reads <- 0;
   t.page_writes <- 0;
   t.seeks <- 0;
   t.cache_hits <- 0;
-  t.cache_misses <- 0
+  t.cache_misses <- 0;
+  t.vcache_hits <- 0;
+  t.vcache_misses <- 0;
+  t.deltas_applied <- 0
+(* vcache_bytes is a gauge maintained by the version cache, not a counter:
+   reset leaves it alone. *)
 
 let copy t =
   {
@@ -23,6 +34,10 @@ let copy t =
     seeks = t.seeks;
     cache_hits = t.cache_hits;
     cache_misses = t.cache_misses;
+    vcache_hits = t.vcache_hits;
+    vcache_misses = t.vcache_misses;
+    vcache_bytes = t.vcache_bytes;
+    deltas_applied = t.deltas_applied;
   }
 
 let diff ~after ~before =
@@ -32,6 +47,10 @@ let diff ~after ~before =
     seeks = after.seeks - before.seeks;
     cache_hits = after.cache_hits - before.cache_hits;
     cache_misses = after.cache_misses - before.cache_misses;
+    vcache_hits = after.vcache_hits - before.vcache_hits;
+    vcache_misses = after.vcache_misses - before.vcache_misses;
+    vcache_bytes = after.vcache_bytes;
+    deltas_applied = after.deltas_applied - before.deltas_applied;
   }
 
 let add acc x =
@@ -39,11 +58,17 @@ let add acc x =
   acc.page_writes <- acc.page_writes + x.page_writes;
   acc.seeks <- acc.seeks + x.seeks;
   acc.cache_hits <- acc.cache_hits + x.cache_hits;
-  acc.cache_misses <- acc.cache_misses + x.cache_misses
+  acc.cache_misses <- acc.cache_misses + x.cache_misses;
+  acc.vcache_hits <- acc.vcache_hits + x.vcache_hits;
+  acc.vcache_misses <- acc.vcache_misses + x.vcache_misses;
+  acc.vcache_bytes <- Stdlib.max acc.vcache_bytes x.vcache_bytes;
+  acc.deltas_applied <- acc.deltas_applied + x.deltas_applied
 
 let to_string t =
   Printf.sprintf
-    "reads=%d writes=%d seeks=%d cache_hits=%d cache_misses=%d" t.page_reads
-    t.page_writes t.seeks t.cache_hits t.cache_misses
+    "reads=%d writes=%d seeks=%d cache_hits=%d cache_misses=%d \
+     vcache_hits=%d vcache_misses=%d vcache_bytes=%d deltas_applied=%d"
+    t.page_reads t.page_writes t.seeks t.cache_hits t.cache_misses
+    t.vcache_hits t.vcache_misses t.vcache_bytes t.deltas_applied
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -3,7 +3,10 @@
     The paper argues about operator cost in terms of delta reads and disk
     seeks ("each delta read will involve a disk seek in the worst case",
     Section 7.2).  Every layer of the storage simulator feeds these counters
-    so the benchmarks can report exactly those quantities. *)
+    so the benchmarks can report exactly those quantities.  The version
+    cache of [txq_db] reports through the same record ([vcache_*],
+    [deltas_applied]) so one snapshot captures both page traffic and
+    reconstruction work. *)
 
 type t = {
   mutable page_reads : int;  (** pages fetched from the simulated disk *)
@@ -12,6 +15,13 @@ type t = {
       (** non-adjacent page accesses, the simulator's proxy for arm moves *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable vcache_hits : int;  (** version-cache lookups served in memory *)
+  mutable vcache_misses : int;
+  mutable vcache_bytes : int;
+      (** current version-cache residency — a gauge, not a counter; [reset]
+          leaves it alone and [diff] reports the [after] value *)
+  mutable deltas_applied : int;
+      (** completed-delta applications performed by reconstruction *)
 }
 
 val create : unit -> t

@@ -87,6 +87,22 @@ let rec size = function
   | Text _ -> 1
   | Elem e -> 1 + List.fold_left (fun acc c -> acc + size c) 0 e.children
 
+(* Rough heap footprint: a fixed per-node overhead (block headers, list
+   cells, the XID) plus string payloads.  Only used for cache budgeting, so
+   consistency matters more than precision. *)
+let node_overhead = 64
+
+let rec approx_bytes = function
+  | Text { content; _ } -> node_overhead + String.length content
+  | Elem e ->
+    List.fold_left
+      (fun acc c -> acc + approx_bytes c)
+      (node_overhead + String.length e.tag
+      + List.fold_left
+          (fun acc (n, v) -> acc + 32 + String.length n + String.length v)
+          0 e.attrs)
+      e.children
+
 let rec find node target =
   if Xid.equal (xid node) target then Some node
   else

@@ -37,6 +37,10 @@ val structural_hash : t -> int
     equally.  Used by the diff's subtree matching. *)
 
 val size : t -> int
+
+val approx_bytes : t -> int
+(** Rough in-memory footprint of the tree, for cache budgeting. *)
+
 val find : t -> Xid.t -> t option
 (** Node with the given XID, if present in the tree. *)
 

@@ -181,7 +181,7 @@ let test_snapshots_reduce_delta_reads () =
     (with_snap <= 4)
 
 let test_reconstruct_cache () =
-  let config = { Config.default with Config.reconstruct_cache = 8 } in
+  let config = { Config.default with Config.version_cache_bytes = 1 lsl 20 } in
   let db = Db.create ~config () in
   ignore (Db.insert_document db ~url ~ts:(ts "01/01/2001") fig1_v0);
   ignore (Db.update_document db ~url ~ts:(ts "15/01/2001") fig1_v1);
@@ -194,8 +194,36 @@ let test_reconstruct_cache () =
      Alcotest.(check int) "second hit served from cache" before
        (Db.stats db).Db.reconstructions;
      Alcotest.(check int) "cache hit counted" 1
-       (Db.stats db).Db.reconstruct_cache_hits
+       (Db.stats db).Db.reconstruct_cache_hits;
+     Alcotest.(check int) "hit visible in io stats" 1
+       (Db.io_stats db).Txq_store.Io_stats.vcache_hits;
+     Alcotest.(check bool) "residency gauge is positive" true
+       ((Db.io_stats db).Txq_store.Io_stats.vcache_bytes > 0)
    | None -> Alcotest.fail "doc missing")
+
+let test_version_cache_disabled () =
+  (* budget 0 must reproduce uncached behavior exactly: every reconstruct
+     walks the chain, and no cache counter ever moves *)
+  let config = { Config.default with Config.version_cache_bytes = 0 } in
+  let db = Db.create ~config () in
+  ignore (Db.insert_document db ~url ~ts:(ts "01/01/2001") fig1_v0);
+  ignore (Db.update_document db ~url ~ts:(ts "15/01/2001") fig1_v1);
+  ignore (Db.update_document db ~url ~ts:(ts "31/01/2001") fig1_v2);
+  match Db.find_live db url with
+  | None -> Alcotest.fail "doc missing"
+  | Some d ->
+    let id = Docstore.doc_id d in
+    Db.reset_io db;
+    ignore (Db.reconstruct db id 0);
+    let first = (Db.stats db).Db.deltas_read in
+    ignore (Db.reconstruct db id 0);
+    Alcotest.(check int) "second walk costs the same" (2 * first)
+      (Db.stats db).Db.deltas_read;
+    Alcotest.(check int) "no hits" 0 (Db.stats db).Db.reconstruct_cache_hits;
+    let io = Db.io_stats db in
+    Alcotest.(check int) "no vcache traffic" 0
+      (io.Txq_store.Io_stats.vcache_hits + io.Txq_store.Io_stats.vcache_misses
+      + io.Txq_store.Io_stats.vcache_bytes)
 
 let test_cretime_maintenance () =
   let db, id = fig1_db () in
@@ -257,6 +285,101 @@ let test_delta_fti_records_changes () =
     (List.hd akro).Txq_fti.Delta_fti.ch_version;
   let deleted15 = Txq_fti.Delta_fti.changes_of_kind dfti "15" Txq_fti.Delta_fti.Deleted in
   Alcotest.(check int) "15 deleted once (price update)" 1 (List.length deleted15)
+
+(* property: cached, incremental (nearest-anchor) and batched reconstruction
+   are byte-identical (XIDs included) to a fresh full-chain walk, across
+   cache budgets and snapshot spacings *)
+let prop_cache_differential =
+  QCheck.Test.make ~count:40
+    ~name:"cached/incremental/batched reconstruct ≡ naive chain walk"
+    (Txq_test_support.Gen_xml.arb_history ~max_versions:10)
+    (fun (doc0, versions) ->
+      let build config =
+        let db = Db.create ~config () in
+        let base = Timestamp.of_date ~day:1 ~month:1 ~year:2001 in
+        let id = Db.insert_document db ~url ~ts:base doc0 in
+        List.iteri
+          (fun i v ->
+            ignore
+              (Db.update_document db ~url
+                 ~ts:(Timestamp.add base (Txq_temporal.Duration.days (i + 1)))
+                 v))
+          versions;
+        (db, id)
+      in
+      let check (db, id) =
+        let d = Db.doc db id in
+        let n = Docstore.version_count d in
+        let naive v = fst (Docstore.reconstruct d v) in
+        (* up then down: the second pass is served from cache entries and
+           nearest-anchor incremental walks *)
+        let ok_single =
+          List.for_all
+            (fun v -> Vnode.equal_with_xids (naive v) (Db.reconstruct db id v))
+            (List.init n Fun.id @ List.rev (List.init n Fun.id))
+        in
+        let ok_range lo hi =
+          let got = Db.reconstruct_range db id ~lo ~hi in
+          List.map fst got = List.init (hi - lo + 1) (fun i -> hi - i)
+          && List.for_all
+               (fun (v, tree) -> Vnode.equal_with_xids (naive v) tree)
+               got
+        in
+        ok_single && ok_range 0 (n - 1) && (n < 3 || ok_range 1 (n - 2))
+      in
+      List.for_all check
+        [
+          build Config.default;
+          build { Config.default with Config.version_cache_bytes = 0 };
+          build (Config.with_snapshots 4 Config.default);
+          (* a ~200-byte budget forces constant eviction *)
+          build
+            { (Config.with_snapshots 4 Config.default) with
+              Config.version_cache_bytes = 200 };
+        ])
+
+(* commit, delete and recover while the cache is warm: no stale tree may
+   ever be served *)
+let test_cache_invalidation () =
+  let config = Config.durable Config.default in
+  let db = Db.create ~config () in
+  let id = Db.insert_document db ~url ~ts:(ts "01/01/2001") fig1_v0 in
+  ignore (Db.update_document db ~url ~ts:(ts "15/01/2001") fig1_v1);
+  ignore (Db.reconstruct db id 0);
+  ignore (Db.reconstruct db id 1);
+  (* commit while warm: version numbering is append-only, so old entries
+     stay valid and the new version must be materialized fresh *)
+  ignore (Db.update_document db ~url ~ts:(ts "31/01/2001") fig1_v2);
+  let d = Db.doc db id in
+  for v = 0 to 2 do
+    Alcotest.(check bool) (Printf.sprintf "after commit, v%d" v) true
+      (Vnode.equal_with_xids
+         (fst (Docstore.reconstruct d v))
+         (Db.reconstruct db id v))
+  done;
+  (* recover from the disk image while the live cache is warm: the rebuilt
+     database starts a brand-new cache (possibly warmed by the index
+     rebuild, but only ever from recovered state) and must agree with a
+     naive walk over the recovered chain *)
+  let db2 = Db.recover (Db.disk db) config in
+  let d2 = Db.doc db2 id in
+  for v = 0 to 2 do
+    Alcotest.(check bool) (Printf.sprintf "after recover, v%d" v) true
+      (Vnode.equal_with_xids
+         (fst (Docstore.reconstruct d2 v))
+         (Db.reconstruct db2 id v))
+  done;
+  (* delete while warm: the document's entries are evicted, and history
+     still reconstructs correctly from disk *)
+  Db.delete_document db ~url ~ts:(ts "01/03/2001") ();
+  Alcotest.(check int) "deletion evicts the document's entries" 0
+    (Db.io_stats db).Txq_store.Io_stats.vcache_bytes;
+  for v = 0 to 2 do
+    Alcotest.(check bool) (Printf.sprintf "after delete, v%d" v) true
+      (Vnode.equal_with_xids
+         (fst (Docstore.reconstruct d v))
+         (Db.reconstruct db id v))
+  done
 
 (* property: reconstruction of every version of a random history equals the
    reference copies kept aside *)
@@ -466,6 +589,9 @@ let () =
           Alcotest.test_case "snapshots cut delta reads" `Quick
             test_snapshots_reduce_delta_reads;
           Alcotest.test_case "reconstruction cache" `Quick test_reconstruct_cache;
+          Alcotest.test_case "cache disabled" `Quick test_version_cache_disabled;
+          Alcotest.test_case "cache invalidation" `Quick test_cache_invalidation;
+          QCheck_alcotest.to_alcotest prop_cache_differential;
           QCheck_alcotest.to_alcotest prop_reconstruct_matches_reference;
         ] );
       ( "indexes",
