@@ -109,15 +109,47 @@ let json_extra : (string * Json.t) list ref = ref []
 
 let record_json name v = json_extra := (name, v) :: !json_extra
 
+(* Snapshot of the metrics registry: counters and gauges as numbers,
+   histograms as count/sum plus the non-empty log2 buckets (each bucket a
+   [lo, n] pair).  Included in every experiment's JSON so per-operator
+   span latencies (span.<name>) ride along with the tables. *)
+let metrics_json () =
+  let module M = Txq_obs.Metrics in
+  let nums kvs = List.map (fun (k, v) -> (k, Json.Int v)) kvs in
+  let histo (name, h) =
+    let bs = ref [] in
+    Array.iteri
+      (fun i n ->
+        if n > 0 then
+          bs := Json.Arr [Json.Float (M.bucket_lo i); Json.Int n] :: !bs)
+      h.M.h_buckets;
+    ( name,
+      Json.Obj
+        [
+          ("count", Json.Int h.M.h_count);
+          ("sum", Json.Float h.M.h_sum);
+          ("buckets", Json.Arr (List.rev !bs));
+        ] )
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (nums (M.counters ())));
+      ("gauges", Json.Obj (nums (M.gauges ())));
+      ("histograms", Json.Obj (List.map histo (M.histograms ())));
+    ]
+
 let write_json ~experiment =
   let obj =
     Json.Obj
       (("experiment", Json.Str experiment)
        :: ("tables", Json.Arr (List.rev !json_tables))
-       :: List.rev !json_extra)
+       :: List.rev !json_extra
+       @ [("metrics", metrics_json ())])
   in
   json_tables := [];
   json_extra := [];
+  (* scope the registry to one experiment so histograms don't bleed *)
+  Txq_obs.Metrics.reset ();
   let path = Printf.sprintf "BENCH_%s.json" experiment in
   let oc = open_out path in
   output_string oc (Json.to_string obj);

@@ -10,6 +10,9 @@
      dune exec bench/main.exe -- e4 e5        # selected experiments
      dune exec bench/main.exe -- --bechamel   # also run microbenchmarks
      dune exec bench/main.exe -- e13 --smoke  # tiny workloads (CI)
+     dune exec bench/main.exe -- e14 --smoke --check-overhead
+                                              # fail if tracing overhead regresses
+     dune exec bench/main.exe -- e1 --trace out.jsonl   # span stream
 
    Each executed experiment also writes BENCH_<name>.json: every printed
    table plus any raw counters the experiment records. *)
@@ -892,21 +895,121 @@ let e13 () =
               ])
           !speedups))
 
+(* ------------------------------------------------------------------ E14 *)
+
+(* --check-overhead turns E14 into a pass/fail gate (used by CI). *)
+let check_overhead = ref false
+let overhead_threshold = 1.25
+
+let e14 () =
+  section "E14  Tracing overhead: instrumentation cost with tracing off/on"
+    "Every paper operator carries tracing spans; the design promise is that\n\
+     with no sink installed the instrumentation is a pointer compare and\n\
+     costs nothing measurable.  Same query workload, three sink states:\n\
+     off (production default), null sink (spans built then discarded),\n\
+     and a collecting ring (the EXPLAIN ANALYZE path).";
+  (* versions/documents chosen so the midpoint commit lands on a day
+     boundary: the query grammar takes dates, not times *)
+  let sp =
+    spec
+      ~documents:(if !smoke then 2 else 6)
+      ~versions:(if !smoke then 8 else 16)
+      ~restaurants:(if !smoke then 5 else 15)
+      ()
+  in
+  let db = Load.load_db ~config:Config.default sp in
+  let q_every =
+    Printf.sprintf
+      {|SELECT R FROM doc("%s")[EVERY]/guide/restaurant R|} url0
+  in
+  let q_snap =
+    Printf.sprintf
+      {|SELECT R FROM doc("%s")[%s]/guide/restaurant R|} url0
+      (Timestamp.to_string (Load.midpoint_ts sp))
+  in
+  let workload () =
+    ignore (run_q db q_snap);
+    ignore (run_q db q_every)
+  in
+  let runs = if !smoke then 15 else 31 in
+  let timed sink =
+    Txq_obs.Trace.set_sink sink;
+    let us = time_us ~warmup:3 ~runs workload in
+    Txq_obs.Trace.set_sink None;
+    us
+  in
+  let off_us = timed None in
+  let null_us = timed (Some Txq_obs.Trace.null_sink) in
+  let ring_us =
+    let sink, _drain = Txq_obs.Trace.ring_sink ~capacity:16 in
+    timed (Some sink)
+  in
+  let rows =
+    List.map
+      (fun (mode, us) ->
+        [mode; fmt_us us; Printf.sprintf "%.2fx" (us /. off_us)])
+      [("tracing off", off_us); ("null sink", null_us); ("ring sink", ring_us)]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E14: median of %d runs, snapshot + [EVERY] query per run" runs)
+    ~columns:["sink"; "median"; "vs off"] rows;
+  let null_ratio = null_us /. off_us in
+  record_json "runs" (Harness.Json.Int runs);
+  record_json "off_us" (Harness.Json.Float off_us);
+  record_json "null_us" (Harness.Json.Float null_us);
+  record_json "ring_us" (Harness.Json.Float ring_us);
+  record_json "null_over_off" (Harness.Json.Float null_ratio);
+  record_json "threshold" (Harness.Json.Float overhead_threshold);
+  if !check_overhead then
+    if null_ratio > overhead_threshold then begin
+      Printf.eprintf
+        "E14 FAIL: null-sink overhead %.2fx exceeds threshold %.2fx\n"
+        null_ratio overhead_threshold;
+      exit 1
+    end
+    else
+      Printf.printf "  overhead check ok: %.2fx <= %.2fx\n" null_ratio
+        overhead_threshold
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13);
+    ("e12", e12); ("e13", e13); ("e14", e14);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let bechamel = List.mem "--bechamel" args in
   smoke := List.mem "--smoke" args;
+  check_overhead := List.mem "--check-overhead" args;
+  (* --trace FILE: stream every root span of the whole run as JSON lines.
+     E14 manages its own sinks and ends with tracing off, so combining it
+     with --trace in one invocation truncates the stream there. *)
+  let trace_oc =
+    let rec find = function
+      | "--trace" :: path :: _ -> Some (open_out path)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  (match trace_oc with
+   | Some oc -> Txq_obs.Trace.set_sink (Some (Txq_obs.Trace.jsonl_sink oc))
+   | None -> ());
+  let rec drop_trace_arg = function
+    | "--trace" :: _ :: rest -> drop_trace_arg rest
+    | a :: rest -> a :: drop_trace_arg rest
+    | [] -> []
+  in
   let selected =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+    List.filter
+      (fun a -> not (String.length a > 1 && a.[0] = '-'))
+      (drop_trace_arg args)
   in
   let to_run =
     if selected = [] then experiments
@@ -924,4 +1027,9 @@ let () =
       f ();
       Harness.write_json ~experiment:name)
     to_run;
+  (match trace_oc with
+   | Some oc ->
+     Txq_obs.Trace.set_sink None;
+     close_out oc
+   | None -> ());
   if bechamel then Harness.run_bechamel ()

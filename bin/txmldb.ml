@@ -66,12 +66,34 @@ let build_db ~fig1 ~docs ~versions ~seed config =
       { Txq_workload.Load.default_spec with
         Txq_workload.Load.seed; documents = docs; versions }
 
+(* The db term yields a thunk, not a database: tracing sinks must be
+   installed before the build runs so the build's own spans (docstore
+   commits, FTI updates) reach the sink too. *)
 let db_term =
-  let make fig1 docs versions seed snapshots clustered fti_mode =
+  let make fig1 docs versions seed snapshots clustered fti_mode () =
     build_db ~fig1 ~docs ~versions ~seed (config_of snapshots clustered fti_mode)
   in
   Term.(const make $ fig1_t $ docs_t $ versions_t $ seed_t $ snapshots_t
         $ clustered_t $ fti_mode_t)
+
+(* --- tracing ---------------------------------------------------------------- *)
+
+let trace_t =
+  Arg.(value & opt (some string) None & info ["trace"] ~docv:"FILE"
+         ~doc:"Write every span of the run (database build included) to \
+               $(docv) as JSON lines.")
+
+let with_tracing trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let oc = open_out path in
+    Txq_obs.Trace.set_sink (Some (Txq_obs.Trace.jsonl_sink oc));
+    Fun.protect
+      ~finally:(fun () ->
+        Txq_obs.Trace.set_sink None;
+        close_out oc)
+      f
 
 (* --- query ---------------------------------------------------------------- *)
 
@@ -84,8 +106,22 @@ let query_cmd =
     Arg.(value & flag & info ["explain"]
            ~doc:"Print the operator plan instead of running the query.")
   in
-  let run db explain query =
-    if explain then
+  let analyze_t =
+    Arg.(value & flag & info ["explain-analyze"]
+           ~doc:"Print the plan, then run the query under tracing and \
+                 append per-operator call counts, wall time and IO \
+                 counters.")
+  in
+  let run mk_db trace explain analyze query =
+    with_tracing trace @@ fun () ->
+    let db = mk_db () in
+    if analyze then
+      match Txq_query.Exec.explain_analyze_string db query with
+      | Ok report ->
+        print_string report;
+        `Ok ()
+      | Error e -> `Error (false, Txq_query.Exec.error_to_string e)
+    else if explain then
       match Txq_query.Exec.explain_string db query with
       | Ok plan ->
         print_string plan;
@@ -100,7 +136,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a temporal query against the database.")
-    Term.(ret (const run $ db_term $ explain_t $ query_t))
+    Term.(ret (const run $ db_term $ trace_t $ explain_t $ analyze_t $ query_t))
 
 (* --- history ---------------------------------------------------------------- *)
 
@@ -108,7 +144,9 @@ let history_cmd =
   let url_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"URL" ~doc:"Document URL.")
   in
-  let run db url =
+  let run mk_db trace url =
+    with_tracing trace @@ fun () ->
+    let db = mk_db () in
     match Txq_db.Db.find_all db url with
     | [] -> `Error (false, Printf.sprintf "no document at %s" url)
     | incarnations ->
@@ -131,7 +169,7 @@ let history_cmd =
   in
   Cmd.v
     (Cmd.info "history" ~doc:"Show the version chain of a document.")
-    Term.(ret (const run $ db_term $ url_t))
+    Term.(ret (const run $ db_term $ trace_t $ url_t))
 
 (* --- show ------------------------------------------------------------------- *)
 
@@ -143,7 +181,9 @@ let show_cmd =
     Arg.(value & opt (some string) None & info ["at"] ~docv:"DD/MM/YYYY"
            ~doc:"Timestamp of the snapshot to show (default: current).")
   in
-  let run db url at =
+  let run mk_db trace url at =
+    with_tracing trace @@ fun () ->
+    let db = mk_db () in
     let shown =
       match at with
       | Some s -> (
@@ -167,12 +207,19 @@ let show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print a document version (current or at a time).")
-    Term.(ret (const run $ db_term $ url_t $ at_t))
+    Term.(ret (const run $ db_term $ trace_t $ url_t $ at_t))
 
 (* --- stats ------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run db =
+  let metrics_t =
+    Arg.(value & flag & info ["metrics"]
+           ~doc:"Also dump the process metrics registry (counters, gauges \
+                 and span-latency histograms accumulated while building).")
+  in
+  let run mk_db trace metrics =
+    with_tracing trace @@ fun () ->
+    let db = mk_db () in
     let io = Txq_db.Db.io_stats db in
     Printf.printf "documents:        %d\n" (Txq_db.Db.document_count db);
     Printf.printf "commits:          %d\n" (Txq_db.Db.stats db).Txq_db.Db.commits;
@@ -185,16 +232,22 @@ let stats_cmd =
        Printf.printf "fti words:        %d\n" (Txq_fti.Fti.word_count fti);
        Printf.printf "fti postings:     %d\n" (Txq_fti.Fti.posting_count fti)
      | _ -> ());
+    if metrics || trace <> None then begin
+      Txq_store.Io_stats.publish io;
+      Format.printf "@.metrics:@.%a@?" Txq_obs.Metrics.pp_dump ()
+    end;
     `Ok ()
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Build the database and print storage/index statistics.")
-    Term.(ret (const run $ db_term))
+    Term.(ret (const run $ db_term $ trace_t $ metrics_t))
 
 (* --- verify ------------------------------------------------------------------- *)
 
 let verify_cmd =
-  let run db =
+  let run mk_db trace =
+    with_tracing trace @@ fun () ->
+    let db = mk_db () in
     match Txq_db.Db.verify db with
     | Ok versions ->
       Printf.printf "ok: %d versions reconstruct cleanly\n" versions;
@@ -206,7 +259,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Reconstruct every stored version and check chain integrity.")
-    Term.(ret (const run $ db_term))
+    Term.(ret (const run $ db_term $ trace_t))
 
 (* --- recover ------------------------------------------------------------------- *)
 
@@ -217,7 +270,8 @@ let recover_cmd =
                  (a deterministic torn-page crash), then recover from the \
                  surviving pages.")
   in
-  let run fig1 docs versions seed snapshots clustered fti_mode crash_after =
+  let run fig1 docs versions seed snapshots clustered fti_mode crash_after trace =
+    with_tracing trace @@ fun () ->
     let config = Txq_db.Config.durable (config_of snapshots clustered fti_mode) in
     let db = build_db ~fig1 ~docs ~versions ~seed config in
     let disk = Txq_db.Db.disk db in
@@ -267,7 +321,7 @@ let recover_cmd =
        ~doc:"Build a journaled database, optionally crash it mid-commit, and \
              rebuild it from the disk image alone.")
     Term.(ret (const run $ fig1_t $ docs_t $ versions_t $ seed_t $ snapshots_t
-               $ clustered_t $ fti_mode_t $ crash_after_t))
+               $ clustered_t $ fti_mode_t $ crash_after_t $ trace_t))
 
 let main =
   let doc = "temporal XML database (Nørvåg 2002 reproduction)" in

@@ -1,10 +1,12 @@
 let count = List.length
 
-let count_versions bindings =
+let count_versions db bindings =
   List.fold_left
     (fun acc b ->
-      let n = Vrange.spans b.Scan.b_versions in
-      if n = max_int then acc + 1 else acc + n)
+      let limit =
+        Txq_db.Docstore.version_count (Txq_db.Db.doc db b.Scan.b_doc)
+      in
+      acc + Vrange.spans (Vrange.clip ~limit b.Scan.b_versions))
     0 bindings
 
 let numeric_value db teid =

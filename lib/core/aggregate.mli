@@ -9,8 +9,11 @@
 val count : Scan.binding list -> int
 (** Cardinality; touches no stored version. *)
 
-val count_versions : Scan.binding list -> int
-(** Total matched (element, version) pairs; still index-only. *)
+val count_versions : Txq_db.Db.t -> Scan.binding list -> int
+(** Total matched (element, version) pairs; still index-only — the db is
+    consulted only for each document's version count, which bounds
+    open-ended validity ranges (a match valid "until now" spans every
+    version up to the head, not one). *)
 
 val numeric_value : Txq_db.Db.t -> Txq_vxml.Eid.Temporal.t -> float option
 (** The element's text content at that time, parsed as a number

@@ -5,6 +5,7 @@ module Xid = Txq_vxml.Xid
 module Eid = Txq_vxml.Eid
 
 let diff_trees a b =
+  Txq_obs.Trace.with_span "diff.diff_trees" @@ fun () ->
   let gen = Xid.Gen.create () in
   (match Vnode.max_xid a with
    | Some m -> Xid.Gen.mark_used gen m

@@ -14,6 +14,7 @@ type doc_version = {
 let doc_history db doc_id ~t1 ~t2 =
   if Timestamp.(t2 <= t1) then []
   else
+    Txq_obs.Trace.with_span "history.doc_history" @@ fun () ->
     let d = Db.doc db doc_id in
     let window = Interval.make ~start:t1 ~stop:t2 in
     let n = Docstore.version_count d in
@@ -50,6 +51,7 @@ type element_version = {
 let doc_history_trees db doc_id ~t1 ~t2 =
   if Timestamp.(t2 <= t1) then []
   else
+    Txq_obs.Trace.with_span "history.doc_history_trees" @@ fun () ->
     let d = Db.doc db doc_id in
     match Docstore.versions_overlapping d ~t1 ~t2 with
     | None -> []
@@ -136,6 +138,7 @@ let sweep_runs db eid ~t1 ~t2 =
       Delta.apply_backward map delta;
       io.Txq_store.Io_stats.deltas_applied <-
         io.Txq_store.Io_stats.deltas_applied + 1;
+      Txq_obs.Trace.add_count "deltas_applied" 1;
       let present = Xidmap.mem map root_xid in
       let was_present = !run_tree <> None in
       if touched || present <> was_present then begin
@@ -161,6 +164,7 @@ let clip_interval d ~t1 ~t2 v =
   | None -> assert false (* callers only clip overlapping versions *)
 
 let element_history_sweep db eid ~t1 ~t2 () =
+  Txq_obs.Trace.with_span "history.element_history_sweep" @@ fun () ->
   let d = Db.doc db eid.Eid.doc in
   let clip = clip_interval d ~t1 ~t2 in
   List.map
@@ -181,6 +185,7 @@ let element_history_sweep db eid ~t1 ~t2 () =
 let element_history db eid ~t1 ~t2 ?(distinct = false) () =
   if distinct then element_history_sweep db eid ~t1 ~t2 ()
   else
+    Txq_obs.Trace.with_span "history.element_history" @@ fun () ->
     (* per-version history = the distinct runs expanded: within a run the
        subtree is identical (XIDs included), only the intervals differ *)
     let d = Db.doc db eid.Eid.doc in

@@ -73,12 +73,32 @@ let del_time_traverse db (teid : Eid.Temporal.t) =
     in
     walk (v + 1)
 
+(* The span records which strategy answered and, for the traversal, how
+   many deltas it had to scan. *)
+let traced name strategy f =
+  Txq_obs.Trace.with_span name
+    ~attrs:
+      [
+        ( "strategy",
+          Txq_obs.Span.Str
+            (match strategy with `Traverse -> "traverse" | `Index -> "index")
+        );
+      ]
+    (fun () ->
+      let r = f () in
+      (match strategy with
+      | `Traverse ->
+        Txq_obs.Trace.add_count "deltas_scanned" !traverse_counter
+      | `Index -> ());
+      r)
+
 let cre_time db ?strategy teid =
   let strategy =
     match strategy with
     | Some s -> s
     | None -> default_strategy db
   in
+  traced "lifetime.cre_time" strategy @@ fun () ->
   match strategy with
   | `Traverse -> cre_time_traverse db teid
   | `Index -> Cretime_index.create_time (index_of db) teid.Eid.Temporal.eid
@@ -89,6 +109,7 @@ let del_time db ?strategy teid =
     | Some s -> s
     | None -> default_strategy db
   in
+  traced "lifetime.del_time" strategy @@ fun () ->
   match strategy with
   | `Traverse -> del_time_traverse db teid
   | `Index -> Cretime_index.delete_time (index_of db) teid.Eid.Temporal.eid

@@ -259,7 +259,20 @@ let clamp ~version_of bindings =
         if Vrange.is_empty versions then None else Some { b with b_versions = versions })
     bindings
 
+(* One span per operator invocation; the FTI lookups it performs show up
+   as child spans carrying the postings counts. *)
+let traced name pattern f =
+  if not (Txq_obs.Trace.enabled ()) then f ()
+  else
+    Txq_obs.Trace.with_span name
+      ~attrs:[ ("pattern", Txq_obs.Span.Str (Pattern.to_string pattern)) ]
+      (fun () ->
+        let r = f () in
+        Txq_obs.Trace.add_count "bindings" (List.length r);
+        r)
+
 let pattern_scan db pattern =
+  traced "scan.pattern_scan" pattern @@ fun () ->
   let current_version doc =
     let d = Db.doc db doc in
     if Docstore.is_alive d then Some (Docstore.version_count d - 1) else None
@@ -268,11 +281,13 @@ let pattern_scan db pattern =
     (engine pattern ~lookup:(fun w -> Fti.lookup (Db.fti db) w))
 
 let tpattern_scan db pattern ts =
+  traced "scan.tpattern_scan" pattern @@ fun () ->
   let version_at doc = Db.version_at db doc ts in
   clamp ~version_of:version_at
     (engine pattern ~lookup:(fun w -> Fti.lookup_t (Db.fti db) w ~version_at))
 
 let tpattern_scan_all db pattern =
+  traced "scan.tpattern_scan_all" pattern @@ fun () ->
   engine pattern ~lookup:(fun w -> Fti.lookup_h (Db.fti db) w)
 
 let binding_intervals db b =

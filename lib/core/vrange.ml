@@ -32,9 +32,16 @@ let inter a b =
   in
   go a b []
 
+let is_bounded t = List.for_all (fun (_, b) -> b <> max_int) t
+
+let clip ~limit t = inter t (singleton 0 limit)
+
 let spans t =
   List.fold_left
-    (fun acc (a, b) -> if b = max_int then max_int else acc + (b - a))
+    (fun acc (a, b) ->
+      if b = max_int then
+        invalid_arg "Vrange.spans: unbounded range (clip to a version count first)"
+      else acc + (b - a))
     0 t
 
 let to_list t = t

@@ -14,6 +14,7 @@ type t = {
   version_cache_bytes : int;
   document_time_path : string option;
   durability : [ `None | `Journal ];
+  tracing : bool;
 }
 
 let default =
@@ -27,9 +28,12 @@ let default =
     version_cache_bytes = 8 * 1024 * 1024;
     document_time_path = None;
     durability = `None;
+    tracing = false;
   }
 
 let durable t = { t with durability = `Journal }
+
+let with_tracing t = { t with tracing = true }
 
 let with_snapshots k t = { t with snapshot_every = Some k }
 

@@ -42,6 +42,12 @@ type t = {
           atomic and {!Db.recover}able.  [`None] (the default, and the
           paper's setting) keeps the delta index purely in memory: a crash
           loses the version history. *)
+  tracing : bool;
+      (** Install the no-op trace sink at [Db.create]/[Db.recover] time so
+          operators build span trees (visible to [Trace.collect], metrics
+          histograms, and any sink installed later).  Off by default: with
+          no sink installed every [Trace.with_span] in the operators is a
+          single pointer compare. *)
 }
 
 val default : t
@@ -52,6 +58,9 @@ val default : t
 val with_snapshots : int -> t -> t
 val durable : t -> t
 (** Turns on [`Journal] durability. *)
+
+val with_tracing : t -> t
+(** Turns on [tracing]. *)
 
 val maintains_version_index : t -> bool
 val maintains_delta_index : t -> bool

@@ -6,6 +6,7 @@ module Timestamp = Txq_temporal.Timestamp
 module Clock = Txq_temporal.Clock
 module Fti = Txq_fti.Fti
 module Delta_fti = Txq_fti.Delta_fti
+module Trace = Txq_obs.Trace
 
 let log_src = Logs.Src.create "txq.db" ~doc:"Temporal XML database commits"
 
@@ -41,7 +42,14 @@ type t = {
   vcache : Vcache.t;
 }
 
+(* [Config.tracing] installs the cheapest sink so spans are built at all;
+   an already-installed sink (CLI --trace, a test ring) is left alone. *)
+let enable_tracing config =
+  if config.Config.tracing && not (Txq_obs.Trace.enabled ()) then
+    Txq_obs.Trace.set_sink (Some Txq_obs.Trace.null_sink)
+
 let create ?(config = Config.default) ?clock () =
+  enable_tracing config;
   let clock = match clock with Some c -> c | None -> Clock.create () in
   let disk = Txq_store.Disk.create () in
   let pool =
@@ -317,8 +325,11 @@ let cache_find t doc_id version =
   match Vcache.find t.vcache doc_id version with
   | Some tree ->
     t.stats.reconstruct_cache_hits <- t.stats.reconstruct_cache_hits + 1;
+    Trace.add_count "vcache_hits" 1;
     Some tree
-  | None -> None
+  | None ->
+    Trace.add_count "vcache_misses" 1;
+    None
 
 let count_reconstruction t ~versions ~deltas =
   t.stats.reconstructions <- t.stats.reconstructions + versions;
@@ -328,19 +339,23 @@ let count_reconstruction t ~versions ~deltas =
     io.Txq_store.Io_stats.deltas_applied + deltas
 
 let reconstruct t doc_id version =
-  match cache_find t doc_id version with
-  | Some tree -> tree
-  | None ->
-    let d = doc t doc_id in
-    let cached = Vcache.nearest t.vcache doc_id version in
-    let tree, cost = Docstore.reconstruct ?cached d version in
-    count_reconstruction t ~versions:1 ~deltas:cost.Docstore.deltas_applied;
-    Vcache.put t.vcache doc_id version tree;
-    tree
+  Trace.with_span "db.reconstruct" (fun () ->
+      match cache_find t doc_id version with
+      | Some tree -> tree
+      | None ->
+        let d = doc t doc_id in
+        let cached = Vcache.nearest t.vcache doc_id version in
+        let tree, cost = Docstore.reconstruct ?cached d version in
+        count_reconstruction t ~versions:1 ~deltas:cost.Docstore.deltas_applied;
+        Vcache.put t.vcache doc_id version tree;
+        tree)
 
 let reconstruct_range t doc_id ~lo ~hi =
   if lo > hi then []
-  else begin
+  else
+    Trace.with_span "db.reconstruct_range"
+      ~attrs:[ ("versions", Txq_obs.Span.Int (hi - lo + 1)) ]
+    @@ fun () ->
     let fully_cached =
       if not (Vcache.enabled t.vcache) then None
       else begin
@@ -368,7 +383,6 @@ let reconstruct_range t doc_id ~lo ~hi =
       let deltas = Docstore.reconstruct_range ?cached d ~lo ~hi ~f:emit in
       count_reconstruction t ~versions:(hi - lo + 1) ~deltas;
       List.sort (fun (a, _) (b, _) -> Int.compare b a) !out
-  end
 
 let read_delta t doc_id v =
   let delta = Docstore.read_delta (doc t doc_id) v in
@@ -453,13 +467,37 @@ let restore_blob r =
     ~length:r.Journal_record.br_length
 
 let recover disk config =
+  enable_tracing config;
   let pool =
     Txq_store.Buffer_pool.create ~capacity:config.Config.buffer_pool_pages disk
   in
   let { Txq_store.Journal.journal; records = raw_records; journal_pages } =
     Txq_store.Journal.recover pool
   in
-  let records = List.map Journal_record.decode_exn raw_records in
+  (* The journal only hands us digest-checked payloads, but a record can
+     still be logically corrupt (truncated encoder output, version skew
+     from an older writer).  Replay the longest decodable prefix: records
+     after a bad one may depend on state it would have built, so they are
+     dropped too, exactly as if the crash had happened one commit
+     earlier. *)
+  let records =
+    let rec prefix acc = function
+      | [] -> List.rev acc
+      | raw :: rest -> (
+        match Journal_record.decode raw with
+        | Ok r -> prefix (r :: acc) rest
+        | Error reason ->
+          let dropped = 1 + List.length rest in
+          Txq_obs.Metrics.incr ~by:dropped "db.recover.records_dropped";
+          Log.warn (fun m ->
+              m
+                "recover: journal record %d is undecodable (%s); truncating \
+                 replay, dropping %d record(s)"
+                (List.length acc) reason dropped);
+          List.rev acc)
+    in
+    prefix [] raw_records
+  in
   let blobs = Txq_store.Blob_store.create ~policy:config.Config.placement pool in
   (* Pass A: replay records into per-document chains.  Only blobs reachable
      from the latest record mentioning them are live; everything a crash

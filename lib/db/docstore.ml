@@ -8,6 +8,7 @@ module Timestamp = Txq_temporal.Timestamp
 module Interval = Txq_temporal.Interval
 module Blob_store = Txq_store.Blob_store
 module Vec = Txq_store.Vec
+module Trace = Txq_obs.Trace
 
 type version_entry = {
   ve_ts : Timestamp.t;
@@ -83,6 +84,7 @@ let created_at t = (Vec.get t.entries 0).ve_ts
 let snapshot_blob t v = (Vec.get t.entries v).ve_snapshot
 
 let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
+  Trace.with_span "docstore.commit" @@ fun () ->
   check_ingest xml;
   (match t.deleted with
    | Some _ ->
@@ -98,6 +100,8 @@ let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
     Diff.diff ~gen:t.gen ~old_tree:t.current ~new_tree:(Xml.normalize xml)
   in
   let delta = Delta.make ~from_version:(v - 1) ~to_version:v delta.Delta.ops in
+  Trace.add_count "version" v;
+  Trace.add_count "ops" (List.length delta.Delta.ops);
   (* Write every blob of this commit before touching the delta index or the
      free list: up to the commit point below, the previous version — and in
      particular its still-allocated current blob — remains fully intact, so
@@ -240,9 +244,16 @@ let reconstruct ?cached t v =
   let n = version_count t in
   if v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Docstore.reconstruct: no version %d" v);
+  Trace.with_span "docstore.reconstruct" @@ fun () ->
   let anchor_v, anchor = pick_anchor ?cached t ~lo:v ~hi:v in
   let tree = anchor_tree t anchor in
   let anchor = anchor_kind t anchor_v anchor in
+  Trace.add_attr "anchor"
+    (Txq_obs.Span.Str
+       (match anchor with
+       | `Current -> "current"
+       | `Snapshot -> "snapshot"
+       | `Cached -> "cached"));
   if anchor_v = v then
     (tree, { deltas_applied = 0; anchor; direction = `None })
   else begin
@@ -259,6 +270,7 @@ let reconstruct ?cached t v =
         Delta.apply_forward map (read_delta t i);
         incr deltas_applied
       done;
+    Trace.add_count "deltas_applied" !deltas_applied;
     ( Xidmap.to_vnode map,
       {
         deltas_applied = !deltas_applied;
@@ -272,6 +284,7 @@ let reconstruct_range ?cached t ~lo ~hi ~f =
   if lo < 0 || hi >= n || lo > hi then
     invalid_arg
       (Printf.sprintf "Docstore.reconstruct_range: bad range [%d, %d]" lo hi);
+  Trace.with_span "docstore.reconstruct_range" @@ fun () ->
   let anchor_v, anchor = pick_anchor ?cached t ~lo ~hi in
   let tree = anchor_tree t anchor in
   let deltas_applied = ref 0 in
@@ -300,6 +313,7 @@ let reconstruct_range ?cached t ~lo ~hi ~f =
     if anchor_v > lo then backward_to (Xidmap.of_vnode tree) anchor_v lo;
     if anchor_v < hi then forward_to (Xidmap.of_vnode tree) anchor_v hi
   end;
+  Trace.add_count "deltas_applied" !deltas_applied;
   !deltas_applied
 
 let delta_pages t =

@@ -104,9 +104,19 @@ let delete_document t ~doc ~version vnode =
   add_tree_words t ~doc ~version ~kind:Deleted vnode
 
 let changes t word =
-  match Hashtbl.find_opt t.words word with
-  | Some bucket -> List.rev !bucket
-  | None -> []
+  let plain () =
+    match Hashtbl.find_opt t.words word with
+    | Some bucket -> List.rev !bucket
+    | None -> []
+  in
+  if not (Txq_obs.Trace.enabled ()) then plain ()
+  else
+    Txq_obs.Trace.with_span "dfti.changes"
+      ~attrs:[ ("word", Txq_obs.Span.Str word) ]
+      (fun () ->
+        let r = plain () in
+        Txq_obs.Trace.add_count "entries" (List.length r);
+        r)
 
 let changes_of_kind t word kind =
   List.filter (fun e -> e.ch_kind = kind) (changes t word)

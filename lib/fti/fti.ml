@@ -97,20 +97,42 @@ let postings_of t word =
   | Some bucket -> !bucket
   | None -> []
 
-let lookup t word = List.filter Posting.is_open (postings_of t word)
+(* Each lookup variant traces postings scanned vs returned — the
+   quantities Section 7.2 argues with.  The [Trace.enabled] guard keeps
+   the disabled path free of the extra list walks. *)
+let traced name word scanned result =
+  if not (Txq_obs.Trace.enabled ()) then result ()
+  else
+    Txq_obs.Trace.with_span name
+      ~attrs:[ ("word", Txq_obs.Span.Str word) ]
+      (fun () ->
+        let r = result () in
+        Txq_obs.Trace.add_count "postings_scanned" (List.length (scanned ()));
+        Txq_obs.Trace.add_count "postings" (List.length r);
+        r)
+
+let lookup t word =
+  let all () = postings_of t word in
+  traced "fti.lookup" word all (fun () -> List.filter Posting.is_open (all ()))
 
 let lookup_t t word ~version_at =
-  List.filter
-    (fun p ->
-      match version_at p.Posting.doc with
-      | Some v -> Posting.valid_at p v
-      | None -> false)
-    (postings_of t word)
+  let all () = postings_of t word in
+  traced "fti.lookup_t" word all (fun () ->
+      List.filter
+        (fun p ->
+          match version_at p.Posting.doc with
+          | Some v -> Posting.valid_at p v
+          | None -> false)
+        (all ()))
 
-let lookup_h t word = postings_of t word
+let lookup_h t word =
+  let all () = postings_of t word in
+  traced "fti.lookup_h" word all all
 
 let lookup_h_doc t word ~doc =
-  List.filter (fun p -> p.Posting.doc = doc) (postings_of t word)
+  let all () = postings_of t word in
+  traced "fti.lookup_h" word all (fun () ->
+      List.filter (fun p -> p.Posting.doc = doc) (all ()))
 
 let word_count t = Hashtbl.length t.words
 let posting_count t = t.postings

@@ -1,0 +1,100 @@
+let buckets = 64
+
+type histo = {
+  mutable count : int;
+  mutable sum : float;
+  bucket : int array;
+}
+
+type histogram = { h_count : int; h_sum : float; h_buckets : int array }
+
+let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let gauge_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16
+let histo_tbl : (string, histo) Hashtbl.t = Hashtbl.create 16
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add tbl name r;
+    r
+
+let incr ?(by = 1) name =
+  let r = cell counter_tbl name in
+  r := !r + by
+
+let set_gauge name v = cell gauge_tbl name := v
+
+let bucket_of v =
+  if not (v >= 1.0) then 0 (* also catches nan *)
+  else
+    let i = 1 + int_of_float (Float.log2 v) in
+    if i >= buckets then buckets - 1 else i
+
+let bucket_lo i = if i <= 0 then 0.0 else Float.ldexp 1.0 (i - 1)
+
+let observe name v =
+  let h =
+    match Hashtbl.find_opt histo_tbl name with
+    | Some h -> h
+    | None ->
+      let h = { count = 0; sum = 0.0; bucket = Array.make buckets 0 } in
+      Hashtbl.add histo_tbl name h;
+      h
+  in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  let i = bucket_of v in
+  h.bucket.(i) <- h.bucket.(i) + 1
+
+let counter_value name =
+  Option.map ( ! ) (Hashtbl.find_opt counter_tbl name)
+
+let gauge_value name = Option.map ( ! ) (Hashtbl.find_opt gauge_tbl name)
+
+let snapshot h =
+  { h_count = h.count; h_sum = h.sum; h_buckets = Array.copy h.bucket }
+
+let histogram_value name =
+  Option.map snapshot (Hashtbl.find_opt histo_tbl name)
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () = sorted_bindings counter_tbl ( ! )
+let gauges () = sorted_bindings gauge_tbl ( ! )
+let histograms () = sorted_bindings histo_tbl snapshot
+
+let pp_dump ppf () =
+  let section title = Format.fprintf ppf "%s:@." title in
+  let cs = counters () and gs = gauges () and hs = histograms () in
+  if cs <> [] then begin
+    section "counters";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-44s %d@." k v) cs
+  end;
+  if gs <> [] then begin
+    section "gauges";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-44s %d@." k v) gs
+  end;
+  if hs <> [] then begin
+    section "histograms";
+    List.iter
+      (fun (k, h) ->
+        let mean = if h.h_count = 0 then 0.0 else h.h_sum /. float h.h_count in
+        Format.fprintf ppf "  %-44s count=%d mean=%.1f@." k h.h_count mean;
+        Array.iteri
+          (fun i n ->
+            if n > 0 then
+              Format.fprintf ppf "    [>= %-9.5g] %d@." (bucket_lo i) n)
+          h.h_buckets)
+      hs
+  end;
+  if cs = [] && gs = [] && hs = [] then
+    Format.fprintf ppf "(registry empty)@."
+
+let reset () =
+  Hashtbl.reset counter_tbl;
+  Hashtbl.reset gauge_tbl;
+  Hashtbl.reset histo_tbl

@@ -1,0 +1,54 @@
+(** Process-wide metrics registry: counters, gauges, and log2-bucketed
+    histograms.  Always live (unlike tracing there is no enable switch):
+    registration and update are cheap hashtable-plus-increment operations,
+    so hot paths that want zero cost when tracing is off should guard on
+    {!Trace.enabled} themselves.
+
+    Naming convention: dotted lowercase paths, [subsystem.event], e.g.
+    [db.recover.records_dropped], [span.scan.tpattern_scan_all]. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter, creating it at 0 on first use. *)
+
+val set_gauge : string -> int -> unit
+(** Set a gauge to an absolute value, creating it on first use. *)
+
+val observe : string -> float -> unit
+(** Record a sample (any unit; span latencies use microseconds) into a
+    log2-bucketed histogram.  Bucket 0 holds samples < 1.0; bucket [i >= 1]
+    holds samples in [[2^(i-1), 2^i)]; the last bucket absorbs overflow. *)
+
+val bucket_of : float -> int
+(** Bucket index [observe] files a sample under (exposed for tests). *)
+
+val bucket_lo : int -> float
+(** Inclusive lower bound of a bucket. *)
+
+val buckets : int
+(** Number of histogram buckets (64). *)
+
+val counter_value : string -> int option
+val gauge_value : string -> int option
+
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_buckets : int array;  (** length [buckets] *)
+}
+
+val histogram_value : string -> histogram option
+(** A copy of the histogram's current state. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : unit -> (string * int) list
+
+val histograms : unit -> (string * histogram) list
+
+val pp_dump : Format.formatter -> unit -> unit
+(** Human-readable dump of the whole registry: counters, gauges, then
+    histograms with count/mean and the non-empty buckets. *)
+
+val reset : unit -> unit
+(** Forget everything (tests and per-experiment scoping in the bench). *)

@@ -1,0 +1,143 @@
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = {
+  sp_name : string;
+  mutable sp_start_ns : int64;
+  mutable sp_dur_ns : int64;
+  mutable sp_attrs : (string * attr) list;
+  mutable sp_children : t list;
+}
+
+let make ?(attrs = []) name =
+  {
+    sp_name = name;
+    sp_start_ns = Monotonic_clock.now ();
+    sp_dur_ns = 0L;
+    (* kept reversed while the span is open so prepends are O(1); Trace
+       restores insertion order when it finishes the span *)
+    sp_attrs = List.rev attrs;
+    sp_children = [];
+  }
+
+let dur_us t = Int64.to_float t.sp_dur_ns /. 1e3
+
+let attr t key =
+  List.find_map
+    (fun (k, v) -> if String.equal k key then Some v else None)
+    t.sp_attrs
+
+let int_attr t key =
+  match attr t key with Some (Int n) -> Some n | _ -> None
+
+let rec find t name =
+  if String.equal t.sp_name name then Some t
+  else List.find_map (fun c -> find c name) t.sp_children
+
+let rec count t = List.fold_left (fun acc c -> acc + count c) 1 t.sp_children
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.sp_children
+
+let sum_int_attrs trees =
+  (* assoc list keeps first-seen order; attribute sets are tiny *)
+  let totals = ref [] in
+  let add key n =
+    match List.assoc_opt key !totals with
+    | Some r -> r := !r + n
+    | None -> totals := !totals @ [ (key, ref n) ]
+  in
+  List.iter
+    (fun tree ->
+      fold
+        (fun () sp ->
+          List.iter
+            (fun (k, v) -> match v with Int n -> add k n | _ -> ())
+            sp.sp_attrs)
+        () tree)
+    trees;
+  List.map (fun (k, r) -> (k, !r)) !totals
+
+let pp_attr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp ppf t =
+  let rec go indent sp =
+    Format.fprintf ppf "%s%s %.1fus" indent sp.sp_name (dur_us sp);
+    if sp.sp_attrs <> [] then begin
+      Format.fprintf ppf " [";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Format.pp_print_char ppf ' ';
+          Format.fprintf ppf "%s=%a" k pp_attr v)
+        sp.sp_attrs;
+      Format.fprintf ppf "]"
+    end;
+    List.iter
+      (fun c ->
+        Format.pp_print_newline ppf ();
+        go (indent ^ "  ") c)
+      sp.sp_children
+  in
+  go "" t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  let str s =
+    Buffer.add_char buf '"';
+    json_escape buf s;
+    Buffer.add_char buf '"'
+  in
+  let rec go sp =
+    Buffer.add_string buf "{\"name\":";
+    str sp.sp_name;
+    Buffer.add_string buf (Printf.sprintf ",\"dur_us\":%.3f" (dur_us sp));
+    if sp.sp_attrs <> [] then begin
+      Buffer.add_string buf ",\"attrs\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          str k;
+          Buffer.add_char buf ':';
+          match v with
+          | Int n -> Buffer.add_string buf (string_of_int n)
+          | Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+          | Bool b -> Buffer.add_string buf (string_of_bool b)
+          | Str s -> str s)
+        sp.sp_attrs;
+      Buffer.add_char buf '}'
+    end;
+    if sp.sp_children <> [] then begin
+      Buffer.add_string buf ",\"children\":[";
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char buf ',';
+          go c)
+        sp.sp_children;
+      Buffer.add_char buf ']'
+    end;
+    Buffer.add_char buf '}'
+  in
+  go t;
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Spans: named, nested, monotonic-clock-timed measurements with typed
+    attributes.  A span tree describes one operator invocation: the root is
+    the outermost traced call and children are the traced calls it made.
+
+    Spans are produced by {!Trace.with_span}; this module is the passive
+    data structure plus rendering. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = {
+  sp_name : string;
+  mutable sp_start_ns : int64;  (** monotonic clock at entry *)
+  mutable sp_dur_ns : int64;  (** filled when the span finishes *)
+  mutable sp_attrs : (string * attr) list;  (** insertion order *)
+  mutable sp_children : t list;  (** chronological order once finished *)
+}
+
+val make : ?attrs:(string * attr) list -> string -> t
+(** A fresh unfinished span stamped with the current monotonic clock. *)
+
+val dur_us : t -> float
+(** Wall time in microseconds. *)
+
+val attr : t -> string -> attr option
+(** First attribute with that key, if any. *)
+
+val int_attr : t -> string -> int option
+(** [attr] restricted to [Int] payloads. *)
+
+val find : t -> string -> t option
+(** Depth-first search (self included) for a span by name. *)
+
+val count : t -> int
+(** Number of spans in the tree, self included. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Depth-first, parent before children. *)
+
+val sum_int_attrs : t list -> (string * int) list
+(** Sum every [Int] attribute across all spans of the given trees,
+    keyed by attribute name, in first-seen order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering, one span per line:
+    [name 12.3us \[k=v ...\]]. *)
+
+val to_string : t -> string
+
+val to_json : t -> string
+(** Single-line JSON object: name, dur_us, attrs, children. *)

@@ -1,0 +1,96 @@
+type sink = { on_root : Span.t -> unit }
+
+let null_sink = { on_root = ignore }
+
+let ring_sink ~capacity =
+  let q : Span.t Queue.t = Queue.create () in
+  let on_root sp =
+    Queue.push sp q;
+    if Queue.length q > capacity then ignore (Queue.pop q)
+  in
+  ({ on_root }, fun () -> List.of_seq (Queue.to_seq q))
+
+let jsonl_sink oc =
+  {
+    on_root =
+      (fun sp ->
+        output_string oc (Span.to_json sp);
+        output_char oc '\n');
+  }
+
+let state : sink option ref = ref None
+
+(* Innermost open span first. *)
+let stack : Span.t list ref = ref []
+
+let set_sink s =
+  state := s;
+  stack := []
+
+let enabled () = !state <> None
+
+let finish sp =
+  sp.Span.sp_dur_ns <- Int64.sub (Monotonic_clock.now ()) sp.Span.sp_start_ns;
+  sp.Span.sp_attrs <- List.rev sp.Span.sp_attrs;
+  sp.Span.sp_children <- List.rev sp.Span.sp_children;
+  Metrics.observe ("span." ^ sp.Span.sp_name) (Span.dur_us sp);
+  match !stack with
+  | parent :: _ -> parent.Span.sp_children <- sp :: parent.Span.sp_children
+  | [] -> ( match !state with Some s -> s.on_root sp | None -> ())
+
+let with_span ?(attrs = []) name f =
+  match !state with
+  | None -> f ()
+  | Some _ ->
+    let sp = Span.make ~attrs name in
+    stack := sp :: !stack;
+    let pop () =
+      (match !stack with
+      | top :: rest when top == sp -> stack := rest
+      | _ ->
+        (* unbalanced (an escaping callee reset the sink mid-span):
+           drop everything rather than misattribute children *)
+        stack := []);
+      finish sp
+    in
+    (match f () with
+    | v ->
+      pop ();
+      v
+    | exception e ->
+      pop ();
+      raise e)
+
+let add_attr key v =
+  match !stack with
+  | [] -> ()
+  | sp :: _ -> sp.Span.sp_attrs <- (key, v) :: sp.Span.sp_attrs
+
+let add_count key n =
+  match !stack with
+  | [] -> ()
+  | sp :: _ ->
+    let rec bump = function
+      | [] -> [ (key, Span.Int n) ]
+      | (k, Span.Int m) :: rest when String.equal k key ->
+        (k, Span.Int (m + n)) :: rest
+      | a :: rest -> a :: bump rest
+    in
+    sp.Span.sp_attrs <- bump sp.Span.sp_attrs
+
+let collect f =
+  let saved_state = !state and saved_stack = !stack in
+  let acc = ref [] in
+  state := Some { on_root = (fun sp -> acc := sp :: !acc) };
+  stack := [];
+  let restore () =
+    state := saved_state;
+    stack := saved_stack
+  in
+  match f () with
+  | v ->
+    restore ();
+    (v, List.rev !acc)
+  | exception e ->
+    restore ();
+    raise e

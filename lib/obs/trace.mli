@@ -1,0 +1,47 @@
+(** Tracing entry points.  A single process-wide sink; when no sink is
+    installed (the default) every tracing call short-circuits to a pointer
+    compare, so instrumented hot paths cost nothing measurable.
+
+    Spans nest dynamically: [with_span] pushes onto a stack, so traced
+    callees become children of the innermost open span.  When a root span
+    finishes it is handed to the sink and its latency is recorded in the
+    metrics histogram [span.<name>] (microseconds). *)
+
+type sink
+(** Consumes finished root span trees. *)
+
+val null_sink : sink
+(** Accepts and discards spans.  Exercises the full span-building path —
+    used by the bench overhead check and by [Config.tracing]. *)
+
+val ring_sink : capacity:int -> sink * (unit -> Span.t list)
+(** Keeps the last [capacity] root spans; the closure returns them oldest
+    first.  For tests. *)
+
+val jsonl_sink : out_channel -> sink
+(** Writes each root span tree as one JSON line.  Does not close or flush
+    the channel; callers owning the channel should flush when done. *)
+
+val set_sink : sink option -> unit
+(** Install ([Some]) or remove ([None]) the process sink.  Clears any
+    open span stack. *)
+
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * Span.attr) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  No-op wrapper when tracing is disabled.
+    Exceptions propagate; the span still finishes. *)
+
+val add_attr : string -> Span.attr -> unit
+(** Attach an attribute to the innermost open span (no-op outside a span
+    or when disabled).  Duplicate keys are kept; readers see the first. *)
+
+val add_count : string -> int -> unit
+(** Add to an [Int] attribute of the innermost open span, creating it at
+    the given value — the idiom for counters like [deltas_applied]. *)
+
+val collect : (unit -> 'a) -> 'a * Span.t list
+(** Run the thunk with a temporary collecting sink and return the root
+    spans it produced, oldest first.  Works whether or not tracing was
+    enabled before, and restores the previous sink after.  Basis of
+    EXPLAIN ANALYZE. *)

@@ -42,13 +42,16 @@ type expr =
   | E_avg of expr
   | E_apply_path of expr * Txq_xml.Path.t
 
+type ordered =
+  | O_eq
+  | O_neq
+  | O_lt
+  | O_le
+  | O_gt
+  | O_ge
+
 type cmp =
-  | Eq
-  | Neq
-  | Lt
-  | Le
-  | Gt
-  | Ge
+  | Ordered of ordered
   | Identity
   | Similar
   | Contains
@@ -112,13 +115,25 @@ let rec expr_to_string = function
   | E_avg e -> Printf.sprintf "AVG(%s)" (expr_to_string e)
   | E_apply_path (e, p) -> expr_to_string e ^ path_to_string p
 
+let ordered_holds op c =
+  match op with
+  | O_eq -> c = 0
+  | O_neq -> c <> 0
+  | O_lt -> c < 0
+  | O_le -> c <= 0
+  | O_gt -> c > 0
+  | O_ge -> c >= 0
+
+let ordered_to_string = function
+  | O_eq -> "="
+  | O_neq -> "!="
+  | O_lt -> "<"
+  | O_le -> "<="
+  | O_gt -> ">"
+  | O_ge -> ">="
+
 let cmp_to_string = function
-  | Eq -> "="
-  | Neq -> "!="
-  | Lt -> "<"
-  | Le -> "<="
-  | Gt -> ">"
-  | Ge -> ">="
+  | Ordered op -> ordered_to_string op
   | Identity -> "=="
   | Similar -> "~"
   | Contains -> "CONTAINS"

@@ -53,13 +53,20 @@ type expr =
       (** postfix path on a node-valued expression, e.g.
           [CURRENT(R)/name] *)
 
+(** Comparisons that reduce to a three-way [compare] on atom values.
+    Keeping them in their own type makes the evaluators' dispatch total:
+    the structural operators ([==], [~], [CONTAINS]) can never reach an
+    ordered-only code path. *)
+type ordered =
+  | O_eq  (** [=] — content equality *)
+  | O_neq
+  | O_lt
+  | O_le
+  | O_gt
+  | O_ge
+
 type cmp =
-  | Eq  (** [=] — content equality *)
-  | Neq
-  | Lt
-  | Le
-  | Gt
-  | Ge
+  | Ordered of ordered
   | Identity  (** [==] — EID identity (Section 7.4) *)
   | Similar  (** [~] — similarity *)
   | Contains
@@ -83,6 +90,11 @@ val has_aggregates : query -> bool
 val resolve_time :
   now:Txq_temporal.Timestamp.t -> time_expr -> Txq_temporal.Timestamp.t
 
+val ordered_holds : ordered -> int -> bool
+(** [ordered_holds op c] interprets a [compare]-style result [c] under
+    [op] — the single shared dispatch for every evaluator. *)
+
 val expr_to_string : expr -> string
+val ordered_to_string : ordered -> string
 val cmp_to_string : cmp -> string
 val to_string : query -> string

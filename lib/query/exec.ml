@@ -14,6 +14,8 @@ module Lifetime = Txq_core.Lifetime
 module Nav = Txq_core.Nav
 module Diff_op = Txq_core.Diff_op
 module Equality = Txq_core.Equality
+module Trace = Txq_obs.Trace
+module Span = Txq_obs.Span
 
 type error =
   | Parse_error of string
@@ -211,15 +213,15 @@ let atom_number = function
   | A_time _ -> None
 
 let compare_atoms op a b =
-  let ordered cmp =
-    match op with
-    | Ast.Eq -> cmp = 0
-    | Ast.Neq -> cmp <> 0
-    | Ast.Lt -> cmp < 0
-    | Ast.Le -> cmp <= 0
-    | Ast.Gt -> cmp > 0
-    | Ast.Ge -> cmp >= 0
-    | Ast.Identity | Ast.Similar | Ast.Contains -> assert false
+  (* ordered operators over atom values: times compare as times, then
+     numerically when both sides parse, then as text *)
+  let by_value op =
+    match (a, b) with
+    | A_time t1, A_time t2 -> Ast.ordered_holds op (Timestamp.compare t1 t2)
+    | _ -> (
+      match (atom_number a, atom_number b) with
+      | Some x, Some y -> Ast.ordered_holds op (Float.compare x y)
+      | _ -> Ast.ordered_holds op (String.compare (atom_text a) (atom_text b)))
   in
   match op with
   | Ast.Identity -> (
@@ -240,23 +242,13 @@ let compare_atoms op a b =
         && Seq.exists
              (fun i -> String.equal (String.sub hay i nl) needle)
              (Seq.init (hl - nl + 1) Fun.id))
-  | Ast.Eq | Ast.Neq -> (
+  | Ast.Ordered ((Ast.O_eq | Ast.O_neq) as op) -> (
     match (a, b) with
     | A_node (_, n1), A_node (_, n2) ->
       let eq = Vnode.deep_equal n1 n2 in
-      if op = Ast.Eq then eq else not eq
-    | A_time t1, A_time t2 -> ordered (Timestamp.compare t1 t2)
-    | _ -> (
-      match (atom_number a, atom_number b) with
-      | Some x, Some y -> ordered (Float.compare x y)
-      | _ -> ordered (String.compare (atom_text a) (atom_text b))))
-  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
-    match (a, b) with
-    | A_time t1, A_time t2 -> ordered (Timestamp.compare t1 t2)
-    | _ -> (
-      match (atom_number a, atom_number b) with
-      | Some x, Some y -> ordered (Float.compare x y)
-      | _ -> ordered (String.compare (atom_text a) (atom_text b))))
+      if op = Ast.O_eq then eq else not eq
+    | _ -> by_value op)
+  | Ast.Ordered op -> by_value op
 
 let rec eval_cond ctx row = function
   | Ast.C_and (a, b) -> eval_cond ctx row a && eval_cond ctx row b
@@ -289,8 +281,8 @@ let pushdown_for_var var cond =
   | Some cond ->
     List.filter_map
       (function
-        | Ast.C_cmp (Ast.E_path (v, path), Ast.Eq, Ast.E_string s)
-        | Ast.C_cmp (Ast.E_string s, Ast.Eq, Ast.E_path (v, path))
+        | Ast.C_cmp (Ast.E_path (v, path), Ast.Ordered Ast.O_eq, Ast.E_string s)
+        | Ast.C_cmp (Ast.E_string s, Ast.Ordered Ast.O_eq, Ast.E_path (v, path))
           when String.equal v var && path <> [] ->
           Option.map (fun w -> (path, w)) (single_word s)
         | _ -> None)
@@ -477,11 +469,15 @@ let cartesian lists =
     lists [[]]
 
 let run db query =
+  Trace.with_span "query.run" @@ fun () ->
   let ctx = make_ctx db in
   try
     let per_source =
       List.map
         (fun src ->
+          Trace.with_span "query.bind_source"
+            ~attrs:[ ("var", Span.Str src.Ast.src_var) ]
+          @@ fun () ->
           List.map
             (fun rb -> (src.Ast.src_var, rb))
             (bind_source ctx query.Ast.where src))
@@ -491,8 +487,11 @@ let run db query =
     let rows =
       match query.Ast.where with
       | None -> rows
-      | Some cond -> List.filter (fun row -> eval_cond ctx row cond) rows
+      | Some cond ->
+        Trace.with_span "query.where" @@ fun () ->
+        List.filter (fun row -> eval_cond ctx row cond) rows
     in
+    if Trace.enabled () then Trace.add_count "rows" (List.length rows);
     let results =
       if Ast.has_aggregates query then begin
         let aggregate_value = function
@@ -622,6 +621,86 @@ let explain_string db input =
   match Parser.parse input with
   | Error e -> Error (Parse_error e)
   | Ok q -> Ok (explain db q)
+
+(* --- explain analyze ------------------------------------------------------ *)
+
+(* Per-operator aggregation over the span forest a run produced: number of
+   calls, cumulative wall time (a parent's time includes its children's,
+   as in SQL EXPLAIN ANALYZE), and the sum of every integer attribute
+   (deltas applied, postings scanned, vcache hits, …). *)
+type op_stats = {
+  mutable os_calls : int;
+  mutable os_total_us : float;
+  mutable os_counts : (string * int) list;
+}
+
+let aggregate_spans roots =
+  let order = ref [] in
+  let tbl : (string, op_stats) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun root ->
+      Span.fold
+        (fun () sp ->
+          let name = sp.Span.sp_name in
+          let st =
+            match Hashtbl.find_opt tbl name with
+            | Some st -> st
+            | None ->
+              let st = { os_calls = 0; os_total_us = 0.0; os_counts = [] } in
+              Hashtbl.add tbl name st;
+              order := name :: !order;
+              st
+          in
+          st.os_calls <- st.os_calls + 1;
+          st.os_total_us <- st.os_total_us +. Span.dur_us sp;
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Span.Int n ->
+                st.os_counts <-
+                  (if List.mem_assoc k st.os_counts then
+                     List.map
+                       (fun (k', m') ->
+                         if String.equal k' k then (k', m' + n) else (k', m'))
+                       st.os_counts
+                   else st.os_counts @ [ (k, n) ])
+              | _ -> ())
+            sp.Span.sp_attrs)
+        () root)
+    roots;
+  List.map (fun name -> (name, Hashtbl.find tbl name)) (List.rev !order)
+
+let explain_analyze db query =
+  let plan = explain db query in
+  let result, roots = Txq_obs.Trace.collect (fun () -> run db query) in
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Buffer.add_string buf plan;
+  addf "-- analyze --\n";
+  (match result with
+  | Ok xml -> addf "result: %d row(s)\n" (List.length (Xml.children xml))
+  | Error e -> addf "result: error: %s\n" (error_to_string e));
+  let ops = aggregate_spans roots in
+  (* widest operator name bounds the column *)
+  let name_w =
+    List.fold_left (fun w (n, _) -> Stdlib.max w (String.length n)) 8 ops
+  in
+  addf "%-*s %6s %12s  %s\n" name_w "operator" "calls" "total" "counters";
+  List.iter
+    (fun (name, st) ->
+      addf "%-*s %6d %10.1fus  %s\n" name_w name st.os_calls st.os_total_us
+        (String.concat " "
+           (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) st.os_counts)))
+    (List.sort
+       (fun (_, a) (_, b) -> Float.compare b.os_total_us a.os_total_us)
+       ops);
+  List.iter (fun root -> addf "span tree:\n%s\n" (Span.to_string root)) roots;
+  (result, Buffer.contents buf)
+
+let explain_analyze_string db input =
+  match Parser.parse input with
+  | Error e -> Error (Parse_error e)
+  | Ok q -> Ok (snd (explain_analyze db q))
 
 let run_string_exn db input =
   match run_string db input with

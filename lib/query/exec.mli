@@ -38,3 +38,14 @@ val explain : Txq_db.Db.t -> Ast.query -> string
     it runs nothing. *)
 
 val explain_string : Txq_db.Db.t -> string -> (string, error) result
+
+val explain_analyze :
+  Txq_db.Db.t -> Ast.query -> (Txq_xml.Xml.t, error) result * string
+(** The plan of {!explain} followed by an execution profile: the query is
+    actually run under {!Txq_obs.Trace.collect}, and the report appends
+    per-operator call counts, cumulative wall time, summed integer span
+    attributes (deltas applied, postings scanned, vcache hits, …) and the
+    raw span tree(s).  Works whether or not a trace sink is installed.
+    Returns the run's result alongside the report. *)
+
+val explain_analyze_string : Txq_db.Db.t -> string -> (string, error) result

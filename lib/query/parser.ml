@@ -194,12 +194,12 @@ and parse_primary st =
 
 let parse_cmp_op st =
   match peek st with
-  | EQ -> advance st; Ast.Eq
-  | NEQ -> advance st; Ast.Neq
-  | LT -> advance st; Ast.Lt
-  | LE -> advance st; Ast.Le
-  | GT -> advance st; Ast.Gt
-  | GE -> advance st; Ast.Ge
+  | EQ -> advance st; Ast.Ordered Ast.O_eq
+  | NEQ -> advance st; Ast.Ordered Ast.O_neq
+  | LT -> advance st; Ast.Ordered Ast.O_lt
+  | LE -> advance st; Ast.Ordered Ast.O_le
+  | GT -> advance st; Ast.Ordered Ast.O_gt
+  | GE -> advance st; Ast.Ordered Ast.O_ge
   | IDEQ -> advance st; Ast.Identity
   | TILDE -> advance st; Ast.Similar
   | KW "CONTAINS" -> advance st; Ast.Contains

@@ -50,14 +50,8 @@ type folded =
   | Residual of Ast.cond
 
 let known_cmp op a b =
-  let c = Timestamp.compare a b in
   match op with
-  | Ast.Eq -> Some (c = 0)
-  | Ast.Neq -> Some (c <> 0)
-  | Ast.Lt -> Some (c < 0)
-  | Ast.Le -> Some (c <= 0)
-  | Ast.Gt -> Some (c > 0)
-  | Ast.Ge -> Some (c >= 0)
+  | Ast.Ordered op -> Some (Ast.ordered_holds op (Timestamp.compare a b))
   | Ast.Identity | Ast.Similar | Ast.Contains -> None
 
 let rec cond ~now c =

@@ -230,15 +230,13 @@ let atom_number = function
   | A_time _ -> None
 
 let compare_atoms op a b =
-  let ordered cmp =
-    match op with
-    | Ast.Eq -> cmp = 0
-    | Ast.Neq -> cmp <> 0
-    | Ast.Lt -> cmp < 0
-    | Ast.Le -> cmp <= 0
-    | Ast.Gt -> cmp > 0
-    | Ast.Ge -> cmp >= 0
-    | Ast.Identity | Ast.Similar | Ast.Contains -> assert false
+  let by_value op =
+    match (a, b) with
+    | A_time t1, A_time t2 -> Ast.ordered_holds op (Timestamp.compare t1 t2)
+    | _ -> (
+      match (atom_number a, atom_number b) with
+      | Some x, Some y -> Ast.ordered_holds op (Float.compare x y)
+      | _ -> Ast.ordered_holds op (String.compare (atom_text a) (atom_text b)))
   in
   match op with
   | Ast.Identity -> unsupported "== needs element identity (stratum)"
@@ -259,23 +257,13 @@ let compare_atoms op a b =
         && Seq.exists
              (fun i -> String.equal (String.sub hay i nl) needle)
              (Seq.init (hl - nl + 1) Fun.id))
-  | Ast.Eq | Ast.Neq -> (
+  | Ast.Ordered ((Ast.O_eq | Ast.O_neq) as op) -> (
     match (a, b) with
     | A_node n1, A_node n2 ->
       let eq = Xml.equal n1 n2 in
-      if op = Ast.Eq then eq else not eq
-    | A_time t1, A_time t2 -> ordered (Timestamp.compare t1 t2)
-    | _ -> (
-      match (atom_number a, atom_number b) with
-      | Some x, Some y -> ordered (Float.compare x y)
-      | _ -> ordered (String.compare (atom_text a) (atom_text b))))
-  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
-    match (a, b) with
-    | A_time t1, A_time t2 -> ordered (Timestamp.compare t1 t2)
-    | _ -> (
-      match (atom_number a, atom_number b) with
-      | Some x, Some y -> ordered (Float.compare x y)
-      | _ -> ordered (String.compare (atom_text a) (atom_text b))))
+      if op = Ast.O_eq then eq else not eq
+    | _ -> by_value op)
+  | Ast.Ordered op -> by_value op
 
 let rec eval_cond ~now row = function
   | Ast.C_and (a, b) -> eval_cond ~now row a && eval_cond ~now row b

@@ -64,6 +64,26 @@ let add acc x =
   acc.vcache_bytes <- Stdlib.max acc.vcache_bytes x.vcache_bytes;
   acc.deltas_applied <- acc.deltas_applied + x.deltas_applied
 
+let fields t =
+  [
+    ("page_reads", t.page_reads);
+    ("page_writes", t.page_writes);
+    ("seeks", t.seeks);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("vcache_hits", t.vcache_hits);
+    ("vcache_misses", t.vcache_misses);
+    ("vcache_bytes", t.vcache_bytes);
+    ("deltas_applied", t.deltas_applied);
+  ]
+
+(* Mirror the counters into the process metrics registry as gauges
+   ("io.page_reads", …): one registry dump then shows IO next to the
+   per-operator histograms. Gauges, not counter increments, because this
+   record *is* the source of truth — publish is idempotent. *)
+let publish ?(prefix = "io.") t =
+  List.iter (fun (k, v) -> Txq_obs.Metrics.set_gauge (prefix ^ k) v) (fields t)
+
 let to_string t =
   Printf.sprintf
     "reads=%d writes=%d seeks=%d cache_hits=%d cache_misses=%d \

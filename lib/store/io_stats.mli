@@ -33,5 +33,12 @@ val diff : after:t -> before:t -> t
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
 
+val fields : t -> (string * int) list
+(** Field name/value pairs, in declaration order. *)
+
+val publish : ?prefix:string -> t -> unit
+(** Mirror every field into the {!Txq_obs.Metrics} registry as gauges
+    named [prefix ^ field] (default prefix ["io."]).  Idempotent. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

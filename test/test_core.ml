@@ -638,15 +638,46 @@ let test_identity () =
 
 let test_count_versions () =
   let db, _ = fig1_db () in
-  (* bounded matches: version spans count; open-ended ones count once *)
+  (* bounded matches: version spans count; open-ended ones are clipped to
+     the document's version count (fig1 has 3 versions) *)
   let bindings =
     Scan.tpattern_scan_all db (Pattern.of_path_exn ~value:"15" "/guide/restaurant/price")
   in
   Alcotest.(check int) "15 spans two versions" 2
-    (Aggregate.count_versions bindings);
+    (Aggregate.count_versions db bindings);
   let open_bindings = Scan.tpattern_scan_all db napoli_pattern in
-  Alcotest.(check int) "open match counts once" 1
-    (Aggregate.count_versions open_bindings)
+  Alcotest.(check int) "open match spans all three versions" 3
+    (Aggregate.count_versions db open_bindings)
+
+(* Hand-computed oracle over synthetic version ranges, including the
+   open-ended ([hi = max_int]) ones TPatternScanAll emits for matches
+   still alive in the current version.  Regression: these used to count
+   as a single version (the max_int sentinel collapsed to +1). *)
+let test_count_versions_oracle () =
+  let db, _ = fig1_db () in (* 3 versions *)
+  let base =
+    match Scan.tpattern_scan_all db napoli_pattern with
+    | b :: _ -> b
+    | [] -> Alcotest.fail "fig1 must bind Napoli"
+  in
+  let with_ranges rs = { base with Scan.b_versions = Vrange.of_list rs } in
+  let count cases = Aggregate.count_versions db (List.map with_ranges cases) in
+  (* bounded: plain span sums *)
+  Alcotest.(check int) "bounded singleton" 1 (count [ [ (1, 2) ] ]);
+  Alcotest.(check int) "bounded disjoint ranges" 2 (count [ [ (0, 1); (2, 3) ] ]);
+  (* open ranges clip to the document's 3 versions *)
+  Alcotest.(check int) "open from 0 = whole history" 3
+    (count [ [ (0, max_int) ] ]);
+  Alcotest.(check int) "open from 1" 2 (count [ [ (1, max_int) ] ]);
+  (* mixed bounded + open within one binding *)
+  Alcotest.(check int) "mixed [(0,1) ∪ [2,∞))" 2
+    (count [ [ (0, 1); (2, max_int) ] ]);
+  (* several bindings sum independently *)
+  Alcotest.(check int) "sum across bindings" 4
+    (count [ [ (0, 2) ]; [ (1, max_int) ] ]);
+  (* a range past the end contributes nothing after clipping *)
+  Alcotest.(check int) "past-the-end clipped away" 1
+    (count [ [ (2, 3); (7, max_int) ] ])
 
 let test_eid_printing () =
   let eid = Eid.make ~doc:3 ~xid:(Txq_vxml.Xid.of_int 7) in
@@ -831,6 +862,8 @@ let () =
         [
           Alcotest.test_case "count/sum/avg" `Quick test_aggregates;
           Alcotest.test_case "count_versions" `Quick test_count_versions;
+          Alcotest.test_case "count_versions oracle (open ranges)" `Quick
+            test_count_versions_oracle;
           Alcotest.test_case "eid printing" `Quick test_eid_printing;
           Alcotest.test_case "similarity bounds" `Quick test_similarity_bounds;
         ] );

@@ -1,0 +1,193 @@
+(* Unit tests for the observability layer: span trees, trace sinks, and
+   the metrics registry's log2 histogram buckets. *)
+
+open Txq_obs
+
+(* Every test owns the process-wide tracing state. *)
+let fresh () =
+  Trace.set_sink None;
+  Metrics.reset ()
+
+(* --- span trees ----------------------------------------------------------- *)
+
+let test_disabled_is_transparent () =
+  fresh ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  let r = Trace.with_span "outer" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 r;
+  (* attribute calls outside any span are no-ops, not crashes *)
+  Trace.add_count "deltas_applied" 3;
+  Trace.add_attr "k" (Span.Int 1);
+  Alcotest.(check (option int)) "no histogram recorded" None
+    (Option.map (fun h -> h.Metrics.h_count) (Metrics.histogram_value "span.outer"))
+
+let test_nesting_and_attrs () =
+  fresh ();
+  let sink, read = Trace.ring_sink ~capacity:8 in
+  Trace.set_sink (Some sink);
+  let r =
+    Trace.with_span "outer" ~attrs:[ ("query", Span.Str "q1") ] (fun () ->
+        Trace.with_span "child_a" (fun () ->
+            Trace.add_count "deltas_applied" 2;
+            Trace.add_count "deltas_applied" 3);
+        Trace.with_span "child_b" (fun () -> Trace.add_count "postings" 7);
+        "done")
+  in
+  Alcotest.(check string) "result" "done" r;
+  match read () with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "outer" root.Span.sp_name;
+    Alcotest.(check int) "tree size" 3 (Span.count root);
+    Alcotest.(check (list string)) "children in order" [ "child_a"; "child_b" ]
+      (List.map (fun c -> c.Span.sp_name) root.Span.sp_children);
+    (match Span.attr root "query" with
+    | Some (Span.Str "q1") -> ()
+    | _ -> Alcotest.fail "root attr lost");
+    let a = Option.get (Span.find root "child_a") in
+    Alcotest.(check (option int)) "add_count accumulates" (Some 5)
+      (Span.int_attr a "deltas_applied");
+    Alcotest.(check (option int)) "sibling attr separate" (Some 7)
+      (Span.int_attr (Option.get (Span.find root "child_b")) "postings");
+    Alcotest.(check (list (pair string int))) "sum over tree"
+      [ ("deltas_applied", 5); ("postings", 7) ]
+      (Span.sum_int_attrs [ root ]);
+    Alcotest.(check bool) "durations measured" true
+      (Span.dur_us root >= Span.dur_us a && Span.dur_us a >= 0.0)
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let test_exception_still_finishes () =
+  fresh ();
+  let sink, read = Trace.ring_sink ~capacity:4 in
+  Trace.set_sink (Some sink);
+  (try
+     Trace.with_span "outer" (fun () ->
+         Trace.with_span "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  match read () with
+  | [ root ] ->
+    Alcotest.(check int) "both spans closed" 2 (Span.count root);
+    (* a later span must not become a child of the dead tree *)
+    Trace.with_span "after" (fun () -> ());
+    Alcotest.(check int) "next root is standalone" 2 (List.length (read ()))
+  | _ -> Alcotest.fail "root span lost on exception"
+
+let test_ring_capacity () =
+  fresh ();
+  let sink, read = Trace.ring_sink ~capacity:3 in
+  Trace.set_sink (Some sink);
+  for i = 1 to 5 do
+    Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check (list string)) "keeps the newest 3" [ "s3"; "s4"; "s5" ]
+    (List.map (fun sp -> sp.Span.sp_name) (read ()))
+
+let test_collect () =
+  fresh ();
+  (* collect works with tracing disabled... *)
+  let r, roots = Trace.collect (fun () -> Trace.with_span "q" (fun () -> 7)) in
+  Alcotest.(check int) "value" 7 r;
+  Alcotest.(check (list string)) "captured" [ "q" ]
+    (List.map (fun sp -> sp.Span.sp_name) roots);
+  Alcotest.(check bool) "disabled again afterwards" false (Trace.enabled ());
+  (* ...and does not leak into an installed sink *)
+  let sink, read = Trace.ring_sink ~capacity:4 in
+  Trace.set_sink (Some sink);
+  let _, inner = Trace.collect (fun () -> Trace.with_span "hidden" (fun () -> ())) in
+  Alcotest.(check int) "collector saw it" 1 (List.length inner);
+  Alcotest.(check int) "outer sink did not" 0 (List.length (read ()));
+  Alcotest.(check bool) "sink restored" true (Trace.enabled ())
+
+let test_span_json () =
+  fresh ();
+  let _, roots =
+    Trace.collect (fun () ->
+        Trace.with_span "root" ~attrs:[ ("word", Span.Str "a\"b") ] (fun () ->
+            Trace.with_span "kid" (fun () -> Trace.add_count "n" 1)))
+  in
+  let json = Span.to_json (List.hd roots) in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    hl >= nl
+    && Seq.exists
+         (fun i -> String.equal (String.sub json i nl) needle)
+         (Seq.init (hl - nl + 1) Fun.id)
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true
+        (contains needle))
+    [ "\"name\":\"root\""; "\"word\":\"a\\\"b\""; "\"children\":["; "\"n\":1" ]
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  fresh ();
+  Metrics.incr "a.b";
+  Metrics.incr ~by:4 "a.b";
+  Metrics.set_gauge "g" 17;
+  Metrics.set_gauge "g" 9;
+  Alcotest.(check (option int)) "counter" (Some 5) (Metrics.counter_value "a.b");
+  Alcotest.(check (option int)) "gauge keeps last" (Some 9)
+    (Metrics.gauge_value "g");
+  Alcotest.(check (option int)) "unknown" None (Metrics.counter_value "nope");
+  Metrics.reset ();
+  Alcotest.(check (option int)) "reset" None (Metrics.counter_value "a.b")
+
+let test_histogram_buckets () =
+  fresh ();
+  (* bucket 0 = [0,1); bucket i = [2^(i-1), 2^i) *)
+  List.iter
+    (fun (v, want) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %g" v) want
+        (Metrics.bucket_of v))
+    [
+      (0.0, 0); (0.5, 0); (-3.0, 0); (Float.nan, 0);
+      (1.0, 1); (1.9, 1);
+      (2.0, 2); (3.99, 2);
+      (4.0, 3); (1024.0, 11); (1e300, Metrics.buckets - 1);
+    ];
+  Alcotest.(check (float 1e-9)) "bucket_lo 0" 0.0 (Metrics.bucket_lo 0);
+  Alcotest.(check (float 1e-9)) "bucket_lo 3" 4.0 (Metrics.bucket_lo 3);
+  List.iter (Metrics.observe "h") [ 0.5; 1.5; 3.0; 3.5; 100.0 ];
+  match Metrics.histogram_value "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 5 h.Metrics.h_count;
+    Alcotest.(check (float 1e-6)) "sum" 108.5 h.Metrics.h_sum;
+    Alcotest.(check int) "bucket [0,1)" 1 h.Metrics.h_buckets.(0);
+    Alcotest.(check int) "bucket [1,2)" 1 h.Metrics.h_buckets.(1);
+    Alcotest.(check int) "bucket [2,4)" 2 h.Metrics.h_buckets.(2);
+    Alcotest.(check int) "bucket [64,128)" 1 h.Metrics.h_buckets.(7)
+
+let test_span_latency_histogram () =
+  fresh ();
+  Trace.set_sink (Some Trace.null_sink);
+  Trace.with_span "op" (fun () -> ());
+  Trace.with_span "op" (fun () -> ());
+  match Metrics.histogram_value "span.op" with
+  | Some h -> Alcotest.(check int) "two samples" 2 h.Metrics.h_count
+  | None -> Alcotest.fail "span latency not recorded"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_disabled_is_transparent;
+          Alcotest.test_case "nesting and attrs" `Quick test_nesting_and_attrs;
+          Alcotest.test_case "exception safety" `Quick
+            test_exception_still_finishes;
+          Alcotest.test_case "ring capacity" `Quick test_ring_capacity;
+          Alcotest.test_case "collect" `Quick test_collect;
+          Alcotest.test_case "span json" `Quick test_span_json;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "span latency histogram" `Quick
+            test_span_latency_histogram;
+        ] );
+    ]

@@ -591,6 +591,49 @@ let prop_native_equals_stratum =
             ])
         (List.init (days + 1) Fun.id))
 
+(* property: every parseable WHERE predicate executes without an exception,
+   on both executors and every source qualifier.  [Error _] results are
+   fine (Unsupported, Unknown_variable); an escaping exception is not.
+   Regression for the comparison dispatch: before the Ast.Ordered split,
+   executor matches like [C_cmp (_, (Eq|Neq|...), _)] carried duplicated
+   catch-all [assert false] arms that odd operand/operator pairings could
+   reach. *)
+let prop_predicates_never_raise =
+  let ops = [| "="; "!="; "<"; "<="; ">"; ">="; "=="; "~"; "CONTAINS" |] in
+  let operands =
+    [|
+      "R"; "R/name"; "R/price"; "R/absent"; {|"Napoli"|}; {|""|}; "15"; "13.5";
+      "26/01/2001"; "NOW"; "TIME(R)"; "CREATE TIME(R)"; "DELETE TIME(R)";
+      "PREVIOUS(R)"; "CURRENT(R)"; "COUNT(R)"; "SUM(R/price)";
+    |]
+  in
+  let quals = [| ""; "[26/01/2001]"; "[EVERY]" |] in
+  let arb =
+    QCheck.make
+      ~print:(fun (op, (a, b), qual) ->
+        Printf.sprintf "%s %s %s (source%s)" a op b
+          (if qual = "" then " current" else " " ^ qual))
+      QCheck.Gen.(
+        triple (oneofa ops) (pair (oneofa operands) (oneofa operands))
+          (oneofa quals))
+  in
+  let db = lazy (fig1_db ()) in
+  let stratum = lazy (fig1_stratum ()) in
+  QCheck.Test.make ~count:500 ~name:"parseable predicates never raise" arb
+    (fun (op, (lhs, rhs), qual) ->
+      let q =
+        Printf.sprintf
+          {|SELECT R FROM doc("guide.com/restaurants.xml")%s/guide/restaurant R WHERE %s %s %s|}
+          qual lhs op rhs
+      in
+      match Parser.parse q with
+      | Error _ -> QCheck.assume_fail () (* not parseable: out of scope *)
+      | Ok _ ->
+        (match Exec.run_string (Lazy.force db) q with Ok _ | Error _ -> ());
+        (match Stratum.run_string (Lazy.force stratum) q with
+        | Ok _ | Error _ -> ());
+        true)
+
 let () =
   Alcotest.run "query"
     [
@@ -657,4 +700,6 @@ let () =
           Alcotest.test_case "work counter" `Quick test_stratum_work_counter;
           QCheck_alcotest.to_alcotest prop_native_equals_stratum;
         ] );
+      ( "dispatch",
+        [QCheck_alcotest.to_alcotest prop_predicates_never_raise] );
     ]

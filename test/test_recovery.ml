@@ -372,6 +372,35 @@ let test_document_time_recovery () =
     (Some "08/06/2001")
     (Option.map Timestamp.to_string (Db.document_time rdb 0 1))
 
+(* A journal tail that decodes as garbage (page digests intact, payload
+   logically corrupt) must not abort recovery: replay stops at the longest
+   decodable prefix — every record from the first bad one on is dropped,
+   exactly as if the crash had happened one commit earlier — and the drop
+   is visible in the metrics registry.  Regression: Db.recover used
+   Journal_record.decode_exn and died on the first such record. *)
+let test_corrupt_tail_recovery () =
+  let config = { Config.default with durability = `Journal } in
+  let db = Db.create ~config () in
+  ignore (Db.insert_document db ~url:"u" ~ts:(ts "01/06/2001") (parse "<a>one</a>"));
+  ignore (Db.update_document db ~url:"u" ~ts:(ts "02/06/2001") (parse "<a>two</a>"));
+  let j =
+    match Db.journal db with
+    | Some j -> j
+    | None -> Alcotest.fail "journaled config must carry a journal"
+  in
+  Journal.append j "garbage: not a journal record";
+  Journal.append j "trailing garbage";
+  Txq_obs.Metrics.reset ();
+  let rdb = Db.recover (Db.disk db) config in
+  Alcotest.(check int) "document survives" 1 (Db.document_count rdb);
+  Alcotest.(check int) "both real commits replayed" 2
+    (Db.stats rdb).Db.commits;
+  let current db = Vnode.to_xml (Docstore.current (Option.get (Db.find_live db "u"))) in
+  Alcotest.(check bool) "recovered content matches" true
+    (Xml.equal (current db) (current rdb));
+  Alcotest.(check (option int)) "dropped records counted" (Some 2)
+    (Txq_obs.Metrics.counter_value "db.recover.records_dropped")
+
 (* A non-durable database leaves no journal: recovery finds an empty store. *)
 let test_recover_without_journal () =
   let db = Db.create () in
@@ -422,6 +451,8 @@ let () =
           Alcotest.test_case "clean restart is exact" `Quick test_clean_restart;
           Alcotest.test_case "document-time index" `Quick
             test_document_time_recovery;
+          Alcotest.test_case "corrupt journal tail truncates replay" `Quick
+            test_corrupt_tail_recovery;
           Alcotest.test_case "no journal, no state" `Quick
             test_recover_without_journal;
         ] );
