@@ -973,13 +973,155 @@ let e14 () =
       Printf.printf "  overhead check ok: %.2fx <= %.2fx\n" null_ratio
         overhead_threshold
 
+(* ------------------------------------------------------------------ E15 *)
+
+(* --check-scan turns E15 into a pass/fail regression gate (CI): the
+   frozen-segment engine at domains=1 must not regress the scan median by
+   more than this factor against the never-frozen index, whose per-query
+   tail sort reproduces the pre-segment engine's cost. *)
+let check_scan = ref false
+let scan_threshold = 1.10
+
+let e15 () =
+  section "E15  Two-tier FTI: frozen segments and domain-parallel scan"
+    "The two-tier index freezes the posting tail into immutable segments\n\
+     sorted by (doc, path, vstart) with per-document fences, turning\n\
+     FTI_lookup_H(doc) into binary search + slice and removing the\n\
+     per-query sort from the TPatternScan engine.  Part 1 sweeps corpus\n\
+     size; 'naive' disables freezing (the original list index).  Part 2\n\
+     runs TPatternScanAll with the document-partitioned domain pool.";
+  let frozen_config =
+    { Config.default with Config.fti_segment_postings = 512 }
+  in
+  let naive_config =
+    { Config.default with Config.fti_segment_postings = max_int }
+  in
+  (* Part 1: lookup_h_doc over every document, frozen vs naive *)
+  let doc_counts = if !smoke then [ 4; 8 ] else [ 16; 64; 256 ] in
+  let lookup_rows = ref [] in
+  let part1 =
+    List.map
+      (fun documents ->
+        let sp =
+          spec ~documents ~versions:(if !smoke then 6 else 8)
+            ~restaurants:(if !smoke then 5 else 10) ()
+        in
+        let db_f = Load.load_db ~config:frozen_config sp in
+        let db_n = Load.load_db ~config:naive_config sp in
+        let docs = Db.doc_ids db_f in
+        (* repeat the whole-corpus sweep so even the tiny smoke sizes sit
+           well above timer resolution *)
+        let sweep db () =
+          for _ = 1 to 10 do
+            List.iter
+              (fun doc ->
+                ignore
+                  (Txq_fti.Fti.lookup_h_doc (Db.fti db) "restaurant" ~doc))
+              docs
+          done
+        in
+        (* warm once so read-triggered segment compaction is not timed *)
+        sweep db_f ();
+        let f_us = time_us ~warmup:2 ~runs:9 (sweep db_f) in
+        let n_us = time_us ~warmup:2 ~runs:9 (sweep db_n) in
+        let speedup = n_us /. f_us in
+        let segs = Txq_fti.Fti.segment_count (Db.fti db_f) in
+        lookup_rows :=
+          Harness.Json.Obj
+            [
+              ("documents", Harness.Json.Int documents);
+              ("segments", Harness.Json.Int segs);
+              ("naive_us", Harness.Json.Float n_us);
+              ("frozen_us", Harness.Json.Float f_us);
+              ("speedup", Harness.Json.Float speedup);
+            ]
+          :: !lookup_rows;
+        [
+          string_of_int documents; string_of_int segs; fmt_us n_us;
+          fmt_us f_us; Printf.sprintf "%.1fx" speedup;
+        ])
+      doc_counts
+  in
+  print_table
+    ~title:"E15a: FTI_lookup_H(doc) over all documents (median of 9)"
+    ~columns:[ "documents"; "segments"; "naive"; "frozen"; "speedup" ]
+    part1;
+  (* Part 2: TPatternScanAll, document-partitioned over domains *)
+  let sp =
+    spec
+      ~documents:(if !smoke then 6 else 32)
+      ~versions:8
+      ~restaurants:(if !smoke then 5 else 10)
+      ()
+  in
+  let db_f = Load.load_db ~config:frozen_config sp in
+  let db_n = Load.load_db ~config:naive_config sp in
+  let pattern = Pattern.of_path_exn "/guide/restaurant/name" in
+  let runs = if !smoke then 7 else 15 in
+  let scan db domains () =
+    ignore (Scan.tpattern_scan_all ~domains db pattern)
+  in
+  (* reference: never-frozen index = the pre-segment engine's sort cost *)
+  scan db_n 1 ();
+  scan db_f 1 ();
+  let pre_us = time_us ~warmup:2 ~runs (scan db_n 1) in
+  let dom_rows =
+    List.map
+      (fun domains ->
+        let us = time_us ~warmup:2 ~runs (scan db_f domains) in
+        (domains, us))
+      [ 1; 2; 4 ]
+  in
+  let d1_us = List.assoc 1 dom_rows in
+  print_table
+    ~title:
+      (Printf.sprintf "E15b: TPatternScanAll //guide/restaurant/name (%d runs)"
+         runs)
+    ~columns:[ "engine"; "domains"; "median"; "vs naive" ]
+    (( [ "naive (no segments)"; "1"; fmt_us pre_us; "1.00x" ] )
+     :: List.map
+          (fun (domains, us) ->
+            [
+              "frozen segments"; string_of_int domains; fmt_us us;
+              Printf.sprintf "%.2fx" (us /. pre_us);
+            ])
+          dom_rows);
+  record_json "smoke" (Harness.Json.Bool !smoke);
+  record_json "lookup_scaling" (Harness.Json.Arr (List.rev !lookup_rows));
+  record_json "scan_naive_us" (Harness.Json.Float pre_us);
+  record_json "scan_domains"
+    (Harness.Json.Arr
+       (List.map
+          (fun (domains, us) ->
+            Harness.Json.Obj
+              [
+                ("domains", Harness.Json.Int domains);
+                ("wall_us", Harness.Json.Float us);
+              ])
+          dom_rows));
+  record_json "scan_threshold" (Harness.Json.Float scan_threshold);
+  if !check_scan then begin
+    let ratio = d1_us /. pre_us in
+    record_json "scan_d1_over_naive" (Harness.Json.Float ratio);
+    if ratio > scan_threshold then begin
+      Printf.eprintf
+        "E15 FAIL: domains=1 scan %.2fx of the pre-segment engine exceeds \
+         threshold %.2fx\n"
+        ratio scan_threshold;
+      exit 1
+    end
+    else
+      Printf.printf "  scan regression check ok: %.2fx <= %.2fx\n" ratio
+        scan_threshold
+  end
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
 let () =
@@ -987,6 +1129,7 @@ let () =
   let bechamel = List.mem "--bechamel" args in
   smoke := List.mem "--smoke" args;
   check_overhead := List.mem "--check-overhead" args;
+  check_scan := List.mem "--check-scan" args;
   (* --trace FILE: stream every root span of the whole run as JSON lines.
      E14 manages its own sinks and ends with tracing off, so combining it
      with --trace in one invocation truncates the stream there. *)

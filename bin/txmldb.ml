@@ -35,12 +35,26 @@ let fti_mode_t =
   Arg.(value & opt (enum modes) Txq_db.Config.Fti_versions
        & info ["fti"] ~docv:"MODE" ~doc:"Content index: $(b,versions), $(b,deltas), $(b,both) or $(b,none).")
 
-let config_of snapshots clustered fti_mode =
+let segment_postings_t =
+  Arg.(value & opt int Txq_db.Config.default.Txq_db.Config.fti_segment_postings
+       & info ["fti-segment-postings"] ~docv:"N"
+           ~doc:"Freeze the FTI tail into immutable sorted segments once it \
+                 holds N postings (0 disables freezing).")
+
+let domains_t =
+  Arg.(value & opt int 1 & info ["domains"] ~docv:"N"
+         ~doc:"Worker domains for the pattern-scan operators (default 1; \
+               results are identical for every value).")
+
+let config_of snapshots clustered fti_mode segment_postings domains =
   {
     Txq_db.Config.default with
     Txq_db.Config.snapshot_every = snapshots;
     placement = (if clustered then `Clustered 16 else `Unclustered);
     fti_mode;
+    fti_segment_postings =
+      (if segment_postings <= 0 then max_int else segment_postings);
+    domains = (if domains < 1 then 1 else domains);
   }
 
 let fig1_url = "guide.com/restaurants.xml"
@@ -70,11 +84,13 @@ let build_db ~fig1 ~docs ~versions ~seed config =
    installed before the build runs so the build's own spans (docstore
    commits, FTI updates) reach the sink too. *)
 let db_term =
-  let make fig1 docs versions seed snapshots clustered fti_mode () =
-    build_db ~fig1 ~docs ~versions ~seed (config_of snapshots clustered fti_mode)
+  let make fig1 docs versions seed snapshots clustered fti_mode segment_postings
+      domains () =
+    build_db ~fig1 ~docs ~versions ~seed
+      (config_of snapshots clustered fti_mode segment_postings domains)
   in
   Term.(const make $ fig1_t $ docs_t $ versions_t $ seed_t $ snapshots_t
-        $ clustered_t $ fti_mode_t)
+        $ clustered_t $ fti_mode_t $ segment_postings_t $ domains_t)
 
 (* --- tracing ---------------------------------------------------------------- *)
 
@@ -230,7 +246,13 @@ let stats_cmd =
      | { Txq_db.Config.fti_mode = Txq_db.Config.Fti_versions | Txq_db.Config.Fti_both; _ } ->
        let fti = Txq_db.Db.fti db in
        Printf.printf "fti words:        %d\n" (Txq_fti.Fti.word_count fti);
-       Printf.printf "fti postings:     %d\n" (Txq_fti.Fti.posting_count fti)
+       Printf.printf "fti postings:     %d\n" (Txq_fti.Fti.posting_count fti);
+       Printf.printf "fti segments:     %d (%d freezes)\n"
+         (Txq_fti.Fti.segment_count fti) (Txq_fti.Fti.freeze_count fti);
+       Printf.printf "fti tail postings: %d\n"
+         (Txq_fti.Fti.tail_posting_count fti);
+       Printf.printf "fti frozen bytes: %d (%d postings)\n"
+         (Txq_fti.Fti.frozen_bytes fti) (Txq_fti.Fti.frozen_posting_count fti)
      | _ -> ());
     if metrics || trace <> None then begin
       Txq_store.Io_stats.publish io;
@@ -270,9 +292,13 @@ let recover_cmd =
                  (a deterministic torn-page crash), then recover from the \
                  surviving pages.")
   in
-  let run fig1 docs versions seed snapshots clustered fti_mode crash_after trace =
+  let run fig1 docs versions seed snapshots clustered fti_mode segment_postings
+      domains crash_after trace =
     with_tracing trace @@ fun () ->
-    let config = Txq_db.Config.durable (config_of snapshots clustered fti_mode) in
+    let config =
+      Txq_db.Config.durable
+        (config_of snapshots clustered fti_mode segment_postings domains)
+    in
     let db = build_db ~fig1 ~docs ~versions ~seed config in
     let disk = Txq_db.Db.disk db in
     (match crash_after with
@@ -303,6 +329,15 @@ let recover_cmd =
     Printf.printf "recovered documents: %d\n" (Txq_db.Db.document_count rdb);
     Printf.printf "recovered commits:   %d\n"
       (Txq_db.Db.stats rdb).Txq_db.Db.commits;
+    (match Txq_db.Db.config rdb with
+     | { Txq_db.Config.fti_mode = Txq_db.Config.Fti_versions
+                                | Txq_db.Config.Fti_both; _ } ->
+       let fti = Txq_db.Db.fti rdb in
+       Printf.printf "fti rebuilt:         %d postings, %d segments, %d tail\n"
+         (Txq_fti.Fti.posting_count fti)
+         (Txq_fti.Fti.segment_count fti)
+         (Txq_fti.Fti.tail_posting_count fti)
+     | _ -> ());
     (match Txq_db.Db.journal rdb with
      | Some j ->
        Printf.printf "journal:             %d records on %d pages\n"
@@ -321,7 +356,8 @@ let recover_cmd =
        ~doc:"Build a journaled database, optionally crash it mid-commit, and \
              rebuild it from the disk image alone.")
     Term.(ret (const run $ fig1_t $ docs_t $ versions_t $ seed_t $ snapshots_t
-               $ clustered_t $ fti_mode_t $ crash_after_t $ trace_t))
+               $ clustered_t $ fti_mode_t $ segment_postings_t $ domains_t
+               $ crash_after_t $ trace_t))
 
 let main =
   let doc = "temporal XML database (Nørvåg 2002 reproduction)" in

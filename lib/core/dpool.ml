@@ -1,0 +1,55 @@
+(* Minimal work-stealing-free domain pool: tasks are claimed off a shared
+   atomic counter and results written into a per-index slot, so the output
+   order is the input order whatever the interleaving.  Workers must be
+   pure with respect to global state — in particular they must not touch
+   the Metrics/Trace registries, which are single-writer; per-domain
+   bookkeeping is folded into the registry here, on the calling domain,
+   after every join. *)
+
+let map ~domains tasks f =
+  let n = Array.length tasks in
+  if domains <= 1 || n <= 1 then begin
+    if n > 0 then Txq_obs.Metrics.incr ~by:n "dpool.tasks";
+    Array.map f tasks
+  end
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let processed = ref 0 in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f tasks.(i));
+          incr processed;
+          loop ()
+        end
+      in
+      loop ();
+      !processed
+    in
+    let spawned = min domains n - 1 in
+    let handles = Array.init spawned (fun _ -> Domain.spawn worker) in
+    let own = worker () in
+    (* Domain.join re-raises a worker's exception, after which remaining
+       joins still run so no domain leaks. *)
+    let err = ref None in
+    let joined =
+      Array.fold_left
+        (fun acc h ->
+          match Domain.join h with
+          | c -> acc + c
+          | exception e ->
+            if !err = None then err := Some e;
+            acc)
+        own handles
+    in
+    Txq_obs.Metrics.incr ~by:joined "dpool.tasks";
+    Txq_obs.Metrics.incr ~by:(spawned + 1) "dpool.domains";
+    (match !err with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every index < n was claimed exactly once *))
+      results
+  end

@@ -1,0 +1,20 @@
+(** A small stdlib-[Domain] worker pool for data-parallel map.
+
+    [map ~domains tasks f] computes [Array.map f tasks].  With
+    [domains <= 1] (or fewer than two tasks) it runs inline on the calling
+    domain — byte-for-byte the sequential behaviour.  Otherwise it spawns
+    [min domains (Array.length tasks) - 1] extra domains that claim task
+    indices from a shared atomic counter; results land in their input
+    slot, so the output order equals the input order regardless of
+    scheduling.
+
+    [f] must be pure with respect to process-global state: it must not
+    write the (single-writer) {!Txq_obs.Metrics} / {!Txq_obs.Trace}
+    registries and must not mutate shared structures.  Pool bookkeeping
+    ([dpool.tasks], [dpool.domains] counters) is folded into the metrics
+    registry on the calling domain after all joins.
+
+    A worker exception is re-raised on the calling domain after every
+    domain has been joined. *)
+
+val map : domains:int -> 'a array -> ('a -> 'b) -> 'b array

@@ -160,25 +160,6 @@ let root_ok (p : Pattern.t) cand =
   | Pattern.Child -> Xidpath.depth cand.c_path = 1
   | Pattern.Descendant -> true
 
-let run ~fetch_doc ~docs pattern =
-  (match Pattern.validate pattern with
-   | Ok () -> ()
-   | Error e -> invalid_arg ("Scan: invalid pattern: " ^ e));
-  List.concat_map
-    (fun doc ->
-      let cands = eval_node ~fetch:(fetch_doc doc) pattern in
-      let out = ref [] in
-      Array.iter
-        (fun c ->
-          if root_ok pattern c then
-            match c.c_out with
-            | Some path ->
-              out := { b_doc = doc; b_path = path; b_versions = c.c_versions } :: !out
-            | None -> ())
-        cands;
-      List.rev !out)
-    docs
-
 (* Dedup bindings (the same output node can be reached through different
    intermediate matches) and merge their version sets. *)
 let dedup bindings =
@@ -197,54 +178,97 @@ let dedup bindings =
     bindings;
   List.rev_map (Hashtbl.find table) !order
 
-(* Postings of one (word, kind), as an array sorted by (doc, path): the
-   per-document run is found by two galloping searches on doc, and within
-   it paths are sorted — exactly what the merge join in [constrain] needs. *)
-let compare_doc_path a b =
-  match Int.compare a.Posting.doc b.Posting.doc with
-  | 0 -> Xidpath.compare a.Posting.path b.Posting.path
-  | c -> c
+(* The engine fetches each distinct (word, kind) of the pattern once from
+   the FTI, pre-sorted by (doc, path, vstart) — frozen segments keep that
+   order at rest, so no per-query sort happens — and joins per candidate
+   document.  Documents are independent, so the per-document work is
+   distributed over a domain pool; tasks are indexed by ascending document
+   id and results concatenated in task order, making the output identical
+   for every [domains] value.
 
-let engine pattern ~lookup =
-  let cache = Hashtbl.create 16 in
-  let postings_for word kind =
-    match Hashtbl.find_opt cache (word, kind) with
-    | Some arr -> arr
-    | None ->
-      let arr =
-        Array.of_list
-          (List.filter (fun p -> p.Posting.kind = kind) (lookup word))
-      in
-      Array.sort compare_doc_path arr;
-      Hashtbl.replace cache (word, kind) arr;
-      arr
-  in
-  let kind_of = function
-    | Pattern.Tag _ -> Vnode.Tag
-    | Pattern.Word _ -> Vnode.Word
-  in
-  let doc_slice arr doc =
-    let start = gallop arr ~hint:0 (fun p -> p.Posting.doc >= doc) in
-    let stop = gallop arr ~hint:start (fun p -> p.Posting.doc > doc) in
-    Array.sub arr start (stop - start)
-  in
-  (* candidate documents: those with postings for the root test *)
-  let root_word, root_kind =
-    match pattern.Pattern.test with
+   Everything effectful happens on the calling domain: FTI fetches and
+   their trace spans, [version_at] resolution, the final dedup.  Workers
+   only read frozen hashtables and posting arrays. *)
+
+let kind_of = function
+  | Pattern.Tag _ -> Vnode.Tag
+  | Pattern.Word _ -> Vnode.Word
+
+(* Distinct (word, kind) tests of a pattern, root first. *)
+let rec tests_of (p : Pattern.t) acc =
+  let t =
+    match p.Pattern.test with
     | (Pattern.Tag w | Pattern.Word w) as t -> (w, kind_of t)
   in
-  let docs =
-    Array.fold_left
-      (fun acc p ->
-        match acc with
-        | d :: _ when d = p.Posting.doc -> acc
-        | _ -> p.Posting.doc :: acc)
-      []
-      (postings_for root_word root_kind)
-    |> List.rev
+  let acc = if List.mem t acc then acc else t :: acc in
+  List.fold_left (fun acc c -> tests_of c acc) acc p.Pattern.children
+
+let doc_slice arr doc =
+  let start = gallop arr ~hint:0 (fun p -> p.Posting.doc >= doc) in
+  let stop = gallop arr ~hint:start (fun p -> p.Posting.doc > doc) in
+  (start, stop)
+
+let distinct_docs arr =
+  Array.fold_left
+    (fun acc p ->
+      match acc with
+      | d :: _ when d = p.Posting.doc -> acc
+      | _ -> p.Posting.doc :: acc)
+    [] arr
+  |> List.rev
+
+let engine ?(domains = 1) pattern ~fetch_all ~keep =
+  (match Pattern.validate pattern with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Scan: invalid pattern: " ^ e));
+  (* main domain: fetch every test's postings once *)
+  let fetched =
+    List.map (fun (w, k) -> ((w, k), fetch_all w k)) (tests_of pattern [])
   in
-  let fetch_doc doc word kind = doc_slice (postings_for word kind) doc in
-  dedup (run ~fetch_doc ~docs pattern)
+  let postings_for word kind = List.assoc (word, kind) fetched in
+  let root_arr =
+    match pattern.Pattern.test with
+    | (Pattern.Tag w | Pattern.Word w) as t -> postings_for w (kind_of t)
+  in
+  let keep_doc doc =
+    match keep with
+    | None -> true
+    | Some pred ->
+      let start, stop = doc_slice root_arr doc in
+      let rec any i = i < stop && (pred root_arr.(i) || any (i + 1)) in
+      any start
+  in
+  let docs = Array.of_list (List.filter keep_doc (distinct_docs root_arr)) in
+  let fetch_doc doc word kind =
+    let arr = postings_for word kind in
+    let start, stop = doc_slice arr doc in
+    match keep with
+    | None -> Array.sub arr start (stop - start)
+    | Some pred ->
+      (* filtering a sorted slice preserves its order *)
+      let out = ref [] in
+      for i = stop - 1 downto start do
+        if pred arr.(i) then out := arr.(i) :: !out
+      done;
+      Array.of_list !out
+  in
+  let scan_doc doc =
+    let cands = eval_node ~fetch:(fetch_doc doc) pattern in
+    let out = ref [] in
+    Array.iter
+      (fun c ->
+        if root_ok pattern c then
+          match c.c_out with
+          | Some path ->
+            out :=
+              { b_doc = doc; b_path = path; b_versions = c.c_versions }
+              :: !out
+          | None -> ())
+      cands;
+    List.rev !out
+  in
+  let per_doc = Dpool.map ~domains docs scan_doc in
+  dedup (List.concat (Array.to_list per_doc))
 
 (* Restrict each binding's validity to the single version the operator is
    about: postings can span many versions, but a snapshot operator's TEIDs
@@ -271,24 +295,57 @@ let traced name pattern f =
         Txq_obs.Trace.add_count "bindings" (List.length r);
         r)
 
-let pattern_scan db pattern =
+let domains_of db = function
+  | Some n -> if n < 1 then 1 else n
+  | None -> (Db.config db).Txq_db.Config.domains
+
+let fetch_all db word kind = Fti.sorted_postings (Db.fti db) word ~kind
+
+let pattern_scan ?domains db pattern =
   traced "scan.pattern_scan" pattern @@ fun () ->
   let current_version doc =
     let d = Db.doc db doc in
     if Docstore.is_alive d then Some (Docstore.version_count d - 1) else None
   in
   clamp ~version_of:current_version
-    (engine pattern ~lookup:(fun w -> Fti.lookup (Db.fti db) w))
+    (engine ~domains:(domains_of db domains) pattern ~fetch_all:(fetch_all db)
+       ~keep:(Some Posting.is_open))
 
-let tpattern_scan db pattern ts =
+let tpattern_scan ?domains db pattern ts =
   traced "scan.tpattern_scan" pattern @@ fun () ->
   let version_at doc = Db.version_at db doc ts in
-  clamp ~version_of:version_at
-    (engine pattern ~lookup:(fun w -> Fti.lookup_t (Db.fti db) w ~version_at))
+  (* Resolve each candidate document's version on the calling domain (it
+     reads the delta index), so the per-posting predicate the workers run
+     only consults this frozen table. *)
+  let vtab = Hashtbl.create 64 in
+  let version_cached doc =
+    match Hashtbl.find_opt vtab doc with
+    | Some v -> v
+    | None ->
+      let v = version_at doc in
+      Hashtbl.replace vtab doc v;
+      v
+  in
+  let root_word, root_kind =
+    match pattern.Pattern.test with
+    | (Pattern.Tag w | Pattern.Word w) as t -> (w, kind_of t)
+  in
+  Array.iter
+    (fun p -> ignore (version_cached p.Posting.doc))
+    (fetch_all db root_word root_kind);
+  let keep p =
+    match Hashtbl.find_opt vtab p.Posting.doc with
+    | Some (Some v) -> Posting.valid_at p v
+    | Some None | None -> false
+  in
+  clamp ~version_of:version_cached
+    (engine ~domains:(domains_of db domains) pattern ~fetch_all:(fetch_all db)
+       ~keep:(Some keep))
 
-let tpattern_scan_all db pattern =
+let tpattern_scan_all ?domains db pattern =
   traced "scan.tpattern_scan_all" pattern @@ fun () ->
-  engine pattern ~lookup:(fun w -> Fti.lookup_h (Db.fti db) w)
+  engine ~domains:(domains_of db domains) pattern ~fetch_all:(fetch_all db)
+    ~keep:None
 
 let binding_intervals db b =
   let d = Db.doc db b.b_doc in

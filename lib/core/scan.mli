@@ -4,7 +4,15 @@
     test in the pattern from the temporal FTI, then perform a multiway join
     on document identifier, hierarchy relationship (XID-path prefix tests)
     and — for the history variant — temporal validity (version-range
-    intersection), exactly the algorithm outlines of Section 7.3. *)
+    intersection), exactly the algorithm outlines of Section 7.3.
+
+    Posting lists arrive from the two-tier FTI already sorted by
+    (doc, path, vstart) ({!Txq_fti.Fti.sorted_postings}), so the engine
+    performs no per-query sorting; documents are joined independently and
+    distributed over a {!Dpool} of [domains] worker domains.  [?domains]
+    defaults to the database's {!Txq_db.Config.t.domains}; results are
+    byte-identical for every value (tasks are ordered by ascending
+    document id and merged in task order). *)
 
 type binding = {
   b_doc : Txq_vxml.Eid.doc_id;
@@ -14,16 +22,20 @@ type binding = {
 
 val eid_of_binding : binding -> Txq_vxml.Eid.t
 
-val pattern_scan : Txq_db.Db.t -> Pattern.t -> binding list
+val pattern_scan : ?domains:int -> Txq_db.Db.t -> Pattern.t -> binding list
 (** Matches against current versions only (FTI_lookup).  The result
     bindings' [b_versions] each hold the single current version. *)
 
 val tpattern_scan :
-  Txq_db.Db.t -> Pattern.t -> Txq_temporal.Timestamp.t -> binding list
+  ?domains:int ->
+  Txq_db.Db.t ->
+  Pattern.t ->
+  Txq_temporal.Timestamp.t ->
+  binding list
 (** Matches against the snapshot valid at the given time (FTI_lookup_T); the
     output of the operator is a set of TEIDs, obtained via {!to_teids}. *)
 
-val tpattern_scan_all : Txq_db.Db.t -> Pattern.t -> binding list
+val tpattern_scan_all : ?domains:int -> Txq_db.Db.t -> Pattern.t -> binding list
 (** Matches across all versions (FTI_lookup_H) — the temporal multiway
     join.  [b_versions] carries the full validity of each match, already
     coalesced over consecutive versions. *)

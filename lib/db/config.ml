@@ -15,6 +15,8 @@ type t = {
   document_time_path : string option;
   durability : [ `None | `Journal ];
   tracing : bool;
+  fti_segment_postings : int;
+  domains : int;
 }
 
 let default =
@@ -29,11 +31,15 @@ let default =
     document_time_path = None;
     durability = `None;
     tracing = false;
+    fti_segment_postings = 4096;
+    domains = 1;
   }
 
 let durable t = { t with durability = `Journal }
 
 let with_tracing t = { t with tracing = true }
+
+let with_domains n t = { t with domains = (if n < 1 then 1 else n) }
 
 let with_snapshots k t = { t with snapshot_every = Some k }
 

@@ -48,6 +48,17 @@ type t = {
           histograms, and any sink installed later).  Off by default: with
           no sink installed every [Trace.with_span] in the operators is a
           single pointer compare. *)
+  fti_segment_postings : int;
+      (** Tail watermark of the two-tier FTI: when this many postings have
+          accumulated in the mutable tail (across all words) at a commit
+          boundary, they are frozen into immutable sorted segments.
+          [max_int] (or any non-positive value) disables freezing and keeps
+          the original single-tier index. *)
+  domains : int;
+      (** Worker domains for the document-parallel pattern-scan operators.
+          1 (the default) runs everything inline on the calling domain —
+          exactly the sequential behaviour; results are deterministic and
+          identical for every value. *)
 }
 
 val default : t
@@ -61,6 +72,9 @@ val durable : t -> t
 
 val with_tracing : t -> t
 (** Turns on [tracing]. *)
+
+val with_domains : int -> t -> t
+(** Sets [domains] (clamped up to 1). *)
 
 val maintains_version_index : t -> bool
 val maintains_delta_index : t -> bool

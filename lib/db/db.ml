@@ -69,7 +69,10 @@ let create ?(config = Config.default) ?clock () =
     docs = Hashtbl.create 64;
     urls = Hashtbl.create 64;
     fti =
-      (if Config.maintains_version_index config then Some (Fti.create ())
+      (if Config.maintains_version_index config then
+         Some
+           (Fti.create
+              ~segment_postings:config.Config.fti_segment_postings ())
        else None);
     dfti =
       (if Config.maintains_delta_index config then Some (Delta_fti.create ())
@@ -643,7 +646,10 @@ let recover disk config =
       docs;
       urls;
       fti =
-        (if Config.maintains_version_index config then Some (Fti.create ())
+        (if Config.maintains_version_index config then
+         Some
+           (Fti.create
+              ~segment_postings:config.Config.fti_segment_postings ())
          else None);
       dfti =
         (if Config.maintains_delta_index config then Some (Delta_fti.create ())

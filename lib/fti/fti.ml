@@ -10,7 +10,16 @@ module Occ_key = struct
     (word, kind, Array.map Txq_vxml.Xid.to_int path)
 
   let equal (a : t) (b : t) = a = b
-  let hash (t : t) = Hashtbl.hash t
+
+  (* [Hashtbl.hash] samples only ~10 meaningful words of its input, so deep
+     XID paths that differ past the sampled prefix collide systematically
+     and degrade the open-postings table to linear chains.  Fold the whole
+     path instead (FNV-1a over the ints, seeded with word and kind). *)
+  let hash ((word, kind, path) : t) =
+    let kind_bit = match kind with Vnode.Tag -> 0 | Vnode.Word -> 1 in
+    let h = ref (Hashtbl.hash word lxor kind_bit) in
+    Array.iter (fun x -> h := (!h lxor x) * 0x01000193 land max_int) path;
+    !h
 end
 
 module Occ_table = Hashtbl.Make (Occ_key)
@@ -23,21 +32,50 @@ type doc_state = {
   mutable last_version : int;
 }
 
-type t = {
-  words : (string, Posting.t list ref) Hashtbl.t;
-  docs : (Txq_vxml.Eid.doc_id, doc_state) Hashtbl.t;
-  mutable postings : int;
+(* Two-tier per-word index: a small mutable tail of postings opened since
+   the last freeze (newest first, the only part writes touch) above a stack
+   of immutable frozen segments.  Reads compact the stack to one segment,
+   so every read path sees at most one sorted run plus the tail. *)
+type word_state = {
+  mutable tail : Posting.t list; (* newest first *)
+  mutable tail_n : int;
+  mutable segs : Segment.t list; (* newest first *)
 }
 
-let create () = { words = Hashtbl.create 1024; docs = Hashtbl.create 64; postings = 0 }
+type t = {
+  words : (string, word_state) Hashtbl.t;
+  docs : (Txq_vxml.Eid.doc_id, doc_state) Hashtbl.t;
+  mutable postings : int;
+  (* freeze protocol *)
+  watermark : int; (* tail postings triggering a freeze; max_int = never *)
+  mutable tail_postings : int; (* across all words *)
+  mutable freezes : int;
+}
 
-let word_bucket t word =
+(* New tail runs pile up as separate segments until this many exist, then
+   one k-way merge folds them (bulk loads freeze often but read rarely;
+   merging every freeze would rewrite each word's whole run every time). *)
+let merge_fanout = 4
+
+let default_watermark = 4096
+
+let create ?(segment_postings = default_watermark) () =
+  {
+    words = Hashtbl.create 1024;
+    docs = Hashtbl.create 64;
+    postings = 0;
+    watermark = (if segment_postings <= 0 then max_int else segment_postings);
+    tail_postings = 0;
+    freezes = 0;
+  }
+
+let word_state t word =
   match Hashtbl.find_opt t.words word with
-  | Some bucket -> bucket
+  | Some st -> st
   | None ->
-    let bucket = ref [] in
-    Hashtbl.replace t.words word bucket;
-    bucket
+    let st = { tail = []; tail_n = 0; segs = [] } in
+    Hashtbl.replace t.words word st;
+    st
 
 let doc_state t doc =
   match Hashtbl.find_opt t.docs doc with
@@ -53,11 +91,54 @@ let doc_state t doc =
     Hashtbl.replace t.docs doc st;
     st
 
+(* --- freeze protocol --------------------------------------------------- *)
+
+(* Move every word's tail into a fresh frozen segment (sorting only the
+   tail run), k-way merging a word's stack down when it reaches the
+   fanout.  Posting records are shared between tiers, so open postings
+   frozen here still close in place on later versions. *)
+let freeze t =
+  if t.tail_postings > 0 then begin
+    let frozen_now = t.tail_postings in
+    Hashtbl.iter
+      (fun _ st ->
+        if st.tail_n > 0 then begin
+          let run = Segment.of_unsorted (Array.of_list st.tail) in
+          st.tail <- [];
+          st.tail_n <- 0;
+          st.segs <- run :: st.segs;
+          if List.length st.segs >= merge_fanout then
+            st.segs <- [ Segment.merge st.segs ]
+        end)
+      t.words;
+    t.tail_postings <- 0;
+    t.freezes <- t.freezes + 1;
+    Txq_obs.Metrics.incr "fti.freezes";
+    Txq_obs.Metrics.incr ~by:frozen_now "fti.postings_frozen"
+  end
+
+let maybe_freeze t = if t.tail_postings >= t.watermark then freeze t
+
+(* Compact a word's segment stack to one run; amortized over reads, and a
+   no-op for the common 0/1-segment cases. *)
+let frozen_of st =
+  match st.segs with
+  | [] -> None
+  | [ s ] -> Some s
+  | many ->
+    let s = Segment.merge many in
+    st.segs <- [ s ];
+    Some s
+
+(* --- maintenance -------------------------------------------------------- *)
+
 let open_posting t ~doc ~version st ((word, kind, path) as occ) =
   let posting = Posting.make ~doc ~kind ~path ~vstart:version in
-  let bucket = word_bucket t word in
-  bucket := posting :: !bucket;
+  let ws = word_state t word in
+  ws.tail <- posting :: ws.tail;
+  ws.tail_n <- ws.tail_n + 1;
   t.postings <- t.postings + 1;
+  t.tail_postings <- t.tail_postings + 1;
   Occ_table.replace st.open_postings (Occ_key.of_occ occ) posting
 
 let close_posting ~version st occ =
@@ -82,7 +163,10 @@ let index_version t ~doc ~version vnode =
   Vnode.Occ_set.iter (close_posting ~version st) removed;
   Vnode.Occ_set.iter (open_posting t ~doc ~version st) added;
   st.current_occs <- occs;
-  st.last_version <- version
+  st.last_version <- version;
+  (* One [index_version] call is one commit of the document, so the
+     watermark check here is the "freeze on commit boundaries" trigger. *)
+  maybe_freeze t
 
 let delete_document t ~doc ~version =
   match Hashtbl.find_opt t.docs doc with
@@ -92,10 +176,7 @@ let delete_document t ~doc ~version =
     st.current_occs <- Vnode.Occ_set.empty;
     st.last_version <- version
 
-let postings_of t word =
-  match Hashtbl.find_opt t.words word with
-  | Some bucket -> !bucket
-  | None -> []
+(* --- lookups ------------------------------------------------------------ *)
 
 (* Each lookup variant traces postings scanned vs returned — the
    quantities Section 7.2 argues with.  The [Trace.enabled] guard keeps
@@ -107,33 +188,171 @@ let traced name word scanned result =
       ~attrs:[ ("word", Txq_obs.Span.Str word) ]
       (fun () ->
         let r = result () in
-        Txq_obs.Trace.add_count "postings_scanned" (List.length (scanned ()));
+        Txq_obs.Trace.add_count "postings_scanned" (scanned ());
         Txq_obs.Trace.add_count "postings" (List.length r);
         r)
 
+(* Shared filter shape: frozen slice first (already in total order), then
+   the tail oldest-first — a deterministic order whatever freeze history
+   produced the split. *)
+let filtered st pred =
+  let out = ref [] in
+  (match frozen_of st with
+   | None -> ()
+   | Some seg ->
+     let arr = Segment.postings seg in
+     for i = Array.length arr - 1 downto 0 do
+       if pred arr.(i) then out := arr.(i) :: !out
+     done);
+  let tail_old_first = List.rev st.tail in
+  !out @ List.filter pred tail_old_first
+
+let scanned_of t word () =
+  match Hashtbl.find_opt t.words word with
+  | None -> 0
+  | Some st ->
+    st.tail_n + List.fold_left (fun n s -> n + Segment.length s) 0 st.segs
+
+let with_word t word f =
+  match Hashtbl.find_opt t.words word with None -> [] | Some st -> f st
+
 let lookup t word =
-  let all () = postings_of t word in
-  traced "fti.lookup" word all (fun () -> List.filter Posting.is_open (all ()))
+  traced "fti.lookup" word (scanned_of t word) (fun () ->
+      with_word t word (fun st -> filtered st Posting.is_open))
 
 let lookup_t t word ~version_at =
-  let all () = postings_of t word in
-  traced "fti.lookup_t" word all (fun () ->
-      List.filter
-        (fun p ->
-          match version_at p.Posting.doc with
-          | Some v -> Posting.valid_at p v
-          | None -> false)
-        (all ()))
+  traced "fti.lookup_t" word (scanned_of t word) (fun () ->
+      with_word t word (fun st ->
+          filtered st (fun p ->
+              match version_at p.Posting.doc with
+              | Some v -> Posting.valid_at p v
+              | None -> false)))
 
 let lookup_h t word =
-  let all () = postings_of t word in
-  traced "fti.lookup_h" word all all
+  traced "fti.lookup_h" word (scanned_of t word) (fun () ->
+      with_word t word (fun st -> filtered st (fun _ -> true)))
 
+(* The history lookup the pattern scan hammers per document: a fence
+   binary search plus a contiguous slice, O(log d + k) instead of a filter
+   over the word's whole posting list. *)
 let lookup_h_doc t word ~doc =
-  let all () = postings_of t word in
-  traced "fti.lookup_h" word all (fun () ->
-      List.filter (fun p -> p.Posting.doc = doc) (all ()))
+  traced "fti.lookup_h_doc" word
+    (fun () ->
+      match Hashtbl.find_opt t.words word with
+      | None -> 0
+      | Some st ->
+        st.tail_n
+        + List.fold_left
+            (fun n s ->
+              let a, b = Segment.doc_bounds s ~doc in
+              n + (b - a))
+            0 st.segs)
+    (fun () ->
+      with_word t word (fun st ->
+          let out = ref [] in
+          (match frozen_of st with
+           | None -> ()
+           | Some seg ->
+             let arr = Segment.postings seg in
+             let start, stop = Segment.doc_bounds seg ~doc in
+             for i = stop - 1 downto start do
+               out := arr.(i) :: !out
+             done);
+          !out
+          @ List.filter
+              (fun p -> p.Posting.doc = doc)
+              (List.rev st.tail)))
+
+(* --- sorted fetch for the pattern-scan join ----------------------------- *)
+
+(* All postings of (word, kind) as one array in [Posting.compare_total]
+   order: the frozen run is kind-filtered (filtering preserves order) and
+   merged with the sorted, kind-filtered tail.  With a compacted segment
+   and a watermark-bounded tail this performs no full sort — the per-query
+   sorting the old scan engine paid is gone. *)
+let sorted_postings t word ~kind =
+  let build () =
+    match Hashtbl.find_opt t.words word with
+    | None -> [||]
+    | Some st ->
+      let tail_run =
+        Array.of_list
+          (List.filter (fun p -> p.Posting.kind = kind) st.tail)
+      in
+      Array.sort Posting.compare_total tail_run;
+      let frozen_run =
+        match frozen_of st with
+        | None -> [||]
+        | Some seg ->
+          let arr = Segment.postings seg in
+          let n = ref 0 in
+          Array.iter (fun p -> if p.Posting.kind = kind then incr n) arr;
+          if !n = Array.length arr then arr
+          else begin
+            let out = ref [] in
+            for i = Array.length arr - 1 downto 0 do
+              if arr.(i).Posting.kind = kind then out := arr.(i) :: !out
+            done;
+            match !out with
+            | [] -> [||]
+            | l -> Array.of_list l
+          end
+      in
+      if Array.length tail_run = 0 then frozen_run
+      else if Array.length frozen_run = 0 then tail_run
+      else begin
+        (* two-way merge of sorted runs *)
+        let na = Array.length frozen_run and nb = Array.length tail_run in
+        let out = Array.make (na + nb) frozen_run.(0) in
+        let i = ref 0 and j = ref 0 in
+        for slot = 0 to na + nb - 1 do
+          let take_a =
+            !j >= nb
+            || (!i < na
+                && Posting.compare_total frozen_run.(!i) tail_run.(!j) <= 0)
+          in
+          if take_a then begin
+            out.(slot) <- frozen_run.(!i);
+            incr i
+          end
+          else begin
+            out.(slot) <- tail_run.(!j);
+            incr j
+          end
+        done;
+        out
+      end
+  in
+  if not (Txq_obs.Trace.enabled ()) then build ()
+  else
+    Txq_obs.Trace.with_span "fti.sorted_postings"
+      ~attrs:[ ("word", Txq_obs.Span.Str word) ]
+      (fun () ->
+        let r = build () in
+        Txq_obs.Trace.add_count "postings" (Array.length r);
+        r)
+
+(* --- stats -------------------------------------------------------------- *)
 
 let word_count t = Hashtbl.length t.words
 let posting_count t = t.postings
 let vocabulary t = Hashtbl.fold (fun w _ acc -> w :: acc) t.words []
+let freeze_count t = t.freezes
+let tail_posting_count t = t.tail_postings
+
+let segment_count t =
+  Hashtbl.fold (fun _ st n -> n + List.length st.segs) t.words 0
+
+let frozen_posting_count t =
+  Hashtbl.fold
+    (fun _ st n ->
+      n + List.fold_left (fun n s -> n + Segment.length s) 0 st.segs)
+    t.words 0
+
+let occ_key_hash = Occ_key.hash
+
+let frozen_bytes t =
+  Hashtbl.fold
+    (fun _ st n ->
+      n + List.fold_left (fun n s -> n + Segment.approx_bytes s) 0 st.segs)
+    t.words 0

@@ -9,11 +9,29 @@
     The three lookups of Section 7.2 are provided:
     [lookup] (current snapshot), [lookup_t] (snapshot at a time, resolved to
     per-document version numbers by the caller), and [lookup_h] (whole
-    history). *)
+    history).
+
+    The index is two-tier: postings open into a small mutable {e tail}
+    per word; once the tail grows past a watermark (checked at commit
+    boundaries, i.e. after each [index_version]) it is frozen into an
+    immutable sorted {!Segment.t} with a per-document fence, and per-word
+    segment stacks are k-way merged.  Document-restricted and
+    whole-history lookups then run as binary search plus contiguous
+    slice rather than full-list filters.  Posting records are shared
+    between tiers, so freezing never delays closing an open posting. *)
 
 type t
 
-val create : unit -> t
+val create : ?segment_postings:int -> unit -> t
+(** [segment_postings] is the tail watermark (total open-tier postings
+    across all words) that triggers a freeze; default 4096.  A
+    non-positive value — or [max_int] — disables freezing, which keeps
+    the index on the original single-tier list path (useful as a
+    differential-testing oracle). *)
+
+val freeze : t -> unit
+(** Force the current tail into frozen segments now, regardless of the
+    watermark.  No-op on an empty tail. *)
 
 val index_version :
   t -> doc:Txq_vxml.Eid.doc_id -> version:int -> Txq_vxml.Vnode.t -> unit
@@ -39,10 +57,44 @@ val lookup_h : t -> string -> Posting.t list
 (** Every posting ever recorded for the word. *)
 
 val lookup_h_doc : t -> string -> doc:Txq_vxml.Eid.doc_id -> Posting.t list
-(** History lookup restricted to one document. *)
+(** History lookup restricted to one document.  Over the frozen tier
+    this is a fence binary search plus a contiguous slice,
+    O(log d + k). *)
+
+val sorted_postings :
+  t -> string -> kind:Txq_vxml.Vnode.occurrence_kind -> Posting.t array
+(** All postings of the word with the given occurrence kind, as a fresh
+    array in {!Posting.compare_total} order — the order the pattern-scan
+    merge-join consumes.  Frozen segments are already sorted, so only the
+    (watermark-bounded) tail is sorted per call. *)
 
 val word_count : t -> int
 val posting_count : t -> int
 
 val vocabulary : t -> string list
 (** All indexed words (unordered). *)
+
+(** {1 Two-tier stats} *)
+
+val segment_count : t -> int
+(** Frozen segments currently live, across all words. *)
+
+val tail_posting_count : t -> int
+(** Postings in the mutable tail tier (not yet frozen). *)
+
+val frozen_posting_count : t -> int
+
+val frozen_bytes : t -> int
+(** Approximate in-memory footprint of the frozen tier. *)
+
+val freeze_count : t -> int
+(** Freezes performed since creation. *)
+
+(**/**)
+
+val occ_key_hash :
+  string * Txq_vxml.Vnode.occurrence_kind * int array -> int
+(** Hash of an open-occurrence key (word, kind, XID path as ints).  Folds
+    the whole path — unlike [Hashtbl.hash], which samples a prefix and
+    collides systematically on deep paths.  Exposed for the collision
+    regression test only. *)

@@ -20,6 +20,19 @@ let compare_for_join a b =
     | c -> c)
   | c -> c
 
+(* A strict total order over the postings of one word: within a (word, kind,
+   path) position, version intervals never share a start (an occurrence must
+   close before it reopens), so breaking the remaining tie on [kind] —
+   possible because a Tag and a Word occurrence can carry the same path —
+   makes the order total.  Segments sorted by it are therefore identical
+   whatever freeze/merge history produced them. *)
+let kind_rank = function Txq_vxml.Vnode.Tag -> 0 | Txq_vxml.Vnode.Word -> 1
+
+let compare_total a b =
+  match compare_for_join a b with
+  | 0 -> Int.compare (kind_rank a.kind) (kind_rank b.kind)
+  | c -> c
+
 let pp ppf t =
   Format.fprintf ppf "d%d%s[%d,%s)" t.doc
     (Txq_vxml.Xidpath.to_string t.path)

@@ -36,4 +36,10 @@ val compare_for_join : t -> t -> int
 (** Orders by document then path then version start: the order the
     pattern-scan join consumes. *)
 
+val compare_total : t -> t -> int
+(** [compare_for_join] refined with the occurrence kind: a strict total
+    order over any one word's postings (no two postings of a word compare
+    equal), so sorting or merging by it is deterministic regardless of the
+    history of freezes that produced the inputs. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+(* A frozen run of one word's postings: an immutable array sorted by
+   Posting.compare_total, doc-partitioned by a fence so any one document's
+   run is found by binary search over the distinct doc ids instead of a
+   filter over the whole word.  The posting records themselves stay shared
+   with the open-occurrence table, so a still-open posting frozen here is
+   closed in place (vend is mutable); membership and order never change. *)
+
+type t = {
+  postings : Posting.t array;
+  fence_docs : int array;  (* distinct doc ids, ascending *)
+  fence_offs : int array;  (* start offset per doc; length fence_docs + 1 *)
+}
+
+let length t = Array.length t.postings
+let postings t = t.postings
+let doc_count t = Array.length t.fence_docs
+
+let build_fence postings =
+  let n = Array.length postings in
+  let docs = ref [] and offs = ref [] in
+  for i = n - 1 downto 0 do
+    if i = 0 || postings.(i - 1).Posting.doc <> postings.(i).Posting.doc then begin
+      docs := postings.(i).Posting.doc :: !docs;
+      offs := i :: !offs
+    end
+  done;
+  (Array.of_list !docs, Array.of_list (!offs @ [ n ]))
+
+let of_sorted postings =
+  let fence_docs, fence_offs = build_fence postings in
+  { postings; fence_docs; fence_offs }
+
+let of_unsorted postings =
+  let postings = Array.copy postings in
+  Array.sort Posting.compare_total postings;
+  of_sorted postings
+
+(* First fence index whose doc id is >= [doc]. *)
+let fence_search t doc =
+  let lo = ref 0 and hi = ref (Array.length t.fence_docs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.fence_docs.(mid) < doc then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let doc_bounds t ~doc =
+  let i = fence_search t doc in
+  if i < Array.length t.fence_docs && t.fence_docs.(i) = doc then
+    (t.fence_offs.(i), t.fence_offs.(i + 1))
+  else (0, 0)
+
+let iter_doc t ~doc f =
+  let start, stop = doc_bounds t ~doc in
+  for i = start to stop - 1 do
+    f t.postings.(i)
+  done
+
+(* K-way merge of sorted runs.  The fanout is small (the per-word segment
+   stack is capped), so selecting the minimum head by a linear pass beats
+   maintaining a heap.  Posting.compare_total is a strict total order over
+   one word's postings, so the output is independent of the input order. *)
+let merge segs =
+  match segs with
+  | [] -> of_sorted [||]
+  | [ s ] -> s
+  | segs ->
+    let runs = Array.of_list (List.map (fun s -> s.postings) segs) in
+    let k = Array.length runs in
+    let pos = Array.make k 0 in
+    let total = Array.fold_left (fun n r -> n + Array.length r) 0 runs in
+    if total = 0 then of_sorted [||]
+    else begin
+    let first_run =
+      let rec find i = if Array.length runs.(i) = 0 then find (i + 1) else i in
+      find 0
+    in
+    let out = Array.make total runs.(first_run).(0) in
+    for slot = 0 to total - 1 do
+      let best = ref (-1) in
+      for i = 0 to k - 1 do
+        if pos.(i) < Array.length runs.(i) then
+          let head = runs.(i).(pos.(i)) in
+          if !best < 0
+             || Posting.compare_total head runs.(!best).(pos.(!best)) < 0
+          then best := i
+      done;
+      out.(slot) <- runs.(!best).(pos.(!best));
+      pos.(!best) <- pos.(!best) + 1
+    done;
+    of_sorted out
+    end
+
+(* Rough in-memory footprint: per posting the record (5 fields + header)
+   plus its path array, plus the array slots and the fences.  Word-sized
+   units times 8; shared path arrays are counted once per posting, which
+   over-counts sharing but tracks growth faithfully. *)
+let approx_bytes t =
+  let words =
+    Array.fold_left
+      (fun acc p -> acc + 7 + Array.length p.Posting.path + 2)
+      0 t.postings
+  in
+  8
+  * (words + Array.length t.postings + Array.length t.fence_docs
+     + Array.length t.fence_offs + 6)

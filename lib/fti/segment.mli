@@ -1,0 +1,39 @@
+(** Frozen posting segments of the temporal FTI.
+
+    A segment is an immutable run of one word's postings sorted by
+    {!Posting.compare_total} — (doc, path, vstart, kind) — with a fence over
+    the distinct document ids, so a document's postings form a contiguous
+    slice located by binary search over the fence (O(log d + k) instead of a
+    filter over the whole word).  The posting {e records} remain shared with
+    the mutable tail index: a posting frozen while open is later closed in
+    place; only segment membership and order are immutable. *)
+
+type t
+
+val of_sorted : Posting.t array -> t
+(** Takes ownership of the array, which must already be sorted by
+    [Posting.compare_total]. *)
+
+val of_unsorted : Posting.t array -> t
+(** Copies and sorts. *)
+
+val merge : t list -> t
+(** K-way merge into a single segment.  Deterministic: the total order
+    leaves no ties, so the result does not depend on the argument order or
+    on which freeze produced which run. *)
+
+val length : t -> int
+val doc_count : t -> int
+(** Number of distinct documents in the fence. *)
+
+val postings : t -> Posting.t array
+(** The backing array — callers must not mutate membership or order. *)
+
+val doc_bounds : t -> doc:Txq_vxml.Eid.doc_id -> int * int
+(** [\[start, stop)] slice of the document's postings ([0, 0] when the
+    document has none). *)
+
+val iter_doc : t -> doc:Txq_vxml.Eid.doc_id -> (Posting.t -> unit) -> unit
+
+val approx_bytes : t -> int
+(** Rough in-memory footprint, for the stats report. *)

@@ -791,6 +791,50 @@ let prop_tpattern_scan_bruteforce =
             ["name"; "price"; "item"; "doc"; "review"])
         (List.mapi (fun i r -> (i, r)) all))
 
+(* property: the document-partitioned domain pool is invisible — every scan
+   operator returns structurally identical bindings at domains ∈ {1, 2, 4},
+   over a database whose FTI is forced through the frozen-segment path *)
+let prop_scan_domains_deterministic =
+  QCheck.Test.make ~count:15
+    ~name:"scan: domains=N ≡ domains=1 (frozen segments)"
+    QCheck.(
+      pair
+        (Txq_test_support.Gen_xml.arb_history ~max_versions:4)
+        (Txq_test_support.Gen_xml.arb_history ~max_versions:4))
+    (fun (hist0, hist1) ->
+      let config =
+        { Txq_db.Config.default with Txq_db.Config.fti_segment_postings = 16 }
+      in
+      let db = Db.create ~config () in
+      let base = Timestamp.of_date ~day:1 ~month:1 ~year:2001 in
+      (* transaction time is monotone db-wide: give each document its own
+         later window *)
+      List.iteri
+        (fun d (doc0, versions) ->
+          let url = Printf.sprintf "u%d" d in
+          let at i =
+            Timestamp.add base (Txq_temporal.Duration.days ((d * 100) + i))
+          in
+          ignore (Db.insert_document db ~url ~ts:(at 0) doc0);
+          List.iteri
+            (fun i v -> ignore (Db.update_document db ~url ~ts:(at (i + 1)) v))
+            versions)
+        [ hist0; hist1 ];
+      let probe = Timestamp.add base (Txq_temporal.Duration.days 101) in
+      List.for_all
+        (fun tag ->
+          let pattern = Pattern.of_path_exn ("//" ^ tag) in
+          List.for_all
+            (fun domains ->
+              Scan.tpattern_scan_all ~domains db pattern
+              = Scan.tpattern_scan_all ~domains:1 db pattern
+              && Scan.tpattern_scan ~domains db pattern probe
+                 = Scan.tpattern_scan ~domains:1 db pattern probe
+              && Scan.pattern_scan ~domains db pattern
+                 = Scan.pattern_scan ~domains:1 db pattern)
+            [ 2; 4 ])
+        [ "name"; "price"; "item"; "review" ])
+
 let () =
   Alcotest.run "core"
     [
@@ -825,6 +869,7 @@ let () =
             test_scan_all_finds_past_only_matches;
           Alcotest.test_case "timestamp intervals" `Quick test_binding_intervals;
           QCheck_alcotest.to_alcotest prop_scan_all_is_union_of_snapshots;
+          QCheck_alcotest.to_alcotest prop_scan_domains_deterministic;
         ] );
       ( "history",
         [

@@ -236,6 +236,199 @@ let prop_incremental_equals_scratch =
             (List.init (List.length identified) Fun.id))
         (Fti.vocabulary incremental))
 
+(* --- frozen segments ----------------------------------------------------- *)
+
+let mkp doc path vstart =
+  Posting.make ~doc ~kind:Vnode.Tag
+    ~path:(Array.of_list (List.map Xid.of_int path))
+    ~vstart
+
+let test_segment_doc_bounds () =
+  let seg =
+    Segment.of_unsorted
+      [| mkp 5 [1] 0; mkp 1 [1; 2] 0; mkp 1 [1] 0; mkp 1 [1; 2] 3; mkp 9 [2] 1 |]
+  in
+  Alcotest.(check int) "length" 5 (Segment.length seg);
+  Alcotest.(check int) "doc count" 3 (Segment.doc_count seg);
+  Alcotest.(check (pair int int)) "doc 1 run" (0, 3)
+    (Segment.doc_bounds seg ~doc:1);
+  Alcotest.(check (pair int int)) "doc 5 run" (3, 4)
+    (Segment.doc_bounds seg ~doc:5);
+  Alcotest.(check (pair int int)) "doc 9 run" (4, 5)
+    (Segment.doc_bounds seg ~doc:9);
+  Alcotest.(check (pair int int)) "absent doc" (0, 0)
+    (Segment.doc_bounds seg ~doc:7);
+  Alcotest.(check (pair int int)) "absent doc below" (0, 0)
+    (Segment.doc_bounds seg ~doc:0);
+  (* the run really is sorted and contiguous per doc *)
+  let seen = ref [] in
+  Segment.iter_doc seg ~doc:1 (fun p -> seen := p.Posting.vstart :: !seen);
+  Alcotest.(check (list int)) "doc 1 vstarts in order" [0; 0; 3]
+    (List.rev !seen)
+
+let test_segment_merge_deterministic () =
+  let all =
+    [ mkp 1 [1] 0; mkp 1 [1; 2] 0; mkp 2 [1] 0; mkp 2 [1] 2; mkp 3 [4] 1 ]
+  in
+  let arr l = Segment.postings (Segment.merge l) in
+  (* every 2-way split of [all] into runs merges to the same array *)
+  let splits =
+    [
+      ([ mkp 1 [1] 0; mkp 2 [1] 2 ], [ mkp 1 [1; 2] 0; mkp 2 [1] 0; mkp 3 [4] 1 ]);
+      ([ mkp 3 [4] 1 ], [ mkp 1 [1] 0; mkp 1 [1; 2] 0; mkp 2 [1] 0; mkp 2 [1] 2 ]);
+    ]
+  in
+  let expect = Segment.postings (Segment.of_unsorted (Array.of_list all)) in
+  let shape a =
+    Array.to_list
+      (Array.map (fun p -> (p.Posting.doc, p.Posting.vstart)) a)
+  in
+  List.iter
+    (fun (a, b) ->
+      let merged =
+        arr
+          [
+            Segment.of_unsorted (Array.of_list a);
+            Segment.of_unsorted (Array.of_list b);
+          ]
+      in
+      Alcotest.(check (list (pair int int)))
+        "merge = sort of union" (shape expect) (shape merged);
+      (* argument order must not matter *)
+      let swapped =
+        arr
+          [
+            Segment.of_unsorted (Array.of_list b);
+            Segment.of_unsorted (Array.of_list a);
+          ]
+      in
+      Alcotest.(check (list (pair int int)))
+        "merge arg order irrelevant" (shape expect) (shape swapped))
+    splits;
+  Alcotest.(check int) "merge of empties" 0
+    (Segment.length (Segment.merge [ Segment.of_unsorted [||]; Segment.of_unsorted [||] ]))
+
+(* Occ_key hashing must fold the whole XID path: 100 deep paths sharing a
+   long common prefix and differing only at the last element must land in
+   100 distinct buckets.  (Hashtbl.hash samples a bounded prefix of its
+   input and maps all of these to one value, degrading the open-postings
+   table to a linear chain.) *)
+let test_occ_hash_deep_paths () =
+  let deep_path i = Array.append (Array.init 30 (fun j -> j + 1)) [| i |] in
+  let hashes =
+    List.init 100 (fun i -> Fti.occ_key_hash ("w", Vnode.Word, deep_path i))
+  in
+  let distinct = List.sort_uniq compare hashes in
+  Alcotest.(check int) "all distinct" 100 (List.length distinct)
+
+(* property: the two-tier index under any interleaving of indexing,
+   freezing and deletion answers every lookup exactly like the naive
+   list-only index (watermark = max_int ⇒ the original single-tier path) *)
+let canon ps =
+  List.map
+    (fun p ->
+      ( p.Posting.doc,
+        Array.to_list (Array.map Xid.to_int p.Posting.path),
+        p.Posting.vstart,
+        p.Posting.vend ))
+    (List.sort
+       (fun a b ->
+         match Posting.compare_total a b with
+         | 0 -> Int.compare a.Posting.vend b.Posting.vend
+         | c -> c)
+       ps)
+
+let identified_versions (doc0, versions) =
+  let gen = Xid.Gen.create () in
+  let v0 = Vnode.of_xml gen (Txq_xml.Xml.normalize doc0) in
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (prev, acc) xml ->
+            let _, next =
+              Txq_vxml.Diff.diff ~gen ~old_tree:prev
+                ~new_tree:(Txq_xml.Xml.normalize xml)
+            in
+            (next, next :: acc))
+          (v0, [ v0 ]) versions))
+
+let prop_frozen_equals_naive =
+  QCheck.Test.make ~count:30 ~name:"fti frozen segments ≡ naive index"
+    QCheck.(
+      triple
+        (Txq_test_support.Gen_xml.arb_history ~max_versions:4)
+        (Txq_test_support.Gen_xml.arb_history ~max_versions:4)
+        (pair small_nat small_nat))
+    (fun (hist0, hist1, (mask, del)) ->
+      let vs0 = identified_versions hist0 in
+      let vs1 = identified_versions hist1 in
+      let subject = Fti.create ~segment_postings:3 () in
+      let oracle = Fti.create ~segment_postings:max_int () in
+      (* interleave the two documents' commits; after step i, freeze the
+         subject iff bit i of [mask] is set (on top of the automatic
+         watermark freezes the tiny segment_postings=3 forces) *)
+      let ops =
+        let tag d = List.mapi (fun v tree -> (d, v, tree)) in
+        let rec weave a b =
+          match (a, b) with
+          | [], rest | rest, [] -> rest
+          | x :: a, y :: b -> x :: y :: weave a b
+        in
+        weave (tag 0 vs0) (tag 1 vs1)
+      in
+      List.iteri
+        (fun i (doc, version, tree) ->
+          Fti.index_version subject ~doc ~version tree;
+          Fti.index_version oracle ~doc ~version tree;
+          if (mask lsr i) land 1 = 1 then Fti.freeze subject)
+        ops;
+      if del land 1 = 1 then begin
+        Fti.delete_document subject ~doc:0 ~version:(List.length vs0);
+        Fti.delete_document oracle ~doc:0 ~version:(List.length vs0)
+      end;
+      Fti.freeze subject;
+      let words =
+        List.sort_uniq String.compare
+          (Fti.vocabulary subject @ Fti.vocabulary oracle)
+      in
+      Alcotest.(check int)
+        "posting counts agree"
+        (Fti.posting_count oracle) (Fti.posting_count subject);
+      List.for_all
+        (fun w ->
+          canon (Fti.lookup subject w) = canon (Fti.lookup oracle w)
+          && canon (Fti.lookup_h subject w) = canon (Fti.lookup_h oracle w)
+          && List.for_all
+               (fun doc ->
+                 canon (Fti.lookup_h_doc subject w ~doc)
+                 = canon (Fti.lookup_h_doc oracle w ~doc))
+               [ 0; 1; 2 ]
+          && List.for_all
+               (fun v ->
+                 let at fti =
+                   Fti.lookup_t fti w ~version_at:(fun _ -> Some v)
+                 in
+                 canon (at subject) = canon (at oracle))
+               [ 0; 1; 2; 3; 4 ])
+        words)
+
+let test_freeze_stats () =
+  let fti = Fti.create ~segment_postings:2 () in
+  Fti.index_version fti ~doc:0 ~version:0 (vnode "<a><b>x y</b></a>");
+  Alcotest.(check bool) "watermark crossed at the commit boundary" true
+    (Fti.freeze_count fti >= 1);
+  Alcotest.(check bool) "segments exist" true (Fti.segment_count fti > 0);
+  Alcotest.(check int) "tail drained" 0 (Fti.tail_posting_count fti);
+  Alcotest.(check int) "frozen = total" (Fti.posting_count fti)
+    (Fti.frozen_posting_count fti);
+  Alcotest.(check bool) "frozen bytes accounted" true (Fti.frozen_bytes fti > 0);
+  (* a frozen open posting still closes in place *)
+  Fti.index_version fti ~doc:0 ~version:1 (vnode "<a><b>x</b></a>");
+  let y = Fti.lookup_h fti "y" in
+  Alcotest.(check (list (pair int int))) "y closed inside the segment"
+    [ (0, 1) ]
+    (List.map (fun p -> (p.Posting.vstart, p.Posting.vend)) y)
+
 let () =
   Alcotest.run "fti"
     [
@@ -256,6 +449,16 @@ let () =
           Alcotest.test_case "move reindexes path" `Quick
             test_fti_move_reindexes_path;
           QCheck_alcotest.to_alcotest prop_incremental_equals_scratch;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "doc bounds" `Quick test_segment_doc_bounds;
+          Alcotest.test_case "merge deterministic" `Quick
+            test_segment_merge_deterministic;
+          Alcotest.test_case "deep-path hashing" `Quick
+            test_occ_hash_deep_paths;
+          Alcotest.test_case "freeze stats" `Quick test_freeze_stats;
+          QCheck_alcotest.to_alcotest prop_frozen_equals_naive;
         ] );
       ( "delta_fti",
         [

@@ -248,11 +248,15 @@ let fingerprint ~ts_probes db =
 
 (* --- the exhaustive crash-point sweep ------------------------------------ *)
 
-let crash_sweep ~snapshot_every ~placement () =
+let crash_sweep ?segment_postings ~snapshot_every ~placement () =
   let config =
     { Config.default with
       snapshot_every; placement; fti_mode = Config.Fti_both;
-      durability = `Journal }
+      durability = `Journal;
+      fti_segment_postings =
+        (match segment_postings with
+         | Some n -> n
+         | None -> Config.default.Config.fti_segment_postings) }
   in
   let ops = Lazy.force workload in
   let n_ops = List.length ops in
@@ -335,6 +339,31 @@ let test_clean_restart () =
   List.iteri (fun i op -> apply db (n_ops + i) op) more;
   List.iteri (fun i op -> apply rdb (n_ops + i) op) more;
   Alcotest.(check string) "post-recovery commits land identically"
+    (fingerprint ~ts_probes db) (fingerprint ~ts_probes rdb)
+
+(* Recovery replays commits through the normal FTI maintenance path, so a
+   watermark-crossing replay rebuilds frozen segments cold — and answers
+   queries identically to the live instance that froze incrementally. *)
+let test_segment_cold_rebuild () =
+  let config =
+    { Config.default with
+      fti_segment_postings = 8; durability = `Journal }
+  in
+  let ops = Lazy.force workload in
+  let n_ops = List.length ops in
+  let ts_probes = List.init n_ops op_ts in
+  let db = Db.create ~config () in
+  List.iteri (apply db) ops;
+  let live_fti = Db.fti db in
+  Alcotest.(check bool) "live instance froze" true
+    (Txq_fti.Fti.freeze_count live_fti > 0);
+  let rdb = Db.recover (Db.disk db) config in
+  let fti = Db.fti rdb in
+  Alcotest.(check bool) "segments rebuilt cold" true
+    (Txq_fti.Fti.segment_count fti > 0);
+  Alcotest.(check int) "posting count restored"
+    (Txq_fti.Fti.posting_count live_fti) (Txq_fti.Fti.posting_count fti);
+  Alcotest.(check string) "recovered state identical"
     (fingerprint ~ts_probes db) (fingerprint ~ts_probes rdb)
 
 (* Recovery also restores the document-time index (Section 3.1). *)
@@ -445,10 +474,18 @@ let () =
             (crash_sweep ~snapshot_every:(Some 4) ~placement:`Unclustered);
           Alcotest.test_case "snapshots every 4, clustered" `Slow
             (crash_sweep ~snapshot_every:(Some 4) ~placement:(`Clustered 8));
+          (* watermark of 8 postings: freezes fire constantly, so crash
+             points land with freezes in flight and recovery must rebuild
+             the segments cold *)
+          Alcotest.test_case "tiny fti segments (freeze-in-flight)" `Slow
+            (crash_sweep ~segment_postings:8 ~snapshot_every:None
+               ~placement:`Unclustered);
         ] );
       ( "restart",
         [
           Alcotest.test_case "clean restart is exact" `Quick test_clean_restart;
+          Alcotest.test_case "fti segments rebuilt cold" `Quick
+            test_segment_cold_rebuild;
           Alcotest.test_case "document-time index" `Quick
             test_document_time_recovery;
           Alcotest.test_case "corrupt journal tail truncates replay" `Quick
