@@ -1115,13 +1115,140 @@ let e15 () =
         scan_threshold
   end
 
+(* ------------------------------------------------------------------ E16 *)
+
+(* --check-vacuum turns E16 into a pass/fail gate (CI): vacuum must
+   reclaim bytes and strictly shrink the live page count on every
+   configuration, and the retained versions must still verify. *)
+let check_vacuum = ref false
+
+let e16 () =
+  section "E16  Vacuum: retention squash, reclaimed space, retained latency"
+    "Beyond the paper: Section 8 leaves deletion of old versions as future\n\
+     work.  Db.vacuum squashes each delta chain's prefix into a new base\n\
+     snapshot, frees the dropped blobs and prunes every derived index.\n\
+     Space reclaimed, vacuum cost, and query latency over the retained\n\
+     window before vs after (cold cache on both sides).";
+  let versions = if !smoke then 8 else 64 in
+  let keep = Stdlib.max 2 (versions / 4) in
+  let documents = if !smoke then 2 else 4 in
+  let sp =
+    spec ~documents ~versions ~restaurants:(if !smoke then 5 else 20) ()
+  in
+  let pattern = Pattern.of_path_exn "/guide/restaurant" in
+  let t1 = Timestamp.minus_infinity and t2 = Timestamp.plus_infinity in
+  let failures = ref [] in
+  let results = ref [] in
+  let rows =
+    List.map
+      (fun (snap, base_config) ->
+        let config = Config.durable base_config in
+        let db = Load.load_db ~config sp in
+        let doc = List.hd (Db.doc_ids db) in
+        let snap_lat () =
+          Db.flush_cache db;
+          time_us (fun () -> ignore (Scan.tpattern_scan db pattern t2))
+        in
+        let hist_lat () =
+          Db.flush_cache db;
+          time_us (fun () ->
+              ignore (Txq_core.History.doc_history_trees db doc ~t1 ~t2))
+        in
+        let pages_before = Db.live_pages db in
+        let snap_before = snap_lat () in
+        let hist_before = hist_lat () in
+        let retention =
+          { Config.no_retention with Config.keep_versions = Some keep }
+        in
+        let report = ref Db.empty_vacuum_report in
+        let vac_us =
+          time_us ~warmup:0 ~runs:1 (fun () ->
+              report := Db.vacuum ~retention db)
+        in
+        let r = !report in
+        let pages_after = Db.live_pages db in
+        let snap_after = snap_lat () in
+        let hist_after = hist_lat () in
+        let verify_ok = Result.is_ok (Db.verify db) in
+        if r.Db.vr_bytes_reclaimed <= 0 then
+          failures :=
+            Printf.sprintf "snapshots %s: reclaimed %d bytes (expected > 0)"
+              snap r.Db.vr_bytes_reclaimed
+            :: !failures;
+        if pages_after >= pages_before then
+          failures :=
+            Printf.sprintf
+              "snapshots %s: live pages %d -> %d (expected strict decrease)"
+              snap pages_before pages_after
+            :: !failures;
+        if not verify_ok then
+          failures :=
+            Printf.sprintf "snapshots %s: post-vacuum verify failed" snap
+            :: !failures;
+        results :=
+          Harness.Json.Obj
+            [
+              ("snapshots", Harness.Json.Str snap);
+              ("pages_before", Harness.Json.Int pages_before);
+              ("pages_after", Harness.Json.Int pages_after);
+              ("bytes_reclaimed", Harness.Json.Int r.Db.vr_bytes_reclaimed);
+              ("versions_dropped", Harness.Json.Int r.Db.vr_versions_dropped);
+              ("postings_pruned", Harness.Json.Int r.Db.vr_postings_pruned);
+              ("dfti_pruned", Harness.Json.Int r.Db.vr_dfti_pruned);
+              ("cretime_pruned", Harness.Json.Int r.Db.vr_cretime_pruned);
+              ("dtime_pruned", Harness.Json.Int r.Db.vr_dtime_pruned);
+              ("vacuum_us", Harness.Json.Float vac_us);
+              ("snapshot_query_before_us", Harness.Json.Float snap_before);
+              ("snapshot_query_after_us", Harness.Json.Float snap_after);
+              ("history_before_us", Harness.Json.Float hist_before);
+              ("history_after_us", Harness.Json.Float hist_after);
+              ("verify_ok", Harness.Json.Bool verify_ok);
+            ]
+          :: !results;
+        [
+          snap;
+          Printf.sprintf "%d -> %d" pages_before pages_after;
+          Printf.sprintf "%d KiB" (r.Db.vr_bytes_reclaimed / 1024);
+          string_of_int r.Db.vr_versions_dropped;
+          fmt_us vac_us;
+          Printf.sprintf "%s -> %s" (fmt_us snap_before) (fmt_us snap_after);
+          Printf.sprintf "%s -> %s" (fmt_us hist_before) (fmt_us hist_after);
+          (if verify_ok then "ok" else "FAIL");
+        ])
+      [
+        ("none", Config.default);
+        ("k=4", Config.with_snapshots 4 Config.default);
+      ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E16: vacuum keep-last-%d of %d versions x %d documents" keep
+         versions documents)
+    ~columns:
+      [
+        "snapshots"; "live pages"; "reclaimed"; "v dropped"; "vacuum";
+        "snapshot query"; "DocHistory (retained)"; "verify";
+      ]
+    rows;
+  Harness.record_json "versions" (Harness.Json.Int versions);
+  Harness.record_json "keep" (Harness.Json.Int keep);
+  Harness.record_json "smoke" (Harness.Json.Bool !smoke);
+  Harness.record_json "results" (Harness.Json.Arr (List.rev !results));
+  if !check_vacuum then
+    match List.rev !failures with
+    | [] -> Printf.printf "  vacuum reclamation check ok\n"
+    | fs ->
+      List.iter (fun f -> Printf.eprintf "E16 FAIL: %s\n" f) fs;
+      exit 1
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
 let () =
@@ -1130,6 +1257,7 @@ let () =
   smoke := List.mem "--smoke" args;
   check_overhead := List.mem "--check-overhead" args;
   check_scan := List.mem "--check-scan" args;
+  check_vacuum := List.mem "--check-vacuum" args;
   (* --trace FILE: stream every root span of the whole run as JSON lines.
      E14 manages its own sinks and ends with tracing off, so combining it
      with --trace in one invocation truncates the stream there. *)

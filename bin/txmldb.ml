@@ -170,7 +170,11 @@ let history_cmd =
         (fun d ->
           let id = Txq_db.Docstore.doc_id d in
           Printf.printf "document %d (%s)\n" id url;
-          for v = 0 to Txq_db.Docstore.version_count d - 1 do
+          (match Txq_db.Docstore.first_version d with
+           | 0 -> ()
+           | b -> Printf.printf "  (versions below %d vacuumed)\n" b);
+          for v = Txq_db.Docstore.first_version d
+              to Txq_db.Docstore.version_count d - 1 do
             let iv = Txq_db.Docstore.version_interval d v in
             Printf.printf "  v%-3d %s  %d-node tree\n" v
               (Txq_temporal.Interval.to_string iv)
@@ -283,6 +287,66 @@ let verify_cmd =
        ~doc:"Reconstruct every stored version and check chain integrity.")
     Term.(ret (const run $ db_term $ trace_t))
 
+(* --- vacuum ------------------------------------------------------------------- *)
+
+let vacuum_cmd =
+  let horizon_t =
+    Arg.(value & opt (some string) None & info ["horizon"] ~docv:"DD/MM/YYYY"
+           ~doc:"Retention horizon: history that stopped being current before \
+                 this transaction time is squashed away; documents whose whole \
+                 lifetime ended at or before it are dropped entirely.")
+  in
+  let keep_versions_t =
+    Arg.(value & opt (some int) None & info ["keep-versions"] ~docv:"N"
+           ~doc:"Keep at most the newest N versions of each document.")
+  in
+  let run mk_db trace horizon keep_versions =
+    with_tracing trace @@ fun () ->
+    match
+      (Option.map Txq_temporal.Timestamp.of_string_opt horizon, keep_versions)
+    with
+    | Some None, _ ->
+      `Error (false, Printf.sprintf "bad timestamp %S" (Option.get horizon))
+    | None, None ->
+      `Error (true, "vacuum needs --horizon and/or --keep-versions")
+    | horizon, keep_versions ->
+      let retention =
+        {
+          Txq_db.Config.keep_newer_than = Option.join horizon;
+          keep_versions;
+        }
+      in
+      let db = mk_db () in
+      let pages_before = Txq_db.Db.live_pages db in
+      let r = Txq_db.Db.vacuum ~retention db in
+      Printf.printf "documents squashed: %d\n" r.Txq_db.Db.vr_docs_squashed;
+      Printf.printf "documents dropped:  %d\n" r.Txq_db.Db.vr_docs_dropped;
+      Printf.printf "versions dropped:   %d\n" r.Txq_db.Db.vr_versions_dropped;
+      Printf.printf "pages freed:        %d (%d KiB reclaimed)\n"
+        r.Txq_db.Db.vr_pages_freed (r.Txq_db.Db.vr_bytes_reclaimed / 1024);
+      Printf.printf "index rows pruned:  %d postings, %d delta entries, %d \
+                     cretime, %d doc-time\n"
+        r.Txq_db.Db.vr_postings_pruned r.Txq_db.Db.vr_dfti_pruned
+        r.Txq_db.Db.vr_cretime_pruned r.Txq_db.Db.vr_dtime_pruned;
+      Printf.printf "live pages:         %d -> %d\n" pages_before
+        (Txq_db.Db.live_pages db);
+      (match Txq_db.Db.verify db with
+       | Ok versions ->
+         Printf.printf "verify:             ok, %d retained versions reconstruct\n"
+           versions;
+         `Ok ()
+       | Error diagnostics ->
+         List.iter (fun d -> Printf.eprintf "FAIL: %s\n" d) diagnostics;
+         `Error
+           (false, Printf.sprintf "%d integrity errors" (List.length diagnostics)))
+  in
+  Cmd.v
+    (Cmd.info "vacuum"
+       ~doc:"Build the database, apply a retention policy (squash old \
+             versions into base snapshots, reclaim their space), and verify \
+             the survivors.")
+    Term.(ret (const run $ db_term $ trace_t $ horizon_t $ keep_versions_t))
+
 (* --- recover ------------------------------------------------------------------- *)
 
 let recover_cmd =
@@ -363,6 +427,7 @@ let main =
   let doc = "temporal XML database (Nørvåg 2002 reproduction)" in
   Cmd.group
     (Cmd.info "txmldb" ~version:"1.0.0" ~doc)
-    [query_cmd; history_cmd; show_cmd; stats_cmd; verify_cmd; recover_cmd]
+    [query_cmd; history_cmd; show_cmd; stats_cmd; verify_cmd; vacuum_cmd;
+     recover_cmd]
 
 let () = exit (Cmd.eval main)

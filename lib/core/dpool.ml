@@ -30,10 +30,18 @@ let map ~domains tasks f =
     in
     let spawned = min domains n - 1 in
     let handles = Array.init spawned (fun _ -> Domain.spawn worker) in
-    let own = worker () in
-    (* Domain.join re-raises a worker's exception, after which remaining
-       joins still run so no domain leaks. *)
+    (* The calling domain's share runs under a handler: raising here before
+       the joins below would leak every spawned domain.  Every handle is
+       always joined (Domain.join re-raises a worker's exception), and only
+       then is the first failure — own-domain first — re-raised. *)
     let err = ref None in
+    let own =
+      match worker () with
+      | c -> c
+      | exception e ->
+        err := Some e;
+        0
+    in
     let joined =
       Array.fold_left
         (fun acc h ->

@@ -34,8 +34,9 @@ let doc_history db doc_id ~t1 ~t2 =
           collect (v + 1)
             ({ dv_teid = teid; dv_version = v; dv_interval = clipped } :: acc)
     in
-    (* collected ascending then reversed: most recent first *)
-    collect 0 []
+    (* collected ascending then reversed: most recent first; versions below
+       the first retained one were vacuumed and cannot be listed *)
+    collect (Docstore.first_version d) []
 
 module Xidmap = Txq_vxml.Xidmap
 module Xid = Txq_vxml.Xid

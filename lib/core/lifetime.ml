@@ -8,8 +8,19 @@ module Timestamp = Txq_temporal.Timestamp
 
 type strategy = [ `Traverse | `Index ]
 
-let traverse_counter = ref 0
-let last_traverse_deltas () = !traverse_counter
+type bound =
+  | Exact of Timestamp.t
+  | At_or_before of Timestamp.t
+
+let bound_ts = function Exact ts | At_or_before ts -> ts
+
+(* Per-call delta counts are threaded through the traversal return values —
+   a plain global would be corrupted by interleaved traversals under
+   [Config.domains > 1].  The benchmark-facing "deltas read by the last
+   traversal" remains as a domain-local slot. *)
+let last_deltas_key = Domain.DLS.new_key (fun () -> 0)
+
+let last_traverse_deltas () = Domain.DLS.get last_deltas_key
 
 let default_strategy db =
   match Db.cretime db with
@@ -24,54 +35,57 @@ let index_of db =
 
 let mem_xids xid xids = List.exists (Xid.equal xid) xids
 
+(* Both traversals return (answer, deltas scanned). *)
+
 let cre_time_traverse db (teid : Eid.Temporal.t) =
-  traverse_counter := 0;
   let doc = teid.Eid.Temporal.eid.Eid.doc in
   let xid = teid.Eid.Temporal.eid.Eid.xid in
   let d = Db.doc db doc in
   match Docstore.version_at d teid.Eid.Temporal.ts with
-  | None -> None
+  | None -> (None, 0)
   | Some v ->
+    let fv = Docstore.first_version d in
     (* Walk deltas backward from v to the delta that introduced the
-       element; no reconstruction needed (Section 7.3.6). *)
-    let rec walk i =
-      if i <= 0 then
-        (* introduced at document creation *)
-        Some (Docstore.ts_of_version d 0)
-      else begin
-        incr traverse_counter;
+       element; no reconstruction needed (Section 7.3.6).  The walk cannot
+       see past the first retained version: reaching it without finding the
+       introducing delta only bounds the creation time from above. *)
+    let rec walk i scanned =
+      if i <= fv then
+        if fv = 0 then
+          (* introduced at document creation *)
+          (Some (Exact (Docstore.ts_of_version d 0)), scanned)
+        else
+          (* introduced somewhere in the vacuumed prefix *)
+          (Some (At_or_before (Docstore.ts_of_version d fv)), scanned)
+      else
         let delta = Db.read_delta db doc i in
         if mem_xids xid (Delta.inserted_xids delta) then
-          Some (Docstore.ts_of_version d i)
-        else walk (i - 1)
-      end
+          (Some (Exact (Docstore.ts_of_version d i)), scanned + 1)
+        else walk (i - 1) (scanned + 1)
     in
-    walk v
+    walk v 0
 
 let del_time_traverse db (teid : Eid.Temporal.t) =
-  traverse_counter := 0;
   let doc = teid.Eid.Temporal.eid.Eid.doc in
   let xid = teid.Eid.Temporal.eid.Eid.xid in
   let d = Db.doc db doc in
   match Docstore.version_at d teid.Eid.Temporal.ts with
-  | None -> None
+  | None -> (None, 0)
   | Some v ->
     let n = Docstore.version_count d in
     (* Walk deltas forward from the version after the TEID's. *)
-    let rec walk i =
+    let rec walk i scanned =
       if i >= n then
         (* not removed by any delta: alive in the last version — the
            element dies exactly when the document does *)
-        Docstore.deleted_at d
-      else begin
-        incr traverse_counter;
+        (Docstore.deleted_at d, scanned)
+      else
         let delta = Db.read_delta db doc i in
         if mem_xids xid (Delta.deleted_xids delta) then
-          Some (Docstore.ts_of_version d i)
-        else walk (i + 1)
-      end
+          (Some (Docstore.ts_of_version d i), scanned + 1)
+        else walk (i + 1) (scanned + 1)
     in
-    walk (v + 1)
+    walk (v + 1) 0
 
 (* The span records which strategy answered and, for the traversal, how
    many deltas it had to scan. *)
@@ -85,14 +99,31 @@ let traced name strategy f =
         );
       ]
     (fun () ->
-      let r = f () in
+      let r, scanned = f () in
       (match strategy with
       | `Traverse ->
-        Txq_obs.Trace.add_count "deltas_scanned" !traverse_counter
+        Domain.DLS.set last_deltas_key scanned;
+        Txq_obs.Trace.add_count "deltas_scanned" scanned
       | `Index -> ());
       r)
 
-let cre_time db ?strategy teid =
+(* An index row can predate the retained window: elements alive across a
+   vacuum keep their exact creation timestamp in the index, but a rebuild
+   of the truncated chain (crash recovery) can only date them to the base
+   version.  Clamp index answers at the first retained version so both
+   strategies — and a recovered database — agree. *)
+let clamp_created db (teid : Eid.Temporal.t) = function
+  | None -> None
+  | Some ts ->
+    let d = Db.doc db teid.Eid.Temporal.eid.Eid.doc in
+    let fv = Docstore.first_version d in
+    if fv = 0 then Some (Exact ts)
+    else
+      let horizon_ts = Docstore.ts_of_version d fv in
+      if Timestamp.(ts <= horizon_ts) then Some (At_or_before horizon_ts)
+      else Some (Exact ts)
+
+let cre_time_bound db ?strategy teid =
   let strategy =
     match strategy with
     | Some s -> s
@@ -101,7 +132,13 @@ let cre_time db ?strategy teid =
   traced "lifetime.cre_time" strategy @@ fun () ->
   match strategy with
   | `Traverse -> cre_time_traverse db teid
-  | `Index -> Cretime_index.create_time (index_of db) teid.Eid.Temporal.eid
+  | `Index ->
+    ( clamp_created db teid
+        (Cretime_index.create_time (index_of db) teid.Eid.Temporal.eid),
+      0 )
+
+let cre_time db ?strategy teid =
+  Option.map bound_ts (cre_time_bound db ?strategy teid)
 
 let del_time db ?strategy teid =
   let strategy =
@@ -112,4 +149,5 @@ let del_time db ?strategy teid =
   traced "lifetime.del_time" strategy @@ fun () ->
   match strategy with
   | `Traverse -> del_time_traverse db teid
-  | `Index -> Cretime_index.delete_time (index_of db) teid.Eid.Temporal.eid
+  | `Index ->
+    (Cretime_index.delete_time (index_of db) teid.Eid.Temporal.eid, 0)

@@ -14,12 +14,32 @@
 
 type strategy = [ `Traverse | `Index ]
 
+type bound =
+  | Exact of Txq_temporal.Timestamp.t
+  | At_or_before of Txq_temporal.Timestamp.t
+      (** The event happened at or before this instant; its exact timestamp
+          fell in a vacuumed epoch.  The carried instant is the timestamp
+          of the document's first retained version. *)
+
+val bound_ts : bound -> Txq_temporal.Timestamp.t
+
+val cre_time_bound :
+  Txq_db.Db.t -> ?strategy:strategy -> Txq_vxml.Eid.Temporal.t ->
+  bound option
+(** Create time of the element as a (possibly inexact) bound: after a
+    vacuum truncated the document's history, an element introduced in the
+    vacuumed prefix can only be dated [At_or_before] the first retained
+    version — both strategies agree on this (index rows that predate the
+    retained window are clamped, since a post-crash index rebuild could
+    not know them more precisely).  [None] if the element never existed
+    (or, for [`Traverse], did not exist at the TEID's timestamp). *)
+
 val cre_time :
   Txq_db.Db.t -> ?strategy:strategy -> Txq_vxml.Eid.Temporal.t ->
   Txq_temporal.Timestamp.t option
-(** Create time of the element; [None] if the element never existed (or, for
-    [`Traverse], did not exist at the TEID's timestamp).  Default strategy:
-    [`Index] when the database maintains the index, else [`Traverse]. *)
+(** [cre_time_bound] collapsed to its timestamp (exact, or the truncated
+    epoch's upper bound).  Default strategy: [`Index] when the database
+    maintains the index, else [`Traverse]. *)
 
 val del_time :
   Txq_db.Db.t -> ?strategy:strategy -> Txq_vxml.Eid.Temporal.t ->
@@ -29,5 +49,6 @@ val del_time :
     deletion time is the element's (Section 7.3.6). *)
 
 val last_traverse_deltas : unit -> int
-(** Deltas read by the most recent [`Traverse] call on this thread
-    (benchmark instrumentation). *)
+(** Deltas read by the most recent [`Traverse] call on this {e domain}
+    (benchmark instrumentation; domain-local, so concurrent traversals on
+    other domains never corrupt it). *)

@@ -5,7 +5,8 @@ module Docstore = Txq_db.Docstore
 let previous_ts db (teid : Eid.Temporal.t) =
   let d = Db.doc db teid.Eid.Temporal.eid.Eid.doc in
   match Docstore.version_at d teid.Eid.Temporal.ts with
-  | Some v when v > 0 -> Some (Docstore.ts_of_version d (v - 1))
+  | Some v when v > Docstore.first_version d ->
+    Some (Docstore.ts_of_version d (v - 1))
   | Some _ | None -> None
 
 let next_ts db (teid : Eid.Temporal.t) =

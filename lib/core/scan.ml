@@ -352,7 +352,7 @@ let binding_intervals db b =
   let n = Docstore.version_count d in
   List.filter_map
     (fun (lo, hi) ->
-      let lo = Stdlib.max lo 0 in
+      let lo = Stdlib.max lo (Docstore.first_version d) in
       let hi = Stdlib.min hi n in
       if lo >= hi then None
       else

@@ -4,6 +4,11 @@ type fti_mode =
   | Fti_both
   | Fti_none
 
+type retention = {
+  keep_newer_than : Txq_temporal.Timestamp.t option;
+  keep_versions : int option;
+}
+
 type t = {
   snapshot_every : int option;
   fti_mode : fti_mode;
@@ -17,7 +22,10 @@ type t = {
   tracing : bool;
   fti_segment_postings : int;
   domains : int;
+  retention : retention;
 }
+
+let no_retention = { keep_newer_than = None; keep_versions = None }
 
 let default =
   {
@@ -33,9 +41,18 @@ let default =
     tracing = false;
     fti_segment_postings = 4096;
     domains = 1;
+    retention = no_retention;
   }
 
 let durable t = { t with durability = `Journal }
+
+let with_retention ?keep_newer_than ?keep_versions t =
+  let keep_versions =
+    match keep_versions with
+    | Some k when k < 1 -> Some 1
+    | kv -> kv
+  in
+  { t with retention = { keep_newer_than; keep_versions } }
 
 let with_tracing t = { t with tracing = true }
 

@@ -9,6 +9,20 @@ type fti_mode =
   | Fti_both  (** alternative A3 — maintain both *)
   | Fti_none  (** no content index; only navigation operators work *)
 
+type retention = {
+  keep_newer_than : Txq_temporal.Timestamp.t option;
+      (** Vacuum horizon: history valid strictly before this transaction
+          time may be squashed away; documents deleted at or before it may
+          be dropped entirely.  [None] — no time-based truncation. *)
+  keep_versions : int option;
+      (** Keep at most the newest N versions of each document ([>= 1]).
+          [None] — no count-based truncation. *)
+}
+(** Default retention policy used by [Db.vacuum] when none is passed
+    explicitly.  Both knobs [None] (the default) makes vacuum a no-op:
+    the paper's pure transaction-time model where "nothing is ever
+    physically removed". *)
+
 type t = {
   snapshot_every : int option;
       (** Store a full snapshot every k versions (Section 7.3.3); [None]
@@ -59,6 +73,7 @@ type t = {
           1 (the default) runs everything inline on the calling domain —
           exactly the sequential behaviour; results are deterministic and
           identical for every value. *)
+  retention : retention;
 }
 
 val default : t
@@ -75,6 +90,12 @@ val with_tracing : t -> t
 
 val with_domains : int -> t -> t
 (** Sets [domains] (clamped up to 1). *)
+
+val no_retention : retention
+
+val with_retention :
+  ?keep_newer_than:Txq_temporal.Timestamp.t -> ?keep_versions:int -> t -> t
+(** Sets the default retention policy ([keep_versions] clamped up to 1). *)
 
 val maintains_version_index : t -> bool
 val maintains_delta_index : t -> bool

@@ -26,8 +26,18 @@ let key_of eid =
     (Int64.of_int (Txq_vxml.Xid.to_int eid.Eid.xid))
 
 let alive_sentinel = Int64.min_int
+
+(* The B+-tree never physically deletes (its pages model a transaction-time
+   store), so a vacuumed row is tombstoned: both value words set to this
+   sentinel, treated as absent by every lookup. *)
+let pruned_sentinel = Int64.max_int
 let ts_to_i64 ts = Int64.of_int (Timestamp.to_seconds ts)
 let i64_to_ts v = Timestamp.of_seconds (Int64.to_int v)
+
+let paged_find tree key =
+  match Bptree.find tree key with
+  | Some (created, _) when Int64.equal created pruned_sentinel -> None
+  | row -> row
 
 let duplicate eid =
   invalid_arg
@@ -40,7 +50,7 @@ let record_created t eid ts =
     else Eid.Table.replace table eid { created = ts; deleted = None }
   | Paged p ->
     let key = key_of eid in
-    (match Bptree.find p.tree key with
+    (match paged_find p.tree key with
      | Some _ -> duplicate eid
      | None ->
        Bptree.insert p.tree ~key (ts_to_i64 ts, alive_sentinel);
@@ -54,7 +64,7 @@ let record_deleted t eid ts =
     | None -> ())
   | Paged p -> (
     let key = key_of eid in
-    match Bptree.find p.tree key with
+    match paged_find p.tree key with
     | Some (created, _) -> Bptree.insert p.tree ~key (created, ts_to_i64 ts)
     | None -> ())
 
@@ -64,7 +74,7 @@ let create_time t eid =
     Option.map (fun e -> e.created) (Eid.Table.find_opt table eid)
   | Paged p ->
     Option.map (fun (created, _) -> i64_to_ts created)
-      (Bptree.find p.tree (key_of eid))
+      (paged_find p.tree (key_of eid))
 
 let delete_time t eid =
   match t with
@@ -73,7 +83,7 @@ let delete_time t eid =
     | Some { deleted; _ } -> deleted
     | None -> None)
   | Paged p -> (
-    match Bptree.find p.tree (key_of eid) with
+    match paged_find p.tree (key_of eid) with
     | Some (_, del) when not (Int64.equal del alive_sentinel) ->
       Some (i64_to_ts del)
     | Some _ | None -> None)
@@ -85,9 +95,58 @@ let is_alive t eid =
     | Some { deleted = None; _ } -> true
     | Some { deleted = Some _; _ } | None -> false)
   | Paged p -> (
-    match Bptree.find p.tree (key_of eid) with
+    match paged_find p.tree (key_of eid) with
     | Some (_, del) -> Int64.equal del alive_sentinel
     | None -> false)
+
+(* Retention pruning.  [`Drop] removes every row of the document; [`Before
+   cutoff] removes rows of elements already deleted at or before the
+   cutoff — exactly the rows a rebuild of the truncated delta chain would
+   no longer produce.  The paged backing tombstones (the B+-tree has no
+   delete); the memory backing removes. *)
+let prune t ~affected =
+  let pruned = ref 0 in
+  List.iter
+    (fun (doc, action) ->
+      match t with
+      | Memory table ->
+        let victims =
+          Eid.Table.fold
+            (fun eid e acc ->
+              if eid.Eid.doc <> doc then acc
+              else
+                match action with
+                | `Drop -> eid :: acc
+                | `Before cutoff -> (
+                  match e.deleted with
+                  | Some d when Timestamp.(d <= cutoff) -> eid :: acc
+                  | _ -> acc))
+            table []
+        in
+        List.iter (Eid.Table.remove table) victims;
+        pruned := !pruned + List.length victims
+      | Paged p ->
+        let lo = Int64.shift_left (Int64.of_int doc) 32 in
+        let hi = Int64.shift_left (Int64.of_int (doc + 1)) 32 in
+        List.iter
+          (fun (key, (created, del)) ->
+            if not (Int64.equal created pruned_sentinel) then begin
+              let kill =
+                match action with
+                | `Drop -> true
+                | `Before cutoff ->
+                  (not (Int64.equal del alive_sentinel))
+                  && Timestamp.(i64_to_ts del <= cutoff)
+              in
+              if kill then begin
+                Bptree.insert p.tree ~key (pruned_sentinel, pruned_sentinel);
+                p.count <- p.count - 1;
+                incr pruned
+              end
+            end)
+          (Bptree.range p.tree ~lo ~hi))
+    affected;
+  !pruned
 
 let entry_count = function
   | Memory table -> Eid.Table.length table

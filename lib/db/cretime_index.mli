@@ -31,6 +31,20 @@ val delete_time : t -> Txq_vxml.Eid.t -> Txq_temporal.Timestamp.t option
 (** [None] while the element is still alive (or unknown). *)
 
 val is_alive : t -> Txq_vxml.Eid.t -> bool
+
+val prune :
+  t ->
+  affected:
+    (Txq_vxml.Eid.doc_id * [ `Drop | `Before of Txq_temporal.Timestamp.t ])
+    list ->
+  int
+(** Retention pruning: [`Drop] removes every row of the document;
+    [`Before cutoff] removes rows of elements deleted at or before the
+    cutoff (elements still alive keep their exact creation time).  The
+    paged backing tombstones rows in place — the B+-tree has no physical
+    delete — and every lookup treats tombstones as absent.  Returns rows
+    pruned. *)
+
 val entry_count : t -> int
 
 val index_pages : t -> int

@@ -419,11 +419,266 @@ let find_by_document_time t ~t1 ~t2 =
   let clamp ts = Stdlib.max (-(1 lsl 42)) (Stdlib.min (1 lsl 42) (Timestamp.to_seconds ts)) in
   let lo = dtime_key (clamp t1) 0 in
   let hi = dtime_key (clamp t2) 0 in
-  List.map
+  List.filter_map
     (fun (key, (doc, v)) ->
-      let seconds = Int64.to_int (Int64.shift_right key dtime_key_bits) in
-      (Timestamp.of_seconds seconds, Int64.to_int doc, Int64.to_int v))
+      (* rows for vacuumed versions are tombstoned with doc = -1 (the
+         B+-tree is upsert-only) *)
+      if Int64.compare doc 0L < 0 then None
+      else
+        let seconds = Int64.to_int (Int64.shift_right key dtime_key_bits) in
+        Some (Timestamp.of_seconds seconds, Int64.to_int doc, Int64.to_int v))
     (Txq_store.Bptree.range t.dtime_index ~lo ~hi)
+
+(* --- vacuum ------------------------------------------------------------ *)
+
+type vacuum_report = {
+  vr_docs_squashed : int;
+  vr_docs_dropped : int;
+  vr_versions_dropped : int;
+  vr_pages_freed : int;
+  vr_bytes_reclaimed : int;
+  vr_postings_pruned : int;
+  vr_dfti_pruned : int;
+  vr_cretime_pruned : int;
+  vr_dtime_pruned : int;
+}
+
+let empty_vacuum_report =
+  {
+    vr_docs_squashed = 0;
+    vr_docs_dropped = 0;
+    vr_versions_dropped = 0;
+    vr_pages_freed = 0;
+    vr_bytes_reclaimed = 0;
+    vr_postings_pruned = 0;
+    vr_dfti_pruned = 0;
+    vr_cretime_pruned = 0;
+    vr_dtime_pruned = 0;
+  }
+
+(* One document's planned action.  [`Drop]: the whole lifetime ended before
+   the horizon.  [`Squash]: truncate the chain prefix below [rb_base]. *)
+type vacuum_plan =
+  | Plan_drop of { pd_doc : Eid.doc_id; pd_freed : int list; pd_wm : int }
+  | Plan_squash of {
+      ps_doc : Eid.doc_id;
+      ps_rebase : Docstore.rebase;
+      ps_tree : Vnode.t;  (** the base version, for the delta-FTI *)
+      ps_wm : int;
+    }
+
+(* Resolve the per-document target base under the retention policy: the
+   horizon drops versions whose validity ended at or before it, keep-last-N
+   drops everything below the newest N — when both are set the union of the
+   two droppable prefixes goes.  The current version always survives. *)
+let plan_base d (r : Config.retention) =
+  let n = Docstore.version_count d in
+  let b0 = Docstore.first_version d in
+  let b_h =
+    match r.Config.keep_newer_than with
+    | None -> b0
+    | Some h -> (
+      match Docstore.version_at d h with
+      | Some v -> v (* v was valid at h: keep it and everything newer *)
+      | None -> b0 (* h precedes the retained chain: keep everything *))
+  in
+  let b_k =
+    match r.Config.keep_versions with
+    | None -> b0
+    | Some k -> Stdlib.max b0 (n - k)
+  in
+  Stdlib.min (Stdlib.max b_h b_k) (n - 1)
+
+let vacuum ?retention t =
+  let r = match retention with Some r -> r | None -> t.config.Config.retention in
+  if r.Config.keep_newer_than = None && r.Config.keep_versions = None then
+    empty_vacuum_report
+  else
+    Trace.with_span "db.vacuum" @@ fun () ->
+    (* Plan + prepare: write every base snapshot durably; nothing in memory
+       changes, so a crash anywhere in here leaves only unreachable blobs
+       for recovery's liveness scan. *)
+    let plans =
+      Trace.with_span "db.vacuum.plan" @@ fun () ->
+      List.filter_map
+        (fun id ->
+          let d = doc t id in
+          let wm = Docstore.xid_watermark d in
+          let dropped_whole =
+            match (Docstore.deleted_at d, r.Config.keep_newer_than) with
+            | Some dts, Some h -> Timestamp.(dts <= h)
+            | _ -> false
+          in
+          if dropped_whole then
+            Some
+              (Plan_drop
+                 { pd_doc = id; pd_freed = Docstore.all_blob_pages d; pd_wm = wm })
+          else
+            let base = plan_base d r in
+            if base <= Docstore.first_version d then None
+            else
+              let rb = Docstore.prepare_rebase d ~base in
+              (* the base tree re-registers in the delta-FTI; reconstructed
+                 while the full chain is still intact *)
+              let tree, _ = Docstore.reconstruct d base in
+              Some
+                (Plan_squash { ps_doc = id; ps_rebase = rb; ps_tree = tree; ps_wm = wm }))
+        (doc_ids t)
+    in
+    if plans = [] then empty_vacuum_report
+    else begin
+      let ts = Clock.now t.clock in
+      (* Commit point: one record covering every document. *)
+      journal_append t
+        (Journal_record.Vacuum
+           {
+             r_ts = seconds ts;
+             r_docs =
+               List.map
+                 (function
+                   | Plan_drop { pd_doc; pd_freed; pd_wm } ->
+                     {
+                       Journal_record.vd_doc = pd_doc;
+                       vd_base = 0;
+                       vd_drop = true;
+                       vd_snapshot = None;
+                       vd_freed = pd_freed;
+                       vd_xid_watermark = pd_wm;
+                     }
+                   | Plan_squash { ps_doc; ps_rebase; ps_wm; _ } ->
+                     {
+                       Journal_record.vd_doc = ps_doc;
+                       vd_base = ps_rebase.Docstore.rb_base;
+                       vd_drop = false;
+                       vd_snapshot =
+                         Option.map blob_ref ps_rebase.Docstore.rb_snapshot;
+                       vd_freed = ps_rebase.Docstore.rb_freed;
+                       vd_xid_watermark = ps_wm;
+                     })
+                 plans;
+           });
+      (* Apply: free blobs, truncate chains, unlink dropped documents. *)
+      let versions_dropped = ref 0 in
+      let pages_freed = ref 0 in
+      let docs_squashed = ref 0 in
+      let docs_dropped = ref 0 in
+      Trace.with_span "db.vacuum.squash" (fun () ->
+          List.iter
+            (function
+              | Plan_drop { pd_doc; pd_freed; _ } ->
+                let d = doc t pd_doc in
+                versions_dropped :=
+                  !versions_dropped
+                  + (Docstore.version_count d - Docstore.first_version d);
+                pages_freed := !pages_freed + List.length pd_freed;
+                incr docs_dropped;
+                Docstore.apply_drop d;
+                Hashtbl.remove t.docs pd_doc;
+                (match Hashtbl.find_opt t.urls (Docstore.url d) with
+                 | None -> ()
+                 | Some bucket ->
+                   bucket := List.filter (fun id -> id <> pd_doc) !bucket;
+                   if !bucket = [] then Hashtbl.remove t.urls (Docstore.url d));
+                Vcache.evict_doc t.vcache pd_doc
+              | Plan_squash { ps_doc; ps_rebase; _ } ->
+                let d = doc t ps_doc in
+                versions_dropped :=
+                  !versions_dropped + ps_rebase.Docstore.rb_versions_dropped;
+                pages_freed :=
+                  !pages_freed + List.length ps_rebase.Docstore.rb_freed;
+                incr docs_squashed;
+                Docstore.apply_rebase d ps_rebase;
+                Vcache.evict_before t.vcache ps_doc ps_rebase.Docstore.rb_base)
+            plans);
+      (* Prune the derived indexes down to what a rebuild of the truncated
+         chains would produce. *)
+      let postings, dfti_removed, cretime_removed, dtime_removed =
+        Trace.with_span "db.vacuum.prune" @@ fun () ->
+        let fti_affected =
+          List.map
+            (function
+              | Plan_drop { pd_doc; _ } -> (pd_doc, `Drop)
+              | Plan_squash { ps_doc; ps_rebase; _ } ->
+                (ps_doc, `Squash ps_rebase.Docstore.rb_base))
+            plans
+        in
+        let postings =
+          match t.fti with
+          | None -> 0
+          | Some fti -> Fti.vacuum fti ~affected:fti_affected
+        in
+        let dfti_removed =
+          match t.dfti with
+          | None -> 0
+          | Some dfti ->
+            fst
+              (Delta_fti.vacuum dfti
+                 ~affected:
+                   (List.map
+                      (function
+                        | Plan_drop { pd_doc; _ } -> (pd_doc, `Drop)
+                        | Plan_squash { ps_doc; ps_rebase; ps_tree; _ } ->
+                          (ps_doc, `Squash (ps_rebase.Docstore.rb_base, ps_tree)))
+                      plans))
+        in
+        let cretime_removed =
+          match t.cretime with
+          | None -> 0
+          | Some idx ->
+            Cretime_index.prune idx
+              ~affected:
+                (List.map
+                   (function
+                     | Plan_drop { pd_doc; _ } -> (pd_doc, `Drop)
+                     | Plan_squash { ps_doc; ps_rebase; _ } ->
+                       let d = doc t ps_doc in
+                       ( ps_doc,
+                         `Before
+                           (Docstore.ts_of_version d ps_rebase.Docstore.rb_base)
+                       ))
+                   plans)
+        in
+        (* Document-time rows for vacuumed versions: the tree is keyed by
+           document time, so matching rows are found by a full sweep and
+           tombstoned in place (doc = -1) — the B+-tree is upsert-only. *)
+        let cutoff = Hashtbl.create 8 in
+        List.iter
+          (function
+            | Plan_drop { pd_doc; _ } -> Hashtbl.replace cutoff pd_doc max_int
+            | Plan_squash { ps_doc; ps_rebase; _ } ->
+              Hashtbl.replace cutoff ps_doc ps_rebase.Docstore.rb_base)
+          plans;
+        let victims = ref [] in
+        Txq_store.Bptree.iter t.dtime_index (fun key (doc, v) ->
+            if Int64.compare doc 0L >= 0 then
+              match Hashtbl.find_opt cutoff (Int64.to_int doc) with
+              | Some base when Int64.to_int v < base -> victims := key :: !victims
+              | _ -> ());
+        List.iter
+          (fun key -> Txq_store.Bptree.insert t.dtime_index ~key (-1L, 0L))
+          !victims;
+        (postings, dfti_removed, cretime_removed, List.length !victims)
+      in
+      Txq_obs.Metrics.incr ~by:!versions_dropped "db.vacuum.versions_dropped";
+      Txq_obs.Metrics.incr ~by:!pages_freed "db.vacuum.pages_freed";
+      Txq_obs.Metrics.incr ~by:postings "db.vacuum.postings_pruned";
+      Trace.add_count "versions_dropped" !versions_dropped;
+      Trace.add_count "pages_freed" !pages_freed;
+      Log.info (fun m ->
+          m "vacuum: %d squashed, %d dropped, %d versions, %d pages freed"
+            !docs_squashed !docs_dropped !versions_dropped !pages_freed);
+      {
+        vr_docs_squashed = !docs_squashed;
+        vr_docs_dropped = !docs_dropped;
+        vr_versions_dropped = !versions_dropped;
+        vr_pages_freed = !pages_freed;
+        vr_bytes_reclaimed = !pages_freed * Txq_store.Disk.page_size;
+        vr_postings_pruned = postings;
+        vr_dfti_pruned = dfti_removed;
+        vr_cretime_pruned = cretime_removed;
+        vr_dtime_pruned = dtime_removed;
+      }
+    end
 
 (* --- integrity --------------------------------------------------------- *)
 
@@ -434,14 +689,16 @@ let verify t =
   Hashtbl.iter
     (fun id d ->
       let n = Docstore.version_count d in
+      let b0 = Docstore.first_version d in
       (* timestamps strictly monotone *)
-      for v = 1 to n - 1 do
+      for v = b0 + 1 to n - 1 do
         if
           Timestamp.(Docstore.ts_of_version d v <= Docstore.ts_of_version d (v - 1))
         then note "doc %d: version %d timestamp does not advance" id v
       done;
-      (* every version reconstructs; cache bypassed for a true readback *)
-      for v = 0 to n - 1 do
+      (* every retained version reconstructs; cache bypassed for a true
+         readback *)
+      for v = b0 to n - 1 do
         match Docstore.reconstruct d v with
         | tree, _ ->
           incr checked;
@@ -461,6 +718,8 @@ let verify t =
 type doc_build = {
   b_url : string;
   mutable b_entries : Docstore.restored_entry list; (* newest first *)
+  mutable b_base : int; (* first retained version (vacuum truncation) *)
+  mutable b_xid_watermark : int;
   mutable b_current : Txq_store.Blob_store.blob;
   mutable b_deleted : Timestamp.t option;
 }
@@ -507,6 +766,10 @@ let recover disk config =
      left half-written is unreferenced and simply becomes free space. *)
   let builders : (Eid.doc_id, doc_build) Hashtbl.t = Hashtbl.create 64 in
   let insert_order = ref [] in
+  (* Highest document id ever inserted — tracked independently of the
+     surviving builders, because a vacuum may drop the newest document and
+     ids must never be reused. *)
+  let max_doc_id = ref (-1) in
   (* page -> cluster (doc id) for pages released by a committed commit *)
   let freed_cluster : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let commits = ref 0 in
@@ -531,6 +794,7 @@ let recover disk config =
           { r_doc; r_url; r_ts; r_doc_time; r_current; r_snapshot } ->
         note_ts r_ts;
         incr commits;
+        max_doc_id := Stdlib.max !max_doc_id r_doc;
         Hashtbl.replace builders r_doc
           {
             b_url = r_url;
@@ -543,6 +807,8 @@ let recover disk config =
                   re_doc_time = Option.map Timestamp.of_seconds r_doc_time;
                 };
               ];
+            b_base = 0;
+            b_xid_watermark = 0;
             b_current = restore_blob r_current;
             b_deleted = None;
           };
@@ -565,7 +831,55 @@ let recover disk config =
         b.b_current <- restore_blob r_current
       | Journal_record.Delete { r_doc; r_ts } ->
         note_ts r_ts;
-        (builder r_doc "delete").b_deleted <- Some (Timestamp.of_seconds r_ts))
+        (builder r_doc "delete").b_deleted <- Some (Timestamp.of_seconds r_ts)
+      | Journal_record.Vacuum { r_ts; r_docs } ->
+        note_ts r_ts;
+        List.iter
+          (fun vd ->
+            let doc = vd.Journal_record.vd_doc in
+            if vd.Journal_record.vd_drop then begin
+              (* chain gone entirely: its blobs become dead pages below *)
+              ignore (builder doc "vacuum");
+              Hashtbl.remove builders doc
+            end
+            else begin
+              let b = builder doc "vacuum" in
+              let n = b.b_base + List.length b.b_entries in
+              let keep = n - vd.Journal_record.vd_base in
+              if keep < 1 || keep > List.length b.b_entries then
+                failwith
+                  (Printf.sprintf
+                     "Db.recover: vacuum base %d outside document %d's chain"
+                     vd.Journal_record.vd_base doc);
+              (* b_entries is newest first: truncating the chain prefix
+                 drops from the tail, then the now-oldest entry becomes the
+                 base — no delta in, base snapshot installed. *)
+              let retained = List.filteri (fun i _ -> i < keep) b.b_entries in
+              let retained =
+                List.mapi
+                  (fun i e ->
+                    if i < keep - 1 then e
+                    else
+                      {
+                        e with
+                        Docstore.re_delta = None;
+                        re_snapshot =
+                          (match vd.Journal_record.vd_snapshot with
+                          | Some r -> Some (restore_blob r)
+                          | None -> e.Docstore.re_snapshot);
+                      })
+                  retained
+              in
+              b.b_entries <- retained;
+              b.b_base <- vd.Journal_record.vd_base;
+              b.b_xid_watermark <-
+                Stdlib.max b.b_xid_watermark
+                  vd.Journal_record.vd_xid_watermark
+            end;
+            List.iter
+              (fun p -> Hashtbl.replace freed_cluster p doc)
+              vd.Journal_record.vd_freed)
+          r_docs)
     records;
   (* Rebuild the blob allocator: a page is live iff a surviving chain
      references it; journal pages stay owned by the journal; the rest —
@@ -616,17 +930,20 @@ let recover disk config =
   Hashtbl.iter
     (fun id b ->
       Hashtbl.replace docs id
-        (Docstore.restore ~blobs ~doc_id:id ~url:b.b_url
-           ~entries:(List.rev b.b_entries) ~current_blob:b.b_current
-           ~deleted:b.b_deleted))
+        (Docstore.restore ~blobs ~doc_id:id ~url:b.b_url ~base:b.b_base
+           ~xid_watermark:b.b_xid_watermark ~entries:(List.rev b.b_entries)
+           ~current_blob:b.b_current ~deleted:b.b_deleted ()))
     builders;
   let urls = Hashtbl.create 64 in
   List.iter
     (fun id ->
-      let url = (Hashtbl.find builders id).b_url in
-      match Hashtbl.find_opt urls url with
-      | Some bucket -> bucket := id :: !bucket
-      | None -> Hashtbl.replace urls url (ref [ id ]))
+      (* ids dropped by a vacuum have no builder and no directory entry *)
+      match Hashtbl.find_opt builders id with
+      | None -> ()
+      | Some b -> (
+        match Hashtbl.find_opt urls b.b_url with
+        | Some bucket -> bucket := id :: !bucket
+        | None -> Hashtbl.replace urls b.b_url (ref [ id ])))
     (List.rev !insert_order);
   let clock = Clock.create () in
   (match !last_ts with
@@ -661,8 +978,7 @@ let recover disk config =
               | `Paged -> Cretime_index.create_paged pool
               | `Memory -> Cretime_index.create ())
          else None);
-      next_doc_id =
-        1 + Hashtbl.fold (fun id _ acc -> Stdlib.max id acc) builders (-1);
+      next_doc_id = !max_doc_id + 1;
       dtime_path =
         Option.map Txq_xml.Path.parse_exn config.Config.document_time_path;
       dtime_index = Txq_store.Bptree.create pool;
@@ -681,30 +997,43 @@ let recover disk config =
      commit order); the content indexes replay each document's versions
      forward — version trees are regenerated from the delta chain, since
      intermediate current-version blobs were reclaimed long ago. *)
+  (* Vacuumed versions are filtered out against the builders' final state,
+     exactly what in-process pruning leaves behind. *)
+  let dtime_retained doc version =
+    match Hashtbl.find_opt builders doc with
+    | Some b -> version >= b.b_base
+    | None -> false
+  in
   List.iter
     (fun r ->
       match r with
       | Journal_record.Insert { r_doc; r_doc_time; _ } ->
-        record_doc_time t ~doc:r_doc ~version:0
-          (Option.map Timestamp.of_seconds r_doc_time)
+        if dtime_retained r_doc 0 then
+          record_doc_time t ~doc:r_doc ~version:0
+            (Option.map Timestamp.of_seconds r_doc_time)
       | Journal_record.Commit { r_doc; r_version; r_doc_time; _ } ->
-        record_doc_time t ~doc:r_doc ~version:r_version
-          (Option.map Timestamp.of_seconds r_doc_time)
-      | Journal_record.Delete _ -> ())
+        if dtime_retained r_doc r_version then
+          record_doc_time t ~doc:r_doc ~version:r_version
+            (Option.map Timestamp.of_seconds r_doc_time)
+      | Journal_record.Delete _ | Journal_record.Vacuum _ -> ())
     records;
   if t.fti <> None || t.dfti <> None || t.cretime <> None then
     List.iter
       (fun id ->
         let d = Hashtbl.find t.docs id in
         let n = Docstore.version_count d in
-        let tree0, _ = Docstore.reconstruct d 0 in
+        (* a vacuumed chain starts at its base version, not 0 *)
+        let b0 = Docstore.first_version d in
+        let tree0, _ = Docstore.reconstruct d b0 in
         Option.iter
-          (fun fti -> Fti.index_version fti ~doc:id ~version:0 tree0)
+          (fun fti -> Fti.index_version fti ~doc:id ~version:b0 tree0)
           t.fti;
-        Option.iter (fun dfti -> Delta_fti.index_initial dfti ~doc:id tree0) t.dfti;
-        record_created_tree t d (Docstore.ts_of_version d 0) tree0;
+        Option.iter
+          (fun dfti -> Delta_fti.index_initial dfti ~doc:id ~version:b0 tree0)
+          t.dfti;
+        record_created_tree t d (Docstore.ts_of_version d b0) tree0;
         let map = Txq_vxml.Xidmap.of_vnode tree0 in
-        for v = 1 to n - 1 do
+        for v = b0 + 1 to n - 1 do
           let delta = Docstore.read_delta d v in
           Delta.apply_forward map delta;
           let ts = Docstore.ts_of_version d v in

@@ -115,7 +115,41 @@ val find_by_document_time :
 
 val version_at : t -> Txq_vxml.Eid.doc_id -> Txq_temporal.Timestamp.t -> int option
 
-(** {1 Integrity} *)
+(** {1 Vacuum}
+
+    Retention vacuum (the paper's Section 7.4 space-reclamation side):
+    per-document delta-chain prefixes that no retained version needs are
+    squashed into a base snapshot, their blobs freed, and every derived
+    index pruned to exactly what a rebuild of the truncated chains would
+    produce.  External version numbers never change — version [v] of a
+    document keeps its number for as long as it is retained, and accessors
+    raise for vacuumed versions. *)
+
+type vacuum_report = {
+  vr_docs_squashed : int;
+  vr_docs_dropped : int;  (** lifetime ended at or before the horizon *)
+  vr_versions_dropped : int;
+  vr_pages_freed : int;
+  vr_bytes_reclaimed : int;  (** [vr_pages_freed * Disk.page_size] *)
+  vr_postings_pruned : int;  (** version-content index postings removed *)
+  vr_dfti_pruned : int;  (** delta-operation index entries removed *)
+  vr_cretime_pruned : int;
+  vr_dtime_pruned : int;  (** document-time rows tombstoned *)
+}
+
+val empty_vacuum_report : vacuum_report
+(** All-zero report, as returned by a no-op vacuum. *)
+
+val vacuum : ?retention:Config.retention -> t -> vacuum_report
+(** Applies the retention policy ([retention] overrides the configured
+    one; a policy with neither bound set is a no-op).  Crash-safe: base
+    snapshots are written durably first, then a single [Vacuum] journal
+    record commits the whole operation, then memory changes — recovery
+    lands exactly before or exactly after the vacuum, never between.
+    A deleted document whose deletion time is at or before the horizon is
+    dropped entirely.  Queries over the retained window are unaffected;
+    CreTime answers clamp to "at or before the truncation point" when the
+    true creation instant was vacuumed (see {!Txq_core.Lifetime}). *)
 
 val verify : t -> (int, string list) result
 (** Full integrity check: every version of every document is reconstructed

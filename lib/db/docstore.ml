@@ -22,7 +22,10 @@ type t = {
   doc_id : Txq_vxml.Eid.doc_id;
   url : string;
   gen : Txq_vxml.Xid.Gen.t;
-  entries : version_entry Vec.t;
+  (* [entries] holds only the retained versions [base .. n-1]; external
+     version numbers never change when a vacuum truncates the prefix. *)
+  mutable entries : version_entry Vec.t;
+  mutable base : int;
   mutable current : Vnode.t;
   mutable current_blob : Blob_store.blob;
   mutable deleted : Timestamp.t option;
@@ -64,6 +67,7 @@ let create ~blobs ~doc_id ~url ~ts ~snapshot ?doc_time xml =
       url;
       gen;
       entries = Vec.create ();
+      base = 0;
       current;
       current_blob = Blob_store.put blobs ~cluster:doc_id (Codec.encode current);
       deleted = None;
@@ -74,14 +78,23 @@ let create ~blobs ~doc_id ~url ~ts ~snapshot ?doc_time xml =
     { ve_ts = ts; ve_delta = None; ve_snapshot; ve_doc_time = doc_time };
   t
 
-let version_count t = Vec.length t.entries
+let version_count t = t.base + Vec.length t.entries
+let first_version t = t.base
 let current t = t.current
 let current_blob t = t.current_blob
 let deleted_at t = t.deleted
 let is_alive t = t.deleted = None
-let ts_of_version t v = (Vec.get t.entries v).ve_ts
+
+let entry t v =
+  if v < t.base then
+    invalid_arg
+      (Printf.sprintf "Docstore: version %d vacuumed (first retained is %d)" v
+         t.base);
+  Vec.get t.entries (v - t.base)
+
+let ts_of_version t v = (entry t v).ve_ts
 let created_at t = (Vec.get t.entries 0).ve_ts
-let snapshot_blob t v = (Vec.get t.entries v).ve_snapshot
+let snapshot_blob t v = (entry t v).ve_snapshot
 
 let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
   Trace.with_span "docstore.commit" @@ fun () ->
@@ -95,7 +108,7 @@ let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
    | Some last when Timestamp.(ts <= last.ve_ts) ->
      invalid_arg "Docstore.commit: timestamp does not advance"
    | Some _ | None -> ());
-  let v = Vec.length t.entries in
+  let v = version_count t in
   let delta, new_current =
     Diff.diff ~gen:t.gen ~old_tree:t.current ~new_tree:(Xml.normalize xml)
   in
@@ -141,7 +154,9 @@ let version_at t instant =
   in
   if not alive_at then None
   else
-    Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts <= instant)) t.entries
+    Option.map
+      (fun i -> i + t.base)
+      (Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts <= instant)) t.entries)
 
 let version_interval t v =
   let start = ts_of_version t v in
@@ -164,13 +179,15 @@ let versions_overlapping t ~t1 ~t2 =
     with
     | None -> None
     | Some v_hi ->
-      (* v_lo: first version whose interval reaches past t1 *)
+      let v_hi = v_hi + t.base in
+      (* v_lo: first version whose interval reaches past t1; clamped to the
+         first retained version when t1 predates the retained window *)
       let v_lo =
         match
           Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts <= t1)) t.entries
         with
-        | None -> 0
-        | Some v -> v
+        | None -> t.base
+        | Some v -> v + t.base
       in
       (* the earliest candidate may still end before t1 (deleted docs) *)
       let alive =
@@ -181,19 +198,19 @@ let versions_overlapping t ~t1 ~t2 =
       if (not alive) || v_lo > v_hi then None else Some (v_lo, v_hi)
   end
 
-let doc_time_of_version t v = (Vec.get t.entries v).ve_doc_time
+let doc_time_of_version t v = (entry t v).ve_doc_time
 
 let snapshot_versions t =
   let out = ref [] in
   Vec.iteri
-    (fun v ve -> if ve.ve_snapshot <> None then out := v :: !out)
+    (fun i ve -> if ve.ve_snapshot <> None then out := (i + t.base) :: !out)
     t.entries;
   List.rev !out
 
 let read_delta t v =
-  if v <= 0 || v >= version_count t then
+  if v <= t.base || v >= version_count t then
     invalid_arg (Printf.sprintf "Docstore.read_delta: no delta for version %d" v);
-  match (Vec.get t.entries v).ve_delta with
+  match (entry t v).ve_delta with
   | Some blob -> Delta.decode_exn (Blob_store.get t.blobs blob)
   | None -> assert false
 
@@ -205,7 +222,7 @@ let stored_anchors t =
   (n - 1, t.current_blob)
   :: List.filter_map
        (fun s ->
-         match (Vec.get t.entries s).ve_snapshot with
+         match (entry t s).ve_snapshot with
          | Some blob -> Some (s, blob)
          | None -> None)
        (snapshot_versions t)
@@ -242,7 +259,7 @@ let anchor_kind t anchor_v = function
 
 let reconstruct ?cached t v =
   let n = version_count t in
-  if v < 0 || v >= n then
+  if v < t.base || v >= n then
     invalid_arg (Printf.sprintf "Docstore.reconstruct: no version %d" v);
   Trace.with_span "docstore.reconstruct" @@ fun () ->
   let anchor_v, anchor = pick_anchor ?cached t ~lo:v ~hi:v in
@@ -281,7 +298,7 @@ let reconstruct ?cached t v =
 
 let reconstruct_range ?cached t ~lo ~hi ~f =
   let n = version_count t in
-  if lo < 0 || hi >= n || lo > hi then
+  if lo < t.base || hi >= n || lo > hi then
     invalid_arg
       (Printf.sprintf "Docstore.reconstruct_range: bad range [%d, %d]" lo hi);
   Trace.with_span "docstore.reconstruct_range" @@ fun () ->
@@ -324,6 +341,109 @@ let delta_pages t =
       | None -> acc)
     0 t.entries
 
+(* --- vacuum ------------------------------------------------------------ *)
+
+type rebase = {
+  rb_base : int;
+  rb_snapshot : Blob_store.blob option;
+  rb_freed : int list;
+  rb_versions_dropped : int;
+}
+
+let xid_watermark t = Txq_vxml.Xid.Gen.used t.gen
+
+let prepare_rebase t ~base =
+  let n = version_count t in
+  if base <= t.base || base >= n then
+    invalid_arg
+      (Printf.sprintf "Docstore.prepare_rebase: base %d outside (%d, %d)" base
+         t.base n);
+  (* The new base version needs a stored anchor at or above it so backward
+     reconstruction never reaches into the dropped prefix.  The current blob
+     (version n-1) always qualifies, but a dedicated base snapshot keeps
+     reconstruction cost bounded, so write one unless the entry already has a
+     snapshot or [base] is the current version itself. *)
+  let rb_snapshot =
+    if base = n - 1 || (entry t base).ve_snapshot <> None then None
+    else begin
+      let tree, _ = reconstruct t base in
+      Some (put_version_blob t tree)
+    end
+  in
+  let freed = ref [] in
+  let free_of = function
+    | Some blob -> freed := List.rev_append (Blob_store.page_ids blob) !freed
+    | None -> ()
+  in
+  for v = t.base to base - 1 do
+    let ve = entry t v in
+    free_of ve.ve_delta;
+    free_of ve.ve_snapshot
+  done;
+  (* the delta leading into the new base can never be applied again *)
+  free_of (entry t base).ve_delta;
+  {
+    rb_base = base;
+    rb_snapshot;
+    rb_freed = List.rev !freed;
+    rb_versions_dropped = base - t.base;
+  }
+
+let apply_rebase t rb =
+  let n = version_count t in
+  let free_of = function
+    | Some blob -> Blob_store.free t.blobs ~cluster:t.doc_id blob
+    | None -> ()
+  in
+  for v = t.base to rb.rb_base - 1 do
+    let ve = entry t v in
+    free_of ve.ve_delta;
+    free_of ve.ve_snapshot
+  done;
+  free_of (entry t rb.rb_base).ve_delta;
+  let retained = Vec.create () in
+  let base_entry = entry t rb.rb_base in
+  Vec.push retained
+    {
+      base_entry with
+      ve_delta = None;
+      ve_snapshot =
+        (match rb.rb_snapshot with
+        | Some _ as s -> s
+        | None -> base_entry.ve_snapshot);
+    };
+  for v = rb.rb_base + 1 to n - 1 do
+    Vec.push retained (entry t v)
+  done;
+  t.entries <- retained;
+  t.base <- rb.rb_base
+
+let all_blob_pages t =
+  let pages = ref (Blob_store.page_ids t.current_blob) in
+  let add = function
+    | Some blob -> pages := List.rev_append (Blob_store.page_ids blob) !pages
+    | None -> ()
+  in
+  Vec.iter
+    (fun ve ->
+      add ve.ve_delta;
+      add ve.ve_snapshot)
+    t.entries;
+  !pages
+
+let apply_drop t =
+  let free_of = function
+    | Some blob -> Blob_store.free t.blobs ~cluster:t.doc_id blob
+    | None -> ()
+  in
+  Vec.iter
+    (fun ve ->
+      free_of ve.ve_delta;
+      free_of ve.ve_snapshot)
+    t.entries;
+  Blob_store.free t.blobs ~cluster:t.doc_id t.current_blob;
+  t.entries <- Vec.create ()
+
 (* --- recovery ---------------------------------------------------------- *)
 
 type restored_entry = {
@@ -333,13 +453,14 @@ type restored_entry = {
   re_doc_time : Timestamp.t option;
 }
 
-let restore ~blobs ~doc_id ~url ~entries ~current_blob ~deleted =
+let restore ~blobs ~doc_id ~url ?(base = 0) ?(xid_watermark = 0) ~entries
+    ~current_blob ~deleted () =
   if entries = [] then invalid_arg "Docstore.restore: no versions";
   let current = Codec.decode_exn (Blob_store.get blobs current_blob) in
   let gen = Txq_vxml.Xid.Gen.create () in
   let t =
-    { blobs; doc_id; url; gen; entries = Vec.create (); current; current_blob;
-      deleted }
+    { blobs; doc_id; url; gen; entries = Vec.create (); base; current;
+      current_blob; deleted }
   in
   List.iter
     (fun re ->
@@ -349,15 +470,19 @@ let restore ~blobs ~doc_id ~url ~entries ~current_blob ~deleted =
     entries;
   (* XIDs are never reused (Section 3.2): advance the generator past every
      id that ever existed.  Ids alive now are in the current tree; every id
-     born after version 0 appears in some delta's insert trees; ids gone by
-     now appear in some delta's delete trees; v0 ids are covered by the
-     union of the current tree and the delete trees. *)
+     born after the base version appears in some delta's insert trees; ids
+     gone by now appear in some delta's delete trees; base-version ids are
+     covered by the union of the current tree and the delete trees.  Ids
+     confined to a vacuumed prefix are covered by [xid_watermark], the
+     generator high-water mark persisted in the vacuum journal record. *)
   List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Vnode.xids current);
-  for v = 1 to Vec.length t.entries - 1 do
+  for v = base + 1 to version_count t - 1 do
     let delta = read_delta t v in
     List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Delta.inserted_xids delta);
     List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Delta.deleted_xids delta)
   done;
+  if xid_watermark > 0 then
+    Txq_vxml.Xid.Gen.mark_used gen (Txq_vxml.Xid.of_int xid_watermark);
   t
 
 let total_pages t =

@@ -78,7 +78,13 @@ val snapshot_blob : t -> int -> Txq_store.Blob_store.blob option
 (** The snapshot blob persisted with a version, if any. *)
 
 val version_count : t -> int
-(** Versions 0 .. n-1; the current one is n-1. *)
+(** Versions 0 .. n-1; the current one is n-1.  Version numbers are stable
+    across vacuums: the count includes vacuumed versions, which can no
+    longer be read. *)
+
+val first_version : t -> int
+(** First retained version (0 until a vacuum truncates the prefix).
+    Versions below it raise [Invalid_argument] from every accessor. *)
 
 val ts_of_version : t -> int -> Txq_temporal.Timestamp.t
 val version_at : t -> Txq_temporal.Timestamp.t -> int option
@@ -96,6 +102,8 @@ val versions_overlapping :
     [\[t1, t2)]; [None] when no version does. *)
 
 val created_at : t -> Txq_temporal.Timestamp.t
+(** Timestamp of the first {e retained} version — the creation time only
+    while [first_version] is 0. *)
 
 val doc_time_of_version : t -> int -> Txq_temporal.Timestamp.t option
 (** The document time recorded with the version, if any. *)
@@ -126,6 +134,44 @@ val reconstruct_range :
     Returns the number of deltas applied.  Raises [Invalid_argument] on an
     empty or out-of-bounds range. *)
 
+(** {1 Vacuum} *)
+
+type rebase = {
+  rb_base : int;  (** new first retained version *)
+  rb_snapshot : Txq_store.Blob_store.blob option;
+      (** freshly written base snapshot, if one was needed *)
+  rb_freed : int list;  (** pages the rebase will release *)
+  rb_versions_dropped : int;
+}
+
+val prepare_rebase : t -> base:int -> rebase
+(** Plans the truncation of every version below [base]: writes a durable
+    base snapshot when version [base] has neither a stored snapshot nor the
+    current blob as anchor, and lists the pages of the dropped delta and
+    snapshot blobs (including the delta leading {e into} [base], which can
+    never be applied again).  No in-memory state changes — on a crash before
+    the vacuum journal record commits, the new snapshot is simply an
+    unreachable blob that recovery's liveness scan frees.  Raises
+    [Invalid_argument] unless [first_version t < base < version_count t]. *)
+
+val apply_rebase : t -> rebase -> unit
+(** Commits a prepared rebase in memory: frees the dropped blobs through
+    the blob store, installs the base snapshot, truncates the delta index
+    and advances [first_version]. *)
+
+val xid_watermark : t -> int
+(** Highest XID the document's generator has handed out — persisted in the
+    vacuum journal record so recovery never reuses an id that only ever
+    appeared in a vacuumed delta. *)
+
+val all_blob_pages : t -> int list
+(** Pages of every blob of the document (current, deltas, snapshots) — what
+    dropping the whole document frees. *)
+
+val apply_drop : t -> unit
+(** Frees every blob of the document.  The docstore is defunct afterwards
+    and must be unlinked from the database's tables. *)
+
 (** {1 Recovery} *)
 
 type restored_entry = {
@@ -139,16 +185,21 @@ val restore :
   blobs:Txq_store.Blob_store.t ->
   doc_id:Txq_vxml.Eid.doc_id ->
   url:string ->
+  ?base:int ->
+  ?xid_watermark:int ->
   entries:restored_entry list ->
   current_blob:Txq_store.Blob_store.blob ->
   deleted:Txq_temporal.Timestamp.t option ->
+  unit ->
   t
 (** Rebuilds a document from journal-recovered parts: decodes the current
     version from [current_blob], re-creates the delta index from [entries]
-    (version order), and advances the XID generator past every id that ever
-    existed in the document, so post-recovery commits never reuse one.
-    Raises [Invalid_argument] on an empty [entries] and [Failure] if a blob
-    fails to decode. *)
+    (version order; the first entry is version [base], default 0), and
+    advances the XID generator past every id that ever existed in the
+    document, so post-recovery commits never reuse one.  [xid_watermark]
+    (from the vacuum journal record) covers ids confined to a vacuumed
+    prefix.  Raises [Invalid_argument] on an empty [entries] and [Failure]
+    if a blob fails to decode. *)
 
 val delta_pages : t -> int
 (** Pages holding delta blobs (storage accounting). *)

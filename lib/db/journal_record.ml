@@ -20,6 +20,16 @@ type t =
       r_freed : int list;
     }
   | Delete of { r_doc : int; r_ts : int }
+  | Vacuum of { r_ts : int; r_docs : vacuum_doc list }
+
+and vacuum_doc = {
+  vd_doc : int;
+  vd_base : int;
+  vd_drop : bool;
+  vd_snapshot : blob_ref option;
+  vd_freed : int list;
+  vd_xid_watermark : int;
+}
 
 (* Fixed-width binary encoding: a tag byte, every integer as a big-endian
    int64 (timestamps may be negative), strings and lists length-prefixed. *)
@@ -70,7 +80,21 @@ let encode r =
    | Delete { r_doc; r_ts } ->
      Buffer.add_char buf 'D';
      add_int buf r_doc;
-     add_int buf r_ts);
+     add_int buf r_ts
+   | Vacuum { r_ts; r_docs } ->
+     Buffer.add_char buf 'V';
+     add_int buf r_ts;
+     add_int buf (List.length r_docs);
+     List.iter
+       (fun { vd_doc; vd_base; vd_drop; vd_snapshot; vd_freed;
+              vd_xid_watermark } ->
+         add_int buf vd_doc;
+         add_int buf vd_base;
+         Buffer.add_char buf (if vd_drop then '\001' else '\000');
+         add_opt add_blob_ref buf vd_snapshot;
+         add_int_list buf vd_freed;
+         add_int buf vd_xid_watermark)
+       r_docs);
   Buffer.contents buf
 
 exception Bad of string
@@ -149,6 +173,28 @@ let decode s =
         let r_doc = get_int "doc" in
         let r_ts = get_int "ts" in
         Delete { r_doc; r_ts }
+      | 'V' ->
+        let r_ts = get_int "ts" in
+        let n = get_len "vacuum docs" in
+        let r_docs =
+          List.init n (fun _ ->
+              let vd_doc = get_int "vacuum doc" in
+              let vd_base = get_int "vacuum base" in
+              let vd_drop =
+                match get_char "vacuum drop" with
+                | '\000' -> false
+                | '\001' -> true
+                | c -> raise (Bad (Printf.sprintf "bad vacuum drop flag %C" c))
+              in
+              let vd_snapshot = get_opt get_blob_ref "vacuum snapshot" in
+              let vd_freed = get_int_list "vacuum freed" in
+              let vd_xid_watermark = get_int "vacuum xid watermark" in
+              if vd_base < 0 then
+                raise (Bad (Printf.sprintf "negative vacuum base %d" vd_base));
+              { vd_doc; vd_base; vd_drop; vd_snapshot; vd_freed;
+                vd_xid_watermark })
+        in
+        Vacuum { r_ts; r_docs }
       | c -> raise (Bad (Printf.sprintf "unknown record tag %C" c))
     in
     if !pos <> String.length s then
@@ -190,3 +236,15 @@ let pp ppf = function
       (pp_opt pp_blob_ref) r_snapshot
       (String.concat "," (List.map string_of_int r_freed))
   | Delete { r_doc; r_ts } -> Format.fprintf ppf "Delete(doc=%d ts=%d)" r_doc r_ts
+  | Vacuum { r_ts; r_docs } ->
+    Format.fprintf ppf "Vacuum(ts=%d docs=[%s])" r_ts
+      (String.concat ";"
+         (List.map
+            (fun vd ->
+              Format.asprintf "doc=%d%s base=%d snap=%a freed=%d xid=%d"
+                vd.vd_doc
+                (if vd.vd_drop then " drop" else "")
+                vd.vd_base
+                (pp_opt pp_blob_ref) vd.vd_snapshot
+                (List.length vd.vd_freed) vd.vd_xid_watermark)
+            r_docs))

@@ -33,6 +33,24 @@ type t =
       r_freed : int list;  (** pages of the superseded current version *)
     }
   | Delete of { r_doc : int; r_ts : int }
+  | Vacuum of { r_ts : int; r_docs : vacuum_doc list }
+      (** One record for a whole vacuum pass, appended {e after} every new
+          base snapshot blob is durable and {e before} any in-memory
+          structure changes — recovery therefore lands exactly on the
+          pre-vacuum state (record missing) or the post-vacuum state
+          (record present), never in between. *)
+
+and vacuum_doc = {
+  vd_doc : int;
+  vd_base : int;  (** new first retained version *)
+  vd_drop : bool;  (** whole document dropped (deleted before the horizon) *)
+  vd_snapshot : blob_ref option;  (** freshly written base snapshot *)
+  vd_freed : int list;  (** pages the vacuum released, for cluster
+                            attribution like [Commit.r_freed] *)
+  vd_xid_watermark : int;
+      (** XID generator high-water mark, covering ids that only ever
+          appeared in vacuumed deltas *)
+}
 
 val encode : t -> string
 

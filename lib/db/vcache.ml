@@ -125,6 +125,18 @@ let put t doc version tree =
     t.io.Io_stats.vcache_bytes <- t.bytes
   end
 
+let evict_before t doc version =
+  (match Hashtbl.find_opt t.by_doc doc with
+   | Some versions ->
+     let victims =
+       Hashtbl.fold
+         (fun v e acc -> if v < version then e :: acc else acc)
+         versions []
+     in
+     List.iter (remove_entry t) victims
+   | None -> ());
+  t.io.Io_stats.vcache_bytes <- t.bytes
+
 let evict_doc t doc =
   (match Hashtbl.find_opt t.by_doc doc with
    | Some versions ->

@@ -44,5 +44,10 @@ val put : t -> Txq_vxml.Eid.doc_id -> int -> Txq_vxml.Vnode.t -> unit
 (** Inserts, evicting least-recently-used entries until within budget;
     trees larger than the whole budget are not cached. *)
 
+val evict_before : t -> Txq_vxml.Eid.doc_id -> int -> unit
+(** Drops cached versions below the given version — required when a vacuum
+    truncates a document's prefix, since {!find} is consulted before the
+    docstore can bounds-check the version number. *)
+
 val evict_doc : t -> Txq_vxml.Eid.doc_id -> unit
 val clear : t -> unit

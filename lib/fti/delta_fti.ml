@@ -54,10 +54,10 @@ let add_tree_words t ~doc ~version ~kind tree =
               ch_word = occ_word; ch_xid })
     (Vnode.occurrences tree)
 
-let split_words s =
-  List.filter
-    (fun w -> not (String.equal w ""))
-    (String.split_on_char ' ' s)
+(* The snapshot FTI tokenizes through [Vnode.occurrences]; using the same
+   tokenizer here keeps the two indexes word-for-word consistent on text
+   containing tabs, newlines or punctuation. *)
+let split_words = Vnode.split_words
 
 let index_op t ~doc ~version = function
   | Delta.Insert { tree; _ } -> add_tree_words t ~doc ~version ~kind:Inserted tree
@@ -97,8 +97,54 @@ let index_op t ~doc ~version = function
 let index_delta t ~doc ~version delta =
   List.iter (index_op t ~doc ~version) delta.Delta.ops
 
-let index_initial t ~doc vnode =
-  add_tree_words t ~doc ~version:0 ~kind:Inserted vnode
+let index_initial t ~doc ?(version = 0) vnode =
+  add_tree_words t ~doc ~version ~kind:Inserted vnode
+
+(* Prune after a retention vacuum, mirroring what a rebuild of the
+   truncated delta chains would index: entries at or below a squashed
+   document's new base are dropped (the delta {e into} the base is gone
+   too), then the base tree's occurrences are re-registered as [Inserted]
+   at the base version.  The fresh base entries are appended at the old end
+   of each bucket so [changes] stays oldest-first. *)
+let vacuum t ~affected =
+  let actions = Hashtbl.create 16 in
+  List.iter (fun (doc, action) -> Hashtbl.replace actions doc action) affected;
+  let keep e =
+    match Hashtbl.find_opt actions e.ch_doc with
+    | None -> true
+    | Some `Drop -> false
+    | Some (`Squash (base, _)) -> e.ch_version > base
+  in
+  let removed = ref 0 in
+  Hashtbl.filter_map_inplace
+    (fun _ bucket ->
+      let kept = List.filter keep !bucket in
+      removed := !removed + (List.length !bucket - List.length kept);
+      if kept = [] then None
+      else begin
+        bucket := kept;
+        Some bucket
+      end)
+    t.words;
+  t.entries <- t.entries - !removed;
+  let added = ref 0 in
+  List.iter
+    (fun (doc, action) ->
+      match action with
+      | `Drop -> ()
+      | `Squash (base, tree) ->
+        let fresh = create () in
+        add_tree_words fresh ~doc ~version:base ~kind:Inserted tree;
+        added := !added + fresh.entries;
+        t.entries <- t.entries + fresh.entries;
+        Hashtbl.iter
+          (fun word fresh_bucket ->
+            match Hashtbl.find_opt t.words word with
+            | Some bucket -> bucket := !bucket @ !fresh_bucket
+            | None -> Hashtbl.replace t.words word fresh_bucket)
+          fresh.words)
+    affected;
+  (!removed, !added)
 
 let delete_document t ~doc ~version vnode =
   add_tree_words t ~doc ~version ~kind:Deleted vnode

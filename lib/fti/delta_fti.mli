@@ -26,6 +26,13 @@ type entry = {
 
 val change_kind_to_string : change_kind -> string
 
+val split_words : string -> string list
+(** The tokenizer — {e the} same one ({!Txq_vxml.Vnode.split_words}) the
+    version-content index sees through [Vnode.occurrences], so a word
+    findable in one index is findable in the other.  (A former private
+    copy split on spaces only and silently missed words separated by
+    tabs, newlines or punctuation.) *)
+
 type t
 
 val create : unit -> t
@@ -35,8 +42,22 @@ val index_delta :
 (** Indexes the operations of the delta leading {e to} [version]. *)
 
 val index_initial :
-  t -> doc:Txq_vxml.Eid.doc_id -> Txq_vxml.Vnode.t -> unit
-(** The creation of a document is one big insertion (version 0). *)
+  t -> doc:Txq_vxml.Eid.doc_id -> ?version:int -> Txq_vxml.Vnode.t -> unit
+(** The creation of a document is one big insertion ([version] defaults to
+    0; recovery and vacuum re-register a squashed base tree at its own
+    version number). *)
+
+val vacuum :
+  t ->
+  affected:
+    (Txq_vxml.Eid.doc_id * [ `Drop | `Squash of int * Txq_vxml.Vnode.t ]) list ->
+  int * int
+(** Prunes after a retention vacuum: [`Drop] removes every entry of the
+    document; [`Squash (base, tree)] removes entries at or below [base]
+    (those deltas are gone) and re-registers [tree] — the squashed base
+    version — as one big insertion at [base], exactly what a rebuild of the
+    truncated chain would index.  Returns (entries removed, entries
+    added). *)
 
 val delete_document :
   t -> doc:Txq_vxml.Eid.doc_id -> version:int -> Txq_vxml.Vnode.t -> unit

@@ -176,6 +176,64 @@ let delete_document t ~doc ~version =
     st.current_occs <- Vnode.Occ_set.empty;
     st.last_version <- version
 
+(* --- vacuum ------------------------------------------------------------- *)
+
+(* Remove every posting the retention truncation makes unreachable: all
+   postings of dropped documents, and closed postings ending at or before a
+   squashed document's new base version.  A surviving posting that spans the
+   truncation point has its [vstart] clamped up to the base — exactly the
+   posting a from-scratch rebuild of the truncated chain would open at the
+   base version.  Filtering preserves segment order: within one (doc, path,
+   kind) position at most one posting can span the base (intervals are
+   disjoint and an occurrence closed at the base cannot also reopen there),
+   so clamping never creates an order violation. *)
+let vacuum t ~affected =
+  let actions = Hashtbl.create 16 in
+  List.iter (fun (doc, action) -> Hashtbl.replace actions doc action) affected;
+  let keep p =
+    match Hashtbl.find_opt actions p.Posting.doc with
+    | None -> true
+    | Some `Drop -> false
+    | Some (`Squash base) ->
+      if p.Posting.vend <> Posting.open_end && p.Posting.vend <= base then false
+      else begin
+        if p.Posting.vstart < base then p.Posting.vstart <- base;
+        true
+      end
+  in
+  let removed = ref 0 in
+  let removed_tail = ref 0 in
+  Hashtbl.filter_map_inplace
+    (fun _ st ->
+      let tail = List.filter keep st.tail in
+      let tail_n = List.length tail in
+      removed_tail := !removed_tail + (st.tail_n - tail_n);
+      st.tail <- tail;
+      st.tail_n <- tail_n;
+      st.segs <-
+        List.filter_map
+          (fun seg ->
+            let arr = Segment.postings seg in
+            let kept = Array.of_list (List.filter keep (Array.to_list arr)) in
+            let dropped = Array.length arr - Array.length kept in
+            removed := !removed + dropped;
+            if dropped = 0 then Some seg
+            else if Array.length kept = 0 then None
+            else Some (Segment.of_sorted kept))
+          st.segs;
+      if st.tail_n = 0 && st.segs = [] then None else Some st)
+    t.words;
+  removed := !removed + !removed_tail;
+  t.tail_postings <- t.tail_postings - !removed_tail;
+  t.postings <- t.postings - !removed;
+  List.iter
+    (fun (doc, action) ->
+      match action with
+      | `Drop -> Hashtbl.remove t.docs doc
+      | `Squash _ -> ())
+    affected;
+  !removed
+
 (* --- lookups ------------------------------------------------------------ *)
 
 (* Each lookup variant traces postings scanned vs returned — the

@@ -44,6 +44,18 @@ val delete_document : t -> doc:Txq_vxml.Eid.doc_id -> version:int -> unit
 (** Closes every open posting of the document: the delete "version" bound.
     [version] is the number the next version {e would} have had. *)
 
+val vacuum :
+  t ->
+  affected:(Txq_vxml.Eid.doc_id * [ `Drop | `Squash of int ]) list ->
+  int
+(** Prunes the index after a retention vacuum: [`Drop] removes every
+    posting of the document; [`Squash base] removes closed postings ending
+    at or before [base] and clamps the [vstart] of postings spanning the
+    truncation point up to [base] — leaving exactly the postings a rebuild
+    of the truncated delta chain would produce.  Affected segments are
+    rebuilt (order is preserved; see the implementation note).  Returns the
+    number of postings removed. *)
+
 val lookup : t -> string -> Posting.t list
 (** Postings of current versions only (open postings). *)
 

@@ -2,7 +2,7 @@ type t = {
   doc : Txq_vxml.Eid.doc_id;
   kind : Txq_vxml.Vnode.occurrence_kind;
   path : Txq_vxml.Xidpath.t;
-  vstart : int;
+  mutable vstart : int;
   mutable vend : int;
 }
 

@@ -10,7 +10,10 @@ type t = {
   doc : Txq_vxml.Eid.doc_id;
   kind : Txq_vxml.Vnode.occurrence_kind;
   path : Txq_vxml.Xidpath.t;
-  vstart : int;  (** first version containing the occurrence *)
+  mutable vstart : int;
+      (** first version containing the occurrence; mutable only so a vacuum
+          can clamp postings spanning the truncation point up to the new
+          base version *)
   mutable vend : int;  (** first version no longer containing it; [open_end]
                            while the occurrence is in the current version *)
 }

@@ -70,6 +70,11 @@ type occurrence = {
           hierarchical relationships"). *)
 }
 
+val split_words : string -> string list
+(** The tokenizer behind {!occurrences}: splits on whitespace and the
+    common punctuation separators, dropping empty tokens.  Exposed so every
+    index (snapshot FTI, delta FTI) tokenizes text identically. *)
+
 val occurrences : t -> occurrence list
 (** All occurrences in the tree, document order, duplicates included. *)
 

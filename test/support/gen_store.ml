@@ -77,6 +77,21 @@ let gen_record =
           int_range 0 10_000 >>= fun r_doc ->
           gen_seconds >>= fun r_ts ->
           return (J.Delete { r_doc; r_ts }) );
+        ( 2,
+          let gen_vacuum_doc =
+            int_range 0 10_000 >>= fun vd_doc ->
+            bool >>= fun vd_drop ->
+            int_range 0 100_000 >>= fun vd_base ->
+            opt gen_blob_ref >>= fun vd_snapshot ->
+            list_size (int_range 0 8) (int_range 0 100_000) >>= fun vd_freed ->
+            int_range 0 1_000_000 >>= fun vd_xid_watermark ->
+            return
+              { J.vd_doc; vd_base; vd_drop; vd_snapshot; vd_freed;
+                vd_xid_watermark }
+          in
+          gen_seconds >>= fun r_ts ->
+          list_size (int_range 0 6) gen_vacuum_doc >>= fun r_docs ->
+          return (J.Vacuum { r_ts; r_docs }) );
       ])
 
 let arb_record =

@@ -835,6 +835,75 @@ let prop_scan_domains_deterministic =
             [ 2; 4 ])
         [ "name"; "price"; "item"; "review" ])
 
+(* Regression: when the {e calling} domain's share of a Dpool.map raises,
+   every spawned domain must still be joined before the exception escapes.
+   The old code re-raised between spawn and join, leaking the workers; the
+   leaked domains' tasks then raced the test's assertions.  With the fix,
+   every non-raising task has run to completion by the time the exception
+   is observed — whichever domain claimed the poisoned index. *)
+let test_dpool_raise_joins_all () =
+  let n = 8 in
+  let completed = Atomic.make 0 in
+  let spin () =
+    for _ = 1 to 2_000_000 do
+      ignore (Sys.opaque_identity 0)
+    done
+  in
+  (match
+     Dpool.map ~domains:4 (Array.init n Fun.id) (fun i ->
+         if i = 0 then failwith "poisoned task"
+         else begin
+           spin ();
+           Atomic.incr completed;
+           i
+         end)
+   with
+   | (_ : int array) -> Alcotest.fail "the poisoned task's exception was lost"
+   | exception Failure msg ->
+     Alcotest.(check string) "original exception re-raised" "poisoned task" msg);
+  Alcotest.(check int) "all spawned domains joined before the re-raise"
+    (n - 1) (Atomic.get completed)
+
+(* Regression: the traversal's deltas-scanned readback was a plain global
+   ref; two domains traversing concurrently clobbered each other's counts.
+   Each domain owns a private database whose traversal depth it knows
+   exactly — 500 interleaved rounds per domain must read back their own
+   depth every single time. *)
+let test_lifetime_counter_domain_local () =
+  let traverse_rounds db teid expected =
+    let bad = ref 0 in
+    for _ = 1 to 500 do
+      ignore (Lifetime.cre_time db ~strategy:`Traverse teid);
+      if Lifetime.last_traverse_deltas () <> expected then incr bad
+    done;
+    !bad
+  in
+  let worker n_versions =
+    Domain.spawn (fun () ->
+        let db = Db.create () in
+        let base = Timestamp.of_date ~day:1 ~month:3 ~year:2001 in
+        let at i = Timestamp.add base (Txq_temporal.Duration.days i) in
+        let id =
+          Db.insert_document db ~url:"u" ~ts:(at 0) (parse "<a><b>w0</b></a>")
+        in
+        for i = 1 to n_versions - 1 do
+          ignore
+            (Db.update_document db ~url:"u" ~ts:(at i)
+               (parse (Printf.sprintf "<a><b>w%d</b></a>" i)))
+        done;
+        let d = Db.doc db id in
+        let root = Eid.make ~doc:id ~xid:(Vnode.xid (Docstore.current d)) in
+        let teid =
+          Eid.Temporal.make root (Docstore.ts_of_version d (n_versions - 1))
+        in
+        (* the root was created in version 0: the walk back from the newest
+           version scans every delta of the chain *)
+        traverse_rounds db teid (n_versions - 1))
+  in
+  let a = worker 3 and b = worker 8 in
+  Alcotest.(check int) "domain A reads its own counts" 0 (Domain.join a);
+  Alcotest.(check int) "domain B reads its own counts" 0 (Domain.join b)
+
 let () =
   Alcotest.run "core"
     [
@@ -893,6 +962,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_lifetime_strategies_agree;
         ] );
       ("nav", [Alcotest.test_case "previous/next/current" `Quick test_nav]);
+      ( "domains",
+        [
+          Alcotest.test_case "dpool joins workers when a task raises" `Quick
+            test_dpool_raise_joins_all;
+          Alcotest.test_case "traverse counter is domain-local" `Quick
+            test_lifetime_counter_domain_local;
+        ] );
       ( "reconstruct_diff",
         [
           Alcotest.test_case "reconstruct operator" `Quick test_reconstruct_operator;

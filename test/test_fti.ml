@@ -192,6 +192,49 @@ let test_delta_fti_deletions_in_doc () =
   Alcotest.(check int) "other doc empty" 0
     (List.length (Delta_fti.deletions_in_doc dfti "bye" ~doc:8))
 
+(* The delta index must tokenize text exactly as the version-content index
+   does — it once split on ' ' alone and silently missed words separated by
+   tabs, newlines or punctuation.  Both tokenizers are checked against an
+   independent spec of the separator class, and at the index level: every
+   word of an inserted tree is findable. *)
+let separator_class =
+  [ ' '; '\t'; '\n'; '\r'; ','; ';'; '.'; '!'; '?'; '('; ')'; '"' ]
+
+let spec_split s =
+  let blanked =
+    String.map (fun c -> if List.mem c separator_class then ' ' else c) s
+  in
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' blanked)
+
+let gen_messy_text =
+  QCheck.Gen.(
+    let sep =
+      map (String.make 1) (oneofl separator_class)
+      |> list_size (int_range 1 3)
+      |> map (String.concat "")
+    in
+    let word = oneofl [ "pizza"; "napoli"; "x1"; "deep-dish"; "a'b"; "fine" ] in
+    list_size (int_range 0 8) (pair word sep) >>= fun pieces ->
+    sep >>= fun lead ->
+    return (lead ^ String.concat "" (List.map (fun (w, s) -> w ^ s) pieces)))
+
+let prop_tokenizers_agree =
+  QCheck.Test.make ~count:300 ~name:"delta-fti tokenizer ≡ vnode tokenizer"
+    (QCheck.make ~print:(Printf.sprintf "%S") gen_messy_text)
+    (fun text ->
+      let words = spec_split text in
+      Delta_fti.split_words text = words
+      && Vnode.split_words text = words
+      &&
+      let tree =
+        Vnode.of_xml (Xid.Gen.create ())
+          (Txq_xml.Xml.normalize
+             (Txq_xml.Xml.element "r" [ Txq_xml.Xml.text text ]))
+      in
+      let dfti = Delta_fti.create () in
+      Delta_fti.index_initial dfti ~doc:0 tree;
+      List.for_all (fun w -> Delta_fti.changes dfti w <> []) words)
+
 (* property: FTI incremental maintenance ≡ indexing each version from
    scratch *)
 let prop_incremental_equals_scratch =
@@ -465,5 +508,6 @@ let () =
           Alcotest.test_case "operation kinds" `Quick test_delta_fti_ops;
           Alcotest.test_case "deletions in doc" `Quick
             test_delta_fti_deletions_in_doc;
+          QCheck_alcotest.to_alcotest prop_tokenizers_agree;
         ] );
     ]

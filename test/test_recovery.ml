@@ -214,7 +214,8 @@ let fingerprint ~ts_probes db =
         (match Docstore.deleted_at d with
          | None -> "-"
          | Some t -> Timestamp.to_string t);
-      for v = 0 to Docstore.version_count d - 1 do
+      add "  base %d\n" (Docstore.first_version d);
+      for v = Docstore.first_version d to Docstore.version_count d - 1 do
         add "  v%d @%s dt=%s %s\n" v
           (Timestamp.to_string (Docstore.ts_of_version d v))
           (match Docstore.doc_time_of_version d v with
@@ -307,6 +308,85 @@ let crash_sweep ?segment_postings ~snapshot_every ~placement () =
         "crash point %d: recovered state is neither before nor after op %d"
         i k
   done
+
+(* --- the vacuum crash sweep ---------------------------------------------- *)
+
+(* Same exhaustive technique, aimed at the vacuum: run the full workload
+   uncrashed, then arm the disk to tear the i-th write issued by the vacuum
+   itself, for every i.  The recovered state must equal the pre-vacuum or
+   the post-vacuum fingerprint — never a mixture — and the allocator's
+   live-page count must equal the pages actually reachable from the
+   surviving chains (no leaked, no double-freed pages). *)
+
+let live_pages_reachable db =
+  List.fold_left
+    (fun acc id -> acc + Docstore.total_pages (Db.doc db id))
+    0 (Db.doc_ids db)
+
+let check_no_leaks what db =
+  Alcotest.(check int)
+    (what ^ ": allocator live pages = reachable pages")
+    (live_pages_reachable db) (Db.live_pages db)
+
+(* Horizon after op 13: document b's first life (deleted at op 12) ended
+   before it, so b drops entirely; a and c lose their chain prefixes. *)
+let vacuum_retention =
+  lazy { Config.no_retention with Config.keep_newer_than = Some (op_ts 13) }
+
+let vacuum_crash_sweep ~snapshot_every () =
+  let config =
+    { Config.default with
+      snapshot_every; fti_mode = Config.Fti_both; durability = `Journal }
+  in
+  let retention = Lazy.force vacuum_retention in
+  let ops = Lazy.force workload in
+  let n_ops = List.length ops in
+  let ts_probes = List.init n_ops op_ts in
+  (* Reference run: fingerprints on either side of the vacuum, and the
+     number of disk writes the vacuum issues. *)
+  let ref_db = Db.create ~config () in
+  List.iteri (apply ref_db) ops;
+  let fp_before = fingerprint ~ts_probes ref_db in
+  let writes_before = (Io_stats.copy (Db.io_stats ref_db)).Io_stats.page_writes in
+  let report = Db.vacuum ~retention ref_db in
+  let vacuum_writes =
+    (Db.io_stats ref_db).Io_stats.page_writes - writes_before
+  in
+  let fp_after = fingerprint ~ts_probes ref_db in
+  Alcotest.(check bool) "vacuum reclaims space" true
+    (report.Db.vr_pages_freed > 0 && report.Db.vr_docs_dropped > 0
+     && report.Db.vr_docs_squashed > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "vacuum writes pages (%d)" vacuum_writes)
+    true (vacuum_writes >= 1);
+  check_no_leaks "reference after vacuum" ref_db;
+  for i = 1 to vacuum_writes do
+    let db = Db.create ~config () in
+    List.iteri (apply db) ops;
+    Disk.fail_after_writes (Db.disk db) i;
+    (match Db.vacuum ~retention db with
+     | (_ : Db.vacuum_report) ->
+       Alcotest.failf "vacuum write %d of %d did not crash" i vacuum_writes
+     | exception Disk.Crash -> ());
+    Disk.clear_fault (Db.disk db);
+    let rdb = Db.recover (Db.disk db) config in
+    (match Db.verify rdb with
+     | Ok _ -> ()
+     | Error errs ->
+       Alcotest.failf "vacuum crash point %d: verify failed: %s" i
+         (String.concat "; " errs));
+    let fp = fingerprint ~ts_probes rdb in
+    if not (String.equal fp fp_before || String.equal fp fp_after) then
+      Alcotest.failf
+        "vacuum crash point %d: recovered state is neither pre- nor \
+         post-vacuum" i;
+    check_no_leaks (Printf.sprintf "crash point %d" i) rdb
+  done;
+  (* Recovering the uncrashed vacuumed disk reproduces the post state. *)
+  let rdb = Db.recover (Db.disk ref_db) config in
+  Alcotest.(check string) "clean restart lands post-vacuum" fp_after
+    (fingerprint ~ts_probes rdb);
+  check_no_leaks "clean restart after vacuum" rdb
 
 (* --- clean restart ------------------------------------------------------- *)
 
@@ -480,6 +560,13 @@ let () =
           Alcotest.test_case "tiny fti segments (freeze-in-flight)" `Slow
             (crash_sweep ~segment_postings:8 ~snapshot_every:None
                ~placement:`Unclustered);
+        ] );
+      ( "vacuum crash points",
+        [
+          Alcotest.test_case "no snapshots" `Slow
+            (vacuum_crash_sweep ~snapshot_every:None);
+          Alcotest.test_case "snapshots every 4" `Slow
+            (vacuum_crash_sweep ~snapshot_every:(Some 4));
         ] );
       ( "restart",
         [
