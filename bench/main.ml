@@ -1242,6 +1242,119 @@ let e16 () =
       List.iter (fun f -> Printf.eprintf "E16 FAIL: %s\n" f) fs;
       exit 1
 
+(* ------------------------------------------------------------------ E17 *)
+
+module Alg = Txq_algebra.Algebra
+module Alg_timeline = Txq_algebra.Timeline
+module Alg_relation = Txq_algebra.Relation
+module Alg_oracle = Txq_algebra.Oracle
+
+let check_algebra = ref false
+
+let e17 () =
+  section "E17  Temporal algebra: interval arithmetic vs per-instant oracle"
+    "Beyond the paper: composed temporal operators (TJoin, TUnion, TExcept,\n\
+     interval-split COUNT) over TEID result sets carrying coalesced\n\
+     validity sets.  The algebra does interval arithmetic on version\n\
+     ranges; the oracle materializes every instant, runs the plain\n\
+     relational operator and re-coalesces.  Both must agree byte-for-byte\n\
+     on rendered rows; the latency gap is the per-instant materialization\n\
+     the algebra avoids.";
+  let scan ?word ?(kind = Alg.Collection) ?(url = "*") path =
+    Alg.Scan { Alg.l_kind = kind; l_url = url; l_path = path; l_word = word }
+  in
+  let queries =
+    [
+      ( "TExcept",
+        Alg.Set (Alg.Except, scan "//name", scan ~kind:Alg.Doc ~url:url0 "//name")
+      );
+      ( "TJoin anc",
+        Alg.Joinop
+          ( Alg.Join,
+            Alg.On_ancestor,
+            scan "/guide/restaurant",
+            scan "/guide/restaurant/name" ) );
+      ( "TLeftJoin",
+        Alg.Joinop
+          (Alg.Left_join, Alg.On_ancestor, scan "/guide/restaurant", scan "//review")
+      );
+      ("TCount doc", Alg.Group (Alg.By_doc, scan "/guide/restaurant"));
+    ]
+  in
+  let version_counts = if !smoke then [ 4; 8 ] else [ 8; 16; 32 ] in
+  let failures = ref [] in
+  let results = ref [] in
+  let rows =
+    List.concat_map
+      (fun versions ->
+        let sp =
+          spec
+            ~documents:(if !smoke then 2 else 4)
+            ~versions
+            ~restaurants:(if !smoke then 4 else 10)
+            ()
+        in
+        let db = Load.load_db sp in
+        let tl = Alg_timeline.of_db db in
+        List.map
+          (fun (qname, alg) ->
+            (match Alg.validate alg with
+             | Ok () -> ()
+             | Error e -> failwith ("E17 invalid query: " ^ e));
+            let alg_us = time_us ~runs:5 (fun () -> Alg.eval db tl alg) in
+            let orc_us =
+              time_us ~warmup:1 ~runs:3 (fun () -> Alg_oracle.eval db tl alg)
+            in
+            let subject = Alg_relation.render tl (Alg.eval db tl alg) in
+            let oracle = Alg_relation.render tl (Alg_oracle.eval db tl alg) in
+            let agree = subject = oracle in
+            if not agree then
+              failures :=
+                Printf.sprintf "%s @ %d versions: algebra <> oracle" qname
+                  versions
+                :: !failures;
+            results :=
+              Harness.Json.Obj
+                [
+                  ("versions", Harness.Json.Int versions);
+                  ("query", Harness.Json.Str qname);
+                  ("instants", Harness.Json.Int (Alg_timeline.length tl));
+                  ("rows", Harness.Json.Int (List.length subject));
+                  ("algebra_us", Harness.Json.Float alg_us);
+                  ("oracle_us", Harness.Json.Float orc_us);
+                  ("agree", Harness.Json.Bool agree);
+                ]
+              :: !results;
+            [
+              string_of_int versions;
+              qname;
+              string_of_int (Alg_timeline.length tl);
+              string_of_int (List.length subject);
+              fmt_us alg_us;
+              fmt_us orc_us;
+              Printf.sprintf "%.1fx" (orc_us /. alg_us);
+              (if agree then "ok" else "FAIL");
+            ])
+          queries)
+      version_counts
+  in
+  print_table
+    ~title:"E17: temporal algebra vs per-instant oracle (collection scans)"
+    ~columns:
+      [
+        "versions"; "query"; "instants"; "rows"; "algebra"; "oracle";
+        "speedup"; "agree";
+      ]
+    rows;
+  Harness.record_json "smoke" (Harness.Json.Bool !smoke);
+  Harness.record_json "results" (Harness.Json.Arr (List.rev !results));
+  if !check_algebra then
+    match List.rev !failures with
+    | [] -> Printf.printf "  algebra/oracle agreement check ok\n"
+    | fs ->
+      List.iter (fun f -> Printf.eprintf "E17 FAIL: %s\n" f) fs;
+      exit 1
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1249,6 +1362,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e17", e17);
   ]
 
 let () =
@@ -1258,6 +1372,7 @@ let () =
   check_overhead := List.mem "--check-overhead" args;
   check_scan := List.mem "--check-scan" args;
   check_vacuum := List.mem "--check-vacuum" args;
+  check_algebra := List.mem "--check-algebra" args;
   (* --trace FILE: stream every root span of the whole run as JSON lines.
      E14 manages its own sinks and ends with tracing off, so combining it
      with --trace in one invocation truncates the stream there. *)

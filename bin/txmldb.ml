@@ -116,7 +116,12 @@ let with_tracing trace f =
 let query_cmd =
   let query_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
-           ~doc:"Temporal query, e.g. 'SELECT R FROM doc(\"…\")[26/01/2001]/guide/restaurant R'.")
+           ~doc:"Temporal query: either 'SELECT R FROM \
+                 doc(\"…\")[26/01/2001]/guide/restaurant R' or an algebra \
+                 expression over version sets such as 'doc(\"a\")//name \
+                 EXCEPT doc(\"b\")//name', with UNION, INTERSECT, EXCEPT, \
+                 JOIN/LEFTJOIN/SEMIJOIN/ANTIJOIN [ON DOC|ANCESTOR|ALWAYS] \
+                 and COUNT [BY DOC].")
   in
   let explain_t =
     Arg.(value & flag & info ["explain"]

@@ -1,0 +1,350 @@
+module Eid = Txq_vxml.Eid
+module Xidpath = Txq_vxml.Xidpath
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+module Pattern = Txq_core.Pattern
+module Scan = Txq_core.Scan
+module Vrange = Txq_core.Vrange
+module Glob = Txq_core.Glob
+module Trace = Txq_obs.Trace
+
+type source_kind = Doc | Collection
+
+type leaf = {
+  l_kind : source_kind;
+  l_url : string;
+  l_path : string;
+  l_word : string option;
+}
+
+type set_op = Union | Intersect | Except
+
+type join_kind = Join | Left_join | Semi_join | Anti_join
+
+type join_on = On_doc | On_ancestor | On_always
+
+type group_key = By_doc | By_all
+
+type t =
+  | Scan of leaf
+  | Set of set_op * t * t
+  | Joinop of join_kind * join_on * t * t
+  | Group of group_key * t
+
+let rec arity = function
+  | Scan _ -> 1
+  | Set (_, a, _) -> arity a
+  | Joinop ((Join | Left_join), _, a, b) -> arity a + arity b
+  | Joinop ((Semi_join | Anti_join), _, a, _) -> arity a
+  | Group (By_doc, _) -> 2
+  | Group (By_all, _) -> 1
+
+(* What the leading column of a node's tuples is: the join predicates and
+   BY DOC grouping read it. *)
+let rec leading = function
+  | Scan _ -> `Node
+  | Set (_, a, _) -> leading a
+  | Joinop (_, _, a, _) -> leading a
+  | Group (By_doc, _) -> `Doc
+  | Group (By_all, _) -> `Count
+
+let set_op_to_string = function
+  | Union -> "UNION"
+  | Intersect -> "INTERSECT"
+  | Except -> "EXCEPT"
+
+let join_kind_to_string = function
+  | Join -> "JOIN"
+  | Left_join -> "LEFTJOIN"
+  | Semi_join -> "SEMIJOIN"
+  | Anti_join -> "ANTIJOIN"
+
+let join_on_to_string = function
+  | On_doc -> "ON DOC"
+  | On_ancestor -> "ON ANCESTOR"
+  | On_always -> "ON ALWAYS"
+
+let leaf_to_string l =
+  Printf.sprintf "%s(%S)%s%s"
+    (match l.l_kind with Doc -> "doc" | Collection -> "collection")
+    l.l_url l.l_path
+    (match l.l_word with None -> "" | Some w -> Printf.sprintf " = %S" w)
+
+let rec to_string = function
+  | Scan l -> leaf_to_string l
+  | Set (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (set_op_to_string op)
+      (to_string b)
+  | Joinop (k, on, a, b) ->
+    Printf.sprintf "(%s %s %s %s)" (to_string a) (join_kind_to_string k)
+      (join_on_to_string on) (to_string b)
+  | Group (By_doc, a) -> Printf.sprintf "COUNT BY DOC (%s)" (to_string a)
+  | Group (By_all, a) -> Printf.sprintf "COUNT (%s)" (to_string a)
+
+let span_name = function
+  | Scan _ -> "algebra.scan"
+  | Set (Union, _, _) -> "algebra.union"
+  | Set (Intersect, _, _) -> "algebra.intersect"
+  | Set (Except, _, _) -> "algebra.except"
+  | Joinop (Join, _, _, _) -> "algebra.join"
+  | Joinop (Left_join, _, _, _) -> "algebra.leftjoin"
+  | Joinop (Semi_join, _, _, _) -> "algebra.semijoin"
+  | Joinop (Anti_join, _, _, _) -> "algebra.antijoin"
+  | Group (_, _) -> "algebra.count"
+
+let leaf_pattern l = Pattern.of_path ?value:l.l_word l.l_path
+
+let rec validate node =
+  let ( let* ) = Result.bind in
+  match node with
+  | Scan l ->
+    let* _ = leaf_pattern l in
+    Ok ()
+  | Set (op, a, b) ->
+    let* () = validate a in
+    let* () = validate b in
+    if arity a <> arity b then
+      Error
+        (Printf.sprintf "%s operands have arities %d and %d"
+           (set_op_to_string op) (arity a) (arity b))
+    else Ok ()
+  | Joinop (k, on, a, b) ->
+    let* () = validate a in
+    let* () = validate b in
+    let docish n = match leading n with `Node | `Doc -> true | `Count -> false in
+    (match on with
+     | On_always -> Ok ()
+     | On_doc ->
+       if docish a && docish b then Ok ()
+       else
+         Error
+           (Printf.sprintf "%s ON DOC needs document-valued leading columns"
+              (join_kind_to_string k))
+     | On_ancestor ->
+       if leading a = `Node && leading b = `Node then Ok ()
+       else
+         Error
+           (Printf.sprintf "%s ON ANCESTOR needs node-valued leading columns"
+              (join_kind_to_string k)))
+  | Group (key, a) ->
+    let* () = validate a in
+    (match key with
+     | By_all -> Ok ()
+     | By_doc ->
+       if leading a <> `Count then Ok ()
+       else Error "COUNT BY DOC needs a document-valued leading column")
+
+(* --- predicates --------------------------------------------------------- *)
+
+let doc_of_tuple = function
+  | Relation.F_node (d, _) :: _ | Relation.F_doc d :: _ -> Some d
+  | _ -> None
+
+let on_holds on ltu rtu =
+  match on with
+  | On_always -> true
+  | On_doc -> (
+    match (doc_of_tuple ltu, doc_of_tuple rtu) with
+    | Some a, Some b -> a = b
+    | _ -> false)
+  | On_ancestor -> (
+    match (ltu, rtu) with
+    | Relation.F_node (da, pa) :: _, Relation.F_node (db, pb) :: _ ->
+      da = db && Xidpath.is_strict_prefix pa pb
+    | _ -> false)
+
+(* --- leaves -------------------------------------------------------------- *)
+
+let leaf_doc_ids db l =
+  match l.l_kind with
+  | Doc -> List.map Docstore.doc_id (Db.find_all db l.l_url)
+  | Collection ->
+    List.filter
+      (fun id -> Glob.matches ~pattern:l.l_url (Docstore.url (Db.doc db id)))
+      (Db.doc_ids db)
+
+let eval_leaf ?domains db tl l =
+  let pattern =
+    match leaf_pattern l with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Algebra.eval: " ^ e)
+  in
+  let docs = leaf_doc_ids db l in
+  let bindings =
+    List.filter
+      (fun b -> List.mem b.Scan.b_doc docs)
+      (Scan.tpattern_scan_all ?domains db pattern)
+  in
+  Relation.normalize
+    (List.map
+       (fun b ->
+         {
+           Relation.tuple = [ Relation.F_node (b.Scan.b_doc, b.Scan.b_path) ];
+           valid = Timeline.of_intervals tl (Scan.binding_intervals db b);
+         })
+       bindings)
+
+(* --- set operators ------------------------------------------------------- *)
+
+let index_by_key rel =
+  let tbl : (string, Relation.row) Hashtbl.t =
+    Hashtbl.create (List.length rel * 2)
+  in
+  List.iter (fun r -> Hashtbl.replace tbl (Relation.tuple_key r.Relation.tuple) r) rel;
+  tbl
+
+let eval_set op l r =
+  match op with
+  | Union -> Relation.normalize (l @ r)
+  | Intersect ->
+    let rt = index_by_key r in
+    Relation.normalize
+      (List.filter_map
+         (fun (row : Relation.row) ->
+           match Hashtbl.find_opt rt (Relation.tuple_key row.tuple) with
+           | None -> None
+           | Some rr ->
+             Some { row with valid = Vrange.inter row.valid rr.valid })
+         l)
+  | Except ->
+    let rt = index_by_key r in
+    Relation.normalize
+      (List.map
+         (fun (row : Relation.row) ->
+           match Hashtbl.find_opt rt (Relation.tuple_key row.tuple) with
+           | None -> row
+           | Some rr -> { row with valid = Vrange.diff row.valid rr.valid })
+         l)
+
+(* --- joins ---------------------------------------------------------------- *)
+
+let eval_join kind on l r ~right_arity =
+  let rows =
+    List.concat_map
+      (fun (lr : Relation.row) ->
+        let matches =
+          List.filter
+            (fun (rr : Relation.row) -> on_holds on lr.tuple rr.tuple)
+            r
+        in
+        match kind with
+        | Join ->
+          List.map
+            (fun (rr : Relation.row) ->
+              {
+                Relation.tuple = lr.tuple @ rr.tuple;
+                valid = Vrange.inter lr.valid rr.valid;
+              })
+            matches
+        | Left_join ->
+          let inner =
+            List.map
+              (fun (rr : Relation.row) ->
+                {
+                  Relation.tuple = lr.tuple @ rr.tuple;
+                  valid = Vrange.inter lr.valid rr.valid;
+                })
+              matches
+          in
+          let covered =
+            Vrange.coalesce (List.map (fun (rr : Relation.row) -> rr.valid) matches)
+          in
+          let nulls = List.init right_arity (fun _ -> Relation.F_null) in
+          { Relation.tuple = lr.tuple @ nulls;
+            valid = Vrange.diff lr.valid covered }
+          :: inner
+        | Semi_join ->
+          let covered =
+            Vrange.coalesce (List.map (fun (rr : Relation.row) -> rr.valid) matches)
+          in
+          [ { lr with valid = Vrange.inter lr.valid covered } ]
+        | Anti_join ->
+          let covered =
+            Vrange.coalesce (List.map (fun (rr : Relation.row) -> rr.valid) matches)
+          in
+          [ { lr with valid = Vrange.diff lr.valid covered } ])
+      l
+  in
+  Relation.normalize rows
+
+(* --- interval-split aggregation ------------------------------------------- *)
+
+let eval_group key rel =
+  let groups : (string, Relation.tuple * Vrange.t list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (row : Relation.row) ->
+      let gk =
+        match key with
+        | By_all -> []
+        | By_doc -> (
+          match doc_of_tuple row.tuple with
+          | Some d -> [ Relation.F_doc d ]
+          | None -> invalid_arg "Algebra.eval: COUNT BY DOC without a document")
+      in
+      let k = Relation.tuple_key gk in
+      match Hashtbl.find_opt groups k with
+      | Some (_, vs) -> vs := row.valid :: !vs
+      | None -> Hashtbl.add groups k (gk, ref [ row.valid ]))
+    rel;
+  let rows =
+    Hashtbl.fold
+      (fun _ (gk, vs) acc ->
+        let vsets = !vs in
+        (* elementary segments between consecutive split points; the count
+           is constant on each, then equal-count segments re-coalesce *)
+        let points = Vrange.split_points vsets in
+        let by_count : (int, (int * int) list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let rec segments = function
+          | a :: (b :: _ as rest) ->
+            let c =
+              List.length (List.filter (fun v -> Vrange.mem a v) vsets)
+            in
+            (if c > 0 then
+               match Hashtbl.find_opt by_count c with
+               | Some segs -> segs := (a, b) :: !segs
+               | None -> Hashtbl.add by_count c (ref [ (a, b) ]));
+            segments rest
+          | _ -> ()
+        in
+        segments points;
+        Hashtbl.fold
+          (fun c segs acc ->
+            {
+              Relation.tuple = gk @ [ Relation.F_int c ];
+              valid = Vrange.of_list !segs;
+            }
+            :: acc)
+          by_count acc)
+      groups []
+  in
+  Relation.normalize rows
+
+(* --- evaluation ------------------------------------------------------------ *)
+
+let rec eval ?domains db tl node =
+  let traced f =
+    if not (Trace.enabled ()) then f ()
+    else
+      Trace.with_span (span_name node)
+        ~attrs:[ ("node", Txq_obs.Span.Str (to_string node)) ]
+        (fun () ->
+          let rel = f () in
+          Trace.add_count "rows" (Relation.cardinality rel);
+          rel)
+  in
+  traced @@ fun () ->
+  match node with
+  | Scan l -> eval_leaf ?domains db tl l
+  | Set (op, a, b) ->
+    let l = eval ?domains db tl a in
+    let r = eval ?domains db tl b in
+    eval_set op l r
+  | Joinop (k, on, a, b) ->
+    let l = eval ?domains db tl a in
+    let r = eval ?domains db tl b in
+    eval_join k on l r ~right_arity:(arity b)
+  | Group (key, a) -> eval_group key (eval ?domains db tl a)

@@ -1,0 +1,79 @@
+(** Temporal relational algebra over TEID result sets.
+
+    The paper's operators stop at single-pattern queries with validity
+    ranges; this layer composes them.  Following Date's per-instant model
+    (a temporal relation is a compressed encoding of one plain relation
+    per instant), every operator here is {e defined} by its non-temporal
+    counterpart applied instant-by-instant, and {e implemented} by interval
+    arithmetic on the rows' validity sets — splitting, intersecting,
+    subtracting and re-coalescing instant ranges so that at every version
+    the result equals the plain operator applied to the per-instant slices.
+    {!Oracle} is the executable form of the definition; the property tests
+    differentiate the two.
+
+    Leaves are the paper's own operators: a pattern scan over all versions
+    ([TPatternScanAll]) restricted to one URL's incarnations or to a URL
+    glob.  Rows are single-column element tuples; joins widen tuples,
+    semijoins and antijoins keep the left tuple, aggregation replaces the
+    tuple with group key and value. *)
+
+type source_kind = Doc | Collection
+
+type leaf = {
+  l_kind : source_kind;
+  l_url : string;  (** URL ([Doc]) or URL glob ([Collection]) *)
+  l_path : string;  (** location path, e.g. ["/guide//name"] *)
+  l_word : string option;  (** optional word test under the output node *)
+}
+
+type set_op = Union | Intersect | Except
+
+type join_kind = Join | Left_join | Semi_join | Anti_join
+
+type join_on =
+  | On_doc  (** leading columns bound in the same document *)
+  | On_ancestor
+      (** left's leading node is a strict ancestor of right's (same
+          document, strict XID-path prefix) *)
+  | On_always  (** temporal cross product *)
+
+type group_key = By_doc | By_all
+
+type t =
+  | Scan of leaf
+  | Set of set_op * t * t
+  | Joinop of join_kind * join_on * t * t
+  | Group of group_key * t
+      (** interval-split [COUNT]: the timeline is split at every member
+          row's validity endpoints, the count is taken per elementary
+          segment, and segments with equal counts coalesce *)
+
+val arity : t -> int
+(** Number of columns in the node's tuples. *)
+
+val validate : t -> (unit, string) result
+(** Leaf paths compile to patterns, set operands have equal arity, join
+    predicates and [BY DOC] grouping have the columns they need. *)
+
+val to_string : t -> string
+
+val span_name : t -> string
+(** The [Txq_obs] span this node's evaluation runs under
+    (["algebra.union"], ["algebra.join"], …). *)
+
+val doc_of_tuple : Relation.tuple -> Txq_vxml.Eid.doc_id option
+(** The document of the leading column, if it has one. *)
+
+val on_holds : join_on -> Relation.tuple -> Relation.tuple -> bool
+(** The join predicate on tuples (shared with {!Oracle}: predicates are
+    instant-free, only the temporal machinery differs). *)
+
+val leaf_pattern : leaf -> (Txq_core.Pattern.t, string) result
+val leaf_doc_ids : Txq_db.Db.t -> leaf -> Txq_vxml.Eid.doc_id list
+
+val eval : ?domains:int -> Txq_db.Db.t -> Timeline.t -> t -> Relation.t
+(** Evaluates the node; every sub-node runs under its {!span_name} span
+    with a ["rows"] count, so [EXPLAIN ANALYZE] reports per-algebra-node
+    calls and timings.  Raises [Invalid_argument] on a node {!validate}
+    rejects.  [?domains] overrides the scan worker-domain count
+    (results are identical for every value). *)

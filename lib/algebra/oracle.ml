@@ -1,0 +1,102 @@
+module Db = Txq_db.Db
+module Scan = Txq_core.Scan
+module Vrange = Txq_core.Vrange
+
+let dedup tuples =
+  List.sort_uniq
+    (fun a b -> String.compare (Relation.tuple_key a) (Relation.tuple_key b))
+    tuples
+
+let mem_tbl tuples =
+  let tbl = Hashtbl.create (List.length tuples * 2) in
+  List.iter (fun tu -> Hashtbl.replace tbl (Relation.tuple_key tu) ()) tuples;
+  fun tu -> Hashtbl.mem tbl (Relation.tuple_key tu)
+
+let rec tuples_at ?domains db tl node i =
+  match (node : Algebra.t) with
+  | Scan l ->
+    let pattern =
+      match Algebra.leaf_pattern l with
+      | Ok p -> p
+      | Error e -> invalid_arg ("Oracle.eval: " ^ e)
+    in
+    let docs = Algebra.leaf_doc_ids db l in
+    dedup
+      (List.filter_map
+         (fun (b : Scan.binding) ->
+           if List.mem b.b_doc docs then
+             Some [ Relation.F_node (b.b_doc, b.b_path) ]
+           else None)
+         (Scan.tpattern_scan ?domains db pattern (Timeline.instant tl i)))
+  | Set (op, a, b) ->
+    let l = tuples_at ?domains db tl a i in
+    let r = tuples_at ?domains db tl b i in
+    (match op with
+     | Union -> dedup (l @ r)
+     | Intersect ->
+       let in_r = mem_tbl r in
+       dedup (List.filter in_r l)
+     | Except ->
+       let in_r = mem_tbl r in
+       dedup (List.filter (fun tu -> not (in_r tu)) l))
+  | Joinop (kind, on, a, b) ->
+    let l = tuples_at ?domains db tl a i in
+    let r = tuples_at ?domains db tl b i in
+    dedup
+      (List.concat_map
+         (fun ltu ->
+           let matches = List.filter (Algebra.on_holds on ltu) r in
+           match kind with
+           | Join -> List.map (fun rtu -> ltu @ rtu) matches
+           | Left_join ->
+             if matches = [] then
+               [ ltu @ List.init (Algebra.arity b) (fun _ -> Relation.F_null) ]
+             else List.map (fun rtu -> ltu @ rtu) matches
+           | Semi_join -> if matches = [] then [] else [ ltu ]
+           | Anti_join -> if matches = [] then [ ltu ] else [])
+         l)
+  | Group (key, a) ->
+    let members = tuples_at ?domains db tl a i in
+    let groups : (string, Relation.tuple * int ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun tu ->
+        let gk =
+          match key with
+          | Algebra.By_all -> []
+          | Algebra.By_doc -> (
+            match Algebra.doc_of_tuple tu with
+            | Some d -> [ Relation.F_doc d ]
+            | None -> invalid_arg "Oracle.eval: COUNT BY DOC without a document")
+        in
+        let k = Relation.tuple_key gk in
+        match Hashtbl.find_opt groups k with
+        | Some (_, n) -> incr n
+        | None -> Hashtbl.add groups k (gk, ref 1))
+      members;
+    dedup
+      (Hashtbl.fold
+         (fun _ (gk, n) acc -> (gk @ [ Relation.F_int !n ]) :: acc)
+         groups [])
+
+let eval ?domains db tl node =
+  let n = Timeline.length tl in
+  let acc : (string, Relation.tuple * (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun tu ->
+        let range = if i = n - 1 then (i, max_int) else (i, i + 1) in
+        let k = Relation.tuple_key tu in
+        match Hashtbl.find_opt acc k with
+        | Some (_, rs) -> rs := range :: !rs
+        | None -> Hashtbl.add acc k (tu, ref [ range ]))
+      (tuples_at ?domains db tl node i)
+  done;
+  Relation.normalize
+    (Hashtbl.fold
+       (fun _ (tu, rs) rows ->
+         { Relation.tuple = tu; valid = Vrange.of_list !rs } :: rows)
+       acc [])

@@ -1,0 +1,95 @@
+module Eid = Txq_vxml.Eid
+module Xidpath = Txq_vxml.Xidpath
+module Timestamp = Txq_temporal.Timestamp
+module Interval = Txq_temporal.Interval
+module Vrange = Txq_core.Vrange
+module Xml = Txq_xml.Xml
+
+type field =
+  | F_node of Eid.doc_id * Xidpath.t
+  | F_doc of Eid.doc_id
+  | F_int of int
+  | F_null
+
+type tuple = field list
+
+type row = { tuple : tuple; valid : Vrange.t }
+
+type t = row list
+
+let field_to_string = function
+  | F_node (d, p) -> Printf.sprintf "%d:%s" d (Xidpath.to_string p)
+  | F_doc d -> Printf.sprintf "doc=%d" d
+  | F_int n -> Printf.sprintf "n=%d" n
+  | F_null -> "null"
+
+let tuple_key tu = String.concat " | " (List.map field_to_string tu)
+
+let normalize rows =
+  let tbl : (string, row) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if not (Vrange.is_empty r.valid) then begin
+        let k = tuple_key r.tuple in
+        match Hashtbl.find_opt tbl k with
+        | Some prev ->
+          Hashtbl.replace tbl k
+            { prev with valid = Vrange.union prev.valid r.valid }
+        | None -> Hashtbl.add tbl k r
+      end)
+    rows;
+  List.sort
+    (fun a b -> String.compare (tuple_key a.tuple) (tuple_key b.tuple))
+    (Hashtbl.fold (fun _ r acc -> r :: acc) tbl [])
+
+let cardinality t = List.length t
+
+let clip_intervals clip_from ivs =
+  match clip_from with
+  | None -> ivs
+  | Some from ->
+    let window =
+      Interval.make ~start:from ~stop:Timestamp.plus_infinity
+    in
+    List.filter_map (fun iv -> Interval.intersect iv window) ivs
+
+let render ?clip_from tl t =
+  List.filter_map
+    (fun r ->
+      match clip_intervals clip_from (Timeline.to_intervals tl r.valid) with
+      | [] -> None
+      | ivs ->
+        Some
+          (Printf.sprintf "%s @ %s" (tuple_key r.tuple)
+             (String.concat " " (List.map Interval.to_string ivs))))
+    t
+
+let field_to_xml = function
+  | F_node (d, p) ->
+    Xml.element "node"
+      ~attrs:[ ("doc", string_of_int d); ("path", Xidpath.to_string p) ]
+      []
+  | F_doc d -> Xml.element "doc" ~attrs:[ ("id", string_of_int d) ] []
+  | F_int n -> Xml.element "count" [ Xml.text (string_of_int n) ]
+  | F_null -> Xml.element "null" []
+
+let to_xml tl t =
+  Xml.element "results"
+    (List.map
+       (fun r ->
+         Xml.element "row"
+           (List.map field_to_xml r.tuple
+           @ [
+               Xml.element "valid"
+                 (List.map
+                    (fun iv ->
+                      Xml.element "interval"
+                        ~attrs:
+                          [
+                            ("from", Timestamp.to_string (Interval.start iv));
+                            ("to", Timestamp.to_string (Interval.stop iv));
+                          ]
+                        [])
+                    (Timeline.to_intervals tl r.valid));
+             ]))
+       t)

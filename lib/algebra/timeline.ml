@@ -1,0 +1,58 @@
+module Timestamp = Txq_temporal.Timestamp
+module Interval = Txq_temporal.Interval
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+module Vrange = Txq_core.Vrange
+
+type t = { instants : Timestamp.t array }
+
+let of_db db =
+  let acc = ref [] in
+  List.iter
+    (fun id ->
+      let d = Db.doc db id in
+      for v = Docstore.first_version d to Docstore.version_count d - 1 do
+        acc := Docstore.ts_of_version d v :: !acc
+      done;
+      match Docstore.deleted_at d with
+      | Some ts -> acc := ts :: !acc
+      | None -> ())
+    (Db.doc_ids db);
+  { instants = Array.of_list (List.sort_uniq Timestamp.compare !acc) }
+
+let length t = Array.length t.instants
+let instant t i = t.instants.(i)
+
+let index_from t ts =
+  let lo = ref 0 and hi = ref (Array.length t.instants) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Timestamp.(t.instants.(mid) < ts) then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let of_intervals t ivs =
+  Vrange.coalesce
+    (List.map
+       (fun iv ->
+         let a = index_from t (Interval.start iv) in
+         let stop = Interval.stop iv in
+         let b =
+           if Timestamp.equal stop Timestamp.plus_infinity then max_int
+           else index_from t stop
+         in
+         Vrange.singleton a b)
+       ivs)
+
+let to_intervals t vr =
+  let n = Array.length t.instants in
+  List.filter_map
+    (fun (a, b) ->
+      if a >= n then None
+      else
+        let start = t.instants.(a) in
+        let stop =
+          if b >= n then Timestamp.plus_infinity else t.instants.(b)
+        in
+        Interval.make_opt ~start ~stop)
+    (Vrange.to_list vr)

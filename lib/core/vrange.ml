@@ -20,6 +20,7 @@ let of_list ranges =
 let is_empty t = t = []
 let mem v t = List.exists (fun (a, b) -> a <= v && v < b) t
 let union a b = of_list (a @ b)
+let coalesce ts = of_list (List.concat ts)
 
 let inter a b =
   let rec go a b acc =
@@ -31,6 +32,29 @@ let inter a b =
       if a2 < b2 then go ra b acc else go a rb acc
   in
   go a b []
+
+(* [a] minus [b].  A pure merge walk on the sorted range lists; no endpoint
+   arithmetic, so open-ended ranges ([b = max_int]) pass through without the
+   overflow a [b + 1] encoding would risk. *)
+let diff a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ -> List.rev acc
+    | rest, [] -> List.rev_append acc rest
+    | (a1, a2) :: ra, (b1, b2) :: rb ->
+      if b2 <= a1 then go a rb acc (* b entirely before a *)
+      else if a2 <= b1 then go ra b ((a1, a2) :: acc) (* a entirely before b *)
+      else begin
+        (* overlap: keep the part of a left of b, then the remainder *)
+        let acc = if a1 < b1 then (a1, b1) :: acc else acc in
+        if a2 <= b2 then go ra b acc else go ((b2, a2) :: ra) rb acc
+      end
+  in
+  go a b []
+
+let split_points ts =
+  List.sort_uniq compare
+    (List.concat_map (List.concat_map (fun (a, b) -> [ a; b ])) ts)
 
 let is_bounded t = List.for_all (fun (_, b) -> b <> max_int) t
 

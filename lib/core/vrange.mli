@@ -22,6 +22,27 @@ val is_empty : t -> bool
 val mem : int -> t -> bool
 val union : t -> t -> t
 val inter : t -> t -> t
+
+val coalesce : t list -> t
+(** N-way union: normalizes any list of range sets into one sorted,
+    disjoint, non-adjacent set (adjacent ranges merge: [\[1,3)] and
+    [\[3,5)] coalesce to [\[1,5)]).  The call sites that used to hand-roll
+    this (per-instant re-coalescing, aggregate segment merging) share this
+    one definition. *)
+
+val diff : t -> t -> t
+(** [diff a b] is the set difference [a \ b].  Open-ended ranges
+    ([b = max_int]) survive: subtracting a bounded set from an unbounded
+    one leaves an unbounded remainder, and subtracting an unbounded set
+    truncates without overflow. *)
+
+val split_points : t list -> int list
+(** Sorted, distinct endpoints of every range in every input set.
+    Consecutive pairs delimit the elementary segments on which membership
+    of each input is constant — the split step of interval-split
+    aggregation ([max_int] appears as the final point when any input is
+    unbounded). *)
+
 val is_bounded : t -> bool
 (** False iff the last range is open ([b = max_int]). *)
 

@@ -171,3 +171,11 @@ let to_string q =
     (match q.where with
      | None -> ""
      | Some c -> " WHERE " ^ cond_to_string c)
+
+type statement =
+  | S_query of query
+  | S_algebra of Txq_algebra.Algebra.t
+
+let statement_to_string = function
+  | S_query q -> to_string q
+  | S_algebra a -> Txq_algebra.Algebra.to_string a

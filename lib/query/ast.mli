@@ -94,6 +94,14 @@ val ordered_holds : ordered -> int -> bool
 (** [ordered_holds op c] interprets a [compare]-style result [c] under
     [op] — the single shared dispatch for every evaluator. *)
 
+type statement =
+  | S_query of query  (** a [SELECT …] query *)
+  | S_algebra of Txq_algebra.Algebra.t
+      (** a temporal-algebra expression over version sets, e.g.
+          [doc("a")//name EXCEPT doc("b")//name] *)
+
+val statement_to_string : statement -> string
+
 val expr_to_string : expr -> string
 val ordered_to_string : ordered -> string
 val cmp_to_string : cmp -> string

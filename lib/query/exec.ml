@@ -14,6 +14,10 @@ module Lifetime = Txq_core.Lifetime
 module Nav = Txq_core.Nav
 module Diff_op = Txq_core.Diff_op
 module Equality = Txq_core.Equality
+module Glob = Txq_core.Glob
+module Algebra = Txq_algebra.Algebra
+module Timeline = Txq_algebra.Timeline
+module Relation = Txq_algebra.Relation
 module Trace = Txq_obs.Trace
 module Span = Txq_obs.Span
 
@@ -554,10 +558,30 @@ let run db query =
     Ok (Xml.element "results" results)
   with Fail e -> Error e
 
+(* --- algebra statements ---------------------------------------------------- *)
+
+let run_algebra db node =
+  Trace.with_span "query.run" @@ fun () ->
+  match Algebra.validate node with
+  | Error e -> Error (Unsupported e)
+  | Ok () ->
+    let tl =
+      Trace.with_span "algebra.timeline" (fun () ->
+          let tl = Timeline.of_db db in
+          if Trace.enabled () then Trace.add_count "instants" (Timeline.length tl);
+          tl)
+    in
+    let rel = Algebra.eval db tl node in
+    Ok (Relation.to_xml tl rel)
+
+let run_statement db = function
+  | Ast.S_query q -> run db q
+  | Ast.S_algebra a -> run_algebra db a
+
 let run_string db input =
-  match Parser.parse input with
+  match Parser.parse_statement input with
   | Error e -> Error (Parse_error e)
-  | Ok q -> run db q
+  | Ok s -> run_statement db s
 
 (* --- explain ------------------------------------------------------------- *)
 
@@ -617,10 +641,44 @@ let explain db query =
   ignore db;
   Buffer.contents buf
 
+let explain_algebra db node =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "algebra: %s\n" (Algebra.to_string node);
+  (match Algebra.validate node with
+   | Error e -> addf "invalid: %s\n" e
+   | Ok () -> ());
+  let rec tree indent n =
+    let pad = String.make indent ' ' in
+    match (n : Algebra.t) with
+    | Algebra.Scan _ ->
+      addf "%s%s  arity=%d  %s\n" pad (Algebra.span_name n) (Algebra.arity n)
+        (Algebra.to_string n)
+    | Algebra.Set (_, a, b) | Algebra.Joinop (_, _, a, b) ->
+      addf "%s%s  arity=%d\n" pad (Algebra.span_name n) (Algebra.arity n);
+      tree (indent + 2) a;
+      tree (indent + 2) b
+    | Algebra.Group (_, a) ->
+      addf "%s%s  arity=%d  (interval-split COUNT)\n" pad (Algebra.span_name n)
+        (Algebra.arity n);
+      tree (indent + 2) a
+  in
+  tree 0 node;
+  addf
+    "leaves: TPatternScanAll validity sets mapped onto the global timeline \
+     (%d instants, %d documents)\n"
+    (Timeline.length (Timeline.of_db db))
+    (List.length (Db.doc_ids db));
+  Buffer.contents buf
+
+let explain_statement db = function
+  | Ast.S_query q -> explain db q
+  | Ast.S_algebra a -> explain_algebra db a
+
 let explain_string db input =
-  match Parser.parse input with
+  match Parser.parse_statement input with
   | Error e -> Error (Parse_error e)
-  | Ok q -> Ok (explain db q)
+  | Ok s -> Ok (explain_statement db s)
 
 (* --- explain analyze ------------------------------------------------------ *)
 
@@ -670,9 +728,7 @@ let aggregate_spans roots =
     roots;
   List.map (fun name -> (name, Hashtbl.find tbl name)) (List.rev !order)
 
-let explain_analyze db query =
-  let plan = explain db query in
-  let result, roots = Txq_obs.Trace.collect (fun () -> run db query) in
+let render_analysis plan result roots =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   Buffer.add_string buf plan;
@@ -695,12 +751,24 @@ let explain_analyze db query =
        (fun (_, a) (_, b) -> Float.compare b.os_total_us a.os_total_us)
        ops);
   List.iter (fun root -> addf "span tree:\n%s\n" (Span.to_string root)) roots;
-  (result, Buffer.contents buf)
+  Buffer.contents buf
+
+let explain_analyze db query =
+  let plan = explain db query in
+  let result, roots = Txq_obs.Trace.collect (fun () -> run db query) in
+  (result, render_analysis plan result roots)
+
+let explain_analyze_statement db = function
+  | Ast.S_query q -> explain_analyze db q
+  | Ast.S_algebra a ->
+    let plan = explain_algebra db a in
+    let result, roots = Txq_obs.Trace.collect (fun () -> run_algebra db a) in
+    (result, render_analysis plan result roots)
 
 let explain_analyze_string db input =
-  match Parser.parse input with
+  match Parser.parse_statement input with
   | Error e -> Error (Parse_error e)
-  | Ok q -> Ok (snd (explain_analyze db q))
+  | Ok s -> Ok (snd (explain_analyze_statement db s))
 
 let run_string_exn db input =
   match run_string db input with

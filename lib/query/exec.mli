@@ -25,8 +25,19 @@ val run : Txq_db.Db.t -> Ast.query -> (Txq_xml.Xml.t, error) result
 (** Evaluates the query at the database's current NOW; the result document
     is [<results><result>…</result>…</results>] (Section 5). *)
 
+val run_algebra :
+  Txq_db.Db.t -> Txq_algebra.Algebra.t -> (Txq_xml.Xml.t, error) result
+(** Evaluates a temporal-algebra expression: {!Txq_algebra.Algebra.validate},
+    then {!Txq_algebra.Timeline.of_db} (under an ["algebra.timeline"] span),
+    then {!Txq_algebra.Algebra.eval}; the result document is
+    [<results><row>…<valid>…</valid></row>…</results>].  A validation
+    failure is [Unsupported]. *)
+
+val run_statement :
+  Txq_db.Db.t -> Ast.statement -> (Txq_xml.Xml.t, error) result
+
 val run_string : Txq_db.Db.t -> string -> (Txq_xml.Xml.t, error) result
-(** Parse and run. *)
+(** Parse (as a statement: query or algebra expression) and run. *)
 
 val run_string_exn : Txq_db.Db.t -> string -> Txq_xml.Xml.t
 
@@ -36,6 +47,12 @@ val explain : Txq_db.Db.t -> Ast.query -> string
     delta-index root binding), the pattern tree after predicate pushdown,
     and how the SELECT list is produced.  Purely informational; computing
     it runs nothing. *)
+
+val explain_algebra : Txq_db.Db.t -> Txq_algebra.Algebra.t -> string
+(** The algebra node tree with span names and arities, plus the size of
+    the global timeline its leaves map onto. *)
+
+val explain_statement : Txq_db.Db.t -> Ast.statement -> string
 
 val explain_string : Txq_db.Db.t -> string -> (string, error) result
 
@@ -47,5 +64,11 @@ val explain_analyze :
     attributes (deltas applied, postings scanned, vcache hits, …) and the
     raw span tree(s).  Works whether or not a trace sink is installed.
     Returns the run's result alongside the report. *)
+
+val explain_analyze_statement :
+  Txq_db.Db.t -> Ast.statement -> (Txq_xml.Xml.t, error) result * string
+(** {!explain_analyze} generalized to statements; an algebra statement's
+    profile reports per-algebra-node spans (["algebra.union"],
+    ["algebra.join"], …) with call counts, timings and row counters. *)
 
 val explain_analyze_string : Txq_db.Db.t -> string -> (string, error) result

@@ -50,7 +50,9 @@ let keywords =
   [
     "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "EVERY"; "NOW";
     "TIME"; "CREATE"; "DELETE"; "PREVIOUS"; "NEXT"; "CURRENT"; "DIFF"; "COUNT";
-    "SUM"; "AVG"; "CONTAINS"; "DOC"; "COLLECTION";
+    "SUM"; "AVG"; "CONTAINS"; "DOC"; "COLLECTION"; "UNION"; "INTERSECT";
+    "EXCEPT"; "JOIN"; "LEFTJOIN"; "SEMIJOIN"; "ANTIJOIN"; "ON"; "ANCESTOR";
+    "ALWAYS"; "BY";
   ]
 
 let is_digit c = c >= '0' && c <= '9'

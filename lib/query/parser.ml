@@ -321,14 +321,156 @@ let parse_query st =
   if peek st <> EOF then fail st "unexpected trailing input";
   { Ast.distinct; select; from; where }
 
-let parse input =
+(* --- algebra statements -------------------------------------------------- *)
+
+(* alg      := alg_join ((UNION | INTERSECT | EXCEPT) alg_join)*
+   alg_join := alg_prim ((JOIN | LEFTJOIN | SEMIJOIN | ANTIJOIN)
+                          [ON (DOC | ANCESTOR | ALWAYS)] alg_prim)*
+   alg_prim := (doc | collection) '(' STRING ')' path ['=' STRING]
+             | COUNT [BY DOC] '(' alg ')'
+             | '(' alg ')'
+   Set and join operators are left-associative; joins bind tighter.  A
+   join with no ON clause defaults to ON DOC. *)
+
+module Alg = Txq_algebra.Algebra
+
+let parse_alg_leaf st kind =
+  expect st LPAREN "'(' after the source keyword";
+  let url =
+    match peek st with
+    | STRING s ->
+      advance st;
+      s
+    | _ -> fail st "expected a quoted URL"
+  in
+  expect st RPAREN "')'";
+  let path = parse_path_steps st in
+  let word =
+    if peek st = EQ then begin
+      advance st;
+      match peek st with
+      | STRING s ->
+        advance st;
+        Some s
+      | _ -> fail st "expected a quoted word after '='"
+    end
+    else None
+  in
+  Alg.Scan
+    {
+      Alg.l_kind = kind;
+      l_url = url;
+      l_path = Txq_xml.Path.to_string path;
+      l_word = word;
+    }
+
+let rec parse_alg st =
+  let rec go left =
+    match peek st with
+    | KW "UNION" ->
+      advance st;
+      go (Alg.Set (Alg.Union, left, parse_alg_join st))
+    | KW "INTERSECT" ->
+      advance st;
+      go (Alg.Set (Alg.Intersect, left, parse_alg_join st))
+    | KW "EXCEPT" ->
+      advance st;
+      go (Alg.Set (Alg.Except, left, parse_alg_join st))
+    | _ -> left
+  in
+  go (parse_alg_join st)
+
+and parse_alg_join st =
+  let join_kind st =
+    match peek st with
+    | KW "JOIN" -> Some Alg.Join
+    | KW "LEFTJOIN" -> Some Alg.Left_join
+    | KW "SEMIJOIN" -> Some Alg.Semi_join
+    | KW "ANTIJOIN" -> Some Alg.Anti_join
+    | _ -> None
+  in
+  let rec go left =
+    match join_kind st with
+    | None -> left
+    | Some k ->
+      advance st;
+      let on =
+        if peek st = KW "ON" then begin
+          advance st;
+          match peek st with
+          | KW "DOC" ->
+            advance st;
+            Alg.On_doc
+          | KW "ANCESTOR" ->
+            advance st;
+            Alg.On_ancestor
+          | KW "ALWAYS" ->
+            advance st;
+            Alg.On_always
+          | _ -> fail st "expected DOC, ANCESTOR or ALWAYS after ON"
+        end
+        else Alg.On_doc
+      in
+      go (Alg.Joinop (k, on, left, parse_alg_prim st))
+  in
+  go (parse_alg_prim st)
+
+and parse_alg_prim st =
+  match peek st with
+  | KW "DOC" ->
+    advance st;
+    parse_alg_leaf st Alg.Doc
+  | KW "COLLECTION" ->
+    advance st;
+    parse_alg_leaf st Alg.Collection
+  | KW "COUNT" ->
+    advance st;
+    let key =
+      if peek st = KW "BY" then begin
+        advance st;
+        expect_kw st "DOC";
+        Alg.By_doc
+      end
+      else Alg.By_all
+    in
+    expect st LPAREN "'(' after COUNT";
+    let a = parse_alg st in
+    expect st RPAREN "')'";
+    Alg.Group (key, a)
+  | LPAREN ->
+    advance st;
+    let a = parse_alg st in
+    expect st RPAREN "')'";
+    a
+  | _ -> fail st "expected doc(...), collection(...), COUNT or '('"
+
+let parse_statement_tokens st =
+  if peek st = KW "SELECT" then Ast.S_query (parse_query st)
+  else begin
+    let a = parse_alg st in
+    if peek st <> EOF then fail st "unexpected trailing input";
+    Ast.S_algebra a
+  end
+
+(* --- entry points --------------------------------------------------------- *)
+
+let with_tokens input f =
   match Lexer.tokenize input with
   | Error e -> Error e
   | Ok toks -> (
     let st = { toks = Array.of_list toks; pos = 0 } in
-    try Ok (parse_query st) with Parse_failure msg -> Stdlib.Error msg)
+    try Ok (f st) with Parse_failure msg -> Stdlib.Error msg)
+
+let parse input = with_tokens input parse_query
 
 let parse_exn input =
   match parse input with
   | Ok q -> q
   | Error msg -> invalid_arg ("Parser.parse_exn: " ^ msg)
+
+let parse_statement input = with_tokens input parse_statement_tokens
+
+let parse_statement_exn input =
+  match parse_statement input with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Parser.parse_statement_exn: " ^ msg)

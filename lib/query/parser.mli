@@ -14,3 +14,19 @@
 
 val parse : string -> (Ast.query, string) result
 val parse_exn : string -> Ast.query
+
+val parse_statement : string -> (Ast.statement, string) result
+(** A statement is either a [SELECT] query or a temporal-algebra
+    expression:
+    {v
+    alg      := alg_join ((UNION | INTERSECT | EXCEPT) alg_join)*
+    alg_join := alg_prim ((JOIN | LEFTJOIN | SEMIJOIN | ANTIJOIN)
+                           [ON (DOC | ANCESTOR | ALWAYS)] alg_prim)*
+    alg_prim := (doc | collection)("url")/path ['=' "word"]
+              | COUNT [BY DOC] '(' alg ')'
+              | '(' alg ')'
+    v}
+    Set and join operators are left-associative, joins bind tighter, and
+    a join without an [ON] clause defaults to [ON DOC]. *)
+
+val parse_statement_exn : string -> Ast.statement

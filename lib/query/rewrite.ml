@@ -112,6 +112,9 @@ let query ~now q =
 let run db q = Exec.run db (query ~now:(Txq_db.Db.now db) q)
 
 let run_string db input =
-  match Parser.parse input with
+  match Parser.parse_statement input with
   | Error e -> Error (Exec.Parse_error e)
-  | Ok q -> run db q
+  | Ok (Ast.S_query q) -> run db q
+  | Ok (Ast.S_algebra a) ->
+    (* algebra statements have no rewrite rules yet; execute directly *)
+    Exec.run_algebra db a

@@ -29,3 +29,5 @@ val run : Txq_db.Db.t -> Ast.query -> (Txq_xml.Xml.t, Exec.error) result
 (** [Exec.run] after rewriting. *)
 
 val run_string : Txq_db.Db.t -> string -> (Txq_xml.Xml.t, Exec.error) result
+(** Parses a statement; [SELECT] queries are rewritten then run, algebra
+    expressions run directly (no algebra rewrite rules yet). *)

@@ -4,6 +4,7 @@ module Parse = Txq_xml.Parse
 module Print = Txq_xml.Print
 module Timestamp = Txq_temporal.Timestamp
 module Clock = Txq_temporal.Clock
+module Glob = Txq_core.Glob
 
 type stored_doc = {
   mutable versions : (Timestamp.t * string) list;  (** newest first *)

@@ -1,0 +1,431 @@
+(* The temporal relational algebra, differentiated against its per-instant
+   definition: a hand-built corpus of interval shapes (touching,
+   overlapping, nested, open-ended) with exact expected results, then
+   qcheck differentials — random operator trees over random stores with
+   interleaved edits and deletes, vacuumed stores clipped to the retained
+   window, and worker-domain determinism.  Subject and oracle must agree
+   byte-for-byte on rendered rows and interval sets. *)
+
+module Xml = Txq_xml.Xml
+module Parse = Txq_xml.Parse
+module Timestamp = Txq_temporal.Timestamp
+module Interval = Txq_temporal.Interval
+module Config = Txq_db.Config
+module Db = Txq_db.Db
+module Docstore = Txq_db.Docstore
+module Gen_xml = Txq_test_support.Gen_xml
+open Txq_algebra
+
+let ts = Timestamp.of_string
+let parse = Parse.parse_exn
+let day = 86_400
+let base_seconds = Timestamp.to_seconds (ts "01/06/2001")
+let op_ts i = Timestamp.of_seconds (base_seconds + ((i + 1) * day))
+
+let scan ?word kind url path =
+  Algebra.Scan { Algebra.l_kind = kind; l_url = url; l_path = path; l_word = word }
+
+let d ?word url path = scan ?word Algebra.Doc url path
+let coll ?word url path = scan ?word Algebra.Collection url path
+
+(* --- corpus -------------------------------------------------------------- *)
+
+(* Five instants, three documents:
+     t0  a: <doc><name>napoli</name></doc>
+     t1  b: <doc><item>pizza</item></doc>     c: <doc><name>napoli</name></doc>
+     t2  a: + <item>pizza</item>
+     t3  b: deleted                           c: name text napoli -> rome
+     t4  a: - <item>
+
+   Validities: a//name [t0,UC) open-ended; a//item [t2,t4) bounded and
+   overlapping b//item [t1,t3), which nests inside a//name; the word scans
+   c//name="napoli" [t1,t3) and ="rome" [t3,UC) touch at t3. *)
+let corpus_db () =
+  let db = Db.create () in
+  ignore
+    (Db.insert_document db ~url:"a" ~ts:(op_ts 0)
+       (parse "<doc><name>napoli</name></doc>"));
+  ignore
+    (Db.insert_document db ~url:"b" ~ts:(op_ts 1)
+       (parse "<doc><item>pizza</item></doc>"));
+  ignore
+    (Db.insert_document db ~url:"c" ~ts:(op_ts 1)
+       (parse "<doc><name>napoli</name></doc>"));
+  ignore
+    (Db.update_document db ~url:"a" ~ts:(op_ts 2)
+       (parse "<doc><name>napoli</name><item>pizza</item></doc>"));
+  Db.delete_document db ~url:"b" ~ts:(op_ts 3) ();
+  ignore
+    (Db.update_document db ~url:"c" ~ts:(op_ts 3)
+       (parse "<doc><name>rome</name></doc>"));
+  ignore
+    (Db.update_document db ~url:"a" ~ts:(op_ts 4)
+       (parse "<doc><name>napoli</name></doc>"));
+  db
+
+let iv a b = Interval.to_string (Interval.make ~start:(op_ts a) ~stop:(op_ts b))
+
+let iv_open a =
+  Interval.to_string
+    (Interval.make ~start:(op_ts a) ~stop:Timestamp.plus_infinity)
+
+let row key ivs = Printf.sprintf "%s @ %s" key (String.concat " " ivs)
+
+let single_key db tl node =
+  match Algebra.eval db tl node with
+  | [ r ] -> Relation.tuple_key r.Relation.tuple
+  | rel ->
+    Alcotest.failf "expected one row from %s, got %d" (Algebra.to_string node)
+      (List.length rel)
+
+let sorted = List.sort String.compare
+
+let test_corpus () =
+  let db = corpus_db () in
+  let tl = Timeline.of_db db in
+  Alcotest.(check int) "five instants" 5 (Timeline.length tl);
+  let a_name = single_key db tl (d "a" "//name") in
+  let a_item = single_key db tl (d "a" "//item") in
+  let b_item = single_key db tl (d "b" "//item") in
+  let a_root = single_key db tl (d "a" "/doc") in
+  let b_root = single_key db tl (d "b" "/doc") in
+  let check name expected node =
+    let got = Relation.render tl (Algebra.eval db tl node) in
+    Alcotest.(check (list string)) name (sorted expected) (sorted got);
+    (* the corpus fixtures double as oracle fixtures *)
+    let got_oracle = Relation.render tl (Oracle.eval db tl node) in
+    Alcotest.(check (list string)) (name ^ " (oracle)") (sorted expected)
+      (sorted got_oracle)
+  in
+  check "union of overlapping items"
+    [ row a_item [ iv 2 4 ]; row b_item [ iv 1 3 ] ]
+    (Algebra.Set (Algebra.Union, d "a" "//item", d "b" "//item"));
+  check "intersect keeps the open-ended arm"
+    [ row a_name [ iv_open 0 ] ]
+    (Algebra.Set (Algebra.Intersect, d "a" "//name", d ~word:"napoli" "a" "//name"));
+  check "except drops the nested row exactly"
+    [ row a_item [ iv 2 4 ] ]
+    (Algebra.Set (Algebra.Except, coll "*" "//item", d "b" "//item"));
+  check "join on ancestor intersects validities"
+    [ row (a_root ^ " | " ^ a_item) [ iv 2 4 ] ]
+    (Algebra.Joinop (Algebra.Join, Algebra.On_ancestor, d "a" "/doc", d "a" "//item"));
+  check "left join splits around the match and stays open-ended"
+    [
+      row (a_root ^ " | " ^ a_item) [ iv 2 4 ];
+      row (a_root ^ " | null") [ iv 0 2; iv_open 4 ];
+    ]
+    (Algebra.Joinop
+       (Algebra.Left_join, Algebra.On_ancestor, d "a" "/doc", d "a" "//item"));
+  check "semijoin clips to the matched window"
+    [ row b_root [ iv 1 3 ] ]
+    (Algebra.Joinop
+       (Algebra.Semi_join, Algebra.On_ancestor, d "b" "/doc", d "b" "//item"));
+  check "antijoin is the complement within the row's validity"
+    [ row a_root [ iv 0 2; iv_open 4 ] ]
+    (Algebra.Joinop
+       (Algebra.Anti_join, Algebra.On_ancestor, d "a" "/doc", d "a" "//item"));
+  check "count splits at overlap boundaries"
+    [ row "n=1" [ iv 1 2; iv 3 4 ]; row "n=2" [ iv 2 3 ] ]
+    (Algebra.Group (Algebra.By_all, coll "*" "//item"));
+  check "count by doc"
+    [ row "doc=0 | n=1" [ iv 2 4 ]; row "doc=1 | n=1" [ iv 1 3 ] ]
+    (Algebra.Group (Algebra.By_doc, coll "*" "//item"));
+  (* the two word scans touch at t3: equal counts must coalesce across
+     the seam into one open-ended row *)
+  check "touching segments coalesce"
+    [ row "n=1" [ iv_open 1 ] ]
+    (Algebra.Group
+       ( Algebra.By_all,
+         Algebra.Set
+           (Algebra.Union, d ~word:"napoli" "c" "//name", d ~word:"rome" "c" "//name")
+       ))
+
+(* --- validation ----------------------------------------------------------- *)
+
+let test_validate () =
+  let ok node =
+    match Algebra.validate node with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "expected valid: %s" e
+  in
+  let rejects what node =
+    match Algebra.validate node with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "expected invalid: %s" what
+  in
+  ok (Algebra.Set (Algebra.Union, d "a" "//name", d "b" "//name"));
+  rejects "wildcard leaf path" (d "a" "/a/*/b");
+  rejects "set arity mismatch"
+    (Algebra.Set
+       ( Algebra.Union,
+         Algebra.Joinop (Algebra.Join, Algebra.On_always, d "a" "//name", d "a" "//name"),
+         d "a" "//name" ));
+  rejects "ancestor join over counts"
+    (Algebra.Joinop
+       ( Algebra.Join,
+         Algebra.On_ancestor,
+         Algebra.Group (Algebra.By_all, d "a" "//name"),
+         d "a" "//name" ));
+  rejects "by-doc over counts"
+    (Algebra.Group (Algebra.By_doc, Algebra.Group (Algebra.By_all, d "a" "//name")))
+
+(* --- statements through the query layer ----------------------------------- *)
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  nl = 0
+  || (hl >= nl
+      && Seq.exists
+           (fun i -> String.equal (String.sub hay i nl) needle)
+           (Seq.init (hl - nl + 1) Fun.id))
+
+let test_statements () =
+  let db = corpus_db () in
+  (match
+     Txq_query.Parser.parse_statement
+       "doc(\"a\")//name EXCEPT doc(\"b\")//name = \"pizza\""
+   with
+   | Ok (Txq_query.Ast.S_algebra (Algebra.Set (Algebra.Except, _, Algebra.Scan l)))
+     ->
+     Alcotest.(check (option string)) "word test parsed" (Some "pizza")
+       l.Algebra.l_word
+   | Ok s ->
+     Alcotest.failf "unexpected parse: %s" (Txq_query.Ast.statement_to_string s)
+   | Error e -> Alcotest.failf "parse: %s" e);
+  (match Txq_query.Parser.parse_statement "SELECT R FROM doc(\"a\")//name R" with
+   | Ok (Txq_query.Ast.S_query _) -> ()
+   | Ok _ -> Alcotest.fail "SELECT must parse as a query"
+   | Error e -> Alcotest.failf "parse: %s" e);
+  let xml =
+    Txq_query.Exec.run_string_exn db
+      "COUNT BY DOC (collection(\"*\")//item)"
+  in
+  Alcotest.(check int) "two count rows" 2 (List.length (Xml.children xml));
+  (match
+     Txq_query.Exec.explain_analyze_string db
+       "doc(\"a\")//name INTERSECT doc(\"a\")//name = \"napoli\""
+   with
+   | Ok report ->
+     List.iter
+       (fun op ->
+         Alcotest.(check bool) (op ^ " in report") true (contains report op))
+       [ "algebra.intersect"; "algebra.scan"; "algebra.timeline"; "rows=" ]
+   | Error e -> Alcotest.failf "explain analyze: %s" (Txq_query.Exec.error_to_string e));
+  match
+    Txq_query.Exec.run_string db
+      "doc(\"a\")//name JOIN ON ANCESTOR COUNT (doc(\"a\")//name)"
+  with
+  | Error (Txq_query.Exec.Unsupported _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Unsupported, got %s"
+      (Txq_query.Exec.error_to_string e)
+  | Ok _ -> Alcotest.fail "ancestor join over counts must be rejected"
+
+(* --- random stores --------------------------------------------------------- *)
+
+type op = Ins of string * Xml.t | Upd of string * Xml.t | Del of string
+
+let interleave a b =
+  let rec go acc = function
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys -> go (y :: x :: acc) (xs, ys)
+  in
+  go [] (a, b)
+
+let replay config ops =
+  let db = Db.create ~config () in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Ins (u, x) -> ignore (Db.insert_document db ~url:u ~ts:(op_ts i) x)
+      | Upd (u, x) -> ignore (Db.update_document db ~url:u ~ts:(op_ts i) x)
+      | Del u -> Db.delete_document db ~url:u ~ts:(op_ts i) ())
+    ops;
+  db
+
+(* Interleaved histories of documents "a" and "b"; [h] selects which
+   documents are deleted at the end. *)
+let ops_of ((a0, asuccs), (b0, bsuccs), h) =
+  Ins ("a", a0) :: Ins ("b", b0)
+  :: interleave
+       (List.map (fun x -> Upd ("a", x)) asuccs)
+       (List.map (fun x -> Upd ("b", x)) bsuccs)
+  @ (if h land 1 = 1 then [ Del "b" ] else [])
+  @ if h land 2 = 2 then [ Del "a" ] else []
+
+(* --- random operator trees -------------------------------------------------- *)
+
+(* Valid by construction: [node1] trees keep arity 1 with a node-valued
+   leading column, so every set operand pair and every ON predicate is
+   well-typed; the top level may widen with a join or aggregate. *)
+let gen_leaf =
+  QCheck.Gen.(
+    let* kind, url =
+      oneofl [ (Algebra.Doc, "a"); (Algebra.Doc, "b"); (Algebra.Collection, "*") ]
+    in
+    let* path = oneofl [ "//name"; "//item"; "//price"; "//review"; "//b" ] in
+    let* word =
+      frequency
+        [ (3, return None); (1, map Option.some (oneofa Gen_xml.words)) ]
+    in
+    return (scan ?word kind url path))
+
+let gen_set_op = QCheck.Gen.oneofl [ Algebra.Union; Algebra.Intersect; Algebra.Except ]
+let gen_on = QCheck.Gen.oneofl [ Algebra.On_doc; Algebra.On_ancestor; Algebra.On_always ]
+
+let rec gen_node1 sz st =
+  let open QCheck.Gen in
+  if sz <= 0 then gen_leaf st
+  else
+    frequency
+      [
+        (2, gen_leaf);
+        ( 3,
+          map3
+            (fun op a b -> Algebra.Set (op, a, b))
+            gen_set_op
+            (gen_node1 (sz / 2))
+            (gen_node1 (sz / 2)) );
+        ( 2,
+          map3
+            (fun (k, on) a b -> Algebra.Joinop (k, on, a, b))
+            (pair (oneofl [ Algebra.Semi_join; Algebra.Anti_join ]) gen_on)
+            (gen_node1 (sz / 2))
+            (gen_node1 (sz / 2)) );
+      ]
+      st
+
+let gen_alg =
+  QCheck.Gen.(
+    let* sz = int_range 0 6 in
+    frequency
+      [
+        (3, gen_node1 sz);
+        ( 2,
+          map3
+            (fun (k, on) a b -> Algebra.Joinop (k, on, a, b))
+            (pair (oneofl [ Algebra.Join; Algebra.Left_join ]) gen_on)
+            (gen_node1 (sz / 2))
+            (gen_node1 (sz / 2)) );
+        ( 2,
+          map2
+            (fun key a -> Algebra.Group (key, a))
+            (oneofl [ Algebra.By_all; Algebra.By_doc ])
+            (gen_node1 sz) );
+      ])
+
+let print_case ((a0, asuccs), (b0, bsuccs), h, alg) =
+  Printf.sprintf "h=%d\nalgebra: %s\ndoc a:\n%s\ndoc b:\n%s" h
+    (Algebra.to_string alg)
+    (String.concat "\n---\n" (List.map Txq_xml.Print.to_string (a0 :: asuccs)))
+    (String.concat "\n---\n" (List.map Txq_xml.Print.to_string (b0 :: bsuccs)))
+
+let gen_history = Gen_xml.gen_history ~max_versions:4
+
+let arb_case =
+  QCheck.make ~print:print_case
+    QCheck.Gen.(
+      map
+        (fun (a, b, h, alg) -> (a, b, h, alg))
+        (quad gen_history gen_history (int_range 0 3) gen_alg))
+
+(* The tentpole differential: the interval-arithmetic evaluator must equal
+   the per-instant naive evaluator on every random store and tree —
+   identical rows, identical interval sets. *)
+let prop_algebra_matches_oracle =
+  QCheck.Test.make ~count:220 ~name:"algebra ≡ per-instant oracle" arb_case
+    (fun (a, b, h, alg) ->
+      let config = { Config.default with fti_mode = Config.Fti_both } in
+      let db = replay config (ops_of (a, b, h)) in
+      let tl = Timeline.of_db db in
+      (match Algebra.validate alg with
+       | Ok () -> ()
+       | Error e -> QCheck.Test.fail_reportf "generated an invalid tree: %s" e);
+      let subject = Relation.render tl (Algebra.eval db tl alg) in
+      let oracle = Relation.render tl (Oracle.eval db tl alg) in
+      if subject <> oracle then
+        QCheck.Test.fail_reportf "algebra:\n%s\noracle:\n%s"
+          (String.concat "\n" subject) (String.concat "\n" oracle);
+      true)
+
+(* Worker-domain determinism: the scan fan-out must not leak into row or
+   interval order. *)
+let prop_algebra_domains_deterministic =
+  QCheck.Test.make ~count:50 ~name:"algebra domains>1 ≡ domains=1" arb_case
+    (fun (a, b, h, alg) ->
+      let config = { Config.default with domains = 3 } in
+      let db = replay config (ops_of (a, b, h)) in
+      let tl = Timeline.of_db db in
+      Relation.render tl (Algebra.eval ~domains:1 db tl alg)
+      = Relation.render tl (Algebra.eval ~domains:4 db tl alg))
+
+(* Vacuumed stores: clipped to the first instant at which every surviving
+   chain is complete, the vacuumed subject must answer exactly as an
+   unvacuumed oracle over the full history. *)
+let prop_algebra_vacuum_clipped =
+  let arb =
+    QCheck.make
+      ~print:(fun (a, b, h, (alg, _)) -> print_case (a, b, h, alg))
+      QCheck.Gen.(
+        quad gen_history gen_history (int_range 0 14)
+          (pair gen_alg (option (int_range 1 4))))
+  in
+  QCheck.Test.make ~count:50
+    ~name:"vacuumed algebra ≡ unvacuumed oracle on the retained window" arb
+    (fun (a, b, h, (alg, k)) ->
+      let config = { Config.default with fti_mode = Config.Fti_both } in
+      let ops = ops_of (a, b, h land 1) in
+      let oracle_db = replay config ops in
+      let subject_db = replay config ops in
+      let retention =
+        { Config.keep_newer_than = Some (op_ts (h mod 8)); keep_versions = k }
+      in
+      ignore (Db.vacuum ~retention subject_db : Db.vacuum_report);
+      let safe_from =
+        List.fold_left
+          (fun acc id ->
+            let t =
+              if List.mem id (Db.doc_ids subject_db) then
+                Docstore.ts_of_version (Db.doc subject_db id)
+                  (Docstore.first_version (Db.doc subject_db id))
+              else
+                match Docstore.deleted_at (Db.doc oracle_db id) with
+                | Some t -> t
+                | None ->
+                  QCheck.Test.fail_reportf "vacuum dropped a live document"
+            in
+            if Timestamp.(t > acc) then t else acc)
+          Timestamp.minus_infinity (Db.doc_ids oracle_db)
+      in
+      let tl_s = Timeline.of_db subject_db in
+      let tl_o = Timeline.of_db oracle_db in
+      let subject =
+        Relation.render ~clip_from:safe_from tl_s
+          (Algebra.eval subject_db tl_s alg)
+      in
+      let oracle =
+        Relation.render ~clip_from:safe_from tl_o
+          (Oracle.eval oracle_db tl_o alg)
+      in
+      if subject <> oracle then
+        QCheck.Test.fail_reportf "clip from %s\nvacuumed:\n%s\noracle:\n%s"
+          (Timestamp.to_string safe_from)
+          (String.concat "\n" subject) (String.concat "\n" oracle);
+      true)
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "interval shapes" `Quick test_corpus;
+          Alcotest.test_case "validation" `Quick test_validate;
+          Alcotest.test_case "statements" `Quick test_statements;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_algebra_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_algebra_domains_deterministic;
+          QCheck_alcotest.to_alcotest prop_algebra_vacuum_clipped;
+        ] );
+    ]

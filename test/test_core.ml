@@ -64,6 +64,66 @@ let test_vrange () =
   Alcotest.(check bool) "mem upper open" false (mem 9 (of_list [(7, 9)]));
   Alcotest.(check int) "spans" 5 (spans (of_list [(0, 3); (7, 9)]))
 
+let test_vrange_helpers () =
+  let open Vrange in
+  Alcotest.(check (list (pair int int))) "coalesce merges adjacency across sets"
+    [ (0, 6); (8, 10) ]
+    (to_list
+       (coalesce
+          [ of_list [ (0, 2); (8, 10) ]; of_list [ (2, 4) ]; of_list [ (4, 6) ] ]));
+  Alcotest.(check (list (pair int int))) "diff punches a hole"
+    [ (0, 2); (5, 9) ]
+    (to_list (diff (of_list [ (0, 9) ]) (of_list [ (2, 5) ])));
+  Alcotest.(check (list (pair int int))) "diff is empty on containment" []
+    (to_list (diff (of_list [ (2, 5) ]) (of_list [ (0, 9) ])));
+  Alcotest.(check (list int)) "split_points are sorted distinct endpoints"
+    [ 0; 2; 5; 9 ]
+    (split_points [ of_list [ (0, 5) ]; of_list [ (2, 9) ]; of_list [ (5, 9) ] ])
+
+(* Regression: the open-ended arm ([hi = max_int], "until changed") must
+   survive interval difference without endpoint arithmetic — a [b + 1]
+   encoding would overflow on the sentinel. *)
+let test_vrange_open_ended () =
+  let open Vrange in
+  Alcotest.(check (list (pair int int))) "open-ended minuend keeps its tail"
+    [ (0, 2); (5, max_int) ]
+    (to_list (diff (of_list [ (0, max_int) ]) (of_list [ (2, 5) ])));
+  Alcotest.(check (list (pair int int))) "open-ended subtrahend truncates"
+    [ (0, 2) ]
+    (to_list (diff (of_list [ (0, 5); (7, max_int) ]) (of_list [ (2, max_int) ])));
+  Alcotest.(check (list (pair int int))) "open minus open cancels" []
+    (to_list (diff (of_list [ (3, max_int) ]) (of_list [ (0, max_int) ])));
+  Alcotest.(check (list int)) "split_points keeps the sentinel"
+    [ 1; 4; max_int ]
+    (split_points [ of_list [ (1, 4) ]; of_list [ (4, max_int) ] ])
+
+let arb_vrange =
+  (* small dense ranges so operands collide, with an occasional
+     open-ended arm *)
+  QCheck.map
+    (fun (rs, open_from) ->
+      let rs = List.map (fun (a, w) -> (a, a + 1 + w)) rs in
+      let rs =
+        match open_from with None -> rs | Some a -> (a, max_int) :: rs
+      in
+      Vrange.of_list rs)
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 20) (int_bound 4)))
+        (option (int_bound 20)))
+
+let prop_vrange_diff_pointwise =
+  QCheck.Test.make ~count:300 ~name:"diff/coalesce pointwise semantics"
+    QCheck.(pair arb_vrange arb_vrange)
+    (fun (a, b) ->
+      let d = Vrange.diff a b in
+      let u = Vrange.coalesce [ a; b ] in
+      List.for_all
+        (fun x ->
+          Vrange.mem x d = (Vrange.mem x a && not (Vrange.mem x b))
+          && Vrange.mem x u = (Vrange.mem x a || Vrange.mem x b))
+        (List.init 30 Fun.id @ [ 1000; max_int - 1 ]))
+
 (* --- Pattern ------------------------------------------------------------ *)
 
 let test_pattern_of_path () =
@@ -907,7 +967,14 @@ let test_lifetime_counter_domain_local () =
 let () =
   Alcotest.run "core"
     [
-      ("vrange", [Alcotest.test_case "set algebra" `Quick test_vrange]);
+      ( "vrange",
+        [
+          Alcotest.test_case "set algebra" `Quick test_vrange;
+          Alcotest.test_case "coalesce/diff/split_points" `Quick
+            test_vrange_helpers;
+          Alcotest.test_case "open-ended arms" `Quick test_vrange_open_ended;
+          QCheck_alcotest.to_alcotest prop_vrange_diff_pointwise;
+        ] );
       ( "pattern",
         [
           Alcotest.test_case "of_path" `Quick test_pattern_of_path;

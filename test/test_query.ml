@@ -2,6 +2,7 @@ module Xml = Txq_xml.Xml
 module Parse = Txq_xml.Parse
 module Print = Txq_xml.Print
 module Timestamp = Txq_temporal.Timestamp
+module Glob = Txq_core.Glob
 open Txq_query
 
 let parse_xml = Parse.parse_exn

@@ -391,6 +391,28 @@ let prop_vacuum_differential =
                  (Scan.tpattern_scan_all subject p)
           then QCheck.Test.fail_reportf "TPatternScanAll differs")
         (Lazy.force patterns);
+      (* the temporal algebra: TExcept of two pattern scans on the
+         vacuumed store vs the per-instant oracle on the unvacuumed one,
+         both clipped to the retained window *)
+      let alg =
+        Txq_algebra.Algebra.(
+          Set
+            ( Except,
+              Scan
+                { l_kind = Collection; l_url = "*"; l_path = "//name";
+                  l_word = None },
+              Scan
+                { l_kind = Doc; l_url = "b"; l_path = "//name";
+                  l_word = Some "pizza" } ))
+      in
+      let tl_s = Txq_algebra.Timeline.of_db subject in
+      let tl_o = Txq_algebra.Timeline.of_db oracle in
+      if
+        Txq_algebra.Relation.render ~clip_from:safe_from tl_s
+          (Txq_algebra.Algebra.eval subject tl_s alg)
+        <> Txq_algebra.Relation.render ~clip_from:safe_from tl_o
+             (Txq_algebra.Oracle.eval oracle tl_o alg)
+      then QCheck.Test.fail_reportf "algebra TExcept differs after vacuum";
       true)
 
 let () =
