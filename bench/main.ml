@@ -982,6 +982,12 @@ let e14 () =
 let check_scan = ref false
 let scan_threshold = 1.10
 
+(* Part of the same gate: on corpora too small to amortize domain spawning,
+   the pool's min-work threshold must collapse multi-domain scans to the
+   sequential path, so domains=2/4 may not lose more than noise vs
+   domains=1. *)
+let multi_scan_threshold = 1.15
+
 let e15 () =
   section "E15  Two-tier FTI: frozen segments and domain-parallel scan"
     "The two-tier index freezes the posting tail into immutable segments\n\
@@ -1112,7 +1118,26 @@ let e15 () =
     end
     else
       Printf.printf "  scan regression check ok: %.2fx <= %.2fx\n" ratio
-        scan_threshold
+        scan_threshold;
+    List.iter
+      (fun (domains, us) ->
+        if domains > 1 then begin
+          let r = us /. d1_us in
+          record_json
+            (Printf.sprintf "scan_d%d_over_d1" domains)
+            (Harness.Json.Float r);
+          if r > multi_scan_threshold then begin
+            Printf.eprintf
+              "E15 FAIL: domains=%d scan %.2fx of domains=1 exceeds threshold \
+               %.2fx (min-work threshold not collapsing small scans)\n"
+              domains r multi_scan_threshold;
+            exit 1
+          end
+          else
+            Printf.printf "  domains=%d small-scan check ok: %.2fx <= %.2fx\n"
+              domains r multi_scan_threshold
+        end)
+      dom_rows
   end
 
 (* ------------------------------------------------------------------ E16 *)
@@ -1355,6 +1380,158 @@ let e17 () =
       List.iter (fun f -> Printf.eprintf "E17 FAIL: %s\n" f) fs;
       exit 1
 
+(* ------------------------------------------------------------------ E18 *)
+
+(* --check-mvcc turns E18 into a pass/fail gate (CI): at 8 concurrent
+   committers, group commit must cut fsyncs per transaction by at least
+   this factor against one-fsync-per-commit durability. *)
+let check_mvcc = ref false
+let mvcc_fsync_factor = 4.0
+
+let e18 () =
+  section "E18  MVCC snapshots and group commit: concurrent throughput"
+    "Beyond the paper: the version chain is naturally multi-version, so\n\
+     reads need no locks once pinned.  Part 1 scales reader domains, each\n\
+     querying its own snapshot while a writer commits sustained updates.\n\
+     Part 2 measures durability cost at 8 concurrent committers: one\n\
+     fsync per commit vs the group-commit leader flushing whole batches.";
+  let parse = Txq_xml.Parse.parse_exn in
+  (* Part 1: reader-domain scaling against a live writer *)
+  let sp =
+    spec
+      ~documents:(if !smoke then 6 else 24)
+      ~versions:(if !smoke then 6 else 10)
+      ~restaurants:(if !smoke then 5 else 10)
+      ()
+  in
+  let pattern = Pattern.of_path_exn "/guide/restaurant/name" in
+  let mid = Load.midpoint_ts sp in
+  let quota = if !smoke then 25 else 120 in
+  let payload i =
+    parse
+      (Printf.sprintf
+         "<guide><restaurant><name>bench</name><price>%d</price></restaurant></guide>"
+         (10 + (i mod 7)))
+  in
+  let run_readers readers =
+    let db = Load.load_db sp in
+    let stop = Atomic.make false in
+    let commits = Atomic.make 0 in
+    let writer =
+      Domain.spawn (fun () ->
+          let i = ref 0 in
+          while not (Atomic.get stop) do
+            ignore (Db.update_document db ~url:url0 (payload !i));
+            incr i;
+            Atomic.incr commits
+          done)
+    in
+    let reader () =
+      let snap = Db.snapshot db in
+      for _ = 1 to quota do
+        ignore (Scan.tpattern_scan_all snap pattern);
+        ignore (Scan.tpattern_scan snap pattern mid)
+      done;
+      Db.release snap
+    in
+    let t0 = Unix.gettimeofday () in
+    let hs = Array.init readers (fun _ -> Domain.spawn reader) in
+    Array.iter Domain.join hs;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Atomic.set stop true;
+    Domain.join writer;
+    let queries = readers * quota * 2 in
+    (wall_s, float queries /. wall_s, Atomic.get commits)
+  in
+  let reader_rows =
+    List.map (fun r -> (r, run_readers r)) [ 1; 2; 4 ]
+  in
+  let _, (base_wall, base_qps, _) = List.hd reader_rows in
+  ignore base_wall;
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E18a: snapshot readers vs live writer (%d queries/reader)"
+         (quota * 2))
+    ~columns:[ "readers"; "wall"; "queries/s"; "scaling"; "writer commits" ]
+    (List.map
+       (fun (r, (wall_s, qps, commits)) ->
+         [
+           string_of_int r;
+           Printf.sprintf "%.1f ms" (wall_s *. 1e3);
+           Printf.sprintf "%.0f" qps;
+           Printf.sprintf "%.2fx" (qps /. base_qps);
+           string_of_int commits;
+         ])
+       reader_rows);
+  record_json "reader_scaling"
+    (Harness.Json.Arr
+       (List.map
+          (fun (r, (wall_s, qps, commits)) ->
+            Harness.Json.Obj
+              [
+                ("readers", Harness.Json.Int r);
+                ("wall_s", Harness.Json.Float wall_s);
+                ("queries_per_s", Harness.Json.Float qps);
+                ("writer_commits", Harness.Json.Int commits);
+              ])
+          reader_rows));
+  (* Part 2: fsyncs per transaction, 8 concurrent committers *)
+  let committers = 8 in
+  let commits_each = if !smoke then 4 else 16 in
+  let run_committers config =
+    let db = Db.create ~config () in
+    let worker k () =
+      let url = Printf.sprintf "doc-%d" k in
+      ignore (Db.insert_document db ~url (payload k));
+      for i = 1 to commits_each - 1 do
+        ignore (Db.update_document db ~url (payload ((k * 31) + i)))
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let hs = Array.init committers (fun k -> Domain.spawn (worker k)) in
+    Array.iter Domain.join hs;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let txns = (Db.stats db).Db.commits in
+    let fsyncs = (Db.io_stats db).Txq_store.Io_stats.fsyncs in
+    (wall_s, txns, fsyncs, float fsyncs /. float txns)
+  in
+  let off = run_committers (Config.durable Config.default) in
+  let on =
+    run_committers
+      (Config.with_group_commit ~window_us:2000 (Config.durable Config.default))
+  in
+  let row name (wall_s, txns, fsyncs, per_txn) =
+    [
+      name; string_of_int txns; string_of_int fsyncs;
+      Printf.sprintf "%.2f" per_txn; Printf.sprintf "%.1f ms" (wall_s *. 1e3);
+    ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "E18b: durability cost at %d concurrent committers"
+         committers)
+    ~columns:[ "mode"; "commits"; "fsyncs"; "fsyncs/txn"; "wall" ]
+    [ row "per-commit fsync" off; row "group commit (2ms window)" on ];
+  let (_, _, _, off_rate) = off and (_, _, _, on_rate) = on in
+  let factor = off_rate /. on_rate in
+  record_json "smoke" (Harness.Json.Bool !smoke);
+  record_json "fsyncs_per_txn_off" (Harness.Json.Float off_rate);
+  record_json "fsyncs_per_txn_on" (Harness.Json.Float on_rate);
+  record_json "fsync_reduction" (Harness.Json.Float factor);
+  record_json "fsync_factor_required" (Harness.Json.Float mvcc_fsync_factor);
+  if !check_mvcc then
+    if factor < mvcc_fsync_factor then begin
+      Printf.eprintf
+        "E18 FAIL: group commit reduced fsyncs/txn only %.1fx (%.2f -> %.2f), \
+         need >= %.1fx\n"
+        factor off_rate on_rate mvcc_fsync_factor;
+      exit 1
+    end
+    else
+      Printf.printf "  group-commit check ok: fsyncs/txn down %.1fx >= %.1fx\n"
+        factor mvcc_fsync_factor
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1362,7 +1539,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17);
+    ("e17", e17); ("e18", e18);
   ]
 
 let () =
@@ -1373,6 +1550,7 @@ let () =
   check_scan := List.mem "--check-scan" args;
   check_vacuum := List.mem "--check-vacuum" args;
   check_algebra := List.mem "--check-algebra" args;
+  check_mvcc := List.mem "--check-mvcc" args;
   (* --trace FILE: stream every root span of the whole run as JSON lines.
      E14 manages its own sinks and ends with tracing off, so combining it
      with --trace in one invocation truncates the stream there. *)

@@ -251,6 +251,11 @@ let stats_cmd =
     Printf.printf "live pages:       %d (%d KiB)\n" (Txq_db.Db.live_pages db)
       (Txq_db.Db.live_pages db * 4);
     Printf.printf "io during build:  %s\n" (Txq_store.Io_stats.to_string io);
+    Printf.printf "pinned snapshots: %d%s\n"
+      (Txq_db.Db.pinned_snapshots db)
+      (match Txq_db.Db.oldest_pinned_watermark db with
+       | Some w -> Printf.sprintf " (oldest watermark %d)" w
+       | None -> "");
     (match Txq_db.Db.config db with
      | { Txq_db.Config.fti_mode = Txq_db.Config.Fti_versions | Txq_db.Config.Fti_both; _ } ->
        let fti = Txq_db.Db.fti db in

@@ -6,8 +6,17 @@
    bookkeeping is folded into the registry here, on the calling domain,
    after every join. *)
 
-let map ~domains tasks f =
+let map ?(min_per_task = 1) ~domains tasks f =
   let n = Array.length tasks in
+  (* Fan-out threshold: spawning a domain costs tens of microseconds, so
+     a scan whose whole task array is smaller than one spawn must not pay
+     for [domains - 1] of them (the E15b regression).  [min_per_task]
+     expresses the work a spawned domain must amortize, in tasks: the
+     effective width is at most [n / min_per_task]. *)
+  let domains =
+    if min_per_task <= 1 then domains
+    else Stdlib.min domains (Stdlib.max 1 (n / min_per_task))
+  in
   if domains <= 1 || n <= 1 then begin
     if n > 0 then Txq_obs.Metrics.incr ~by:n "dpool.tasks";
     Array.map f tasks

@@ -8,13 +8,20 @@
     slot, so the output order equals the input order regardless of
     scheduling.
 
+    [?min_per_task] (default 1 = no threshold) is the number of tasks a
+    spawned domain must have available to amortize its spawn cost: the
+    effective fan-out is capped at [Array.length tasks / min_per_task],
+    so small inputs run inline however many domains were requested.
+
     [f] must be pure with respect to process-global state: it must not
-    write the (single-writer) {!Txq_obs.Metrics} / {!Txq_obs.Trace}
-    registries and must not mutate shared structures.  Pool bookkeeping
-    ([dpool.tasks], [dpool.domains] counters) is folded into the metrics
+    mutate shared structures, and it must not take locks the calling
+    domain could be holding.  Writes to the {!Txq_obs.Metrics} registry
+    are serialized and therefore safe, but pool bookkeeping
+    ([dpool.tasks], [dpool.domains] counters) is still folded into the
     registry on the calling domain after all joins.
 
     A worker exception is re-raised on the calling domain after every
     domain has been joined. *)
 
-val map : domains:int -> 'a array -> ('a -> 'b) -> 'b array
+val map :
+  ?min_per_task:int -> domains:int -> 'a array -> ('a -> 'b) -> 'b array

@@ -23,9 +23,14 @@ let last_deltas_key = Domain.DLS.new_key (fun () -> 0)
 let last_traverse_deltas () = Domain.DLS.get last_deltas_key
 
 let default_strategy db =
-  match Db.cretime db with
-  | Some _ -> `Index
-  | None -> `Traverse
+  (* The CreTime index is shared with the live writer and reflects
+     deletions committed past a snapshot's watermark; delta traversal
+     clamps to the snapshot's bounded chains instead. *)
+  if Db.is_snapshot db then `Traverse
+  else
+    match Db.cretime db with
+    | Some _ -> `Index
+    | None -> `Traverse
 
 let index_of db =
   match Db.cretime db with
@@ -133,8 +138,10 @@ let cre_time_bound db ?strategy teid =
   match strategy with
   | `Traverse -> cre_time_traverse db teid
   | `Index ->
-    ( clamp_created db teid
-        (Cretime_index.create_time (index_of db) teid.Eid.Temporal.eid),
+    (* writer-mutated paged B+-tree: exclude the writer for the lookup *)
+    ( Db.with_read db (fun () ->
+          clamp_created db teid
+            (Cretime_index.create_time (index_of db) teid.Eid.Temporal.eid)),
       0 )
 
 let cre_time db ?strategy teid =
@@ -150,4 +157,6 @@ let del_time db ?strategy teid =
   match strategy with
   | `Traverse -> del_time_traverse db teid
   | `Index ->
-    (Cretime_index.delete_time (index_of db) teid.Eid.Temporal.eid, 0)
+    ( Db.with_read db (fun () ->
+          Cretime_index.delete_time (index_of db) teid.Eid.Temporal.eid),
+      0 )

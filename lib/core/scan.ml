@@ -217,7 +217,7 @@ let distinct_docs arr =
     [] arr
   |> List.rev
 
-let engine ?(domains = 1) pattern ~fetch_all ~keep =
+let engine ?(domains = 1) ?(min_per_task = 1) pattern ~fetch_all ~keep =
   (match Pattern.validate pattern with
    | Ok () -> ()
    | Error e -> invalid_arg ("Scan: invalid pattern: " ^ e));
@@ -267,7 +267,7 @@ let engine ?(domains = 1) pattern ~fetch_all ~keep =
       cands;
     List.rev !out
   in
-  let per_doc = Dpool.map ~domains docs scan_doc in
+  let per_doc = Dpool.map ~min_per_task ~domains docs scan_doc in
   dedup (List.concat (Array.to_list per_doc))
 
 (* Restrict each binding's validity to the single version the operator is
@@ -299,21 +299,66 @@ let domains_of db = function
   | Some n -> if n < 1 then 1 else n
   | None -> (Db.config db).Txq_db.Config.domains
 
-let fetch_all db word kind = Fti.sorted_postings (Db.fti db) word ~kind
+let min_docs db = (Db.config db).Txq_db.Config.dpool_min_docs
+
+(* Each fetch runs with the writer excluded: the FTI's mutable tail and
+   segment freezing are writer-mutated.  Per-fetch locking is enough for
+   snapshots — results are clipped to the pinned watermark afterwards, so
+   commits landing between two fetches cannot leak into the answer. *)
+let fetch_all db word kind =
+  Db.with_read db (fun () -> Fti.sorted_postings (Db.fti db) word ~kind)
+
+(* On a snapshot, shared-index postings may name documents or versions
+   committed past the watermark: keep only what the pinned views can see.
+   [hi >= version_count] sub-ranges keep their open upper bound's meaning
+   through {!binding_intervals}, which treats anything at or past the
+   count as "still valid at the end". *)
+let clip_to_snapshot db bindings =
+  if not (Db.is_snapshot db) then bindings
+  else
+    List.filter_map
+      (fun b ->
+        match Db.doc_opt db b.b_doc with
+        | None -> None
+        | Some d ->
+          let versions =
+            Vrange.inter b.b_versions
+              (Vrange.singleton 0 (Docstore.version_count d))
+          in
+          if Vrange.is_empty versions then None
+          else Some { b with b_versions = versions })
+      bindings
 
 let pattern_scan ?domains db pattern =
   traced "scan.pattern_scan" pattern @@ fun () ->
   let current_version doc =
-    let d = Db.doc db doc in
-    if Docstore.is_alive d then Some (Docstore.version_count d - 1) else None
+    match Db.doc_opt db doc with
+    | Some d when Docstore.is_alive d -> Some (Docstore.version_count d - 1)
+    | Some _ | None -> None
+  in
+  (* Live handle: an open posting is exactly "valid in the current
+     version".  Snapshot: the current version is the bounded one, and a
+     posting closed after the watermark is still open as of the pin — test
+     validity at the bounded current instead.  (Workers run [keep]; both
+     predicates only read frozen tables.) *)
+  let keep =
+    if Db.is_snapshot db then fun p ->
+      match current_version p.Posting.doc with
+      | Some v -> Posting.valid_at p v
+      | None -> false
+    else Posting.is_open
   in
   clamp ~version_of:current_version
-    (engine ~domains:(domains_of db domains) pattern ~fetch_all:(fetch_all db)
-       ~keep:(Some Posting.is_open))
+    (engine ~domains:(domains_of db domains) ~min_per_task:(min_docs db)
+       pattern ~fetch_all:(fetch_all db) ~keep:(Some keep))
 
 let tpattern_scan ?domains db pattern ts =
   traced "scan.tpattern_scan" pattern @@ fun () ->
-  let version_at doc = Db.version_at db doc ts in
+  let version_at doc =
+    match Db.doc_opt db doc with
+    | Some d -> Docstore.version_at d ts
+    | None -> None
+  in
   (* Resolve each candidate document's version on the calling domain (it
      reads the delta index), so the per-posting predicate the workers run
      only consults this frozen table. *)
@@ -339,13 +384,14 @@ let tpattern_scan ?domains db pattern ts =
     | Some None | None -> false
   in
   clamp ~version_of:version_cached
-    (engine ~domains:(domains_of db domains) pattern ~fetch_all:(fetch_all db)
-       ~keep:(Some keep))
+    (engine ~domains:(domains_of db domains) ~min_per_task:(min_docs db)
+       pattern ~fetch_all:(fetch_all db) ~keep:(Some keep))
 
 let tpattern_scan_all ?domains db pattern =
   traced "scan.tpattern_scan_all" pattern @@ fun () ->
-  engine ~domains:(domains_of db domains) pattern ~fetch_all:(fetch_all db)
-    ~keep:None
+  clip_to_snapshot db
+    (engine ~domains:(domains_of db domains) ~min_per_task:(min_docs db)
+       pattern ~fetch_all:(fetch_all db) ~keep:None)
 
 let binding_intervals db b =
   let d = Db.doc db b.b_doc in

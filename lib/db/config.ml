@@ -23,6 +23,9 @@ type t = {
   fti_segment_postings : int;
   domains : int;
   retention : retention;
+  group_commit : bool;
+  group_commit_window_us : int;
+  dpool_min_docs : int;
 }
 
 let no_retention = { keep_newer_than = None; keep_versions = None }
@@ -42,6 +45,9 @@ let default =
     fti_segment_postings = 4096;
     domains = 1;
     retention = no_retention;
+    group_commit = false;
+    group_commit_window_us = 2000;
+    dpool_min_docs = 48;
   }
 
 let durable t = { t with durability = `Journal }
@@ -59,6 +65,19 @@ let with_tracing t = { t with tracing = true }
 let with_domains n t = { t with domains = (if n < 1 then 1 else n) }
 
 let with_snapshots k t = { t with snapshot_every = Some k }
+
+let with_group_commit ?window_us t =
+  {
+    t with
+    group_commit = true;
+    group_commit_window_us =
+      (match window_us with
+       | Some us when us >= 0 -> us
+       | Some _ -> 0
+       | None -> t.group_commit_window_us);
+  }
+
+let with_dpool_min_docs n t = { t with dpool_min_docs = (if n < 0 then 0 else n) }
 
 let maintains_version_index t =
   match t.fti_mode with

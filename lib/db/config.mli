@@ -74,6 +74,27 @@ type t = {
           exactly the sequential behaviour; results are deterministic and
           identical for every value. *)
   retention : retention;
+  group_commit : bool;
+      (** Batch journal durability across concurrent committers: [commit]
+          buffers its journal record and returns once a group-commit
+          leader has flushed the batch with a single durability point
+          (one [fsync] for many transactions).  Off (the default), every
+          mutating operation syncs its own record before returning —
+          byte-identical on-disk behaviour to the pre-group engine.
+          With group commit on, a transaction is visible in memory
+          slightly before it is durable; recovery still lands on a
+          strict prefix of the commit order. *)
+  group_commit_window_us : int;
+      (** Leader collection window in microseconds: how long a group-
+          commit leader waits for other committers to join its batch
+          before flushing.  0 flushes immediately (batching then happens
+          only when committers pile up faster than the flush). *)
+  dpool_min_docs : int;
+      (** Minimum candidate documents a spawned scan domain must amortize:
+          pattern scans skip domain fan-out when the corpus slice is
+          smaller than [dpool_min_docs] per extra domain, so multi-domain
+          configurations never regress small scans (spawn cost dwarfs the
+          work).  0 disables the threshold. *)
 }
 
 val default : t
@@ -90,6 +111,13 @@ val with_tracing : t -> t
 
 val with_domains : int -> t -> t
 (** Sets [domains] (clamped up to 1). *)
+
+val with_group_commit : ?window_us:int -> t -> t
+(** Turns on [group_commit]; [window_us] overrides the collection window
+    (clamped up to 0). *)
+
+val with_dpool_min_docs : int -> t -> t
+(** Sets [dpool_min_docs] (clamped up to 0). *)
 
 val no_retention : retention
 

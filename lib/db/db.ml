@@ -19,6 +19,20 @@ type stats = {
   mutable reconstruct_cache_hits : int;
 }
 
+(* One pinned snapshot: what vacuum must hold back for it.  [pin_watermark]
+   is the commit count at capture (display / differential-test replay
+   marker); [pin_next_doc] bounds the document ids the snapshot can see. *)
+type pin = { pin_watermark : int; pin_next_doc : int }
+
+(* Registry shared between the live handle and every snapshot of it. *)
+type pins = {
+  pins_m : Mutex.t;
+  pin_table : (int, pin) Hashtbl.t;
+  mutable next_pin_id : int;
+}
+
+type view = { sv_pin : int; sv_watermark : int }
+
 type t = {
   config : Config.t;
   clock : Clock.t;
@@ -40,6 +54,22 @@ type t = {
   mutable dtime_seq : int;
   stats : stats;
   vcache : Vcache.t;
+  (* MVCC: the lock serializes the single writer against snapshot capture
+     and the index reads that walk writer-mutated structures (FTI fetch,
+     CreTime, document-time B+-tree).  Reconstruction from a snapshot's
+     captured chains runs lock-free.  Shared (by the [{ t with ... }] copy)
+     between the live handle and its snapshots. *)
+  lock : Txq_store.Rwlock.t;
+  pins : pins;
+  (* [Some _]: this handle is an immutable snapshot — its [docs] are
+     bounded views, mutators raise. *)
+  view : view option;
+  (* Group commit: blobs superseded by a buffered-but-not-yet-durable
+     journal record.  Recovery onto a prefix without that record still
+     needs their pages, so the free runs only once the record's ticket is
+     synced — drained at the next mutation, under the write lock.
+     (ticket, blob, cluster). *)
+  mutable deferred : (int * Txq_store.Blob_store.blob * Eid.doc_id) list;
 }
 
 (* [Config.tracing] installs the cheapest sink so spans are built at all;
@@ -95,6 +125,12 @@ let create ?(config = Config.default) ?clock () =
     vcache =
       Vcache.create ~budget:config.Config.version_cache_bytes
         ~io:(Txq_store.Buffer_pool.stats pool);
+    lock = Txq_store.Rwlock.create ();
+    pins =
+      { pins_m = Mutex.create (); pin_table = Hashtbl.create 8;
+        next_pin_id = 0 };
+    view = None;
+    deferred = [];
   }
 
 let config t = t.config
@@ -145,6 +181,71 @@ let find_at t url instant =
 
 let doc_ids t = List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.docs [])
 let document_count t = Hashtbl.length t.docs
+let doc_opt t id = Hashtbl.find_opt t.docs id
+
+(* --- MVCC snapshots ---------------------------------------------------- *)
+
+let is_snapshot t = t.view <> None
+let snapshot_watermark t = Option.map (fun v -> v.sv_watermark) t.view
+let with_read t f = Txq_store.Rwlock.with_read t.lock f
+
+let read_only_guard t what =
+  if is_snapshot t then
+    invalid_arg (Printf.sprintf "Db.%s: read-only snapshot" what)
+
+let pins_locked t f =
+  Mutex.lock t.pins.pins_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.pins.pins_m) f
+
+let pinned_snapshots t =
+  pins_locked t @@ fun () -> Hashtbl.length t.pins.pin_table
+
+let oldest_pinned_watermark t =
+  pins_locked t @@ fun () ->
+  Hashtbl.fold
+    (fun _ p acc ->
+      match acc with
+      | Some w when w <= p.pin_watermark -> acc
+      | _ -> Some p.pin_watermark)
+    t.pins.pin_table None
+
+let snapshot t =
+  if is_snapshot t then invalid_arg "Db.snapshot: already a snapshot";
+  (* The read lock excludes the writer mid-mutation: the tables and every
+     docstore are consistent at a commit boundary while we pin. *)
+  Txq_store.Rwlock.with_read t.lock @@ fun () ->
+  let watermark = t.stats.commits in
+  let pin_id =
+    pins_locked t @@ fun () ->
+    let id = t.pins.next_pin_id in
+    t.pins.next_pin_id <- id + 1;
+    Hashtbl.replace t.pins.pin_table id
+      { pin_watermark = watermark; pin_next_doc = t.next_doc_id };
+    id
+  in
+  let docs = Hashtbl.create (Hashtbl.length t.docs) in
+  Hashtbl.iter (fun id d -> Hashtbl.replace docs id (Docstore.bounded d)) t.docs;
+  let urls = Hashtbl.create (Hashtbl.length t.urls) in
+  Hashtbl.iter (fun url bucket -> Hashtbl.replace urls url (ref !bucket)) t.urls;
+  {
+    t with
+    docs;
+    urls;
+    view = Some { sv_pin = pin_id; sv_watermark = watermark };
+    (* Reader-side accounting lands on the snapshot handle: reader domains
+       each hold their own snapshot, so these counters never race. *)
+    stats =
+      { commits = watermark; deltas_read = 0; reconstructions = 0;
+        reconstruct_cache_hits = 0 };
+    deferred = [];
+  }
+
+let release t =
+  match t.view with
+  | None -> invalid_arg "Db.release: not a snapshot"
+  | Some v ->
+    (* idempotent: a double release finds the pin already gone *)
+    pins_locked t @@ fun () -> Hashtbl.remove t.pins.pin_table v.sv_pin
 
 let snapshot_due t version =
   match t.config.Config.snapshot_every with
@@ -201,14 +302,72 @@ let blob_ref b =
     br_length = Txq_store.Blob_store.length b;
   }
 
+(* Buffered under group commit (the caller syncs at the barrier, after
+   the write lock is released); one record, one durability point
+   otherwise.  Returns the group ticket when one was issued. *)
 let journal_append t record =
+  match t.journal with
+  | None -> None
+  | Some j ->
+    let payload = Journal_record.encode record in
+    if t.config.Config.group_commit then
+      Some (Txq_store.Journal.append_buffered j payload)
+    else begin
+      Txq_store.Journal.append j payload;
+      None
+    end
+
+(* Vacuum frees pages in its apply phase, so its record can never stay
+   buffered behind them: append-and-sync regardless of group mode. *)
+let journal_append_now t record =
   match t.journal with
   | None -> ()
   | Some j -> Txq_store.Journal.append j (Journal_record.encode record)
 
+(* caller holds the write lock *)
+let drain_deferred t =
+  match (t.deferred, t.journal) with
+  | [], _ | _, None -> ()
+  | deferred, Some j ->
+    let synced = Txq_store.Journal.synced_count j in
+    let ready, still = List.partition (fun (tk, _, _) -> tk <= synced) deferred in
+    t.deferred <- still;
+    List.iter
+      (fun (_, blob, cluster) ->
+        Txq_store.Blob_store.free t.blobs ~cluster blob)
+      ready
+
+let defer_free t ticket blob ~cluster =
+  match ticket with
+  | Some tk -> t.deferred <- (tk, blob, cluster) :: t.deferred
+  | None ->
+    (* group mode without a journal: nothing to wait for *)
+    Txq_store.Blob_store.free t.blobs ~cluster blob
+
+(* After the write lock is released: wait until this commit's journal
+   record is durable, riding (or leading) a group flush.  The collection
+   window lets concurrent committers join the batch — one fsync for all
+   of them. *)
+let group_barrier t = function
+  | None -> ()
+  | Some ticket ->
+    match t.journal with
+    | None -> ()
+    | Some j ->
+      let window =
+        float_of_int t.config.Config.group_commit_window_us /. 1_000_000.
+      in
+      let sleep () = if window > 0. then Unix.sleepf window in
+      Txq_store.Journal.group_sync j ~sleep ticket
+
 let seconds ts = Timestamp.to_seconds ts
 
 let insert_document t ~url ?ts xml =
+  read_only_guard t "insert_document";
+  let ticket = ref None in
+  let doc_id =
+    Txq_store.Rwlock.with_write t.lock @@ fun () ->
+    drain_deferred t;
   (match find_live t url with
    | Some _ ->
      invalid_arg (Printf.sprintf "Db.insert_document: %s already exists" url)
@@ -221,16 +380,17 @@ let insert_document t ~url ?ts xml =
       ~snapshot:(snapshot_due t 0) ?doc_time xml
   in
   (* Commit point: the version-0 blobs are on disk, nothing registered yet. *)
-  journal_append t
-    (Journal_record.Insert
-       {
-         r_doc = doc_id;
-         r_url = url;
-         r_ts = seconds ts;
-         r_doc_time = Option.map seconds doc_time;
-         r_current = blob_ref (Docstore.current_blob d);
-         r_snapshot = Option.map blob_ref (Docstore.snapshot_blob d 0);
-       });
+  ticket :=
+    journal_append t
+      (Journal_record.Insert
+         {
+           r_doc = doc_id;
+           r_url = url;
+           r_ts = seconds ts;
+           r_doc_time = Option.map seconds doc_time;
+           r_current = blob_ref (Docstore.current_blob d);
+           r_snapshot = Option.map blob_ref (Docstore.snapshot_blob d 0);
+         });
   t.next_doc_id <- doc_id + 1;
   record_doc_time t ~doc:doc_id ~version:0 doc_time;
   Hashtbl.replace t.docs doc_id d;
@@ -245,8 +405,16 @@ let insert_document t ~url ?ts xml =
       m "insert %s as doc %d at %s (%d nodes)" url doc_id
         (Timestamp.to_string ts) (Vnode.size tree));
   doc_id
+  in
+  group_barrier t !ticket;
+  doc_id
 
 let update_document t ~url ?ts xml =
+  read_only_guard t "update_document";
+  let ticket = ref None in
+  let result =
+    Txq_store.Rwlock.with_write t.lock @@ fun () ->
+    drain_deferred t;
   match find_live t url with
   | None ->
     invalid_arg (Printf.sprintf "Db.update_document: no live document at %s" url)
@@ -256,21 +424,27 @@ let update_document t ~url ?ts xml =
     let doc_time = extract_doc_time t xml in
     let doc_id = Docstore.doc_id d in
     let on_durable cb =
-      journal_append t
-        (Journal_record.Commit
-           {
-             r_doc = doc_id;
-             r_version = version;
-             r_ts = seconds ts;
-             r_doc_time = Option.map seconds doc_time;
-             r_delta = blob_ref cb.Docstore.cb_delta;
-             r_current = blob_ref cb.Docstore.cb_current;
-             r_snapshot = Option.map blob_ref cb.Docstore.cb_snapshot;
-             r_freed = cb.Docstore.cb_freed;
-           })
+      ticket :=
+        journal_append t
+          (Journal_record.Commit
+             {
+               r_doc = doc_id;
+               r_version = version;
+               r_ts = seconds ts;
+               r_doc_time = Option.map seconds doc_time;
+               r_delta = blob_ref cb.Docstore.cb_delta;
+               r_current = blob_ref cb.Docstore.cb_current;
+               r_snapshot = Option.map blob_ref cb.Docstore.cb_snapshot;
+               r_freed = cb.Docstore.cb_freed;
+             })
+    in
+    let free =
+      if t.config.Config.group_commit then
+        Some (fun blob -> defer_free t !ticket blob ~cluster:doc_id)
+      else None
     in
     let delta, new_tree =
-      Docstore.commit ~on_durable d ~ts ~snapshot:(snapshot_due t version)
+      Docstore.commit ~on_durable ?free d ~ts ~snapshot:(snapshot_due t version)
         ?doc_time xml
     in
     record_doc_time t ~doc:doc_id ~version doc_time;
@@ -294,8 +468,15 @@ let update_document t ~url ?ts xml =
         m "update %s -> version %d at %s (%d ops)" url version
           (Timestamp.to_string ts) (Delta.op_count delta));
     delta
+  in
+  group_barrier t !ticket;
+  result
 
 let delete_document t ~url ?ts () =
+  read_only_guard t "delete_document";
+  let ticket = ref None in
+  Txq_store.Rwlock.with_write t.lock (fun () ->
+  drain_deferred t;
   match find_live t url with
   | None ->
     invalid_arg (Printf.sprintf "Db.delete_document: no live document at %s" url)
@@ -303,7 +484,8 @@ let delete_document t ~url ?ts () =
     let ts = commit_ts t ts in
     let doc_id = Docstore.doc_id d in
     let version = Docstore.version_count d in
-    journal_append t (Journal_record.Delete { r_doc = doc_id; r_ts = seconds ts });
+    ticket :=
+      journal_append t (Journal_record.Delete { r_doc = doc_id; r_ts = seconds ts });
     Docstore.mark_deleted d ~ts;
     Option.iter (fun fti -> Fti.delete_document fti ~doc:doc_id ~version) t.fti;
     Option.iter
@@ -318,7 +500,8 @@ let delete_document t ~url ?ts () =
          (Vnode.xids (Docstore.current d)));
     (* Defensive eviction: entries for a deleted document stay correct
        (versions are immutable) but will never be asked for again. *)
-    Vcache.evict_doc t.vcache doc_id
+    Vcache.evict_doc t.vcache doc_id);
+  group_barrier t !ticket
 
 (* --- reconstruction --------------------------------------------------- *)
 
@@ -416,17 +599,33 @@ let cretime t = t.cretime
 let document_time t doc_id v = Docstore.doc_time_of_version (doc t doc_id) v
 
 let find_by_document_time t ~t1 ~t2 =
+  (* The document-time B+-tree is shared with the live writer, which
+     rebalances nodes on insert: walk it only with the writer excluded. *)
+  with_read t @@ fun () ->
   let clamp ts = Stdlib.max (-(1 lsl 42)) (Stdlib.min (1 lsl 42) (Timestamp.to_seconds ts)) in
   let lo = dtime_key (clamp t1) 0 in
   let hi = dtime_key (clamp t2) 0 in
+  (* On a snapshot, rows committed past the watermark name documents or
+     versions the pinned views cannot see: clip them out. *)
+  let visible doc v =
+    match t.view with
+    | None -> true
+    | Some _ -> (
+      match doc_opt t doc with
+      | None -> false
+      | Some d -> v < Docstore.version_count d)
+  in
   List.filter_map
     (fun (key, (doc, v)) ->
       (* rows for vacuumed versions are tombstoned with doc = -1 (the
          B+-tree is upsert-only) *)
       if Int64.compare doc 0L < 0 then None
       else
-        let seconds = Int64.to_int (Int64.shift_right key dtime_key_bits) in
-        Some (Timestamp.of_seconds seconds, Int64.to_int doc, Int64.to_int v))
+        let doc = Int64.to_int doc and v = Int64.to_int v in
+        if not (visible doc v) then None
+        else
+          let seconds = Int64.to_int (Int64.shift_right key dtime_key_bits) in
+          Some (Timestamp.of_seconds seconds, doc, v))
     (Txq_store.Bptree.range t.dtime_index ~lo ~hi)
 
 (* --- vacuum ------------------------------------------------------------ *)
@@ -490,11 +689,30 @@ let plan_base d (r : Config.retention) =
   Stdlib.min (Stdlib.max b_h b_k) (n - 1)
 
 let vacuum ?retention t =
+  read_only_guard t "vacuum";
   let r = match retention with Some r -> r | None -> t.config.Config.retention in
   if r.Config.keep_newer_than = None && r.Config.keep_versions = None then
     empty_vacuum_report
   else
+    Txq_store.Rwlock.with_write t.lock @@ fun () ->
     Trace.with_span "db.vacuum" @@ fun () ->
+    (* Vacuum frees pages; buffered commit records whose superseded blobs
+       those pages might be must reach disk first.  Syncing everything
+       appended also lets every deferred free drain. *)
+    (match t.journal with
+     | Some j when t.config.Config.group_commit -> Txq_store.Journal.sync j
+     | Some _ | None -> ());
+    drain_deferred t;
+    (* Hold-back horizon: a pinned snapshot reads any retained version of
+       any document it captured, so those documents are exempt until the
+       snapshot is released.  Documents created after every pin are fair
+       game. *)
+    let hold_below =
+      pins_locked t @@ fun () ->
+      Hashtbl.fold
+        (fun _ p acc -> Stdlib.max acc p.pin_next_doc)
+        t.pins.pin_table 0
+    in
     (* Plan + prepare: write every base snapshot durably; nothing in memory
        changes, so a crash anywhere in here leaves only unreachable blobs
        for recovery's liveness scan. *)
@@ -502,6 +720,8 @@ let vacuum ?retention t =
       Trace.with_span "db.vacuum.plan" @@ fun () ->
       List.filter_map
         (fun id ->
+          if id < hold_below then None
+          else
           let d = doc t id in
           let wm = Docstore.xid_watermark d in
           let dropped_whole =
@@ -529,7 +749,7 @@ let vacuum ?retention t =
     else begin
       let ts = Clock.now t.clock in
       (* Commit point: one record covering every document. *)
-      journal_append t
+      journal_append_now t
         (Journal_record.Vacuum
            {
              r_ts = seconds ts;
@@ -990,6 +1210,12 @@ let recover disk config =
       vcache =
         Vcache.create ~budget:config.Config.version_cache_bytes
           ~io:(Txq_store.Buffer_pool.stats pool);
+      lock = Txq_store.Rwlock.create ();
+      pins =
+        { pins_m = Mutex.create (); pin_table = Hashtbl.create 8;
+          next_pin_id = 0 };
+      view = None;
+      deferred = [];
     }
   in
   (* Pass B: rebuild the derived indexes.  The document-time index replays

@@ -21,11 +21,58 @@ val config : t -> Config.t
 val clock : t -> Txq_temporal.Clock.t
 val now : t -> Txq_temporal.Timestamp.t
 
+(** {1 MVCC snapshots}
+
+    A snapshot is an immutable read handle pinned at the version watermark
+    of the moment it was taken: every read API on it — reconstruction,
+    histories, pattern scans, the temporal algebra — answers exactly as the
+    live database would have at capture time, however many commits the
+    single writer performs afterwards.  Snapshots are cheap (bounded views
+    over the shared version chains, no copies of content) and safe to use
+    from their own domain, so many reader domains query concurrently while
+    the writer commits.  One domain per snapshot handle; a pinned snapshot
+    holds vacuum back from every document it can see until {!release}. *)
+
+val snapshot : t -> t
+(** Pins a snapshot of the current committed state.  The returned handle
+    supports every read operation and raises [Invalid_argument] from every
+    mutator.  Raises on a handle that is already a snapshot. *)
+
+val release : t -> unit
+(** Unpins the snapshot so vacuum may reclaim versions only it could see.
+    Reading from a released snapshot is still safe until a later vacuum
+    actually truncates; releasing twice is harmless.  Raises
+    [Invalid_argument] on the live handle. *)
+
+val is_snapshot : t -> bool
+
+val snapshot_watermark : t -> int option
+(** Commit count at capture; [None] on the live handle. *)
+
+val pinned_snapshots : t -> int
+(** Snapshots currently pinned (live handle and snapshots agree). *)
+
+val oldest_pinned_watermark : t -> int option
+(** Smallest watermark among pinned snapshots — the vacuum hold-back
+    horizon; [None] when nothing is pinned. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Runs [f] holding the database's read lock, excluding the writer.
+    Required around reads of writer-mutated shared structures (full-text
+    fetches, CreTime lookups); re-entrant, and free when the calling
+    domain already holds the write side. *)
+
 (** {1 Ingestion}
 
     Each mutating call commits at the clock's current instant, or at [ts]
     when given ([ts] must advance the clock; transaction time is monotone).
-    Timestamps of successive versions of one document must be distinct. *)
+    Timestamps of successive versions of one document must be distinct.
+
+    The writer side is serialized internally: mutators take the write
+    lock, so commits interleave safely with concurrent snapshot readers.
+    With [Config.group_commit] on, concurrent committers (from different
+    domains) buffer their journal records and one of them — the group
+    leader — flushes the whole batch with a single durability point. *)
 
 val insert_document :
   t -> url:string -> ?ts:Txq_temporal.Timestamp.t -> Txq_xml.Xml.t ->
@@ -56,6 +103,10 @@ val find_at :
 
 val doc : t -> Txq_vxml.Eid.doc_id -> Docstore.t
 (** Raises [Invalid_argument] on an unknown id. *)
+
+val doc_opt : t -> Txq_vxml.Eid.doc_id -> Docstore.t option
+(** [None] on an unknown id — on a snapshot, that includes documents
+    inserted after the watermark (shared index postings may name them). *)
 
 val doc_ids : t -> Txq_vxml.Eid.doc_id list
 val document_count : t -> int

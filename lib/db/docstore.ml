@@ -29,6 +29,13 @@ type t = {
   mutable current : Vnode.t;
   mutable current_blob : Blob_store.blob;
   mutable deleted : Timestamp.t option;
+  (* [Some n]: this record is a read-only view pinned at version count [n]
+     (a snapshot).  The [entries] vec is shared with the live store — the
+     writer only ever pushes past [n] — while [current], [base] and
+     [deleted] are the capture-time copies.  [current_blob] is NOT valid
+     on a view: the live writer frees it at its next commit; the captured
+     [current] tree serves as the newest reconstruction anchor instead. *)
+  bound : int option;
 }
 
 type reconstruct_cost = {
@@ -71,6 +78,7 @@ let create ~blobs ~doc_id ~url ~ts ~snapshot ?doc_time xml =
       current;
       current_blob = Blob_store.put blobs ~cluster:doc_id (Codec.encode current);
       deleted = None;
+      bound = None;
     }
   in
   let ve_snapshot = if snapshot then Some (put_version_blob t current) else None in
@@ -78,26 +86,48 @@ let create ~blobs ~doc_id ~url ~ts ~snapshot ?doc_time xml =
     { ve_ts = ts; ve_delta = None; ve_snapshot; ve_doc_time = doc_time };
   t
 
-let version_count t = t.base + Vec.length t.entries
+let version_count t =
+  match t.bound with
+  | Some n -> n
+  | None -> t.base + Vec.length t.entries
+
+(* retained entries visible through this handle *)
+let retained t = version_count t - t.base
+
 let first_version t = t.base
 let current t = t.current
 let current_blob t = t.current_blob
 let deleted_at t = t.deleted
 let is_alive t = t.deleted = None
+let is_bounded t = t.bound <> None
+
+let bounded t =
+  match t.bound with
+  | Some _ -> t (* already a view; re-pinning cannot move it forward *)
+  | None -> { t with bound = Some (version_count t) }
+
+let read_only_guard t what =
+  if t.bound <> None then
+    invalid_arg (Printf.sprintf "Docstore.%s: read-only snapshot view" what)
 
 let entry t v =
   if v < t.base then
     invalid_arg
       (Printf.sprintf "Docstore: version %d vacuumed (first retained is %d)" v
          t.base);
+  if v >= version_count t then
+    invalid_arg
+      (Printf.sprintf "Docstore: version %d out of bounds (count %d)" v
+         (version_count t));
   Vec.get t.entries (v - t.base)
 
 let ts_of_version t v = (entry t v).ve_ts
 let created_at t = (Vec.get t.entries 0).ve_ts
 let snapshot_blob t v = (entry t v).ve_snapshot
 
-let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
+let commit ?on_durable ?free t ~ts ~snapshot ?doc_time xml =
   Trace.with_span "docstore.commit" @@ fun () ->
+  read_only_guard t "commit";
   check_ingest xml;
   (match t.deleted with
    | Some _ ->
@@ -134,7 +164,12 @@ let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
          cb_freed = Blob_store.page_ids t.current_blob;
        }
    | None -> ());
-  Blob_store.free t.blobs ~cluster:t.doc_id t.current_blob;
+  (* Group commit defers this free until the journal record is durable:
+     recovery to a prefix without this commit still needs the superseded
+     current blob's pages intact. *)
+  (match free with
+   | Some f -> f t.current_blob
+   | None -> Blob_store.free t.blobs ~cluster:t.doc_id t.current_blob);
   t.current <- new_current;
   t.current_blob <- new_current_blob;
   Vec.push t.entries
@@ -142,6 +177,7 @@ let commit ?on_durable t ~ts ~snapshot ?doc_time xml =
   (delta, new_current)
 
 let mark_deleted t ~ts =
+  read_only_guard t "mark_deleted";
   match t.deleted with
   | Some _ -> invalid_arg "Docstore.mark_deleted: already deleted"
   | None -> t.deleted <- Some ts
@@ -156,7 +192,9 @@ let version_at t instant =
   else
     Option.map
       (fun i -> i + t.base)
-      (Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts <= instant)) t.entries)
+      (Vec.find_last_index ~limit:(retained t)
+         (fun ve -> Timestamp.(ve.ve_ts <= instant))
+         t.entries)
 
 let version_interval t v =
   let start = ts_of_version t v in
@@ -175,7 +213,9 @@ let versions_overlapping t ~t1 ~t2 =
   else begin
     (* v_hi: last version starting before t2 *)
     match
-      Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts < t2)) t.entries
+      Vec.find_last_index ~limit:(retained t)
+        (fun ve -> Timestamp.(ve.ve_ts < t2))
+        t.entries
     with
     | None -> None
     | Some v_hi ->
@@ -184,7 +224,9 @@ let versions_overlapping t ~t1 ~t2 =
          first retained version when t1 predates the retained window *)
       let v_lo =
         match
-          Vec.find_last_index (fun ve -> Timestamp.(ve.ve_ts <= t1)) t.entries
+          Vec.find_last_index ~limit:(retained t)
+            (fun ve -> Timestamp.(ve.ve_ts <= t1))
+            t.entries
         with
         | None -> t.base
         | Some v -> v + t.base
@@ -202,9 +244,9 @@ let doc_time_of_version t v = (entry t v).ve_doc_time
 
 let snapshot_versions t =
   let out = ref [] in
-  Vec.iteri
-    (fun i ve -> if ve.ve_snapshot <> None then out := (i + t.base) :: !out)
-    t.entries;
+  for i = 0 to retained t - 1 do
+    if (Vec.get t.entries i).ve_snapshot <> None then out := (i + t.base) :: !out
+  done;
   List.rev !out
 
 let read_delta t v =
@@ -216,14 +258,21 @@ let read_delta t v =
 
 (* Stored anchors: the current version's blob and every snapshot blob.
    Reconstruction starts from whichever anchor (stored or caller-cached)
-   minimizes the number of deltas between it and the target. *)
+   minimizes the number of deltas between it and the target.  A bounded
+   view's newest anchor is the captured current {e tree} — its current
+   blob may already be freed by the live writer. *)
 let stored_anchors t =
   let n = version_count t in
-  (n - 1, t.current_blob)
+  let newest =
+    match t.bound with
+    | None -> (n - 1, `Blob t.current_blob)
+    | Some _ -> (n - 1, `Tree t.current)
+  in
+  newest
   :: List.filter_map
        (fun s ->
          match (entry t s).ve_snapshot with
-         | Some blob -> Some (s, blob)
+         | Some blob -> Some (s, `Blob blob)
          | None -> None)
        (snapshot_versions t)
 
@@ -235,26 +284,29 @@ let range_cost ~lo ~hi a =
 (* Best anchor for covering [lo, hi].  A cached tree wins ties against a
    stored blob of equal cost: it needs no blob read or decode. *)
 let pick_anchor ?cached t ~lo ~hi =
-  let n = version_count t in
   let best =
-    List.fold_left
-      (fun (_, best_cost as best) (s, blob) ->
-        let cost = range_cost ~lo ~hi s in
-        if cost < best_cost then ((s, `Blob blob), cost) else best)
-      (((n - 1), `Blob t.current_blob), range_cost ~lo ~hi (n - 1))
-      (stored_anchors t)
+    match stored_anchors t with
+    | [] -> assert false (* the newest anchor is always present *)
+    | (s0, a0) :: rest ->
+      List.fold_left
+        (fun (_, best_cost as best) (s, a) ->
+          let cost = range_cost ~lo ~hi s in
+          if cost < best_cost then ((s, a), cost) else best)
+        ((s0, a0), range_cost ~lo ~hi s0)
+        rest
   in
   match cached with
   | Some (cv, ctree) when range_cost ~lo ~hi cv <= snd best ->
-    (cv, `Tree ctree)
+    (cv, `Cached ctree)
   | _ -> fst best
 
 let anchor_tree t = function
-  | `Tree tree -> tree
+  | `Tree tree | `Cached tree -> tree
   | `Blob blob -> Codec.decode_exn (Blob_store.get t.blobs blob)
 
 let anchor_kind t anchor_v = function
-  | `Tree _ -> `Cached
+  | `Cached _ -> `Cached
+  | `Tree _ -> if anchor_v = version_count t - 1 then `Current else `Cached
   | `Blob _ -> if anchor_v = version_count t - 1 then `Current else `Snapshot
 
 let reconstruct ?cached t v =
@@ -353,6 +405,7 @@ type rebase = {
 let xid_watermark t = Txq_vxml.Xid.Gen.used t.gen
 
 let prepare_rebase t ~base =
+  read_only_guard t "prepare_rebase";
   let n = version_count t in
   if base <= t.base || base >= n then
     invalid_arg
@@ -390,6 +443,7 @@ let prepare_rebase t ~base =
   }
 
 let apply_rebase t rb =
+  read_only_guard t "apply_rebase";
   let n = version_count t in
   let free_of = function
     | Some blob -> Blob_store.free t.blobs ~cluster:t.doc_id blob
@@ -432,6 +486,7 @@ let all_blob_pages t =
   !pages
 
 let apply_drop t =
+  read_only_guard t "apply_drop";
   let free_of = function
     | Some blob -> Blob_store.free t.blobs ~cluster:t.doc_id blob
     | None -> ()
@@ -460,7 +515,7 @@ let restore ~blobs ~doc_id ~url ?(base = 0) ?(xid_watermark = 0) ~entries
   let gen = Txq_vxml.Xid.Gen.create () in
   let t =
     { blobs; doc_id; url; gen; entries = Vec.create (); base; current;
-      current_blob; deleted }
+      current_blob; deleted; bound = None }
   in
   List.iter
     (fun re ->

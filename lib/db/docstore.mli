@@ -47,6 +47,7 @@ val gen : t -> Txq_vxml.Xid.Gen.t
 
 val commit :
   ?on_durable:(committed_blobs -> unit) ->
+  ?free:(Txq_store.Blob_store.blob -> unit) ->
   t ->
   ts:Txq_temporal.Timestamp.t ->
   snapshot:bool ->
@@ -62,7 +63,13 @@ val commit :
     Write ordering: {e every} blob is written before any in-memory
     structure (delta index, free list, current pointer) changes.
     [on_durable] runs exactly at that boundary; if it raises, the document
-    is left as if the commit never started (modulo unreachable pages). *)
+    is left as if the commit never started (modulo unreachable pages).
+
+    [free] overrides the release of the superseded current version's blob:
+    instead of freeing it through the blob store at the commit point, the
+    blob is handed to [free].  Group commit uses this to defer the free
+    until the buffered journal record is durable — recovery onto a prefix
+    without this commit still needs those pages intact. *)
 
 val mark_deleted : t -> ts:Txq_temporal.Timestamp.t -> unit
 val deleted_at : t -> Txq_temporal.Timestamp.t option
@@ -76,6 +83,20 @@ val current_blob : t -> Txq_store.Blob_store.blob
 
 val snapshot_blob : t -> int -> Txq_store.Blob_store.blob option
 (** The snapshot blob persisted with a version, if any. *)
+
+val bounded : t -> t
+(** A read-only view of the document pinned at the current version count.
+    The view shares the (append-only) delta index with the live store but
+    captures [current], [first_version] and the deletion mark, so a writer
+    committing new versions or marking the document deleted never changes
+    what the view reads.  Mutators ([commit], [mark_deleted], vacuum
+    operations) raise [Invalid_argument] on a view.  The view stays valid
+    only while no vacuum truncates versions below its pin — the database's
+    snapshot registry holds vacuum back.  [bounded] on a view returns it
+    unchanged. *)
+
+val is_bounded : t -> bool
+(** True for read-only views produced by {!bounded}. *)
 
 val version_count : t -> int
 (** Versions 0 .. n-1; the current one is n-1.  Version numbers are stable

@@ -18,14 +18,23 @@ type t = {
   io : Io_stats.t;
   mutable bytes : int;
   mutable tick : int;
+  (* One cache is shared by the live handle and every snapshot of it;
+     concurrent reader domains hit [find]/[put] simultaneously, so every
+     entry point runs under this mutex.  Hold times are tiny (hash probes,
+     LRU bookkeeping) — tree materialization happens outside. *)
+  m : Mutex.t;
 }
 
 let create ~budget ~io =
   { budget = Stdlib.max 0 budget; by_doc = Hashtbl.create 16; io; bytes = 0;
-    tick = 0 }
+    tick = 0; m = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let enabled t = t.budget > 0
-let bytes t = t.bytes
+let bytes t = locked t (fun () -> t.bytes)
 
 let touch t entry =
   t.tick <- t.tick + 1;
@@ -34,6 +43,7 @@ let touch t entry =
 let find t doc version =
   if not (enabled t) then None
   else
+    locked t @@ fun () ->
     match Hashtbl.find_opt t.by_doc doc with
     | None ->
       t.io.Io_stats.vcache_misses <- t.io.Io_stats.vcache_misses + 1;
@@ -57,6 +67,7 @@ let range_cost ~lo ~hi a =
 let best_anchor t doc ~lo ~hi =
   if not (enabled t) then None
   else
+    locked t @@ fun () ->
     match Hashtbl.find_opt t.by_doc doc with
     | None -> None
     | Some versions ->
@@ -95,7 +106,9 @@ let evict_lru t =
 
 let put t doc version tree =
   if enabled t then begin
+    (* Size the tree before taking the lock: approx_bytes walks the tree. *)
     let e_bytes = Vnode.approx_bytes tree in
+    locked t @@ fun () ->
     (* Oversized trees would evict everything and still not fit. *)
     if e_bytes <= t.budget then begin
       (match Hashtbl.find_opt t.by_doc doc with
@@ -126,6 +139,7 @@ let put t doc version tree =
   end
 
 let evict_before t doc version =
+  locked t @@ fun () ->
   (match Hashtbl.find_opt t.by_doc doc with
    | Some versions ->
      let victims =
@@ -138,6 +152,7 @@ let evict_before t doc version =
   t.io.Io_stats.vcache_bytes <- t.bytes
 
 let evict_doc t doc =
+  locked t @@ fun () ->
   (match Hashtbl.find_opt t.by_doc doc with
    | Some versions ->
      Hashtbl.iter (fun _ e -> t.bytes <- t.bytes - e.e_bytes) versions;
@@ -146,6 +161,7 @@ let evict_doc t doc =
   t.io.Io_stats.vcache_bytes <- t.bytes
 
 let clear t =
+  locked t @@ fun () ->
   Hashtbl.reset t.by_doc;
   t.bytes <- 0;
   t.io.Io_stats.vcache_bytes <- 0

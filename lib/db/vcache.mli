@@ -15,7 +15,13 @@
     Hit/miss counts and the byte-residency gauge are reported through the
     {!Txq_store.Io_stats} record handed to {!create}.  A budget of [0]
     disables the cache completely: every operation is a no-op and no
-    counter moves. *)
+    counter moves.
+
+    Every operation is safe under concurrent callers: one cache is shared
+    by the live database handle and all of its snapshots, so reader
+    domains hit it simultaneously.  Since entries are immutable and keys
+    are never reassigned, concurrency only reorders LRU eviction — it can
+    never serve a wrong tree. *)
 
 type t
 

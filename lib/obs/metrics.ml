@@ -8,6 +8,17 @@ type histo = {
 
 type histogram = { h_count : int; h_sum : float; h_buckets : int array }
 
+(* One lock serializes the registry: counters arrive from every domain
+   (snapshot readers, Dpool metric folds, group-commit writers), and the
+   find-or-add in [cell] plus the field bumps are not atomic.  The
+   registry is far off any hot path — a contended bump is still one
+   uncontended mutex in the common case. *)
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
 let gauge_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16
 let histo_tbl : (string, histo) Hashtbl.t = Hashtbl.create 16
@@ -21,10 +32,11 @@ let cell tbl name =
     r
 
 let incr ?(by = 1) name =
+  locked @@ fun () ->
   let r = cell counter_tbl name in
   r := !r + by
 
-let set_gauge name v = cell gauge_tbl name := v
+let set_gauge name v = locked @@ fun () -> cell gauge_tbl name := v
 
 let bucket_of v =
   if not (v >= 1.0) then 0 (* also catches nan *)
@@ -35,6 +47,7 @@ let bucket_of v =
 let bucket_lo i = if i <= 0 then 0.0 else Float.ldexp 1.0 (i - 1)
 
 let observe name v =
+  locked @@ fun () ->
   let h =
     match Hashtbl.find_opt histo_tbl name with
     | Some h -> h
@@ -49,27 +62,34 @@ let observe name v =
   h.bucket.(i) <- h.bucket.(i) + 1
 
 let counter_value name =
-  Option.map ( ! ) (Hashtbl.find_opt counter_tbl name)
+  locked @@ fun () -> Option.map ( ! ) (Hashtbl.find_opt counter_tbl name)
 
-let gauge_value name = Option.map ( ! ) (Hashtbl.find_opt gauge_tbl name)
+let gauge_value name =
+  locked @@ fun () -> Option.map ( ! ) (Hashtbl.find_opt gauge_tbl name)
 
 let snapshot h =
   { h_count = h.count; h_sum = h.sum; h_buckets = Array.copy h.bucket }
 
 let histogram_value name =
-  Option.map snapshot (Hashtbl.find_opt histo_tbl name)
+  locked @@ fun () -> Option.map snapshot (Hashtbl.find_opt histo_tbl name)
 
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters () = sorted_bindings counter_tbl ( ! )
-let gauges () = sorted_bindings gauge_tbl ( ! )
-let histograms () = sorted_bindings histo_tbl snapshot
+let counters_locked () = sorted_bindings counter_tbl ( ! )
+let gauges_locked () = sorted_bindings gauge_tbl ( ! )
+let histograms_locked () = sorted_bindings histo_tbl snapshot
+let counters () = locked counters_locked
+let gauges () = locked gauges_locked
+let histograms () = locked histograms_locked
 
 let pp_dump ppf () =
+  let cs, gs, hs =
+    locked @@ fun () ->
+    (counters_locked (), gauges_locked (), histograms_locked ())
+  in
   let section title = Format.fprintf ppf "%s:@." title in
-  let cs = counters () and gs = gauges () and hs = histograms () in
   if cs <> [] then begin
     section "counters";
     List.iter (fun (k, v) -> Format.fprintf ppf "  %-44s %d@." k v) cs
@@ -95,6 +115,7 @@ let pp_dump ppf () =
     Format.fprintf ppf "(registry empty)@."
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.reset counter_tbl;
   Hashtbl.reset gauge_tbl;
   Hashtbl.reset histo_tbl

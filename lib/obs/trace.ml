@@ -2,30 +2,48 @@ type sink = { on_root : Span.t -> unit }
 
 let null_sink = { on_root = ignore }
 
+(* Sinks receive root spans from whichever domain finished them; each
+   stateful sink serializes its own state. *)
 let ring_sink ~capacity =
+  let m = Mutex.create () in
   let q : Span.t Queue.t = Queue.create () in
   let on_root sp =
+    Mutex.lock m;
     Queue.push sp q;
-    if Queue.length q > capacity then ignore (Queue.pop q)
+    if Queue.length q > capacity then ignore (Queue.pop q);
+    Mutex.unlock m
   in
-  ({ on_root }, fun () -> List.of_seq (Queue.to_seq q))
+  ( { on_root },
+    fun () ->
+      Mutex.lock m;
+      let spans = List.of_seq (Queue.to_seq q) in
+      Mutex.unlock m;
+      spans )
 
 let jsonl_sink oc =
+  let m = Mutex.create () in
   {
     on_root =
       (fun sp ->
+        Mutex.lock m;
         output_string oc (Span.to_json sp);
-        output_char oc '\n');
+        output_char oc '\n';
+        Mutex.unlock m);
   }
 
 let state : sink option ref = ref None
 
-(* Innermost open span first. *)
-let stack : Span.t list ref = ref []
+(* Innermost open span first.  The stack is domain-local: concurrent
+   snapshot readers each nest their own spans; a shared stack would
+   attach one domain's children to another's parent. *)
+let stack_key : Span.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let set_sink s =
   state := s;
-  stack := []
+  (stack ()) := []
 
 let enabled () = !state <> None
 
@@ -34,7 +52,7 @@ let finish sp =
   sp.Span.sp_attrs <- List.rev sp.Span.sp_attrs;
   sp.Span.sp_children <- List.rev sp.Span.sp_children;
   Metrics.observe ("span." ^ sp.Span.sp_name) (Span.dur_us sp);
-  match !stack with
+  match !(stack ()) with
   | parent :: _ -> parent.Span.sp_children <- sp :: parent.Span.sp_children
   | [] -> ( match !state with Some s -> s.on_root sp | None -> ())
 
@@ -43,6 +61,7 @@ let with_span ?(attrs = []) name f =
   | None -> f ()
   | Some _ ->
     let sp = Span.make ~attrs name in
+    let stack = stack () in
     stack := sp :: !stack;
     let pop () =
       (match !stack with
@@ -62,12 +81,12 @@ let with_span ?(attrs = []) name f =
       raise e)
 
 let add_attr key v =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | sp :: _ -> sp.Span.sp_attrs <- (key, v) :: sp.Span.sp_attrs
 
 let add_count key n =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | sp :: _ ->
     let rec bump = function
@@ -79,9 +98,18 @@ let add_count key n =
     sp.Span.sp_attrs <- bump sp.Span.sp_attrs
 
 let collect f =
+  let stack = stack () in
   let saved_state = !state and saved_stack = !stack in
   let acc = ref [] in
-  state := Some { on_root = (fun sp -> acc := sp :: !acc) };
+  let acc_m = Mutex.create () in
+  state :=
+    Some
+      { on_root =
+          (fun sp ->
+            Mutex.lock acc_m;
+            acc := sp :: !acc;
+            Mutex.unlock acc_m);
+      };
   stack := [];
   let restore () =
     state := saved_state;

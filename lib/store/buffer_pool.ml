@@ -5,13 +5,24 @@ type t = {
   capacity : int;
   table : (int, entry) Hashtbl.t;
   mutable tick : int;
+  (* One lock serializes every pool (and therefore disk) operation:
+     concurrent snapshot readers share the pool with the writer, and the
+     LRU table, the disk page array and the page/seek/cache counters all
+     mutate on each access.  The simulator's "device" is as serial as a
+     real one. *)
+  m : Mutex.t;
 }
 
 let create ?(capacity = 256) disk =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
-  { disk; capacity; table = Hashtbl.create (2 * capacity); tick = 0 }
+  { disk; capacity; table = Hashtbl.create (2 * capacity); tick = 0;
+    m = Mutex.create () }
 
 let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let touch t entry =
   t.tick <- t.tick + 1;
@@ -38,6 +49,7 @@ let insert t id page =
   Hashtbl.replace t.table id entry
 
 let read t id =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.table id with
   | Some entry ->
     let stats = Disk.stats t.disk in
@@ -52,14 +64,15 @@ let read t id =
     page
 
 let write t id buf =
+  locked t @@ fun () ->
   Disk.write t.disk id buf;
   (* Cache the padded page image, as a later read would see it. *)
   let page = Bytes.make Disk.page_size '\000' in
   Bytes.blit buf 0 page 0 (Bytes.length buf);
   insert t id page
 
-let alloc t = Disk.alloc t.disk
-let flush t = Hashtbl.reset t.table
+let alloc t = locked t @@ fun () -> Disk.alloc t.disk
+let flush t = locked t @@ fun () -> Hashtbl.reset t.table
 let stats t = Disk.stats t.disk
 let disk t = t.disk
-let page_count t = Disk.page_count t.disk
+let page_count t = locked t @@ fun () -> Disk.page_count t.disk

@@ -8,12 +8,13 @@ type t = {
   mutable vcache_misses : int;
   mutable vcache_bytes : int;
   mutable deltas_applied : int;
+  mutable fsyncs : int;
 }
 
 let create () =
   { page_reads = 0; page_writes = 0; seeks = 0; cache_hits = 0;
     cache_misses = 0; vcache_hits = 0; vcache_misses = 0; vcache_bytes = 0;
-    deltas_applied = 0 }
+    deltas_applied = 0; fsyncs = 0 }
 
 let reset t =
   t.page_reads <- 0;
@@ -23,7 +24,8 @@ let reset t =
   t.cache_misses <- 0;
   t.vcache_hits <- 0;
   t.vcache_misses <- 0;
-  t.deltas_applied <- 0
+  t.deltas_applied <- 0;
+  t.fsyncs <- 0
 (* vcache_bytes is a gauge maintained by the version cache, not a counter:
    reset leaves it alone. *)
 
@@ -38,6 +40,7 @@ let copy t =
     vcache_misses = t.vcache_misses;
     vcache_bytes = t.vcache_bytes;
     deltas_applied = t.deltas_applied;
+    fsyncs = t.fsyncs;
   }
 
 let diff ~after ~before =
@@ -51,6 +54,7 @@ let diff ~after ~before =
     vcache_misses = after.vcache_misses - before.vcache_misses;
     vcache_bytes = after.vcache_bytes;
     deltas_applied = after.deltas_applied - before.deltas_applied;
+    fsyncs = after.fsyncs - before.fsyncs;
   }
 
 let add acc x =
@@ -62,7 +66,8 @@ let add acc x =
   acc.vcache_hits <- acc.vcache_hits + x.vcache_hits;
   acc.vcache_misses <- acc.vcache_misses + x.vcache_misses;
   acc.vcache_bytes <- Stdlib.max acc.vcache_bytes x.vcache_bytes;
-  acc.deltas_applied <- acc.deltas_applied + x.deltas_applied
+  acc.deltas_applied <- acc.deltas_applied + x.deltas_applied;
+  acc.fsyncs <- acc.fsyncs + x.fsyncs
 
 let fields t =
   [
@@ -75,6 +80,7 @@ let fields t =
     ("vcache_misses", t.vcache_misses);
     ("vcache_bytes", t.vcache_bytes);
     ("deltas_applied", t.deltas_applied);
+    ("fsyncs", t.fsyncs);
   ]
 
 (* Mirror the counters into the process metrics registry as gauges
@@ -87,8 +93,9 @@ let publish ?(prefix = "io.") t =
 let to_string t =
   Printf.sprintf
     "reads=%d writes=%d seeks=%d cache_hits=%d cache_misses=%d \
-     vcache_hits=%d vcache_misses=%d vcache_bytes=%d deltas_applied=%d"
+     vcache_hits=%d vcache_misses=%d vcache_bytes=%d deltas_applied=%d \
+     fsyncs=%d"
     t.page_reads t.page_writes t.seeks t.cache_hits t.cache_misses
-    t.vcache_hits t.vcache_misses t.vcache_bytes t.deltas_applied
+    t.vcache_hits t.vcache_misses t.vcache_bytes t.deltas_applied t.fsyncs
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

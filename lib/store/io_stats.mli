@@ -22,6 +22,10 @@ type t = {
           leaves it alone and [diff] reports the [after] value *)
   mutable deltas_applied : int;
       (** completed-delta applications performed by reconstruction *)
+  mutable fsyncs : int;
+      (** journal durability points: one per flushed batch of journal
+          pages, however many commits the batch carried (group commit
+          amortizes this across transactions) *)
 }
 
 val create : unit -> t

@@ -19,14 +19,47 @@ let payload_capacity = Disk.page_size - header_bytes
 
 type t = {
   pool : Buffer_pool.t;
+  (* Guards every mutable field.  Concurrent committers append and sync
+     from different domains under group commit. *)
+  m : Mutex.t;
+  cond : Condition.t;  (* group-commit barrier: synced advanced *)
   mutable next_seq : int;
   mutable records : int;
   mutable pages : int;
+  (* Encoded pages of appended-but-not-yet-synced records, oldest first.
+     Page ids are allocated at append time (allocation writes nothing),
+     the page images land on disk at the next [sync] — strictly in append
+     order, which is what makes a torn batch recover to a record
+     prefix. *)
+  mutable pending : (int * bytes) list;  (* newest first *)
+  mutable appended : int;  (* append tickets issued *)
+  mutable synced : int;  (* highest ticket known durable *)
+  mutable leader : bool;  (* a group-commit leader is collecting a batch *)
+  mutable dead : bool;  (* a flush crashed: buffered tickets can never sync *)
 }
 
-let create pool = { pool; next_seq = 0; records = 0; pages = 0 }
-let record_count t = t.records
-let page_count t = t.pages
+let create pool =
+  {
+    pool;
+    m = Mutex.create ();
+    cond = Condition.create ();
+    next_seq = 0;
+    records = 0;
+    pages = 0;
+    pending = [];
+    appended = 0;
+    synced = 0;
+    leader = false;
+    dead = false;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let record_count t = locked t @@ fun () -> t.records
+let page_count t = locked t @@ fun () -> t.pages
+let synced_count t = locked t @@ fun () -> t.synced
 
 let get_i32 page off = Int32.to_int (Bytes.get_int32_be page off)
 
@@ -62,7 +95,8 @@ let decode_page page =
       then None
       else Some (seq, index, count, Bytes.sub_string page header_bytes len)
 
-let append t payload =
+(* caller holds t.m *)
+let append_locked t payload =
   let len = String.length payload in
   if len = 0 then invalid_arg "Journal.append: empty record";
   let count = (len + payload_capacity - 1) / payload_capacity in
@@ -75,9 +109,76 @@ let append t payload =
     let chunk = String.sub payload off (Stdlib.min payload_capacity (len - off)) in
     let id = Buffer_pool.alloc t.pool in
     t.pages <- t.pages + 1;
-    Buffer_pool.write t.pool id (encode_page ~seq ~index ~count chunk)
+    t.pending <- (id, encode_page ~seq ~index ~count chunk) :: t.pending
   done;
-  t.records <- t.records + 1
+  t.records <- t.records + 1;
+  t.appended <- t.appended + 1;
+  t.appended
+
+(* caller holds t.m.  Writes the batch strictly in append order: a torn
+   write leaves every earlier record complete on disk and every later one
+   entirely absent — all-or-prefix at record granularity.  One flushed
+   batch is one durability point ("fsync"), however many records it
+   carries.  On [Disk.Crash] the unwritten tail is dropped: the simulated
+   machine is gone, only [recover] runs next. *)
+let flush_locked t =
+  match t.pending with
+  | [] -> ()
+  | pending ->
+    t.pending <- [];
+    let target = t.appended in
+    (try
+       List.iter
+         (fun (id, page) -> Buffer_pool.write t.pool id page)
+         (List.rev pending)
+     with e ->
+       t.dead <- true;
+       raise e);
+    let stats = Buffer_pool.stats t.pool in
+    stats.Io_stats.fsyncs <- stats.Io_stats.fsyncs + 1;
+    t.synced <- target
+
+let append_buffered t payload = locked t @@ fun () -> append_locked t payload
+
+let sync t = locked t @@ fun () -> flush_locked t
+
+let append t payload =
+  locked t @@ fun () ->
+  ignore (append_locked t payload : int);
+  flush_locked t
+
+let group_sync t ~sleep ticket =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.synced >= ticket then ()
+    else if t.dead then raise Disk.Crash
+    else if t.leader then begin
+      (* a leader is collecting: ride its batch *)
+      Condition.wait t.cond t.m;
+      loop ()
+    end
+    else begin
+      t.leader <- true;
+      Mutex.unlock t.m;
+      (* Window for other committers to append into the batch.  The lock
+         is free while we sleep, so they buffer concurrently. *)
+      (try sleep ()
+       with e ->
+         Mutex.lock t.m;
+         t.leader <- false;
+         Condition.broadcast t.cond;
+         Mutex.unlock t.m;
+         raise e);
+      Mutex.lock t.m;
+      Fun.protect
+        ~finally:(fun () ->
+          t.leader <- false;
+          Condition.broadcast t.cond)
+        (fun () -> flush_locked t);
+      loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) loop
 
 type recovery = {
   journal : t;
@@ -129,9 +230,16 @@ let recover pool =
   let journal =
     {
       pool;
+      m = Mutex.create ();
+      cond = Condition.create ();
       next_seq = !max_seq + 1;
       records = !committed;
       pages = List.length !pages;
+      pending = [];
+      appended = !committed;
+      synced = !committed;
+      leader = false;
+      dead = false;
     }
   in
   { journal; records = List.rev !records; journal_pages = List.rev !pages }

@@ -32,10 +32,36 @@ val append : t -> string -> unit
 (** Appends one record.  The record is durable — visible to {!recover} —
     exactly when the call returns; if the disk crashes mid-append the
     record is discarded on recovery.  Raises [Invalid_argument] on the
-    empty string (an empty record is indistinguishable from none). *)
+    empty string (an empty record is indistinguishable from none).
+    Equivalent to {!append_buffered} followed by {!sync}; one durability
+    point ({!Io_stats.t.fsyncs}) per call. *)
+
+val append_buffered : t -> string -> int
+(** Appends one record without making it durable: pages are allocated and
+    encoded but land on disk only at the next {!sync} (or a group-commit
+    leader's flush).  Returns the record's {e ticket}; the record is
+    durable once the journal's synced ticket reaches it.  Thread-safe. *)
+
+val sync : t -> unit
+(** Flushes every buffered record to disk, strictly in append order, as
+    one durability point.  A torn write mid-flush leaves a {e prefix} of
+    the buffered records committed — a later record is never recoverable
+    without every earlier one.  No-op when nothing is buffered. *)
+
+val group_sync : t -> sleep:(unit -> unit) -> int -> unit
+(** [group_sync t ~sleep ticket] blocks until [ticket] is durable.  The
+    first caller becomes the batch leader: it runs [sleep ()] (the
+    collection window — other committers buffer records meanwhile) and
+    then flushes the whole batch as a single durability point; concurrent
+    callers ride the leader's flush and are released together.  Raises
+    {!Disk.Crash} if a flush crashed before the ticket could sync. *)
+
+val synced_count : t -> int
+(** Tickets known durable (recovered records count as synced). *)
 
 val record_count : t -> int
-(** Committed records this journal knows of (appended plus recovered). *)
+(** Committed records this journal knows of (appended plus recovered),
+    including buffered ones not yet durable. *)
 
 val page_count : t -> int
 (** Pages owned by the journal (its storage overhead). *)

@@ -1,0 +1,21 @@
+(** Writer-preferring, read-re-entrant reader-writer lock over domains.
+
+    Any number of domains may hold the read side; the write side is
+    exclusive.  A domain may re-acquire the read lock it already holds,
+    and a domain holding the write lock may take read locks freely (they
+    nest inside the write lock) — so composed operators never
+    self-deadlock.  A read → write upgrade raises [Invalid_argument]
+    instead of deadlocking.  Once a writer is waiting, fresh readers
+    queue behind it, so a stream of readers cannot starve the writer. *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

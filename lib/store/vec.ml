@@ -46,11 +46,16 @@ let fold_left f acc t =
 
 let to_list t = List.init t.len (fun i -> t.data.(i))
 
-let find_last_index pred t =
-  if t.len = 0 || not (pred t.data.(0)) then None
+let find_last_index ?limit pred t =
+  let len =
+    match limit with
+    | Some l when l < t.len -> (if l < 0 then 0 else l)
+    | Some _ | None -> t.len
+  in
+  if len = 0 || not (pred t.data.(0)) then None
   else begin
     (* invariant: pred holds at lo, fails at hi (or hi = len) *)
-    let lo = ref 0 and hi = ref t.len in
+    let lo = ref 0 and hi = ref len in
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
       if pred t.data.(mid) then lo := mid else hi := mid

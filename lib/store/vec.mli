@@ -16,6 +16,8 @@ val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_list : 'a t -> 'a list
 
-val find_last_index : ('a -> bool) -> 'a t -> int option
+val find_last_index : ?limit:int -> ('a -> bool) -> 'a t -> int option
 (** Largest index whose element satisfies the predicate, assuming the
-    predicate is monotone (true prefix, false suffix); binary search. *)
+    predicate is monotone (true prefix, false suffix); binary search.
+    With [limit], only indices [< limit] are considered — bounded views
+    over a growing vector search exactly their frozen prefix. *)
