@@ -347,7 +347,10 @@ let defer_free t ticket blob ~cluster =
 (* After the write lock is released: wait until this commit's journal
    record is durable, riding (or leading) a group flush.  The collection
    window lets concurrent committers join the batch — one fsync for all
-   of them. *)
+   of them.  Once the ticket is durable, opportunistically drain the
+   deferred frees it unblocked — otherwise a workload going quiescent
+   after its last commit would hold the superseded pages until the next
+   mutation (or vacuum), for the life of the process. *)
 let group_barrier t = function
   | None -> ()
   | Some ticket ->
@@ -358,7 +361,10 @@ let group_barrier t = function
         float_of_int t.config.Config.group_commit_window_us /. 1_000_000.
       in
       let sleep () = if window > 0. then Unix.sleepf window in
-      Txq_store.Journal.group_sync j ~sleep ticket
+      Txq_store.Journal.group_sync j ~sleep ticket;
+      ignore
+        (Txq_store.Rwlock.try_with_write t.lock (fun () -> drain_deferred t)
+          : unit option)
 
 let seconds ts = Timestamp.to_seconds ts
 

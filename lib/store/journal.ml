@@ -164,10 +164,12 @@ let group_sync t ~sleep ticket =
          is free while we sleep, so they buffer concurrently. *)
       (try sleep ()
        with e ->
+         (* Hand leadership off, but leave the mutex held: re-raising
+            unwinds into the outer [Fun.protect], whose finally performs
+            the single unlock. *)
          Mutex.lock t.m;
          t.leader <- false;
          Condition.broadcast t.cond;
-         Mutex.unlock t.m;
          raise e);
       Mutex.lock t.m;
       Fun.protect

@@ -121,6 +121,32 @@ let write_unlock t =
     Mutex.unlock t.m
   end
 
+(* Non-blocking write acquisition.  Refuses (rather than raises) when
+   this domain holds a read lock, and defers to a queued writer even
+   when the lock is momentarily free — an opportunistic caller should
+   never jump the writer queue. *)
+let try_write_lock t =
+  let id = self () in
+  Mutex.lock t.m;
+  if holds_write_locked t id then begin
+    t.writer_depth <- t.writer_depth + 1;
+    Mutex.unlock t.m;
+    true
+  end
+  else if
+    depth_of t id > 0 || t.writer <> None || t.readers > 0
+    || t.writers_waiting > 0
+  then begin
+    Mutex.unlock t.m;
+    false
+  end
+  else begin
+    t.writer <- Some id;
+    t.writer_depth <- 1;
+    Mutex.unlock t.m;
+    true
+  end
+
 let with_read t f =
   read_lock t;
   Fun.protect ~finally:(fun () -> read_unlock t) f
@@ -128,3 +154,8 @@ let with_read t f =
 let with_write t f =
   write_lock t;
   Fun.protect ~finally:(fun () -> write_unlock t) f
+
+let try_with_write t f =
+  if try_write_lock t then
+    Some (Fun.protect ~finally:(fun () -> write_unlock t) f)
+  else None

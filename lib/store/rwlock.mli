@@ -19,3 +19,9 @@ val write_unlock : t -> unit
 
 val with_read : t -> (unit -> 'a) -> 'a
 val with_write : t -> (unit -> 'a) -> 'a
+
+val try_with_write : t -> (unit -> 'a) -> 'a option
+(** Run [f] under the write lock only if it can be taken without
+    blocking; [None] when a writer, reader, or queued writer holds it
+    off (or this domain holds a read lock).  Re-entrant like
+    [with_write]. *)

@@ -1,64 +1,91 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+(* The backing array and the length are published together through one
+   atomic reference.  [push] prepares the element (growing and copying if
+   needed) and only then [Atomic.set]s the new state: the release write
+   orders the element stores before the pointer/length becomes visible,
+   so a reader domain that [Atomic.get]s a state sees fully-initialized
+   contents for every index below its [len] — even across a reallocation
+   on weakly-ordered hardware.  Single writer, any number of readers;
+   readers never touch indices at or beyond the length they observed, so
+   the writer's in-place store at [len] (pre-publication) never races. *)
 
-let create () = { data = [||]; len = 0 }
-let length t = t.len
+type 'a state = { arr : 'a array; len : int }
+type 'a t = 'a state Atomic.t
+
+let create () = Atomic.make { arr = [||]; len = 0 }
+let length t = (Atomic.get t).len
 
 let push t x =
-  if t.len = Array.length t.data then begin
-    let cap = Stdlib.max 8 (2 * Array.length t.data) in
-    let bigger = Array.make cap x in
-    Array.blit t.data 0 bigger 0 t.len;
-    t.data <- bigger
-  end;
-  t.data.(t.len) <- x;
-  t.len <- t.len + 1
+  let { arr; len } = Atomic.get t in
+  let arr =
+    if len = Array.length arr then begin
+      (* [Array.make] seeds every slot — including [len] — with [x]. *)
+      let bigger = Array.make (Stdlib.max 8 (2 * len)) x in
+      Array.blit arr 0 bigger 0 len;
+      bigger
+    end
+    else begin
+      arr.(len) <- x;
+      arr
+    end
+  in
+  Atomic.set t { arr; len = len + 1 }
 
-let check t i =
-  if i < 0 || i >= t.len then
-    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (len %d)" i t.len)
+let check len i =
+  if i < 0 || i >= len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (len %d)" i len)
 
 let get t i =
-  check t i;
-  t.data.(i)
+  let { arr; len } = Atomic.get t in
+  check len i;
+  arr.(i)
 
 let set t i x =
-  check t i;
-  t.data.(i) <- x
+  let { arr; len } = Atomic.get t in
+  check len i;
+  arr.(i) <- x
 
-let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+let last t =
+  let { arr; len } = Atomic.get t in
+  if len = 0 then None else Some arr.(len - 1)
 
 let iter f t =
-  for i = 0 to t.len - 1 do
-    f t.data.(i)
+  let { arr; len } = Atomic.get t in
+  for i = 0 to len - 1 do
+    f arr.(i)
   done
 
 let iteri f t =
-  for i = 0 to t.len - 1 do
-    f i t.data.(i)
+  let { arr; len } = Atomic.get t in
+  for i = 0 to len - 1 do
+    f i arr.(i)
   done
 
 let fold_left f acc t =
+  let { arr; len } = Atomic.get t in
   let acc = ref acc in
-  for i = 0 to t.len - 1 do
-    acc := f !acc t.data.(i)
+  for i = 0 to len - 1 do
+    acc := f !acc arr.(i)
   done;
   !acc
 
-let to_list t = List.init t.len (fun i -> t.data.(i))
+let to_list t =
+  let { arr; len } = Atomic.get t in
+  List.init len (fun i -> arr.(i))
 
 let find_last_index ?limit pred t =
+  let { arr; len } = Atomic.get t in
   let len =
     match limit with
-    | Some l when l < t.len -> (if l < 0 then 0 else l)
-    | Some _ | None -> t.len
+    | Some l when l < len -> (if l < 0 then 0 else l)
+    | Some _ | None -> len
   in
-  if len = 0 || not (pred t.data.(0)) then None
+  if len = 0 || not (pred arr.(0)) then None
   else begin
     (* invariant: pred holds at lo, fails at hi (or hi = len) *)
     let lo = ref 0 and hi = ref len in
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
-      if pred t.data.(mid) then lo := mid else hi := mid
+      if pred arr.(mid) then lo := mid else hi := mid
     done;
     Some !lo
   end

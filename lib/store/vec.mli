@@ -1,5 +1,11 @@
 (** Minimal growable vector (append + random access), used for version
-    chains and posting lists.  OCaml 5.1 predates [Dynarray]. *)
+    chains and posting lists.  OCaml 5.1 predates [Dynarray].
+
+    Safe for one writer and any number of concurrent reader domains: the
+    backing array and length are published together with release/acquire
+    semantics, so a reader always observes initialized contents for every
+    index below the length it saw.  [set] mutates an element in place and
+    is writer-only — it must not race with readers of the same index. *)
 
 type 'a t
 

@@ -161,6 +161,40 @@ let prop_vec_find_last_index =
       in
       via_binary = via_scan)
 
+(* Single-writer / multi-reader publication: while one domain pushes,
+   reader domains must only ever observe a consistent prefix — every
+   index below the length they saw holds its final value, across
+   reallocations.  (The seed Vec published the grown array with a plain
+   store, which let readers see uninitialized slots on weak memory.) *)
+let test_vec_concurrent_readers () =
+  let v = Vec.create () in
+  let total = 20_000 in
+  let readers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            let seen = ref 0 in
+            while !seen < total do
+              let n = Vec.length v in
+              for i = !seen to n - 1 do
+                if Vec.get v i <> i * 3 then ok := false
+              done;
+              (match Vec.last v with
+               | Some x when n > 0 && x mod 3 <> 0 -> ok := false
+               | _ -> ());
+              if n > !seen then seen := n else Domain.cpu_relax ()
+            done;
+            !ok))
+  in
+  for i = 0 to total - 1 do
+    Vec.push v (i * 3)
+  done;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "reader saw a consistent prefix" true
+        (Domain.join d))
+    readers
+
 (* --- bptree -------------------------------------------------------------- *)
 
 let mk_tree () =
@@ -275,6 +309,8 @@ let () =
       ( "vec",
         [
           Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "concurrent readers" `Quick
+            test_vec_concurrent_readers;
           QCheck_alcotest.to_alcotest prop_vec_find_last_index;
         ] );
       ( "bptree",
