@@ -1532,6 +1532,170 @@ let e18 () =
       Printf.printf "  group-commit check ok: fsyncs/txn down %.1fx >= %.1fx\n"
         factor mvcc_fsync_factor
 
+(* --check-serve turns E19 into a pass/fail gate (CI): an 8-client
+   closed-loop mixed workload over real sockets must complete with zero
+   error replies, zero dropped connections, zero leaked snapshot pins,
+   and at least [serve_min_qps] sustained. *)
+let check_serve = ref false
+let serve_min_qps = 50.0
+
+let e19 () =
+  section "E19  txmldbd: sustained QPS and connection churn over the wire"
+    "Serving the statement language to concurrent clients: each request\n\
+     pins an MVCC snapshot on a reader domain and streams its result in\n\
+     bounded chunks while writes funnel through the group-committed\n\
+     writer.  Part 1 scales closed-loop clients; part 2 adds connection\n\
+     churn (drop and redial every few requests); part 3 offers a fixed\n\
+     open-loop arrival rate and reads the latency tail.";
+  let module Server = Txq_server.Server in
+  let module Loadgen = Txq_server.Loadgen in
+  let sp =
+    spec
+      ~documents:(if !smoke then 4 else 12)
+      ~versions:(if !smoke then 4 else 8)
+      ~restaurants:(if !smoke then 5 else 10)
+      ()
+  in
+  let ops = if !smoke then 25 else 150 in
+  let with_server readers f =
+    let db = Load.load_db sp in
+    let server =
+      Server.start ~config:{ Server.default_config with Server.readers } db
+    in
+    let r = f (Server.port server) in
+    let leaked = Server.stop server in
+    (r, leaked)
+  in
+  (* Part 1: closed-loop client scaling *)
+  let run_clients clients =
+    with_server (Stdlib.max 4 clients) @@ fun port ->
+    Loadgen.closed_loop ~port ~clients ~ops_per_client:ops ~spec:sp
+      ~seed:2026 ()
+  in
+  let client_rows =
+    List.map (fun c -> (c, run_clients c)) [ 1; 2; 4; 8 ]
+  in
+  let pct r p = Loadgen.percentile r.Loadgen.r_latencies_us p in
+  print_table
+    ~title:(Printf.sprintf "E19a: closed-loop clients (%d ops each)" ops)
+    ~columns:
+      [ "clients"; "qps"; "p50"; "p99"; "errors"; "disconnects"; "leaked" ]
+    (List.map
+       (fun (c, (r, leaked)) ->
+         [
+           string_of_int c;
+           Printf.sprintf "%.0f" r.Loadgen.r_qps;
+           Printf.sprintf "%.0f us" (pct r 50.0);
+           Printf.sprintf "%.0f us" (pct r 99.0);
+           string_of_int r.Loadgen.r_errors;
+           string_of_int r.Loadgen.r_disconnects;
+           string_of_int leaked;
+         ])
+       client_rows);
+  record_json "closed_loop"
+    (Harness.Json.Arr
+       (List.map
+          (fun (c, (r, leaked)) ->
+            Harness.Json.Obj
+              [
+                ("clients", Harness.Json.Int c);
+                ("qps", Harness.Json.Float r.Loadgen.r_qps);
+                ("p50_us", Harness.Json.Float (pct r 50.0));
+                ("p99_us", Harness.Json.Float (pct r 99.0));
+                ("ops", Harness.Json.Int r.Loadgen.r_ops);
+                ("errors", Harness.Json.Int r.Loadgen.r_errors);
+                ("disconnects", Harness.Json.Int r.Loadgen.r_disconnects);
+                ("leaked_pins", Harness.Json.Int leaked);
+              ])
+          client_rows));
+  (* Part 2: connection churn — every client redials every 5 requests *)
+  let churn, churn_leaked =
+    with_server 8 @@ fun port ->
+    Loadgen.closed_loop ~port ~clients:8 ~ops_per_client:ops ~spec:sp
+      ~reconnect_every:5 ~seed:2027 ()
+  in
+  print_table ~title:"E19b: connection churn (8 clients, redial every 5)"
+    ~columns:[ "qps"; "p99"; "errors"; "disconnects"; "leaked" ]
+    [
+      [
+        Printf.sprintf "%.0f" churn.Loadgen.r_qps;
+        Printf.sprintf "%.0f us" (pct churn 99.0);
+        string_of_int churn.Loadgen.r_errors;
+        string_of_int churn.Loadgen.r_disconnects;
+        string_of_int churn_leaked;
+      ];
+    ];
+  record_json "churn"
+    (Harness.Json.Obj
+       [
+         ("qps", Harness.Json.Float churn.Loadgen.r_qps);
+         ("p99_us", Harness.Json.Float (pct churn 99.0));
+         ("errors", Harness.Json.Int churn.Loadgen.r_errors);
+         ("disconnects", Harness.Json.Int churn.Loadgen.r_disconnects);
+         ("leaked_pins", Harness.Json.Int churn_leaked);
+       ]);
+  (* Part 3: open loop at a fixed offered rate — latency, not throughput *)
+  let rate = if !smoke then 40.0 else 150.0 in
+  let duration = if !smoke then 1.0 else 4.0 in
+  let open_r, open_leaked =
+    with_server 8 @@ fun port ->
+    Loadgen.open_loop ~port ~conns:4 ~rate_per_s:rate ~duration_s:duration
+      ~spec:sp ~seed:2028 ()
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "E19c: open loop at %.0f req/s offered (%.0f s)" rate
+         duration)
+    ~columns:[ "achieved qps"; "p50"; "p99"; "errors"; "leaked" ]
+    [
+      [
+        Printf.sprintf "%.0f" open_r.Loadgen.r_qps;
+        Printf.sprintf "%.0f us" (pct open_r 50.0);
+        Printf.sprintf "%.0f us" (pct open_r 99.0);
+        string_of_int open_r.Loadgen.r_errors;
+        string_of_int open_leaked;
+      ];
+    ];
+  record_json "open_loop"
+    (Harness.Json.Obj
+       [
+         ("offered_rate", Harness.Json.Float rate);
+         ("qps", Harness.Json.Float open_r.Loadgen.r_qps);
+         ("p50_us", Harness.Json.Float (pct open_r 50.0));
+         ("p99_us", Harness.Json.Float (pct open_r 99.0));
+         ("errors", Harness.Json.Int open_r.Loadgen.r_errors);
+         ("leaked_pins", Harness.Json.Int open_leaked);
+       ]);
+  record_json "smoke" (Harness.Json.Bool !smoke);
+  record_json "min_qps_gate" (Harness.Json.Float serve_min_qps);
+  if !check_serve then begin
+    let eight, eight_leaked =
+      try List.assoc 8 client_rows with Not_found -> (churn, churn_leaked)
+    in
+    if
+      eight.Loadgen.r_errors > 0
+      || eight.Loadgen.r_disconnects > 0
+      || eight_leaked > 0 || churn.Loadgen.r_errors > 0
+      || churn.Loadgen.r_disconnects > 0 || churn_leaked > 0
+    then begin
+      Printf.eprintf
+        "E19 FAIL: errors=%d/%d disconnects=%d/%d leaked=%d/%d (plain/churn)\n"
+        eight.Loadgen.r_errors churn.Loadgen.r_errors
+        eight.Loadgen.r_disconnects churn.Loadgen.r_disconnects eight_leaked
+        churn_leaked;
+      exit 1
+    end
+    else if eight.Loadgen.r_qps < serve_min_qps then begin
+      Printf.eprintf "E19 FAIL: %.0f qps at 8 clients, need >= %.0f\n"
+        eight.Loadgen.r_qps serve_min_qps;
+      exit 1
+    end
+    else
+      Printf.printf
+        "  serve check ok: %.0f qps >= %.0f, no errors, no leaked pins\n"
+        eight.Loadgen.r_qps serve_min_qps
+  end
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1539,7 +1703,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18);
+    ("e17", e17); ("e18", e18); ("e19", e19);
   ]
 
 let () =
@@ -1551,6 +1715,7 @@ let () =
   check_vacuum := List.mem "--check-vacuum" args;
   check_algebra := List.mem "--check-algebra" args;
   check_mvcc := List.mem "--check-mvcc" args;
+  check_serve := List.mem "--check-serve" args;
   (* --trace FILE: stream every root span of the whole run as JSON lines.
      E14 manages its own sinks and ends with tracing off, so combining it
      with --trace in one invocation truncates the stream there. *)

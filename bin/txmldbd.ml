@@ -1,0 +1,186 @@
+(* txmldbd — the multi-client temporal XML query daemon.
+
+   `serve` builds a seeded store (the store is an in-memory simulator, as
+   in txmldb) and listens until SIGTERM/SIGINT, then shuts down
+   gracefully and reports leaked snapshot pins in its exit status.
+   `query`, `explain`, `analyze`, `metrics` and `stats` are thin protocol
+   clients against a running daemon; `smoke` spins a daemon up in-process
+   and drives a mixed multi-client workload against it over real
+   sockets, gating on errors and a minimum QPS. *)
+
+open Cmdliner
+module Server = Txq_server.Server
+module Client = Txq_server.Client
+module Loadgen = Txq_server.Loadgen
+
+(* --- shared options ------------------------------------------------------ *)
+
+let docs_t =
+  Arg.(value & opt int 10 & info ["docs"] ~docv:"N" ~doc:"Generated guide documents.")
+
+let versions_t =
+  Arg.(value & opt int 20 & info ["versions"] ~docv:"N" ~doc:"Versions per document.")
+
+let seed_t = Arg.(value & opt int 42 & info ["seed"] ~docv:"SEED" ~doc:"Workload seed.")
+
+let host_t =
+  Arg.(value & opt string "127.0.0.1" & info ["host"] ~docv:"ADDR" ~doc:"Bind/connect address.")
+
+let port_t =
+  Arg.(value & opt int 7400 & info ["port"] ~docv:"PORT"
+         ~doc:"TCP port (0 picks an ephemeral port when serving).")
+
+let readers_t =
+  Arg.(value & opt int 8 & info ["readers"] ~docv:"N"
+         ~doc:"Reader-domain pool size: connections served concurrently.")
+
+let build_db ~docs ~versions ~seed =
+  Txq_workload.Load.load_db
+    { Txq_workload.Load.default_spec with
+      Txq_workload.Load.seed; documents = docs; versions }
+
+(* --- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run host port readers docs versions seed =
+    let db = build_db ~docs ~versions ~seed in
+    let config = { Server.default_config with Server.host; port; readers } in
+    let server = Server.start ~config db in
+    Printf.printf "listening on %s:%d (%d readers, %d documents)\n%!" host
+      (Server.port server) readers (Txq_db.Db.document_count db);
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop_requested) do
+      Thread.delay 0.1
+    done;
+    let leaked = Server.stop server in
+    Printf.printf "clean shutdown: %d leaked snapshot pin(s), %d commits\n%!"
+      leaked (Txq_db.Db.stats db).Txq_db.Db.commits;
+    if leaked = 0 then `Ok () else `Error (false, "shutdown leaked snapshot pins")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Build a seeded store and serve it until SIGTERM; exits \
+             non-zero if shutdown leaks a pinned snapshot.")
+    Term.(ret (const run $ host_t $ port_t $ readers_t $ docs_t $ versions_t
+               $ seed_t))
+
+(* --- protocol clients ---------------------------------------------------- *)
+
+let with_client host port f =
+  match Client.connect ~host ~port () with
+  | exception Unix.Unix_error (e, _, _) ->
+    `Error
+      (false,
+       Printf.sprintf "cannot reach %s:%d: %s" host port (Unix.error_message e))
+  | c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let print_reply = function
+  | Ok r ->
+    print_string r.Client.body;
+    if r.Client.body <> "" && not (String.ends_with ~suffix:"\n" r.Client.body)
+    then print_newline ();
+    `Ok ()
+  | Stdlib.Error (code, msg) ->
+    `Error (false, Printf.sprintf "server error %d: %s" code msg)
+
+let statement_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STATEMENT"
+         ~doc:"A SELECT query or algebra expression.")
+
+let client_cmd name ~doc request =
+  let run host port stmt =
+    with_client host port @@ fun c -> print_reply (Client.request c (request stmt))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(ret (const run $ host_t $ port_t $ statement_pos))
+
+let query_cmd =
+  client_cmd "query" ~doc:"Run a statement against a running daemon."
+    (fun s -> Txq_server.Protocol.Query s)
+
+let explain_cmd =
+  client_cmd "explain" ~doc:"Fetch a statement's operator plan from a running daemon."
+    (fun s -> Txq_server.Protocol.Explain s)
+
+let analyze_cmd =
+  client_cmd "analyze"
+    ~doc:"Run a statement under tracing on the daemon and print the profile."
+    (fun s -> Txq_server.Protocol.Analyze s)
+
+let plain_cmd name ~doc request =
+  let run host port =
+    with_client host port @@ fun c -> print_reply (Client.request c request)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(ret (const run $ host_t $ port_t))
+
+let metrics_cmd =
+  plain_cmd "metrics" ~doc:"Dump a running daemon's metrics registry."
+    Txq_server.Protocol.Metrics
+
+let stats_cmd =
+  plain_cmd "stats" ~doc:"Dump a running daemon's store and connection stats."
+    Txq_server.Protocol.Stats
+
+(* --- smoke --------------------------------------------------------------- *)
+
+let smoke_cmd =
+  let clients_t =
+    Arg.(value & opt int 8 & info ["clients"] ~docv:"N" ~doc:"Concurrent protocol clients.")
+  in
+  let ops_t =
+    Arg.(value & opt int 50 & info ["ops"] ~docv:"N" ~doc:"Operations per client.")
+  in
+  let min_qps_t =
+    Arg.(value & opt float 0.0 & info ["min-qps"] ~docv:"QPS"
+           ~doc:"Fail unless sustained throughput reaches $(docv).")
+  in
+  let run readers docs versions seed clients ops min_qps =
+    let db = build_db ~docs ~versions ~seed in
+    let server =
+      Server.start ~config:{ Server.default_config with Server.readers } db
+    in
+    let port = Server.port server in
+    let report =
+      Loadgen.closed_loop ~port ~clients ~ops_per_client:ops
+        ~reconnect_every:20 ~seed ()
+    in
+    let leaked = Server.stop server in
+    let p50 = Loadgen.percentile report.Loadgen.r_latencies_us 50.0 in
+    let p99 = Loadgen.percentile report.Loadgen.r_latencies_us 99.0 in
+    Printf.printf
+      "smoke: %d ops, %d errors, %d disconnects, %.0f qps, p50 %.0fus, \
+       p99 %.0fus, %d rows, %d body bytes, %d leaked pins\n%!"
+      report.Loadgen.r_ops report.Loadgen.r_errors report.Loadgen.r_disconnects
+      report.Loadgen.r_qps p50 p99 report.Loadgen.r_rows report.Loadgen.r_bytes
+      leaked;
+    let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt in
+    if report.Loadgen.r_ops <> clients * ops then
+      fail "expected %d ops, saw %d" (clients * ops) report.Loadgen.r_ops
+    else if report.Loadgen.r_errors > 0 then
+      fail "%d requests answered with errors" report.Loadgen.r_errors
+    else if report.Loadgen.r_disconnects > 0 then
+      fail "%d connections dropped" report.Loadgen.r_disconnects
+    else if leaked > 0 then fail "%d leaked snapshot pins" leaked
+    else if report.Loadgen.r_qps < min_qps then
+      fail "%.0f qps under the %.0f gate" report.Loadgen.r_qps min_qps
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:"Start an in-process daemon, drive a mixed multi-client \
+             workload over sockets with connection churn, and gate on \
+             errors, leaked pins and minimum QPS.")
+    Term.(ret (const run $ readers_t $ docs_t $ versions_t $ seed_t $ clients_t
+               $ ops_t $ min_qps_t))
+
+let main =
+  let doc = "temporal XML database daemon" in
+  Cmd.group
+    (Cmd.info "txmldbd" ~version:"1.0.0" ~doc)
+    [serve_cmd; query_cmd; explain_cmd; analyze_cmd; metrics_cmd; stats_cmd;
+     smoke_cmd]
+
+let () = exit (Cmd.eval main)

@@ -73,23 +73,21 @@ let field_to_xml = function
   | F_int n -> Xml.element "count" [ Xml.text (string_of_int n) ]
   | F_null -> Xml.element "null" []
 
-let to_xml tl t =
-  Xml.element "results"
-    (List.map
-       (fun r ->
-         Xml.element "row"
-           (List.map field_to_xml r.tuple
-           @ [
-               Xml.element "valid"
-                 (List.map
-                    (fun iv ->
-                      Xml.element "interval"
-                        ~attrs:
-                          [
-                            ("from", Timestamp.to_string (Interval.start iv));
-                            ("to", Timestamp.to_string (Interval.stop iv));
-                          ]
-                        [])
-                    (Timeline.to_intervals tl r.valid));
-             ]))
-       t)
+let row_to_xml tl r =
+  Xml.element "row"
+    (List.map field_to_xml r.tuple
+    @ [
+        Xml.element "valid"
+          (List.map
+             (fun iv ->
+               Xml.element "interval"
+                 ~attrs:
+                   [
+                     ("from", Timestamp.to_string (Interval.start iv));
+                     ("to", Timestamp.to_string (Interval.stop iv));
+                   ]
+                 [])
+             (Timeline.to_intervals tl r.valid));
+      ])
+
+let to_xml tl t = Xml.element "results" (List.map (row_to_xml tl) t)

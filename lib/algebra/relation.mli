@@ -40,5 +40,10 @@ val render :
     every interval with [\[clip_from, +inf)] — the retained-window
     comparison after a vacuum. *)
 
+val row_to_xml : Timeline.t -> row -> Txq_xml.Xml.t
+(** One [<row>fields…<valid>…</valid></row>] element — the unit a
+    streaming server emits per chunk. *)
+
 val to_xml : Timeline.t -> t -> Txq_xml.Xml.t
-(** [<results><row>fields…<valid><interval from=… to=…/>…</valid></row>…]. *)
+(** [<results><row>fields…<valid><interval from=… to=…/>…</valid></row>…];
+    the concatenation of {!row_to_xml} over the rows. *)

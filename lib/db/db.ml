@@ -31,7 +31,14 @@ type pins = {
   mutable next_pin_id : int;
 }
 
-type view = { sv_pin : int; sv_watermark : int }
+type view = {
+  sv_pin : int;
+  sv_watermark : int;
+  (* Flipped by the first [release]: later releases (a connection cleanup
+     running twice, an error path racing a normal exit) must not touch the
+     pin table again, so the accounting can never go below reality. *)
+  mutable sv_released : bool;
+}
 
 type t = {
   config : Config.t;
@@ -51,7 +58,12 @@ type t = {
      the configuration names a document-time path. *)
   dtime_path : Txq_xml.Path.t option;
   dtime_index : Txq_store.Bptree.t;
-  mutable dtime_seq : int;
+  (* Per-second tie-breaking sequence for the document-time index: maps a
+     seconds value to the number of rows already keyed under it, so equal
+     publication instants stay distinct without ever overflowing into the
+     seconds bits (a single global counter wraps after 2^20 rows and
+     silently collides). *)
+  dtime_counts : (int, int) Hashtbl.t;
   stats : stats;
   vcache : Vcache.t;
   (* MVCC: the lock serializes the single writer against snapshot capture
@@ -118,7 +130,7 @@ let create ?(config = Config.default) ?clock () =
     dtime_path =
       Option.map Txq_xml.Path.parse_exn config.Config.document_time_path;
     dtime_index = Txq_store.Bptree.create pool;
-    dtime_seq = 0;
+    dtime_counts = Hashtbl.create 64;
     stats =
       { commits = 0; deltas_read = 0; reconstructions = 0;
         reconstruct_cache_hits = 0 };
@@ -223,6 +235,7 @@ let snapshot t =
       { pin_watermark = watermark; pin_next_doc = t.next_doc_id };
     id
   in
+  let view = { sv_pin = pin_id; sv_watermark = watermark; sv_released = false } in
   let docs = Hashtbl.create (Hashtbl.length t.docs) in
   Hashtbl.iter (fun id d -> Hashtbl.replace docs id (Docstore.bounded d)) t.docs;
   let urls = Hashtbl.create (Hashtbl.length t.urls) in
@@ -231,7 +244,7 @@ let snapshot t =
     t with
     docs;
     urls;
-    view = Some { sv_pin = pin_id; sv_watermark = watermark };
+    view = Some view;
     (* Reader-side accounting lands on the snapshot handle: reader domains
        each hold their own snapshot, so these counters never race. *)
     stats =
@@ -240,12 +253,23 @@ let snapshot t =
     deferred = [];
   }
 
+(* Total and idempotent: per-connection cleanup calls this on every exit
+   path, including error paths that may run twice and paths where the
+   handle was never snapshotted at all.  Only the first release of a
+   snapshot touches the pin table, so [pinned_snapshots] and
+   [oldest_pinned_watermark] stay correct under double release. *)
 let release t =
   match t.view with
-  | None -> invalid_arg "Db.release: not a snapshot"
+  | None -> ()
   | Some v ->
-    (* idempotent: a double release finds the pin already gone *)
-    pins_locked t @@ fun () -> Hashtbl.remove t.pins.pin_table v.sv_pin
+    pins_locked t @@ fun () ->
+    if not v.sv_released then begin
+      v.sv_released <- true;
+      Hashtbl.remove t.pins.pin_table v.sv_pin
+    end
+
+let is_released t =
+  match t.view with None -> false | Some v -> v.sv_released
 
 let snapshot_due t version =
   match t.config.Config.snapshot_every with
@@ -272,27 +296,53 @@ let extract_doc_time t xml =
       Timestamp.of_string_opt (String.trim (Xml.text_content node))
     | [] -> None)
 
-(* Document-time keys: seconds in the high bits, a per-database sequence
+(* Document-time keys: seconds in the high bits, a per-second sequence
    number in the low 20, so identical publication instants stay distinct.
    Instants beyond ±2^42 seconds (~139k years) cannot be packed; no real
-   document time is. *)
+   document time is.  The sequence is per distinct seconds value (see
+   [dtime_counts]): a global counter would wrap past [dtime_seq_limit]
+   rows and collide with an earlier key — its low bits are masked, so the
+   collision silently replaces an unrelated row and dtime range reads lose
+   data.  At the (absurd) bound of 2^20 rows sharing one second the row is
+   skipped, counted and logged instead of corrupting the index. *)
 let dtime_key_bits = 20
+let dtime_seq_limit = 1 lsl dtime_key_bits
 
 let dtime_key seconds seq =
   Int64.logor
     (Int64.shift_left (Int64.of_int seconds) dtime_key_bits)
-    (Int64.of_int (seq land ((1 lsl dtime_key_bits) - 1)))
+    (Int64.of_int (seq land (dtime_seq_limit - 1)))
 
 let record_doc_time t ~doc ~version = function
   | None -> ()
   | Some dt ->
     let seconds = Timestamp.to_seconds dt in
     if abs seconds < 1 lsl 42 then begin
-      Txq_store.Bptree.insert t.dtime_index
-        ~key:(dtime_key seconds t.dtime_seq)
-        (Int64.of_int doc, Int64.of_int version);
-      t.dtime_seq <- t.dtime_seq + 1
+      let seq =
+        match Hashtbl.find_opt t.dtime_counts seconds with
+        | Some n -> n
+        | None -> 0
+      in
+      if seq >= dtime_seq_limit then begin
+        Txq_obs.Metrics.incr "db.dtime.overflow_skipped";
+        Log.warn (fun m ->
+            m
+              "document-time index full at %d rows for instant %s; \
+               doc %d v%d not indexed"
+              dtime_seq_limit (Timestamp.to_string dt) doc version)
+      end
+      else begin
+        Txq_store.Bptree.insert t.dtime_index
+          ~key:(dtime_key seconds seq)
+          (Int64.of_int doc, Int64.of_int version);
+        Hashtbl.replace t.dtime_counts seconds (seq + 1)
+      end
     end
+
+(* Test hook for the overflow boundary: forcing 2^20 real inserts through
+   the B+-tree would dominate the test suite's runtime. *)
+let set_dtime_count_for_tests t ~seconds count =
+  Hashtbl.replace t.dtime_counts seconds count
 
 (* --- journaling -------------------------------------------------------- *)
 
@@ -506,7 +556,12 @@ let delete_document t ~url ?ts () =
          (Vnode.xids (Docstore.current d)));
     (* Defensive eviction: entries for a deleted document stay correct
        (versions are immutable) but will never be asked for again. *)
-    Vcache.evict_doc t.vcache doc_id);
+    Vcache.evict_doc t.vcache doc_id;
+    (* A deletion is a commit like any other: it journals a record and
+       changes what every later snapshot reads.  Not counting it left two
+       distinct states sharing one snapshot watermark, so a watermark no
+       longer identified a unique operation prefix. *)
+    t.stats.commits <- t.stats.commits + 1);
   group_barrier t !ticket
 
 (* --- reconstruction --------------------------------------------------- *)
@@ -1057,6 +1112,7 @@ let recover disk config =
         b.b_current <- restore_blob r_current
       | Journal_record.Delete { r_doc; r_ts } ->
         note_ts r_ts;
+        incr commits;
         (builder r_doc "delete").b_deleted <- Some (Timestamp.of_seconds r_ts)
       | Journal_record.Vacuum { r_ts; r_docs } ->
         note_ts r_ts;
@@ -1208,7 +1264,7 @@ let recover disk config =
       dtime_path =
         Option.map Txq_xml.Path.parse_exn config.Config.document_time_path;
       dtime_index = Txq_store.Bptree.create pool;
-      dtime_seq = 0;
+      dtime_counts = Hashtbl.create 64;
       stats =
         { commits = !commits; deltas_read = 0; reconstructions = 0;
           reconstruct_cache_hits = 0 };

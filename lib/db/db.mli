@@ -41,10 +41,16 @@ val snapshot : t -> t
 val release : t -> unit
 (** Unpins the snapshot so vacuum may reclaim versions only it could see.
     Reading from a released snapshot is still safe until a later vacuum
-    actually truncates; releasing twice is harmless.  Raises
-    [Invalid_argument] on the live handle. *)
+    actually truncates.  Total and idempotent: releasing twice, or
+    releasing the live handle, is a no-op — connection cleanup code calls
+    this on every exit path, including error paths that may run more than
+    once, and the pinned-snapshot accounting must stay exact regardless. *)
 
 val is_snapshot : t -> bool
+
+val is_released : t -> bool
+(** [true] once a snapshot has been released; always [false] on the live
+    handle. *)
 
 val snapshot_watermark : t -> int option
 (** Commit count at capture; [None] on the live handle. *)
@@ -244,3 +250,10 @@ val disk : t -> Txq_store.Disk.t
 (** The simulated disk beneath everything; exposed for diagnostics and for
     the failure-injection tests (which corrupt pages and expect {!verify}
     to notice). *)
+
+(**/**)
+
+val set_dtime_count_for_tests : t -> seconds:int -> int -> unit
+(** Pre-loads the document-time index's per-second row counter, so the
+    2^20-rows-per-second overflow boundary is testable without a million
+    B+-tree inserts.  Tests only. *)

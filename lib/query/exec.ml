@@ -25,15 +25,28 @@ type error =
   | Parse_error of string
   | Unknown_variable of string
   | Unsupported of string
+  | Internal of string
 
 let error_to_string = function
   | Parse_error e -> "parse error: " ^ e
   | Unknown_variable v -> "unknown variable: " ^ v
   | Unsupported msg -> "unsupported: " ^ msg
+  | Internal msg -> "internal error: " ^ msg
 
 exception Fail of error
 
 let unsupported fmt = Printf.ksprintf (fun s -> raise (Fail (Unsupported s))) fmt
+
+(* Once statements arrive from untrusted clients, no input may tear the
+   process down: anything the evaluator leaks beyond its own typed [Fail]
+   — including [Stack_overflow] from adversarially deep input — becomes a
+   typed [Internal] error at every entry point below. *)
+let guard f =
+  try f () with
+  | Fail e -> Error e
+  | Stack_overflow -> Error (Internal "stack overflow during evaluation")
+  | Out_of_memory -> Error (Internal "out of memory during evaluation")
+  | exn -> Error (Internal (Printexc.to_string exn))
 
 (* --- query context ------------------------------------------------------ *)
 
@@ -336,6 +349,22 @@ let source_docstores ctx src =
 let source_doc_ids ctx src = List.map Docstore.doc_id (source_docstores ctx src)
 
 (* Root bindings (empty source path) go through the delta index alone. *)
+let bind_roots_every_doc ctx d =
+  (* one batched sweep materializes every version: the per-binding
+     lazy reconstruction re-walked the chain once per version *)
+  let history =
+    History.doc_history_trees ctx.db (Docstore.doc_id d)
+      ~t1:Timestamp.minus_infinity ~t2:Timestamp.plus_infinity
+  in
+  List.rev_map
+    (fun (dv, tree) ->
+      {
+        rb_teid = dv.History.dv_teid;
+        rb_time = Interval.start dv.History.dv_interval;
+        rb_tree = Lazy.from_val tree;
+      })
+    history
+
 let bind_roots ctx src =
   let docs = source_docstores ctx src in
   match src.Ast.src_time with
@@ -371,24 +400,29 @@ let bind_roots ctx src =
             }
         | None -> None)
       docs
-  | Ast.Every ->
-    List.concat_map
-      (fun d ->
-        (* one batched sweep materializes every version: the per-binding
-           lazy reconstruction re-walked the chain once per version *)
-        let history =
-          History.doc_history_trees ctx.db (Docstore.doc_id d)
-            ~t1:Timestamp.minus_infinity ~t2:Timestamp.plus_infinity
-        in
-        List.rev_map
-          (fun (dv, tree) ->
-            {
-              rb_teid = dv.History.dv_teid;
-              rb_time = Interval.start dv.History.dv_interval;
-              rb_tree = Lazy.from_val tree;
-            })
-          history)
-      docs
+  | Ast.Every -> List.concat_map (bind_roots_every_doc ctx) docs
+
+(* Expand one TPatternScanAll binding into its full version history. *)
+let every_binding_rows ctx b =
+  let eid = Scan.eid_of_binding b in
+  List.concat_map
+    (fun iv ->
+      let evs =
+        (* the single-sweep variant reads each delta once;
+           newest-first, so reverse into chronological order *)
+        List.rev
+          (History.element_history_sweep ctx.db eid
+             ~t1:(Interval.start iv) ~t2:(Interval.stop iv) ())
+      in
+      List.map
+        (fun ev ->
+          {
+            rb_teid = ev.History.ev_teid;
+            rb_time = Interval.start ev.History.ev_interval;
+            rb_tree = Lazy.from_val ev.History.ev_tree;
+          })
+        evs)
+    (Scan.binding_intervals ctx.db b)
 
 let bind_source ctx where src : row_binding list =
   if src.Ast.src_path = [] then bind_roots ctx src
@@ -428,29 +462,32 @@ let bind_source ctx where src : row_binding list =
         bindings
     | Ast.Every ->
       let bindings = List.filter in_url (Scan.tpattern_scan_all ctx.db pattern) in
-      List.concat_map
-        (fun b ->
-          let eid = Scan.eid_of_binding b in
-          List.concat_map
-            (fun iv ->
-              let evs =
-                (* the single-sweep variant reads each delta once;
-                   newest-first, so reverse into chronological order *)
-                List.rev
-                  (History.element_history_sweep ctx.db eid
-                     ~t1:(Interval.start iv) ~t2:(Interval.stop iv) ())
-              in
-              List.map
-                (fun ev ->
-                  {
-                    rb_teid = ev.History.ev_teid;
-                    rb_time = Interval.start ev.History.ev_interval;
-                    rb_tree = Lazy.from_val ev.History.ev_tree;
-                  })
-                evs)
-            (Scan.binding_intervals ctx.db b))
-        bindings
+      List.concat_map (every_binding_rows ctx) bindings
   end
+
+(* Streaming variant of [bind_source]: an [EVERY] source expands its
+   (potentially huge) per-binding version histories lazily, one scan
+   binding at a time, so a server can emit rows without materializing
+   the whole history.  [Current]/[At] sources bind eagerly — their
+   result sets are bounded by the live instant. *)
+let source_binding_seq ctx where src : row_binding Seq.t =
+ fun () ->
+  (match src.Ast.src_time with
+   | Ast.Every when src.Ast.src_path = [] ->
+     Seq.concat_map
+       (fun d -> List.to_seq (bind_roots_every_doc ctx d))
+       (List.to_seq (source_docstores ctx src))
+   | Ast.Every ->
+     let words = pushdown_for_var src.Ast.src_var where in
+     let pattern = pattern_of_source src words in
+     let docs = source_doc_ids ctx src in
+     let in_url b = List.mem b.Scan.b_doc docs in
+     let bindings = List.filter in_url (Scan.tpattern_scan_all ctx.db pattern) in
+     Seq.concat_map
+       (fun b -> List.to_seq (every_binding_rows ctx b))
+       (List.to_seq bindings)
+   | Ast.Current | Ast.At _ -> List.to_seq (bind_source ctx where src))
+    ()
 
 (* --- result construction ------------------------------------------------------- *)
 
@@ -472,98 +509,93 @@ let cartesian lists =
       List.concat_map (fun x -> List.map (fun rest -> x :: rest) acc) xs)
     lists [[]]
 
+let row_xml ctx select row =
+  Xml.element "result"
+    (List.concat_map (fun e -> value_to_xml (eval_expr ctx row e)) select)
+
+(* Aggregate queries produce exactly one result row over the full row set. *)
+let aggregate_results ctx query rows =
+  let aggregate_value = function
+    | Ast.E_count _ -> V_number (float_of_int (List.length rows))
+    | Ast.E_sum e ->
+      V_number
+        (List.fold_left
+           (fun acc row ->
+             List.fold_left
+               (fun acc a ->
+                 match atom_number a with
+                 | Some f -> acc +. f
+                 | None -> acc)
+               acc
+               (atoms (eval_expr ctx row e)))
+           0.0 rows)
+    | Ast.E_avg e ->
+      let values =
+        List.concat_map
+          (fun row -> List.filter_map atom_number (atoms (eval_expr ctx row e)))
+          rows
+      in
+      if values = [] then V_null
+      else
+        V_number
+          (List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values))
+    | _ -> unsupported "mixing aggregates and row expressions in SELECT"
+  in
+  [Xml.element "result"
+     (List.concat_map
+        (fun e -> value_to_xml (aggregate_value e))
+        query.Ast.select)]
+
 let run db query =
+  guard @@ fun () ->
   Trace.with_span "query.run" @@ fun () ->
   let ctx = make_ctx db in
-  try
-    let per_source =
-      List.map
-        (fun src ->
-          Trace.with_span "query.bind_source"
-            ~attrs:[ ("var", Span.Str src.Ast.src_var) ]
-          @@ fun () ->
-          List.map
-            (fun rb -> (src.Ast.src_var, rb))
-            (bind_source ctx query.Ast.where src))
-        query.Ast.from
-    in
-    let rows : row list = cartesian per_source in
-    let rows =
-      match query.Ast.where with
-      | None -> rows
-      | Some cond ->
-        Trace.with_span "query.where" @@ fun () ->
-        List.filter (fun row -> eval_cond ctx row cond) rows
-    in
-    if Trace.enabled () then Trace.add_count "rows" (List.length rows);
-    let results =
-      if Ast.has_aggregates query then begin
-        let aggregate_value = function
-          | Ast.E_count _ -> V_number (float_of_int (List.length rows))
-          | Ast.E_sum e ->
-            V_number
-              (List.fold_left
-                 (fun acc row ->
-                   List.fold_left
-                     (fun acc a ->
-                       match atom_number a with
-                       | Some f -> acc +. f
-                       | None -> acc)
-                     acc
-                     (atoms (eval_expr ctx row e)))
-                 0.0 rows)
-          | Ast.E_avg e ->
-            let values =
-              List.concat_map
-                (fun row ->
-                  List.filter_map atom_number (atoms (eval_expr ctx row e)))
-                rows
-            in
-            if values = [] then V_null
-            else
-              V_number
-                (List.fold_left ( +. ) 0.0 values
-                /. float_of_int (List.length values))
-          | _ -> unsupported "mixing aggregates and row expressions in SELECT"
-        in
-        [Xml.element "result"
-           (List.concat_map
-              (fun e -> value_to_xml (aggregate_value e))
-              query.Ast.select)]
-      end
-      else
+  let per_source =
+    List.map
+      (fun src ->
+        Trace.with_span "query.bind_source"
+          ~attrs:[ ("var", Span.Str src.Ast.src_var) ]
+        @@ fun () ->
         List.map
-          (fun row ->
-            Xml.element "result"
-              (List.concat_map
-                 (fun e -> value_to_xml (eval_expr ctx row e))
-                 query.Ast.select))
-          rows
-    in
-    let results =
-      if query.Ast.distinct then begin
-        let seen = Hashtbl.create 16 in
-        List.filter
-          (fun r ->
-            let key = Print.to_string r in
-            if Hashtbl.mem seen key then false
-            else begin
-              Hashtbl.replace seen key ();
-              true
-            end)
-          results
-      end
-      else results
-    in
-    Ok (Xml.element "results" results)
-  with Fail e -> Error e
+          (fun rb -> (src.Ast.src_var, rb))
+          (bind_source ctx query.Ast.where src))
+      query.Ast.from
+  in
+  let rows : row list = cartesian per_source in
+  let rows =
+    match query.Ast.where with
+    | None -> rows
+    | Some cond ->
+      Trace.with_span "query.where" @@ fun () ->
+      List.filter (fun row -> eval_cond ctx row cond) rows
+  in
+  if Trace.enabled () then Trace.add_count "rows" (List.length rows);
+  let results =
+    if Ast.has_aggregates query then aggregate_results ctx query rows
+    else List.map (row_xml ctx query.Ast.select) rows
+  in
+  let results =
+    if query.Ast.distinct then begin
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun r ->
+          let key = Print.to_string r in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        results
+    end
+    else results
+  in
+  Ok (Xml.element "results" results)
 
 (* --- algebra statements ---------------------------------------------------- *)
 
-let run_algebra db node =
-  Trace.with_span "query.run" @@ fun () ->
+let eval_algebra db node =
   match Algebra.validate node with
-  | Error e -> Error (Unsupported e)
+  | Error e -> raise (Fail (Unsupported e))
   | Ok () ->
     let tl =
       Trace.with_span "algebra.timeline" (fun () ->
@@ -571,8 +603,13 @@ let run_algebra db node =
           if Trace.enabled () then Trace.add_count "instants" (Timeline.length tl);
           tl)
     in
-    let rel = Algebra.eval db tl node in
-    Ok (Relation.to_xml tl rel)
+    (tl, Algebra.eval db tl node)
+
+let run_algebra db node =
+  guard @@ fun () ->
+  Trace.with_span "query.run" @@ fun () ->
+  let tl, rel = eval_algebra db node in
+  Ok (Relation.to_xml tl rel)
 
 let run_statement db = function
   | Ast.S_query q -> run db q
@@ -582,6 +619,73 @@ let run_string db input =
   match Parser.parse_statement input with
   | Error e -> Error (Parse_error e)
   | Ok s -> run_statement db s
+
+(* --- streaming execution --------------------------------------------------- *)
+
+(* Lazy cartesian product over per-source binding sequences: the first
+   source streams straight off its scan; every later source is pulled at
+   most once and memoized, since the product revisits it per outer row. *)
+let rec row_seq = function
+  | [] -> Seq.return []
+  | (var, s) :: rest ->
+    let rest_seq = Seq.memoize (row_seq rest) in
+    Seq.concat_map (fun rb -> Seq.map (fun row -> (var, rb) :: row) rest_seq) s
+
+let stream_query db query ~on_row =
+  Trace.with_span "query.run" @@ fun () ->
+  let ctx = make_ctx db in
+  let rows =
+    row_seq
+      (List.map
+         (fun src ->
+           (src.Ast.src_var, source_binding_seq ctx query.Ast.where src))
+         query.Ast.from)
+  in
+  let rows =
+    match query.Ast.where with
+    | None -> rows
+    | Some cond -> Seq.filter (fun row -> eval_cond ctx row cond) rows
+  in
+  let n =
+    if Ast.has_aggregates query then begin
+      (* a single output row over the whole row set: nothing to stream *)
+      let results = aggregate_results ctx query (List.of_seq rows) in
+      List.iter on_row results;
+      List.length results
+    end
+    else if query.Ast.distinct then begin
+      let seen = Hashtbl.create 16 in
+      Seq.fold_left
+        (fun n row ->
+          let r = row_xml ctx query.Ast.select row in
+          let key = Print.to_string r in
+          if Hashtbl.mem seen key then n
+          else begin
+            Hashtbl.replace seen key ();
+            on_row r;
+            n + 1
+          end)
+        0 rows
+    end
+    else
+      Seq.fold_left
+        (fun n row ->
+          on_row (row_xml ctx query.Ast.select row);
+          n + 1)
+        0 rows
+  in
+  if Trace.enabled () then Trace.add_count "rows" n;
+  n
+
+let stream_statement db stmt ~on_row =
+  guard @@ fun () ->
+  match stmt with
+  | Ast.S_query q -> Ok (stream_query db q ~on_row)
+  | Ast.S_algebra a ->
+    Trace.with_span "query.run" @@ fun () ->
+    let tl, rel = eval_algebra db a in
+    List.iter (fun r -> on_row (Relation.row_to_xml tl r)) rel;
+    Ok (List.length rel)
 
 (* --- explain ------------------------------------------------------------- *)
 
@@ -678,7 +782,7 @@ let explain_statement db = function
 let explain_string db input =
   match Parser.parse_statement input with
   | Error e -> Error (Parse_error e)
-  | Ok s -> Ok (explain_statement db s)
+  | Ok s -> guard (fun () -> Ok (explain_statement db s))
 
 (* --- explain analyze ------------------------------------------------------ *)
 
@@ -758,12 +862,22 @@ let explain_analyze db query =
   let result, roots = Txq_obs.Trace.collect (fun () -> run db query) in
   (result, render_analysis plan result roots)
 
-let explain_analyze_statement db = function
-  | Ast.S_query q -> explain_analyze db q
-  | Ast.S_algebra a ->
-    let plan = explain_algebra db a in
-    let result, roots = Txq_obs.Trace.collect (fun () -> run_algebra db a) in
-    (result, render_analysis plan result roots)
+(* [run]/[run_algebra] are total, but plan rendering touches live state
+   (timeline size, pattern compilation); keep the whole thing inside a
+   guard so a daemon's EXPLAIN path can't raise either. *)
+let explain_analyze_statement db stmt =
+  match
+    guard @@ fun () ->
+    Ok
+      (match stmt with
+      | Ast.S_query q -> explain_analyze db q
+      | Ast.S_algebra a ->
+        let plan = explain_algebra db a in
+        let result, roots = Txq_obs.Trace.collect (fun () -> run_algebra db a) in
+        (result, render_analysis plan result roots))
+  with
+  | Ok v -> v
+  | Error e -> (Error e, "explain analyze failed: " ^ error_to_string e)
 
 let explain_analyze_string db input =
   match Parser.parse_statement input with

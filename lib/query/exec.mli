@@ -18,6 +18,11 @@ type error =
   | Parse_error of string
   | Unknown_variable of string
   | Unsupported of string
+  | Internal of string
+      (** anything the evaluator leaked beyond its typed failures —
+          including stack overflow on adversarially deep input.  The
+          entry points below never raise on any input: a daemon serving
+          untrusted statements depends on it. *)
 
 val error_to_string : error -> string
 
@@ -40,6 +45,20 @@ val run_string : Txq_db.Db.t -> string -> (Txq_xml.Xml.t, error) result
 (** Parse (as a statement: query or algebra expression) and run. *)
 
 val run_string_exn : Txq_db.Db.t -> string -> Txq_xml.Xml.t
+
+val stream_statement :
+  Txq_db.Db.t -> Ast.statement -> on_row:(Txq_xml.Xml.t -> unit) ->
+  (int, error) result
+(** Evaluates the statement, calling [on_row] once per result element in
+    result order, and returns the number of rows emitted.  Semantically
+    identical to {!run_statement} — wrapping the emitted elements in
+    [<results>…</results>] reproduces its result document byte for byte
+    (a zero-row stream corresponds to the empty [<results/>]) — but
+    [EVERY] sources expand their version histories lazily, one scan
+    binding at a time, so arbitrarily large history scans stream in
+    bounded memory.  Aggregates still materialize their row set (they
+    produce a single output row).  An exception raised by [on_row]
+    aborts evaluation and surfaces as [Error (Internal _)]. *)
 
 val explain : Txq_db.Db.t -> Ast.query -> string
 (** Human-readable evaluation plan: which of the paper's operators each

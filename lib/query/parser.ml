@@ -2,7 +2,21 @@ open Lexer
 
 exception Parse_failure of string
 
-type state = { toks : token array; mutable pos : int }
+type state = { toks : token array; mutable pos : int; mutable depth : int }
+
+(* Recursion in this parser (and in the evaluator walking its output) is
+   bounded by expression nesting, which untrusted input controls; cap it
+   so adversarially deep statements fail with a parse error instead of a
+   stack overflow. *)
+let max_nesting = 400
+
+let nested st f =
+  st.depth <- st.depth + 1;
+  if st.depth > max_nesting then
+    raise (Parse_failure "statement nesting too deep");
+  let r = f () in
+  st.depth <- st.depth - 1;
+  r
 
 let peek st = st.toks.(st.pos)
 let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else EOF
@@ -123,6 +137,7 @@ let rec parse_expr st =
   | _, _ -> e
 
 and parse_primary st =
+  nested st @@ fun () ->
   match peek st with
   | STRING s ->
     advance st;
@@ -208,6 +223,7 @@ let parse_cmp_op st =
 let rec parse_cond st = parse_or st
 
 and parse_or st =
+  nested st @@ fun () ->
   let left = parse_and st in
   if peek st = KW "OR" then begin
     advance st;
@@ -216,6 +232,7 @@ and parse_or st =
   else left
 
 and parse_and st =
+  nested st @@ fun () ->
   let left = parse_unary st in
   if peek st = KW "AND" then begin
     advance st;
@@ -224,6 +241,7 @@ and parse_and st =
   else left
 
 and parse_unary st =
+  nested st @@ fun () ->
   match peek st with
   | KW "NOT" ->
     advance st;
@@ -416,6 +434,7 @@ and parse_alg_join st =
   go (parse_alg_prim st)
 
 and parse_alg_prim st =
+  nested st @@ fun () ->
   match peek st with
   | KW "DOC" ->
     advance st;
@@ -458,7 +477,7 @@ let with_tokens input f =
   match Lexer.tokenize input with
   | Error e -> Error e
   | Ok toks -> (
-    let st = { toks = Array.of_list toks; pos = 0 } in
+    let st = { toks = Array.of_list toks; pos = 0; depth = 0 } in
     try Ok (f st) with Parse_failure msg -> Stdlib.Error msg)
 
 let parse input = with_tokens input parse_query

@@ -1,0 +1,54 @@
+module P = Protocol
+
+type t = { c_fd : Unix.file_descr; max_frame : int }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     (* requests are small and latency-bound: never wait on Nagle *)
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { c_fd = fd; max_frame = P.default_max_frame }
+
+let close t = try Unix.close t.c_fd with Unix.Unix_error _ -> ()
+let fd t = t.c_fd
+
+type reply = { rows : int; watermark : int; ts : int; body : string }
+
+exception Disconnected
+
+let request ?on_chunk t req =
+  (try P.write_request t.c_fd req
+   with Unix.Unix_error _ -> raise Disconnected);
+  let buf = Buffer.create 256 in
+  let rec await () =
+    match P.read_frame ~max_frame:t.max_frame t.c_fd with
+    | `Timeout -> await ()
+    | `Eof | `Too_large _ -> raise Disconnected
+    | exception Unix.Unix_error _ -> raise Disconnected
+    | `Frame (opcode, body) -> (
+      match P.decode_response opcode body with
+      | Stdlib.Error _ -> raise Disconnected
+      | Ok (P.Chunk s) ->
+        (match on_chunk with
+         | Some f -> f s
+         | None -> Buffer.add_string buf s);
+        await ()
+      | Ok (P.Done { rows; watermark; ts }) ->
+        Ok { rows; watermark; ts; body = Buffer.contents buf }
+      | Ok P.Pong -> Ok { rows = 0; watermark = 0; ts = 0; body = "" }
+      | Ok (P.Error (code, msg)) -> Stdlib.Error (code, msg))
+  in
+  await ()
+
+let ping t = match request t P.Ping with Ok _ -> true | Stdlib.Error _ -> false
+
+let query ?on_chunk t stmt = request ?on_chunk t (P.Query stmt)
+let insert t ~url doc = request t (P.Insert (url, doc))
+let update t ~url doc = request t (P.Update (url, doc))
+let delete t ~url = request t (P.Delete url)
+let metrics t = request t P.Metrics
+let stats t = request t P.Stats

@@ -1,0 +1,42 @@
+(** Blocking txmldbd client: one connection, one request in flight.
+
+    The unit the soak tests, the load generator and the CLI share.  Each
+    request accumulates the reply's chunks (or hands them to [on_chunk])
+    until the terminal frame arrives. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+val close : t -> unit
+val fd : t -> Unix.file_descr
+(** Exposed so tests can kill a connection mid-stream. *)
+
+type reply = {
+  rows : int;
+  watermark : int;  (** snapshot watermark (reads) / post-commit (writes) *)
+  ts : int;  (** epoch seconds; for writes, the commit timestamp *)
+  body : string;  (** concatenated chunks *)
+}
+
+exception Disconnected
+(** The server closed (or the transport died) before a terminal frame. *)
+
+val request :
+  ?on_chunk:(string -> unit) -> t -> Protocol.request ->
+  (reply, int * string) result
+(** [Error (code, message)] carries the server's error frame.  Raises
+    {!Disconnected} on transport failure — after which the connection
+    must be closed, not reused. *)
+
+val ping : t -> bool
+
+val query :
+  ?on_chunk:(string -> unit) -> t -> string -> (reply, int * string) result
+(** A statement (query or algebra); [reply.body] is the full
+    [<results>…</results>] document unless [on_chunk] consumed it. *)
+
+val insert : t -> url:string -> string -> (reply, int * string) result
+val update : t -> url:string -> string -> (reply, int * string) result
+val delete : t -> url:string -> (reply, int * string) result
+val metrics : t -> (reply, int * string) result
+val stats : t -> (reply, int * string) result

@@ -1,0 +1,140 @@
+module Mixed = Txq_workload.Mixed
+module Load = Txq_workload.Load
+module Print = Txq_xml.Print
+module P = Protocol
+
+type report = {
+  r_ops : int;
+  r_errors : int;
+  r_disconnects : int;
+  r_rows : int;
+  r_bytes : int;
+  r_elapsed_s : float;
+  r_qps : float;
+  r_latencies_us : float array;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+(* Per-thread tally, merged under a mutex at the end. *)
+type tally = {
+  mutable t_ops : int;
+  mutable t_errors : int;
+  mutable t_disconnects : int;
+  mutable t_rows : int;
+  mutable t_bytes : int;
+  mutable t_lat : float list;
+}
+
+let new_tally () =
+  { t_ops = 0; t_errors = 0; t_disconnects = 0; t_rows = 0; t_bytes = 0;
+    t_lat = [] }
+
+let request_of_op = function
+  | Mixed.Query stmt -> P.Query stmt
+  | Mixed.Insert (url, xml) -> P.Insert (url, Print.to_string xml)
+  | Mixed.Update (url, xml) -> P.Update (url, Print.to_string xml)
+  | Mixed.Delete url -> P.Delete url
+
+let issue tally conn op =
+  let t0 = Unix.gettimeofday () in
+  match Client.request conn (request_of_op op) with
+  | Ok reply ->
+    tally.t_ops <- tally.t_ops + 1;
+    tally.t_rows <- tally.t_rows + reply.Client.rows;
+    tally.t_bytes <- tally.t_bytes + String.length reply.Client.body;
+    tally.t_lat <- ((Unix.gettimeofday () -. t0) *. 1e6) :: tally.t_lat;
+    `Ok
+  | Stdlib.Error _ ->
+    tally.t_ops <- tally.t_ops + 1;
+    tally.t_errors <- tally.t_errors + 1;
+    tally.t_lat <- ((Unix.gettimeofday () -. t0) *. 1e6) :: tally.t_lat;
+    `Ok
+  | exception Client.Disconnected ->
+    tally.t_disconnects <- tally.t_disconnects + 1;
+    `Lost
+
+let merge tallies elapsed =
+  let ops = List.fold_left (fun a t -> a + t.t_ops) 0 tallies in
+  let lat =
+    Array.of_list (List.concat_map (fun t -> t.t_lat) tallies)
+  in
+  Array.sort Float.compare lat;
+  {
+    r_ops = ops;
+    r_errors = List.fold_left (fun a t -> a + t.t_errors) 0 tallies;
+    r_disconnects = List.fold_left (fun a t -> a + t.t_disconnects) 0 tallies;
+    r_rows = List.fold_left (fun a t -> a + t.t_rows) 0 tallies;
+    r_bytes = List.fold_left (fun a t -> a + t.t_bytes) 0 tallies;
+    r_elapsed_s = elapsed;
+    r_qps = (if elapsed > 0.0 then float_of_int ops /. elapsed else 0.0);
+    r_latencies_us = lat;
+  }
+
+let closed_loop ?(host = "127.0.0.1") ~port ~clients ~ops_per_client ?mix ?spec
+    ?reconnect_every ~seed () =
+  let t0 = Unix.gettimeofday () in
+  let run client_id tally =
+    let gen = Mixed.create ?mix ?spec ~client:client_id ~seed () in
+    let conn = ref (Client.connect ~host ~port ()) in
+    let reconnect () =
+      Client.close !conn;
+      conn := Client.connect ~host ~port ()
+    in
+    (try
+       for i = 1 to ops_per_client do
+         (match reconnect_every with
+          | Some k when k > 0 && i mod k = 0 -> reconnect ()
+          | _ -> ());
+         match issue tally !conn (Mixed.next_op gen) with
+         | `Ok -> ()
+         | `Lost -> reconnect ()
+       done
+     with _ -> ());
+    Client.close !conn
+  in
+  let tallies = List.init clients (fun _ -> new_tally ()) in
+  let threads =
+    List.mapi (fun i tally -> Thread.create (fun () -> run i tally) ()) tallies
+  in
+  List.iter Thread.join threads;
+  merge tallies (Unix.gettimeofday () -. t0)
+
+let open_loop ?(host = "127.0.0.1") ~port ~conns ~rate_per_s ~duration_s ?mix
+    ?spec ~seed () =
+  let schedule = Mixed.arrivals ~seed ~rate_per_s ~duration_s in
+  (* shard arrivals round-robin over the pool: each connection serves its
+     own sub-schedule in order (a late reply delays only its shard) *)
+  let shards = Array.make conns [] in
+  List.iteri
+    (fun i at -> shards.(i mod conns) <- at :: shards.(i mod conns))
+    schedule;
+  let t0 = Unix.gettimeofday () in
+  let run shard_id tally =
+    let gen = Mixed.create ?mix ?spec ~client:shard_id ~seed () in
+    let conn = Client.connect ~host ~port () in
+    (try
+       List.iter
+         (fun at ->
+           let now = Unix.gettimeofday () -. t0 in
+           if at > now then Thread.delay (at -. now);
+           ignore (issue tally conn (Mixed.next_op gen)))
+         (List.rev shards.(shard_id))
+     with _ -> ());
+    Client.close conn
+  in
+  let tallies = List.init conns (fun _ -> new_tally ()) in
+  let threads =
+    List.mapi (fun i tally -> Thread.create (fun () -> run i tally) ()) tallies
+  in
+  List.iter Thread.join threads;
+  merge tallies (Unix.gettimeofday () -. t0)

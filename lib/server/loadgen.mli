@@ -1,0 +1,52 @@
+(** Socket-level load generation against a running txmldbd.
+
+    Drives {!Txq_workload.Mixed} operation streams over real connections,
+    in two disciplines:
+
+    - {b closed loop}: [clients] threads, each with its own connection
+      and deterministic op stream, issuing the next request as soon as
+      the previous reply lands — measures sustainable throughput;
+    - {b open loop}: requests are dispatched on a Poisson arrival
+      schedule over a fixed connection pool regardless of completion —
+      measures behavior at an offered rate, queueing included.
+
+    [reconnect_every n] makes each client drop and re-open its
+    connection every [n] operations (connection churn). *)
+
+type report = {
+  r_ops : int;  (** requests answered (including error replies) *)
+  r_errors : int;  (** error replies *)
+  r_disconnects : int;  (** connections the transport dropped *)
+  r_rows : int;  (** total result rows *)
+  r_bytes : int;  (** response body bytes received *)
+  r_elapsed_s : float;
+  r_qps : float;  (** [r_ops /. r_elapsed_s] *)
+  r_latencies_us : float array;  (** per-request, sorted ascending *)
+}
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [\[0,100\]]; 0 on empty input. *)
+
+val closed_loop :
+  ?host:string ->
+  port:int ->
+  clients:int ->
+  ops_per_client:int ->
+  ?mix:Txq_workload.Mixed.mix ->
+  ?spec:Txq_workload.Load.spec ->
+  ?reconnect_every:int ->
+  seed:int ->
+  unit ->
+  report
+
+val open_loop :
+  ?host:string ->
+  port:int ->
+  conns:int ->
+  rate_per_s:float ->
+  duration_s:float ->
+  ?mix:Txq_workload.Mixed.mix ->
+  ?spec:Txq_workload.Load.spec ->
+  seed:int ->
+  unit ->
+  report

@@ -1,0 +1,159 @@
+module Xml = Txq_xml.Xml
+module Print = Txq_xml.Print
+module Timestamp = Txq_temporal.Timestamp
+
+type op =
+  | Query of string
+  | Insert of string * Xml.t
+  | Update of string * Xml.t
+  | Delete of string
+
+let op_to_string = function
+  | Query s -> "query " ^ s
+  | Insert (url, xml) ->
+    Printf.sprintf "insert %s (%d bytes)" url (String.length (Print.to_string xml))
+  | Update (url, xml) ->
+    Printf.sprintf "update %s (%d bytes)" url (String.length (Print.to_string xml))
+  | Delete url -> "delete " ^ url
+
+let is_write = function
+  | Query _ -> false
+  | Insert _ | Update _ | Delete _ -> true
+
+type mix = {
+  w_query : int;
+  w_algebra : int;
+  w_insert : int;
+  w_update : int;
+  w_delete : int;
+}
+
+let default_mix =
+  { w_query = 55; w_algebra = 10; w_insert = 10; w_update = 20; w_delete = 5 }
+
+let read_only_mix =
+  { w_query = 85; w_algebra = 15; w_insert = 0; w_update = 0; w_delete = 0 }
+
+let url_for ~client i = Printf.sprintf "mixed.example.org/c%d/doc-%d.xml" client i
+
+(* One live document owned by the stream: its index and the generator that
+   evolves it (so updates are plausible diffs, not full rewrites). *)
+type owned = { o_index : int; o_gen : Restaurant.t; mutable o_current : Xml.t }
+
+type gen = {
+  rng : Rng.t;
+  mix : mix;
+  spec : Load.spec;
+  client : int;
+  vocab : Vocab.t;
+  mutable next_index : int;
+  mutable live : owned list;
+}
+
+let create ?(mix = default_mix) ?(spec = Load.default_spec) ~client ~seed () =
+  let rng = Rng.create ~seed:(seed + (client * 7919)) in
+  let vocab = Vocab.create (Rng.split rng) in
+  { rng; mix; spec; client; vocab; next_index = 0; live = [] }
+
+(* Small documents: the soak test's signal is interleaving, not volume. *)
+let owned_params =
+  {
+    Restaurant.default_params with
+    Restaurant.restaurants = 3;
+    review_words = 4;
+  }
+
+let random_date g =
+  (* inside the seeded corpus's history so snapshot queries hit data *)
+  let day = 1 + Rng.int g.rng 28 in
+  let month = 1 + Rng.int g.rng 3 in
+  Printf.sprintf "%d/%d/2001" day month
+
+let corpus_url g = Load.url_of (Rng.int g.rng g.spec.Load.documents)
+
+let target_word g = Vocab.restaurant_names.(Rng.int g.rng 8)
+
+let query_statement g =
+  match Rng.int g.rng 6 with
+  | 0 ->
+    Printf.sprintf "SELECT R FROM doc(\"%s\")//restaurant R WHERE R/name = \"%s\""
+      (corpus_url g) (target_word g)
+  | 1 ->
+    Printf.sprintf "SELECT R/name, R/price FROM doc(\"%s\")[%s]//restaurant R"
+      (corpus_url g) (random_date g)
+  | 2 ->
+    Printf.sprintf
+      "SELECT TIME(R), R/price FROM doc(\"%s\")[EVERY]//restaurant R WHERE R/name = \"%s\""
+      (corpus_url g) (target_word g)
+  | 3 ->
+    Printf.sprintf "SELECT COUNT(R) FROM collection(\"guide.example.org/*\")//restaurant R"
+  | 4 ->
+    Printf.sprintf
+      "SELECT DISTINCT R/name FROM doc(\"%s\")//restaurant R, doc(\"%s\")//restaurant S WHERE R/name = S/name"
+      (corpus_url g) (corpus_url g)
+  | _ ->
+    (* the client's own churn, over its whole namespace *)
+    Printf.sprintf "SELECT R FROM collection(\"mixed.example.org/c%d/*\")//restaurant R"
+      g.client
+
+let algebra_statement g =
+  match Rng.int g.rng 3 with
+  | 0 ->
+    Printf.sprintf "doc(\"%s\")//restaurant/name = \"%s\"" (corpus_url g)
+      (target_word g)
+  | 1 ->
+    Printf.sprintf
+      "doc(\"%s\")//restaurant/name = \"%s\" UNION doc(\"%s\")//restaurant/name = \"%s\""
+      (corpus_url g) (target_word g) (corpus_url g) (target_word g)
+  | _ ->
+    Printf.sprintf "COUNT BY DOC (collection(\"guide.example.org/*\")//restaurant)"
+
+let insert_op g =
+  let i = g.next_index in
+  g.next_index <- i + 1;
+  let o_gen =
+    Restaurant.create ~params:owned_params ~vocab:g.vocab (Rng.split g.rng)
+  in
+  let doc = Restaurant.initial o_gen in
+  let owned = { o_index = i; o_gen; o_current = doc } in
+  g.live <- owned :: g.live;
+  Insert (url_for ~client:g.client i, doc)
+
+let pick_live g = List.nth g.live (Rng.int g.rng (List.length g.live))
+
+let update_op g =
+  let o = pick_live g in
+  let next = Restaurant.evolve o.o_gen o.o_current in
+  o.o_current <- next;
+  Update (url_for ~client:g.client o.o_index, next)
+
+let delete_op g =
+  let o = pick_live g in
+  g.live <- List.filter (fun o' -> o'.o_index <> o.o_index) g.live;
+  Delete (url_for ~client:g.client o.o_index)
+
+let next_op g =
+  let m = g.mix in
+  let total = m.w_query + m.w_algebra + m.w_insert + m.w_update + m.w_delete in
+  if total <= 0 then invalid_arg "Mixed.next_op: empty mix";
+  let r = Rng.int g.rng total in
+  if r < m.w_query then Query (query_statement g)
+  else if r < m.w_query + m.w_algebra then Query (algebra_statement g)
+  else if r < m.w_query + m.w_algebra + m.w_insert then insert_op g
+  else if g.live = [] then insert_op g
+  else if r < m.w_query + m.w_algebra + m.w_insert + m.w_update then
+    update_op g
+  else delete_op g
+
+let ops g n = List.init n (fun _ -> next_op g)
+
+let arrivals ~seed ~rate_per_s ~duration_s =
+  if rate_per_s <= 0.0 then invalid_arg "Mixed.arrivals: rate must be positive";
+  let rng = Rng.create ~seed in
+  let rec go acc t =
+    (* exponential inter-arrival; 1 - u > 0 since Rng.float < 1 *)
+    let u = Rng.float rng in
+    let t = t +. (-.Float.log (1.0 -. u) /. rate_per_s) in
+    if t >= duration_s then List.rev acc else go (t :: acc) t
+  in
+  go [] 0.0

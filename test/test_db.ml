@@ -568,6 +568,62 @@ let test_reserved_names_rejected () =
     (fun () ->
       ignore (Db.insert_document db ~url:"bad2" (parse "<a _tx=\"1\"/>")))
 
+(* Regression: the per-second document-time sequence must refuse (count and
+   skip) the 2^20th row for one instant instead of masking the sequence into
+   an earlier key and silently replacing an unrelated row. *)
+let test_dtime_overflow_boundary () =
+  let config =
+    { Config.default with Config.document_time_path = Some "//meta/published" }
+  in
+  let db = Db.create ~config () in
+  let article published body =
+    parse
+      (Printf.sprintf
+         "<article><meta><published>%s</published></meta><body>%s</body></article>"
+         published body)
+  in
+  let published = "26/01/2001" in
+  let seconds = Timestamp.to_seconds (ts published) in
+  let skipped () =
+    Option.value ~default:0
+      (Txq_obs.Metrics.counter_value "db.dtime.overflow_skipped")
+  in
+  let before = skipped () in
+  (* pre-load the counter so the next row takes the last in-range slot *)
+  Db.set_dtime_count_for_tests db ~seconds ((1 lsl 20) - 1);
+  ignore
+    (Db.insert_document db ~url:"dtime/last-slot" ~ts:(ts "01/02/2001")
+       (article published "fits"));
+  Alcotest.(check int) "last slot is not an overflow" 0 (skipped () - before);
+  ignore
+    (Db.insert_document db ~url:"dtime/one-too-many" ~ts:(ts "02/02/2001")
+       (article published "skipped"));
+  Alcotest.(check int) "row past the cap is counted" 1 (skipped () - before);
+  (* the boundary row survives in the index; the overflowing one is absent
+     rather than having replaced it *)
+  let hits =
+    Db.find_by_document_time db ~t1:(ts published)
+      ~t2:(Timestamp.of_seconds (seconds + 1))
+  in
+  Alcotest.(check int) "index holds the boundary row only" 1 (List.length hits)
+
+(* Regression: releasing the same snapshot twice must not decrement another
+   snapshot's pin (the second release is a no-op). *)
+let test_release_idempotent () =
+  let db, _ = fig1_db () in
+  let s1 = Db.snapshot db in
+  let s2 = Db.snapshot db in
+  Alcotest.(check int) "two pins" 2 (Db.pinned_snapshots db);
+  Alcotest.(check bool) "live before release" false (Db.is_released s1);
+  Db.release s1;
+  Db.release s1;
+  Alcotest.(check bool) "marked released" true (Db.is_released s1);
+  Alcotest.(check int) "double release frees one pin" 1 (Db.pinned_snapshots db);
+  Db.release s2;
+  Alcotest.(check int) "all pins gone" 0 (Db.pinned_snapshots db);
+  Db.release s2;
+  Alcotest.(check int) "release on empty stays zero" 0 (Db.pinned_snapshots db)
+
 let () =
   Alcotest.run "db"
     [
@@ -608,6 +664,13 @@ let () =
             test_document_time_extraction;
           Alcotest.test_case "off by default" `Quick
             test_document_time_disabled_by_default;
+          Alcotest.test_case "per-second overflow boundary" `Quick
+            test_dtime_overflow_boundary;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "release is idempotent" `Quick
+            test_release_idempotent;
         ] );
       ( "integrity",
         [

@@ -217,8 +217,9 @@ let prop_snapshot_equals_prefix_db =
 
 (* --- concurrent readers vs prefix oracle ---------------------------------- *)
 
-(* Deterministic commit-only workload (every op advances the watermark by
-   one, so watermark w maps to the first w operations). *)
+(* Deterministic workload: every operation — including a delete — commits
+   and advances the watermark by one, so watermark w maps to the first w
+   operations. *)
 let concurrent_ops =
   let st = Random.State.make [| 0xC0FFEE |] in
   let a0, asuccs = gen_history st in
