@@ -671,7 +671,8 @@ let e11 () =
         let parsed = Txq_query.Parser.parse_exn q in
         let plain = time_us ~runs:15 (fun () -> Exec.run db parsed) in
         let rewritten =
-          time_us ~runs:15 (fun () -> Txq_query.Rewrite.run db parsed)
+          time_us ~runs:15 (fun () ->
+              Exec.run db (Txq_query.Rewrite.query ~now:(Db.now db) parsed))
         in
         (* the isolated operator-level effect, without parse/serialize *)
         let pattern = Pattern.of_path_exn "/guide/restaurant" in
@@ -1696,6 +1697,314 @@ let e19 () =
         eight.Loadgen.r_qps serve_min_qps
   end
 
+(* ------------------------------------------------------------------ E20 *)
+
+module Planner = Txq_planner.Planner
+
+(* --check-plan turns E20 into a pass/fail gate (CI): leg reordering must
+   win at least [plan_skew_min] on the skewed-selectivity multiway join;
+   across the statement corpus the planner must never be more than
+   [plan_overhead_max] slower than literal evaluation (plus a fixed
+   [plan_noise_us] timer-noise allowance on the repeated batch); and every
+   scan estimate must land within [plan_accuracy_k] of the measured rows
+   (smoothed: max((est+1)/(act+1), (act+1)/(est+1))). *)
+let check_plan = ref false
+let plan_skew_min = 2.0
+let plan_overhead_max = 1.10
+let plan_noise_us = 150.0
+let plan_accuracy_k = 32.0
+
+let e20 () =
+  section "E20  Cost-based planner: skew win, corpus overhead, accuracy"
+    "Beyond the paper (motivated by its Section 1 native-vs-stratum\n\
+     argument): the planner orders multiway-join legs by ascending\n\
+     selectivity from live FTI counters.  (a) a skewed-selectivity\n\
+     conjunction - eight ubiquitous word tests and one needle, written\n\
+     needle-last - planner-on vs planner-off; (b) the full statement\n\
+     corpus planner-on vs planner-off (the planner must never lose);\n\
+     (c) scan estimates vs measured rows per temporal mode.";
+  let failures = ref [] in
+  (* -- (a) skewed-selectivity multiway join ------------------------------ *)
+  let n_common = 8 in
+  let skew_doc ~restaurants ~needle_at d =
+    let buf = Buffer.create (restaurants * 96) in
+    Buffer.add_string buf "<guide>";
+    for i = 0 to restaurants - 1 do
+      Buffer.add_string buf "<restaurant>";
+      for k = 0 to n_common - 1 do
+        Buffer.add_string buf (Printf.sprintf "<f%d>common%d</f%d>" k k k)
+      done;
+      if d = 0 && i = needle_at then
+        Buffer.add_string buf "<fx>needle</fx>";
+      Buffer.add_string buf (Printf.sprintf "<id>r%d</id>" i);
+      Buffer.add_string buf "</restaurant>"
+    done;
+    Buffer.add_string buf "</guide>";
+    Txq_xml.Parse.parse_exn (Buffer.contents buf)
+  in
+  let load_skew ~planner ~restaurants =
+    let db =
+      Db.create ~config:(Config.with_planner planner Config.default) ()
+    in
+    for d = 0 to 3 do
+      ignore
+        (Db.insert_document db
+           ~url:(Printf.sprintf "skew-%d" d)
+           ~ts:(Timestamp.of_date ~day:(d + 1) ~month:6 ~year:2001)
+           (skew_doc ~restaurants ~needle_at:(restaurants / 2) d))
+    done;
+    db
+  in
+  (* written needle-first: pushdown grafting reverses the conjunct list,
+     so the literal plan constrains every common leg before the needle *)
+  let skew_query =
+    {|SELECT R/id FROM doc("skew-0")//restaurant R WHERE R/fx = "needle"|}
+    ^ String.concat ""
+        (List.init n_common (fun k ->
+             Printf.sprintf {| AND R/f%d = "common%d"|} k k))
+  in
+  let skew_sizes = if !smoke then [ 60; 150 ] else [ 100; 400 ] in
+  let skew_json = ref [] in
+  let skew_rows =
+    List.map
+      (fun restaurants ->
+        let db_on = load_skew ~planner:true ~restaurants in
+        let db_off = load_skew ~planner:false ~restaurants in
+        let out_on = Txq_xml.Print.to_string (run_q db_on skew_query) in
+        let out_off = Txq_xml.Print.to_string (run_q db_off skew_query) in
+        if not (String.equal out_on out_off) then
+          failures :=
+            Printf.sprintf "skew @ %d: planner-on result diverged" restaurants
+            :: !failures;
+        let on_us = time_us ~runs:7 (fun () -> run_q db_on skew_query) in
+        let off_us = time_us ~runs:7 (fun () -> run_q db_off skew_query) in
+        let speedup = off_us /. on_us in
+        skew_json :=
+          Harness.Json.Obj
+            [
+              ("restaurants", Harness.Json.Int restaurants);
+              ("literal_us", Harness.Json.Float off_us);
+              ("planned_us", Harness.Json.Float on_us);
+              ("speedup", Harness.Json.Float speedup);
+            ]
+          :: !skew_json;
+        (restaurants, speedup,
+         [
+           string_of_int restaurants;
+           fmt_us off_us;
+           fmt_us on_us;
+           Printf.sprintf "%.1fx" speedup;
+         ]))
+      skew_sizes
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E20a: skewed conjunction (%d common legs + 1 needle, written last)"
+         n_common)
+    ~columns:[ "restaurants/doc"; "literal"; "planned"; "speedup" ]
+    (List.map (fun (_, _, r) -> r) skew_rows);
+  (match List.rev skew_rows with
+   | (restaurants, speedup, _) :: _ when speedup < plan_skew_min ->
+     failures :=
+       Printf.sprintf "skew @ %d: %.2fx < %.1fx leg-reorder win" restaurants
+         speedup plan_skew_min
+       :: !failures
+   | _ -> ());
+  (* -- (b) corpus overhead: the planner must never lose ------------------ *)
+  let sp =
+    spec
+      ~documents:(if !smoke then 2 else 4)
+      ~versions:(if !smoke then 6 else 10)
+      ~restaurants:(if !smoke then 8 else 20)
+      ()
+  in
+  let db_on = Load.load_db ~config:(Config.with_planner true Config.default) sp in
+  let db_off =
+    Load.load_db ~config:(Config.with_planner false Config.default) sp
+  in
+  (* floored to midnight: the statement grammar takes dates, not instants *)
+  let mid_ts =
+    Timestamp.of_seconds
+      (Timestamp.to_seconds (Load.midpoint_ts sp) / 86_400 * 86_400)
+  in
+  let mid = Timestamp.to_string mid_ts in
+  let name = Load.target_name sp in
+  let corpus =
+    [
+      ("snapshot scan",
+       Printf.sprintf {|SELECT R FROM doc("%s")[%s]/guide/restaurant R|} url0
+         mid);
+      ("current count",
+       Printf.sprintf {|SELECT COUNT(R) FROM doc("%s")[NOW]/guide/restaurant R|}
+         url0);
+      ("pushdown",
+       Printf.sprintf
+         {|SELECT R/price FROM doc("%s")/guide/restaurant R WHERE R/name = "%s"|}
+         url0 name);
+      ("history pushdown",
+       Printf.sprintf
+         {|SELECT TIME(R), R/price FROM doc("%s")[EVERY]/guide/restaurant R WHERE R/name = "%s"|}
+         url0 name);
+      ("absent word",
+       Printf.sprintf
+         {|SELECT R FROM doc("%s")//restaurant R WHERE R/name = "xyzzyword"|}
+         url0);
+      ("lifetimes",
+       Printf.sprintf
+         {|SELECT CREATE TIME(R), DELETE TIME(R) FROM doc("%s")[EVERY]//review R|}
+         url0);
+      ("collection count", {|SELECT COUNT(R) FROM collection("*")[EVERY]//name R|});
+      ("algebra semijoin",
+       Printf.sprintf {|doc("%s")//name SEMIJOIN ON ANCESTOR doc("%s")//review|}
+         url0 url0);
+      ("algebra except",
+       Printf.sprintf {|doc("%s")//name EXCEPT doc("%s")//nosuchtag|} url0 url0);
+      ("algebra count", {|COUNT BY DOC (collection("*")//name)|});
+    ]
+  in
+  let reps = if !smoke then 8 else 16 in
+  (* paired samples — planner-on and planner-off batches interleaved in
+     time so clock drift and GC pressure hit both sides alike; the gate
+     reads the median of per-pair ratios *)
+  let sample_us f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1e6
+  in
+  let paired f_on f_off =
+    for _ = 1 to 2 do
+      f_on ();
+      f_off ()
+    done;
+    let n = 9 in
+    let ons = Array.init n (fun _ -> 0.) and offs = Array.init n (fun _ -> 0.) in
+    for i = 0 to n - 1 do
+      ons.(i) <- sample_us f_on;
+      offs.(i) <- sample_us f_off
+    done;
+    let med a =
+      let s = Array.copy a in
+      Array.sort compare s;
+      s.(n / 2)
+    in
+    (med ons, med offs, med (Array.init n (fun i -> ons.(i) /. offs.(i))))
+  in
+  let corpus_json = ref [] in
+  let corpus_rows =
+    List.map
+      (fun (label, q) ->
+        let out_on = Txq_xml.Print.to_string (run_q db_on q)
+        and out_off = Txq_xml.Print.to_string (run_q db_off q) in
+        if not (String.equal out_on out_off) then
+          failures :=
+            Printf.sprintf "corpus %S: planner-on result diverged" label
+            :: !failures;
+        let batch db = fun () -> for _ = 1 to reps do ignore (run_q db q) done in
+        let on_us, off_us, ratio = paired (batch db_on) (batch db_off) in
+        if
+          !check_plan && ratio > plan_overhead_max
+          && on_us > off_us +. plan_noise_us
+        then
+          failures :=
+            Printf.sprintf "corpus %S: planner %.2fx slower than literal" label
+              ratio
+            :: !failures;
+        corpus_json :=
+          Harness.Json.Obj
+            [
+              ("statement", Harness.Json.Str label);
+              ("reps", Harness.Json.Int reps);
+              ("planner_us", Harness.Json.Float on_us);
+              ("literal_us", Harness.Json.Float off_us);
+              ("ratio", Harness.Json.Float ratio);
+            ]
+          :: !corpus_json;
+        [
+          label;
+          fmt_us (off_us /. float_of_int reps);
+          fmt_us (on_us /. float_of_int reps);
+          Printf.sprintf "%.2fx" ratio;
+        ])
+      corpus
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "E20b: statement corpus, planner on vs off (x%d reps)"
+         reps)
+    ~columns:[ "statement"; "literal"; "planner"; "on/off" ]
+    corpus_rows;
+  (* -- (c) estimation accuracy ------------------------------------------- *)
+  let planner = Planner.create db_on in
+  let acc_paths =
+    [ "/guide/restaurant"; "//name"; "//price"; "//review"; "//address" ]
+  in
+  let acc_json = ref [] in
+  let acc_rows =
+    List.concat_map
+      (fun path ->
+        let pattern = Pattern.of_path_exn path in
+        List.map
+          (fun (mode, actual) ->
+            let est = Planner.est_scan planner mode pattern in
+            let err =
+              Stdlib.max
+                (float_of_int (est + 1) /. float_of_int (actual + 1))
+                (float_of_int (actual + 1) /. float_of_int (est + 1))
+            in
+            if !check_plan && err > plan_accuracy_k then
+              failures :=
+                Printf.sprintf "accuracy %s [%s]: est %d vs actual %d (%.1fx)"
+                  path
+                  (Planner.mode_to_string mode)
+                  est actual err
+                :: !failures;
+            acc_json :=
+              Harness.Json.Obj
+                [
+                  ("path", Harness.Json.Str path);
+                  ("mode", Harness.Json.Str (Planner.mode_to_string mode));
+                  ("est", Harness.Json.Int est);
+                  ("actual", Harness.Json.Int actual);
+                  ("err", Harness.Json.Float err);
+                ]
+              :: !acc_json;
+            [
+              path;
+              Planner.mode_to_string mode;
+              string_of_int est;
+              string_of_int actual;
+              Printf.sprintf "%.1fx" err;
+            ])
+          [
+            (Planner.Current, List.length (Scan.pattern_scan db_on pattern));
+            (Planner.At,
+             List.length (Scan.tpattern_scan db_on pattern mid_ts));
+            (Planner.Every, List.length (Scan.tpattern_scan_all db_on pattern));
+          ])
+      acc_paths
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "E20c: scan estimate vs measured rows (gate: %.0fx)"
+         plan_accuracy_k)
+    ~columns:[ "path"; "mode"; "est"; "actual"; "err" ]
+    acc_rows;
+  Harness.record_json "smoke" (Harness.Json.Bool !smoke);
+  Harness.record_json "skew" (Harness.Json.Arr (List.rev !skew_json));
+  Harness.record_json "corpus" (Harness.Json.Arr (List.rev !corpus_json));
+  Harness.record_json "accuracy" (Harness.Json.Arr (List.rev !acc_json));
+  if !check_plan then
+    match List.rev !failures with
+    | [] ->
+      Printf.printf
+        "  plan check ok: >=%.1fx on skew, <=%.2fx corpus overhead, \
+         estimates within %.0fx\n"
+        plan_skew_min plan_overhead_max plan_accuracy_k
+    | fs ->
+      List.iter (fun f -> Printf.eprintf "E20 FAIL: %s\n" f) fs;
+      exit 1
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1703,7 +2012,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
   ]
 
 let () =
@@ -1716,6 +2025,7 @@ let () =
   check_algebra := List.mem "--check-algebra" args;
   check_mvcc := List.mem "--check-mvcc" args;
   check_serve := List.mem "--check-serve" args;
+  check_plan := List.mem "--check-plan" args;
   (* --trace FILE: stream every root span of the whole run as JSON lines.
      E14 manages its own sinks and ends with tracing off, so combining it
      with --trace in one invocation truncates the stream there. *)

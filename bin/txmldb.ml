@@ -46,7 +46,12 @@ let domains_t =
          ~doc:"Worker domains for the pattern-scan operators (default 1; \
                results are identical for every value).")
 
-let config_of snapshots clustered fti_mode segment_postings domains =
+let no_planner_t =
+  Arg.(value & flag & info ["no-planner"]
+         ~doc:"Disable the cost-based planner and evaluate every statement \
+               literally as written (results are byte-identical either way).")
+
+let config_of snapshots clustered fti_mode segment_postings domains no_planner =
   {
     Txq_db.Config.default with
     Txq_db.Config.snapshot_every = snapshots;
@@ -55,6 +60,7 @@ let config_of snapshots clustered fti_mode segment_postings domains =
     fti_segment_postings =
       (if segment_postings <= 0 then max_int else segment_postings);
     domains = (if domains < 1 then 1 else domains);
+    planner = not no_planner;
   }
 
 let fig1_url = "guide.com/restaurants.xml"
@@ -85,12 +91,13 @@ let build_db ~fig1 ~docs ~versions ~seed config =
    commits, FTI updates) reach the sink too. *)
 let db_term =
   let make fig1 docs versions seed snapshots clustered fti_mode segment_postings
-      domains () =
+      domains no_planner () =
     build_db ~fig1 ~docs ~versions ~seed
-      (config_of snapshots clustered fti_mode segment_postings domains)
+      (config_of snapshots clustered fti_mode segment_postings domains no_planner)
   in
   Term.(const make $ fig1_t $ docs_t $ versions_t $ seed_t $ snapshots_t
-        $ clustered_t $ fti_mode_t $ segment_postings_t $ domains_t)
+        $ clustered_t $ fti_mode_t $ segment_postings_t $ domains_t
+        $ no_planner_t)
 
 (* --- tracing ---------------------------------------------------------------- *)
 
@@ -149,7 +156,7 @@ let query_cmd =
         `Ok ()
       | Error e -> `Error (false, Txq_query.Exec.error_to_string e)
     else
-      match Txq_query.Rewrite.run_string db query with
+      match Txq_query.Exec.run_string db query with
       | Ok result ->
         print_string (Txq_xml.Print.to_pretty result);
         `Ok ()
@@ -258,15 +265,15 @@ let stats_cmd =
        | None -> "");
     (match Txq_db.Db.config db with
      | { Txq_db.Config.fti_mode = Txq_db.Config.Fti_versions | Txq_db.Config.Fti_both; _ } ->
-       let fti = Txq_db.Db.fti db in
-       Printf.printf "fti words:        %d\n" (Txq_fti.Fti.word_count fti);
-       Printf.printf "fti postings:     %d\n" (Txq_fti.Fti.posting_count fti);
+       let s = Txq_fti.Fti.stats (Txq_db.Db.fti db) in
+       Printf.printf "fti words:        %d\n" s.Txq_fti.Fti.fs_words;
+       Printf.printf "fti postings:     %d (%d open)\n"
+         s.Txq_fti.Fti.fs_postings s.Txq_fti.Fti.fs_open_postings;
        Printf.printf "fti segments:     %d (%d freezes)\n"
-         (Txq_fti.Fti.segment_count fti) (Txq_fti.Fti.freeze_count fti);
-       Printf.printf "fti tail postings: %d\n"
-         (Txq_fti.Fti.tail_posting_count fti);
+         s.Txq_fti.Fti.fs_segments s.Txq_fti.Fti.fs_freezes;
+       Printf.printf "fti tail postings: %d\n" s.Txq_fti.Fti.fs_tail_postings;
        Printf.printf "fti frozen bytes: %d (%d postings)\n"
-         (Txq_fti.Fti.frozen_bytes fti) (Txq_fti.Fti.frozen_posting_count fti)
+         s.Txq_fti.Fti.fs_frozen_bytes s.Txq_fti.Fti.fs_frozen_postings
      | _ -> ());
     if metrics || trace <> None then begin
       Txq_store.Io_stats.publish io;
@@ -371,7 +378,7 @@ let recover_cmd =
     with_tracing trace @@ fun () ->
     let config =
       Txq_db.Config.durable
-        (config_of snapshots clustered fti_mode segment_postings domains)
+        (config_of snapshots clustered fti_mode segment_postings domains false)
     in
     let db = build_db ~fig1 ~docs ~versions ~seed config in
     let disk = Txq_db.Db.disk db in

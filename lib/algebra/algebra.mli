@@ -71,6 +71,22 @@ val on_holds : join_on -> Relation.tuple -> Relation.tuple -> bool
 val leaf_pattern : leaf -> (Txq_core.Pattern.t, string) result
 val leaf_doc_ids : Txq_db.Db.t -> leaf -> Txq_vxml.Eid.doc_id list
 
+val eval_leaf : ?domains:int -> Txq_db.Db.t -> Timeline.t -> leaf -> Relation.t
+(** One scan leaf, normalized.  Raises [Invalid_argument] on a leaf whose
+    path does not compile. *)
+
+val eval_set : set_op -> Relation.t -> Relation.t -> Relation.t
+
+val eval_join :
+  join_kind -> join_on -> Relation.t -> Relation.t -> right_arity:int ->
+  Relation.t
+
+val eval_group : group_key -> Relation.t -> Relation.t
+(** The per-operator combiners behind {!eval}, exported so a planner can
+    re-drive them in a different evaluation order.  Each takes and returns
+    normalized relations; combining in any operand-preserving order yields
+    the same bytes as {!eval}. *)
+
 val eval : ?domains:int -> Txq_db.Db.t -> Timeline.t -> t -> Relation.t
 (** Evaluates the node; every sub-node runs under its {!span_name} span
     with a ["rows"] count, so [EXPLAIN ANALYZE] reports per-algebra-node

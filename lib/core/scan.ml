@@ -89,8 +89,14 @@ let rec eval_node ~fetch (p : Pattern.t) : cand array =
         })
       (fetch word kind)
   in
+  (* [constrain [] child m] is [] for any [m], so once the row set is
+     empty the remaining child subtrees need not be fetched or joined at
+     all — this is what makes selective-leg-first ordering pay: the first
+     empty leg discharges every leg after it. *)
   List.fold_left
-    (fun rows child -> constrain rows child (eval_node ~fetch child))
+    (fun rows child ->
+      if Array.length rows = 0 then rows
+      else constrain rows child (eval_node ~fetch child))
     own p.Pattern.children
 
 (* Constrain each row by one pattern child.  Because [Xidpath.compare]
@@ -284,14 +290,19 @@ let clamp ~version_of bindings =
     bindings
 
 (* One span per operator invocation; the FTI lookups it performs show up
-   as child spans carrying the postings counts. *)
-let traced name pattern f =
+   as child spans carrying the postings counts.  [est] is the caller's
+   cardinality estimate (the planner's), recorded next to the actual
+   binding count so EXPLAIN ANALYZE can report estimation error. *)
+let traced ?est name pattern f =
   if not (Txq_obs.Trace.enabled ()) then f ()
   else
     Txq_obs.Trace.with_span name
       ~attrs:[ ("pattern", Txq_obs.Span.Str (Pattern.to_string pattern)) ]
       (fun () ->
         let r = f () in
+        (match est with
+         | Some e -> Txq_obs.Trace.add_count "est_rows" e
+         | None -> ());
         Txq_obs.Trace.add_count "bindings" (List.length r);
         r)
 
@@ -329,8 +340,8 @@ let clip_to_snapshot db bindings =
           else Some { b with b_versions = versions })
       bindings
 
-let pattern_scan ?domains db pattern =
-  traced "scan.pattern_scan" pattern @@ fun () ->
+let pattern_scan ?domains ?est db pattern =
+  traced ?est "scan.pattern_scan" pattern @@ fun () ->
   let current_version doc =
     match Db.doc_opt db doc with
     | Some d when Docstore.is_alive d -> Some (Docstore.version_count d - 1)
@@ -352,8 +363,8 @@ let pattern_scan ?domains db pattern =
     (engine ~domains:(domains_of db domains) ~min_per_task:(min_docs db)
        pattern ~fetch_all:(fetch_all db) ~keep:(Some keep))
 
-let tpattern_scan ?domains db pattern ts =
-  traced "scan.tpattern_scan" pattern @@ fun () ->
+let tpattern_scan ?domains ?est db pattern ts =
+  traced ?est "scan.tpattern_scan" pattern @@ fun () ->
   let version_at doc =
     match Db.doc_opt db doc with
     | Some d -> Docstore.version_at d ts
@@ -387,8 +398,8 @@ let tpattern_scan ?domains db pattern ts =
     (engine ~domains:(domains_of db domains) ~min_per_task:(min_docs db)
        pattern ~fetch_all:(fetch_all db) ~keep:(Some keep))
 
-let tpattern_scan_all ?domains db pattern =
-  traced "scan.tpattern_scan_all" pattern @@ fun () ->
+let tpattern_scan_all ?domains ?est db pattern =
+  traced ?est "scan.tpattern_scan_all" pattern @@ fun () ->
   clip_to_snapshot db
     (engine ~domains:(domains_of db domains) ~min_per_task:(min_docs db)
        pattern ~fetch_all:(fetch_all db) ~keep:None)

@@ -22,12 +22,18 @@ type binding = {
 
 val eid_of_binding : binding -> Txq_vxml.Eid.t
 
-val pattern_scan : ?domains:int -> Txq_db.Db.t -> Pattern.t -> binding list
+val pattern_scan :
+  ?domains:int -> ?est:int -> Txq_db.Db.t -> Pattern.t -> binding list
 (** Matches against current versions only (FTI_lookup).  The result
-    bindings' [b_versions] each hold the single current version. *)
+    bindings' [b_versions] each hold the single current version.
+    [?est] on each operator is the caller's estimated binding count
+    (the planner's); it is recorded as an ["est_rows"] attribute on the
+    operator's span — next to the actual ["bindings"] count — and has no
+    effect on evaluation. *)
 
 val tpattern_scan :
   ?domains:int ->
+  ?est:int ->
   Txq_db.Db.t ->
   Pattern.t ->
   Txq_temporal.Timestamp.t ->
@@ -35,7 +41,8 @@ val tpattern_scan :
 (** Matches against the snapshot valid at the given time (FTI_lookup_T); the
     output of the operator is a set of TEIDs, obtained via {!to_teids}. *)
 
-val tpattern_scan_all : ?domains:int -> Txq_db.Db.t -> Pattern.t -> binding list
+val tpattern_scan_all :
+  ?domains:int -> ?est:int -> Txq_db.Db.t -> Pattern.t -> binding list
 (** Matches across all versions (FTI_lookup_H) — the temporal multiway
     join.  [b_versions] carries the full validity of each match, already
     coalesced over consecutive versions. *)

@@ -26,6 +26,7 @@ type t = {
   group_commit : bool;
   group_commit_window_us : int;
   dpool_min_docs : int;
+  planner : bool;
 }
 
 let no_retention = { keep_newer_than = None; keep_versions = None }
@@ -48,6 +49,7 @@ let default =
     group_commit = false;
     group_commit_window_us = 2000;
     dpool_min_docs = 48;
+    planner = true;
   }
 
 let durable t = { t with durability = `Journal }
@@ -78,6 +80,8 @@ let with_group_commit ?window_us t =
   }
 
 let with_dpool_min_docs n t = { t with dpool_min_docs = (if n < 0 then 0 else n) }
+
+let with_planner on t = { t with planner = on }
 
 let maintains_version_index t =
   match t.fti_mode with

@@ -95,6 +95,14 @@ type t = {
           smaller than [dpool_min_docs] per extra domain, so multi-domain
           configurations never regress small scans (spawn cost dwarfs the
           work).  0 disables the threshold. *)
+  planner : bool;
+      (** Cost-based planning in [Exec]: statements are rewritten before
+          costing, multiway-join legs are ordered by estimated
+          selectivity from live index statistics, CreTime/DelTime pick
+          Traverse vs index per predicate by estimated chain depth, and
+          scan domain fan-out follows estimated rows.  On (the default)
+          and off produce byte-identical results — off preserves literal
+          as-written evaluation as the differential oracle. *)
 }
 
 val default : t
@@ -118,6 +126,10 @@ val with_group_commit : ?window_us:int -> t -> t
 
 val with_dpool_min_docs : int -> t -> t
 (** Sets [dpool_min_docs] (clamped up to 0). *)
+
+val with_planner : bool -> t -> t
+(** Sets [planner].  [with_planner false] is the literal-evaluation
+    oracle the planner differential tests compare against. *)
 
 val no_retention : retention
 

@@ -172,3 +172,8 @@ let deletions_in_doc t word ~doc =
 
 let entry_count t = t.entries
 let word_count t = Hashtbl.length t.words
+
+let word_entry_count t word =
+  match Hashtbl.find_opt t.words word with
+  | None -> 0
+  | Some b -> List.length !b

@@ -74,3 +74,8 @@ val deletions_in_doc :
 
 val entry_count : t -> int
 val word_count : t -> int
+
+val word_entry_count : t -> string -> int
+(** Change entries mentioning the word — the A2-route cardinality the
+    planner weighs against {!Fti.word_postings} when both indexes are
+    maintained.  O(bucket length), no allocation. *)

@@ -40,6 +40,15 @@ type word_state = {
   mutable tail : Posting.t list; (* newest first *)
   mutable tail_n : int;
   mutable segs : Segment.t list; (* newest first *)
+  (* Live cardinality counters, maintained on open/close/vacuum: the
+     planner's per-word selectivity estimates read them in O(1), with no
+     posting-list walk.  Split by occurrence kind because a string used
+     both as an element name and as a text word has very different
+     selectivities under Tag and Word tests. *)
+  mutable n_tag : int; (* postings ever opened as Tag, minus vacuumed *)
+  mutable n_word : int;
+  mutable open_tag : int; (* of those, still open (current versions) *)
+  mutable open_word : int;
 }
 
 type t = {
@@ -73,7 +82,10 @@ let word_state t word =
   match Hashtbl.find_opt t.words word with
   | Some st -> st
   | None ->
-    let st = { tail = []; tail_n = 0; segs = [] } in
+    let st =
+      { tail = []; tail_n = 0; segs = [];
+        n_tag = 0; n_word = 0; open_tag = 0; open_word = 0 }
+    in
     Hashtbl.replace t.words word st;
     st
 
@@ -137,16 +149,29 @@ let open_posting t ~doc ~version st ((word, kind, path) as occ) =
   let ws = word_state t word in
   ws.tail <- posting :: ws.tail;
   ws.tail_n <- ws.tail_n + 1;
+  (match kind with
+   | Vnode.Tag ->
+     ws.n_tag <- ws.n_tag + 1;
+     ws.open_tag <- ws.open_tag + 1
+   | Vnode.Word ->
+     ws.n_word <- ws.n_word + 1;
+     ws.open_word <- ws.open_word + 1);
   t.postings <- t.postings + 1;
   t.tail_postings <- t.tail_postings + 1;
   Occ_table.replace st.open_postings (Occ_key.of_occ occ) posting
 
-let close_posting ~version st occ =
+let close_posting t ~version st ((word, kind, _) as occ) =
   let key = Occ_key.of_occ occ in
   match Occ_table.find_opt st.open_postings key with
   | Some posting ->
     posting.Posting.vend <- version;
-    Occ_table.remove st.open_postings key
+    Occ_table.remove st.open_postings key;
+    (match Hashtbl.find_opt t.words word with
+     | None -> ()
+     | Some ws -> (
+       match kind with
+       | Vnode.Tag -> ws.open_tag <- ws.open_tag - 1
+       | Vnode.Word -> ws.open_word <- ws.open_word - 1))
   | None -> ()
 
 let index_version t ~doc ~version vnode =
@@ -160,7 +185,7 @@ let index_version t ~doc ~version vnode =
   let occs = Vnode.occurrence_set vnode in
   let removed = Vnode.Occ_set.diff st.current_occs occs in
   let added = Vnode.Occ_set.diff occs st.current_occs in
-  Vnode.Occ_set.iter (close_posting ~version st) removed;
+  Vnode.Occ_set.iter (close_posting t ~version st) removed;
   Vnode.Occ_set.iter (open_posting t ~doc ~version st) added;
   st.current_occs <- occs;
   st.last_version <- version;
@@ -172,7 +197,7 @@ let delete_document t ~doc ~version =
   match Hashtbl.find_opt t.docs doc with
   | None -> ()
   | Some st ->
-    Vnode.Occ_set.iter (close_posting ~version st) st.current_occs;
+    Vnode.Occ_set.iter (close_posting t ~version st) st.current_occs;
     st.current_occs <- Vnode.Occ_set.empty;
     st.last_version <- version
 
@@ -221,6 +246,25 @@ let vacuum t ~affected =
             else if Array.length kept = 0 then None
             else Some (Segment.of_sorted kept))
           st.segs;
+      (* Vacuum already walks every posting; recount the cardinality
+         counters in the same pass rather than tracking which of the
+         filtered postings were open. *)
+      st.n_tag <- 0;
+      st.n_word <- 0;
+      st.open_tag <- 0;
+      st.open_word <- 0;
+      let count p =
+        let opened = if Posting.is_open p then 1 else 0 in
+        match p.Posting.kind with
+        | Vnode.Tag ->
+          st.n_tag <- st.n_tag + 1;
+          st.open_tag <- st.open_tag + opened
+        | Vnode.Word ->
+          st.n_word <- st.n_word + 1;
+          st.open_word <- st.open_word + opened
+      in
+      List.iter count st.tail;
+      List.iter (fun seg -> Array.iter count (Segment.postings seg)) st.segs;
       if st.tail_n = 0 && st.segs = [] then None else Some st)
     t.words;
   removed := !removed + !removed_tail;
@@ -414,3 +458,68 @@ let frozen_bytes t =
     (fun _ st n ->
       n + List.fold_left (fun n s -> n + Segment.approx_bytes s) 0 st.segs)
     t.words 0
+
+(* --- cardinality statistics (planner feed) ------------------------------ *)
+
+let word_postings t word ~kind =
+  match Hashtbl.find_opt t.words word with
+  | None -> 0
+  | Some st -> ( match kind with Vnode.Tag -> st.n_tag | Vnode.Word -> st.n_word)
+
+let word_open_postings t word ~kind =
+  match Hashtbl.find_opt t.words word with
+  | None -> 0
+  | Some st -> (
+    match kind with Vnode.Tag -> st.open_tag | Vnode.Word -> st.open_word)
+
+(* Per-document refinement: frozen postings are counted through the
+   segment fences (binary search, no walk of other documents); only the
+   matched document's slice is scanned to split by kind, plus the
+   watermark-bounded tail. *)
+let doc_word_postings t word ~kind ~doc =
+  match Hashtbl.find_opt t.words word with
+  | None -> 0
+  | Some st ->
+    let n = ref 0 in
+    List.iter
+      (fun seg ->
+        Segment.iter_doc seg ~doc (fun p ->
+            if p.Posting.kind = kind then incr n))
+      st.segs;
+    List.iter
+      (fun p -> if p.Posting.doc = doc && p.Posting.kind = kind then incr n)
+      st.tail;
+    !n
+
+type stats = {
+  fs_words : int;
+  fs_postings : int;
+  fs_open_postings : int;
+  fs_tail_postings : int;
+  fs_frozen_postings : int;
+  fs_segments : int;
+  fs_frozen_bytes : int;
+  fs_freezes : int;
+}
+
+let stats t =
+  let open_postings, segments, frozen, bytes =
+    Hashtbl.fold
+      (fun _ st (o, s, f, b) ->
+        ( o + st.open_tag + st.open_word,
+          s + List.length st.segs,
+          f + List.fold_left (fun n seg -> n + Segment.length seg) 0 st.segs,
+          b + List.fold_left (fun n seg -> n + Segment.approx_bytes seg) 0 st.segs
+        ))
+      t.words (0, 0, 0, 0)
+  in
+  {
+    fs_words = Hashtbl.length t.words;
+    fs_postings = t.postings;
+    fs_open_postings = open_postings;
+    fs_tail_postings = t.tail_postings;
+    fs_frozen_postings = frozen;
+    fs_segments = segments;
+    fs_frozen_bytes = bytes;
+    fs_freezes = t.freezes;
+  }

@@ -102,6 +102,44 @@ val frozen_bytes : t -> int
 val freeze_count : t -> int
 (** Freezes performed since creation. *)
 
+(** {1 Cardinality statistics}
+
+    O(1) per-word posting counts maintained incrementally on open, close
+    and vacuum — the planner's selectivity estimates read these without
+    walking any posting list. *)
+
+val word_postings :
+  t -> string -> kind:Txq_vxml.Vnode.occurrence_kind -> int
+(** Postings of the word with this occurrence kind, over the whole
+    history (the [lookup_h]/[sorted_postings] cardinality).  O(1). *)
+
+val word_open_postings :
+  t -> string -> kind:Txq_vxml.Vnode.occurrence_kind -> int
+(** Of those, still open — the [lookup] (current-version) cardinality.
+    O(1). *)
+
+val doc_word_postings :
+  t -> string -> kind:Txq_vxml.Vnode.occurrence_kind ->
+  doc:Txq_vxml.Eid.doc_id -> int
+(** Postings of the word within one document: frozen segments are sliced
+    through their per-document fences (O(log d + k)), plus a filter over
+    the watermark-bounded tail. *)
+
+type stats = {
+  fs_words : int;
+  fs_postings : int;
+  fs_open_postings : int;
+  fs_tail_postings : int;
+  fs_frozen_postings : int;
+  fs_segments : int;
+  fs_frozen_bytes : int;
+  fs_freezes : int;
+}
+
+val stats : t -> stats
+(** One aggregate read of every index-level statistic above — the record
+    [txmldb stats] and the server's [/stats] endpoint surface. *)
+
 (**/**)
 
 val occ_key_hash :

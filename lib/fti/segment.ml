@@ -91,6 +91,12 @@ let merge segs =
     of_sorted out
     end
 
+type stats = {
+  st_postings : int;
+  st_docs : int;
+  st_bytes : int;
+}
+
 (* Rough in-memory footprint: per posting the record (5 fields + header)
    plus its path array, plus the array slots and the fences.  Word-sized
    units times 8; shared path arrays are counted once per posting, which
@@ -104,3 +110,6 @@ let approx_bytes t =
   8
   * (words + Array.length t.postings + Array.length t.fence_docs
      + Array.length t.fence_offs + 6)
+
+let stats t =
+  { st_postings = length t; st_docs = doc_count t; st_bytes = approx_bytes t }

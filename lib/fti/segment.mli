@@ -37,3 +37,13 @@ val iter_doc : t -> doc:Txq_vxml.Eid.doc_id -> (Posting.t -> unit) -> unit
 
 val approx_bytes : t -> int
 (** Rough in-memory footprint, for the stats report. *)
+
+type stats = {
+  st_postings : int;
+  st_docs : int;  (** distinct documents in the fence *)
+  st_bytes : int;  (** {!approx_bytes} *)
+}
+
+val stats : t -> stats
+(** The three size facts of one frozen run, in one read — what the cost
+    model and the stats surfaces consume. *)

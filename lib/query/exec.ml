@@ -7,6 +7,8 @@ module Timestamp = Txq_temporal.Timestamp
 module Interval = Txq_temporal.Interval
 module Db = Txq_db.Db
 module Docstore = Txq_db.Docstore
+module Config = Txq_db.Config
+module Planner = Txq_planner.Planner
 module Scan = Txq_core.Scan
 module Pattern = Txq_core.Pattern
 module History = Txq_core.History
@@ -58,9 +60,20 @@ type ctx = {
   db : Db.t;
   now : Timestamp.t;
   memo : (Eid.doc_id * int, Vnode.t) Hashtbl.t;
+  plan : Planner.t option;
+      (* cost-based plan choices; [None] runs every operator literally
+         as written (the differential oracle for the planner) *)
 }
 
-let make_ctx db = { db; now = Db.now db; memo = Hashtbl.create 32 }
+let planner_on db = (Db.config db).Config.planner
+
+let make_ctx db =
+  {
+    db;
+    now = Db.now db;
+    memo = Hashtbl.create 32;
+    plan = (if planner_on db then Some (Planner.create db) else None);
+  }
 
 let version_tree ctx doc v =
   match Hashtbl.find_opt ctx.memo (doc, v) with
@@ -96,6 +109,14 @@ let lazy_subtree ctx teid =
     (match subtree_at ctx teid with
      | Some t -> t
      | None -> unsupported "binding vanished: %s" (Eid.Temporal.to_string teid))
+
+(* CreTime/DelTime strategy for one bound element, from its document's
+   estimated chain depth; [None] (the literal default) with the planner
+   off. *)
+let lifetime_strategy ctx rb =
+  match ctx.plan with
+  | None -> None
+  | Some p -> Planner.lifetime_strategy p ~doc:rb.rb_teid.Eid.Temporal.eid.Eid.doc
 
 (* --- path selection over vnodes ------------------------------------------ *)
 
@@ -146,11 +167,13 @@ let rec eval_expr ctx row (expr : Ast.expr) : value =
       (rb.rb_teid.Eid.Temporal.eid.Eid.doc, vselect path (Lazy.force rb.rb_tree))
   | Ast.E_time v -> V_time (binding row v).rb_time
   | Ast.E_create_time v -> (
-    match Lifetime.cre_time ctx.db (binding row v).rb_teid with
+    let rb = binding row v in
+    match Lifetime.cre_time ctx.db ?strategy:(lifetime_strategy ctx rb) rb.rb_teid with
     | Some ts -> V_time ts
     | None -> V_null)
   | Ast.E_delete_time v -> (
-    match Lifetime.del_time ctx.db (binding row v).rb_teid with
+    let rb = binding row v in
+    match Lifetime.del_time ctx.db ?strategy:(lifetime_strategy ctx rb) rb.rb_teid with
     | Some ts -> V_time ts
     | None -> V_null)
   | Ast.E_previous v -> nav_binding ctx (binding row v) Nav.previous
@@ -424,6 +447,27 @@ let every_binding_rows ctx b =
         evs)
     (Scan.binding_intervals ctx.db b)
 
+let planner_mode = function
+  | Ast.Current -> Planner.Current
+  | Ast.At _ -> Planner.At
+  | Ast.Every -> Planner.Every
+
+(* The planner's pattern-scan choices, folded over one source: reordered
+   join legs, skip-if-provably-empty, estimated rows (for the trace) and
+   the planned domain fan-out.  With the planner off everything stays
+   literal. *)
+let plan_scan ctx src pattern docs =
+  match ctx.plan with
+  | None -> (pattern, false, None, None)
+  | Some p ->
+    let mode = planner_mode src.Ast.src_time in
+    let pattern = Planner.order_pattern p mode pattern in
+    let est = Planner.est_scan p mode ~docs pattern in
+    ( pattern,
+      Planner.scan_skippable p ~est ~docs:(Some docs),
+      Planner.scan_domains p ~est,
+      Some est )
+
 let bind_source ctx where src : row_binding list =
   if src.Ast.src_path = [] then bind_roots ctx src
   else begin
@@ -431,9 +475,14 @@ let bind_source ctx where src : row_binding list =
     let pattern = pattern_of_source src words in
     let docs = source_doc_ids ctx src in
     let in_url b = List.mem b.Scan.b_doc docs in
+    let pattern, skip, domains, est = plan_scan ctx src pattern docs in
+    if skip then []
+    else
     match src.Ast.src_time with
     | Ast.Current ->
-      let bindings = List.filter in_url (Scan.pattern_scan ctx.db pattern) in
+      let bindings =
+        List.filter in_url (Scan.pattern_scan ?domains ?est ctx.db pattern)
+      in
       List.map
         (fun teid ->
           {
@@ -444,7 +493,9 @@ let bind_source ctx where src : row_binding list =
         (Scan.to_teids ctx.db bindings)
     | Ast.At texpr ->
       let t = Ast.resolve_time ~now:ctx.now texpr in
-      let bindings = List.filter in_url (Scan.tpattern_scan ctx.db pattern t) in
+      let bindings =
+        List.filter in_url (Scan.tpattern_scan ?domains ?est ctx.db pattern t)
+      in
       List.filter_map
         (fun b ->
           let eid = Scan.eid_of_binding b in
@@ -461,7 +512,9 @@ let bind_source ctx where src : row_binding list =
               })
         bindings
     | Ast.Every ->
-      let bindings = List.filter in_url (Scan.tpattern_scan_all ctx.db pattern) in
+      let bindings =
+        List.filter in_url (Scan.tpattern_scan_all ?domains ?est ctx.db pattern)
+      in
       List.concat_map (every_binding_rows ctx) bindings
   end
 
@@ -482,7 +535,12 @@ let source_binding_seq ctx where src : row_binding Seq.t =
      let pattern = pattern_of_source src words in
      let docs = source_doc_ids ctx src in
      let in_url b = List.mem b.Scan.b_doc docs in
-     let bindings = List.filter in_url (Scan.tpattern_scan_all ctx.db pattern) in
+     let pattern, skip, domains, est = plan_scan ctx src pattern docs in
+     let bindings =
+       if skip then []
+       else
+         List.filter in_url (Scan.tpattern_scan_all ?domains ?est ctx.db pattern)
+     in
      Seq.concat_map
        (fun b -> List.to_seq (every_binding_rows ctx b))
        (List.to_seq bindings)
@@ -603,7 +661,11 @@ let eval_algebra db node =
           if Trace.enabled () then Trace.add_count "instants" (Timeline.length tl);
           tl)
     in
-    (tl, Algebra.eval db tl node)
+    let rel =
+      if planner_on db then Planner.eval_algebra (Planner.create db) db tl node
+      else Algebra.eval db tl node
+    in
+    (tl, rel)
 
 let run_algebra db node =
   guard @@ fun () ->
@@ -611,7 +673,16 @@ let run_algebra db node =
   let tl, rel = eval_algebra db node in
   Ok (Relation.to_xml tl rel)
 
-let run_statement db = function
+(* With the planner on, statements pass through the (output-preserving)
+   rewrite rules before costing, so the planner sees folded time literals
+   and pruned conditions instead of their as-written forms; [run] and
+   [run_algebra] stay literal, preserving the un-rewritten evaluator as a
+   differential baseline. *)
+let plan_statement db stmt =
+  if planner_on db then Rewrite.statement ~now:(Db.now db) stmt else stmt
+
+let run_statement db stmt =
+  match plan_statement db stmt with
   | Ast.S_query q -> run db q
   | Ast.S_algebra a -> run_algebra db a
 
@@ -679,7 +750,7 @@ let stream_query db query ~on_row =
 
 let stream_statement db stmt ~on_row =
   guard @@ fun () ->
-  match stmt with
+  match plan_statement db stmt with
   | Ast.S_query q -> Ok (stream_query db q ~on_row)
   | Ast.S_algebra a ->
     Trace.with_span "query.run" @@ fun () ->
@@ -692,6 +763,7 @@ let stream_statement db stmt ~on_row =
 let explain db query =
   let buf = Buffer.create 512 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ctx = make_ctx db in
   addf "query: %s\n" (Ast.to_string query);
   List.iteri
     (fun i src ->
@@ -714,7 +786,16 @@ let explain db query =
              single-sweep ElementHistory"
         in
         addf "  operator: %s\n" operator;
-        (try addf "  pattern:  %s\n" (Pattern.to_string (pattern_of_source src words))
+        (try
+           let pattern = pattern_of_source src words in
+           match ctx.plan with
+           | None -> addf "  pattern:  %s\n" (Pattern.to_string pattern)
+           | Some p ->
+             let mode = planner_mode src.Ast.src_time in
+             let pattern = Planner.order_pattern p mode pattern in
+             let docs = source_doc_ids ctx src in
+             addf "  pattern:  %s\n" (Pattern.to_string pattern);
+             addf "  estimate: %s\n" (Planner.describe_scan p mode ~docs pattern)
          with Fail e -> addf "  pattern:  <invalid: %s>\n" (error_to_string e));
         if words <> [] then
           addf "  pushdown: %d equality predicate(s) as word tests, re-verified after scan\n"
@@ -742,29 +823,39 @@ let explain db query =
    else
      addf "select: %d expression(s) per row; node values reconstruct lazily\n"
        (List.length query.Ast.select));
-  ignore db;
   Buffer.contents buf
 
 let explain_algebra db node =
   let buf = Buffer.create 512 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "algebra: %s\n" (Algebra.to_string node);
-  (match Algebra.validate node with
-   | Error e -> addf "invalid: %s\n" e
-   | Ok () -> ());
+  let valid =
+    match Algebra.validate node with
+    | Error e ->
+      addf "invalid: %s\n" e;
+      false
+    | Ok () -> true
+  in
+  let plan = if planner_on db && valid then Some (Planner.create db) else None in
+  let est n =
+    match plan with
+    | None -> ""
+    | Some p -> Printf.sprintf "  est=%d row(s)" (Planner.est_algebra p n)
+  in
   let rec tree indent n =
     let pad = String.make indent ' ' in
     match (n : Algebra.t) with
     | Algebra.Scan _ ->
-      addf "%s%s  arity=%d  %s\n" pad (Algebra.span_name n) (Algebra.arity n)
-        (Algebra.to_string n)
+      addf "%s%s  arity=%d%s  %s\n" pad (Algebra.span_name n) (Algebra.arity n)
+        (est n) (Algebra.to_string n)
     | Algebra.Set (_, a, b) | Algebra.Joinop (_, _, a, b) ->
-      addf "%s%s  arity=%d\n" pad (Algebra.span_name n) (Algebra.arity n);
+      addf "%s%s  arity=%d%s\n" pad (Algebra.span_name n) (Algebra.arity n)
+        (est n);
       tree (indent + 2) a;
       tree (indent + 2) b
     | Algebra.Group (_, a) ->
-      addf "%s%s  arity=%d  (interval-split COUNT)\n" pad (Algebra.span_name n)
-        (Algebra.arity n);
+      addf "%s%s  arity=%d%s  (interval-split COUNT)\n" pad
+        (Algebra.span_name n) (Algebra.arity n) (est n);
       tree (indent + 2) a
   in
   tree 0 node;
@@ -775,7 +866,8 @@ let explain_algebra db node =
     (List.length (Db.doc_ids db));
   Buffer.contents buf
 
-let explain_statement db = function
+let explain_statement db stmt =
+  match plan_statement db stmt with
   | Ast.S_query q -> explain db q
   | Ast.S_algebra a -> explain_algebra db a
 
@@ -845,12 +937,41 @@ let render_analysis plan result roots =
   let name_w =
     List.fold_left (fun w (n, _) -> Stdlib.max w (String.length n)) 8 ops
   in
-  addf "%-*s %6s %12s  %s\n" name_w "operator" "calls" "total" "counters";
+  (* planner estimate vs what the operator actually produced: scans count
+     "bindings", everything downstream counts "rows" *)
+  let est_of st = List.assoc_opt "est_rows" st.os_counts in
+  let actual_of st =
+    match List.assoc_opt "bindings" st.os_counts with
+    | Some n -> Some n
+    | None -> List.assoc_opt "rows" st.os_counts
+  in
+  let est_err e a =
+    (* smoothed symmetric ratio: 1.0 is exact, robust at zero rows *)
+    let e = float_of_int (e + 1) and a = float_of_int (a + 1) in
+    Float.max (e /. a) (a /. e)
+  in
+  addf "%-*s %6s %12s %8s %8s %8s  %s\n" name_w "operator" "calls" "total"
+    "est" "actual" "est_err" "counters";
   List.iter
     (fun (name, st) ->
-      addf "%-*s %6d %10.1fus  %s\n" name_w name st.os_calls st.os_total_us
+      let est_s, act_s, err_s =
+        match (est_of st, actual_of st) with
+        | Some e, Some a ->
+          ( string_of_int e,
+            string_of_int a,
+            Printf.sprintf "%.1fx" (est_err e a) )
+        | Some e, None -> (string_of_int e, "-", "-")
+        | None, Some a -> ("-", string_of_int a, "-")
+        | None, None -> ("-", "-", "-")
+      in
+      addf "%-*s %6d %10.1fus %8s %8s %8s  %s\n" name_w name st.os_calls
+        st.os_total_us est_s act_s err_s
         (String.concat " "
-           (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) st.os_counts)))
+           (List.filter_map
+              (fun (k, n) ->
+                if String.equal k "est_rows" then None
+                else Some (Printf.sprintf "%s=%d" k n))
+              st.os_counts)))
     (List.sort
        (fun (_, a) (_, b) -> Float.compare b.os_total_us a.os_total_us)
        ops);
@@ -869,7 +990,7 @@ let explain_analyze_statement db stmt =
   match
     guard @@ fun () ->
     Ok
-      (match stmt with
+      (match plan_statement db stmt with
       | Ast.S_query q -> explain_analyze db q
       | Ast.S_algebra a ->
         let plan = explain_algebra db a in

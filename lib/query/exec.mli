@@ -12,7 +12,18 @@
     Simple equality predicates ([R/name = "Napoli"]) are pushed into the
     pattern as word tests and re-verified after reconstruction, the
     containment-then-test strategy of Section 6.1.  [COUNT] over snapshot
-    sources runs without reconstruction (the Q2 observation). *)
+    sources runs without reconstruction (the Q2 observation).
+
+    When {!Txq_db.Config.planner} is on (the default), the statement
+    entry points additionally run the cost-based planner
+    ({!Txq_planner.Planner}): statements pass through the rewrite rules
+    before costing, pattern join legs reorder by estimated selectivity,
+    provably-empty scans are skipped, CreTime/DelTime pick their
+    strategy from estimated chain depth, and algebra operators evaluate
+    their cheaper input first.  Every choice is output-preserving:
+    planner-on and planner-off results are byte-identical ([run] and
+    [run_algebra] always evaluate literally, as the differential
+    baseline). *)
 
 type error =
   | Parse_error of string
@@ -40,6 +51,8 @@ val run_algebra :
 
 val run_statement :
   Txq_db.Db.t -> Ast.statement -> (Txq_xml.Xml.t, error) result
+(** Rewrites then plans the statement when the planner is on; queries
+    otherwise run exactly as written. *)
 
 val run_string : Txq_db.Db.t -> string -> (Txq_xml.Xml.t, error) result
 (** Parse (as a statement: query or algebra expression) and run. *)
@@ -64,8 +77,10 @@ val explain : Txq_db.Db.t -> Ast.query -> string
 (** Human-readable evaluation plan: which of the paper's operators each
     source compiles to (PatternScan / TPatternScan / TPatternScanAll /
     delta-index root binding), the pattern tree after predicate pushdown,
-    and how the SELECT list is produced.  Purely informational; computing
-    it runs nothing. *)
+    and how the SELECT list is produced.  With the planner on, each
+    pattern source also shows its estimated row count, the per-word-test
+    index cardinalities with the chosen route (A1 vs A2), and the planned
+    domain fan-out.  Purely informational; computing it runs nothing. *)
 
 val explain_algebra : Txq_db.Db.t -> Txq_algebra.Algebra.t -> string
 (** The algebra node tree with span names and arities, plus the size of
@@ -79,10 +94,13 @@ val explain_analyze :
   Txq_db.Db.t -> Ast.query -> (Txq_xml.Xml.t, error) result * string
 (** The plan of {!explain} followed by an execution profile: the query is
     actually run under {!Txq_obs.Trace.collect}, and the report appends
-    per-operator call counts, cumulative wall time, summed integer span
-    attributes (deltas applied, postings scanned, vcache hits, …) and the
-    raw span tree(s).  Works whether or not a trace sink is installed.
-    Returns the run's result alongside the report. *)
+    per-operator call counts, cumulative wall time, estimated vs actual
+    row counts with an [est_err] ratio column (the smoothed symmetric
+    ratio [max((est+1)/(act+1), (act+1)/(est+1))]; ["-"] for operators
+    the planner does not estimate), summed integer span attributes
+    (deltas applied, postings scanned, vcache hits, …) and the raw span
+    tree(s).  Works whether or not a trace sink is installed.  Returns
+    the run's result alongside the report. *)
 
 val explain_analyze_statement :
   Txq_db.Db.t -> Ast.statement -> (Txq_xml.Xml.t, error) result * string

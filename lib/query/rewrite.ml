@@ -109,12 +109,8 @@ let query ~now q =
       where = None;
     }
 
-let run db q = Exec.run db (query ~now:(Txq_db.Db.now db) q)
-
-let run_string db input =
-  match Parser.parse_statement input with
-  | Error e -> Error (Exec.Parse_error e)
-  | Ok (Ast.S_query q) -> run db q
-  | Ok (Ast.S_algebra a) ->
-    (* algebra statements have no rewrite rules yet; execute directly *)
-    Exec.run_algebra db a
+let statement ~now = function
+  | Ast.S_query q -> Ast.S_query (query ~now q)
+  | Ast.S_algebra a ->
+    (* algebra statements have no rewrite rules yet *)
+    Ast.S_algebra a

@@ -25,9 +25,6 @@ val query : now:Txq_temporal.Timestamp.t -> Ast.query -> Ast.query
 (** Applies all rules.  [now] is the transaction-time instant the query
     will run at (rewriting is the last step before execution). *)
 
-val run : Txq_db.Db.t -> Ast.query -> (Txq_xml.Xml.t, Exec.error) result
-(** [Exec.run] after rewriting. *)
-
-val run_string : Txq_db.Db.t -> string -> (Txq_xml.Xml.t, Exec.error) result
-(** Parses a statement; [SELECT] queries are rewritten then run, algebra
-    expressions run directly (no algebra rewrite rules yet). *)
+val statement : now:Txq_temporal.Timestamp.t -> Ast.statement -> Ast.statement
+(** {!query} on [SELECT] statements; algebra statements pass through
+    unchanged (no algebra rewrite rules yet). *)

@@ -115,9 +115,7 @@ let with_snapshot t f =
   let snap = Db.snapshot t.db in
   Fun.protect ~finally:(fun () -> Db.release snap) (fun () -> f snap)
 
-let rewrite_statement snap = function
-  | Ast.S_query q -> Ast.S_query (Rewrite.query ~now:(Db.now snap) q)
-  | Ast.S_algebra _ as s -> s
+let rewrite_statement snap stmt = Rewrite.statement ~now:(Db.now snap) stmt
 
 let done_at snap ~rows =
   P.Done
@@ -259,6 +257,13 @@ let metrics_text t =
   end;
   Buffer.contents b
 
+let fti_stats t =
+  match Db.config t.db with
+  | { Txq_db.Config.fti_mode = Txq_db.Config.Fti_versions | Txq_db.Config.Fti_both; _ } ->
+    (* the tail counters are writer-mutated: read them under the lock *)
+    Some (Db.with_read t.db (fun () -> Txq_fti.Fti.stats (Db.fti t.db)))
+  | _ -> None
+
 let stats_text t conn =
   let s = Db.stats t.db in
   let b = Buffer.create 256 in
@@ -267,6 +272,14 @@ let stats_text t conn =
   addf "documents: %d\n" (Db.document_count t.db);
   addf "pinned snapshots: %d\n" (Db.pinned_snapshots t.db);
   addf "active connections: %d\n" (active_connections t);
+  (match fti_stats t with
+   | Some f ->
+     addf "fti words: %d\n" f.Txq_fti.Fti.fs_words;
+     addf "fti postings: %d (%d open)\n" f.Txq_fti.Fti.fs_postings
+       f.Txq_fti.Fti.fs_open_postings;
+     addf "fti segments: %d (%d freezes)\n" f.Txq_fti.Fti.fs_segments
+       f.Txq_fti.Fti.fs_freezes
+   | None -> ());
   (match conn with
    | Some c ->
      addf "conn.id: %d\n" c.c_id;
@@ -275,6 +288,37 @@ let stats_text t conn =
      addf "conn.errors: %d\n" c.c_errors
    | None -> ());
   Buffer.contents b
+
+(* The HTTP endpoint serves the same numbers as machine-readable JSON
+   (everything here is a non-negative int: no escaping concerns). *)
+let stats_json t =
+  let s = Db.stats t.db in
+  let field (k, v) = Printf.sprintf "%S: %d" k v in
+  let fti =
+    match fti_stats t with
+    | None -> []
+    | Some f ->
+      [ Printf.sprintf "%S: {%s}" "fti"
+          (String.concat ", "
+             (List.map field
+                [ ("words", f.Txq_fti.Fti.fs_words);
+                  ("postings", f.Txq_fti.Fti.fs_postings);
+                  ("open_postings", f.Txq_fti.Fti.fs_open_postings);
+                  ("tail_postings", f.Txq_fti.Fti.fs_tail_postings);
+                  ("frozen_postings", f.Txq_fti.Fti.fs_frozen_postings);
+                  ("segments", f.Txq_fti.Fti.fs_segments);
+                  ("frozen_bytes", f.Txq_fti.Fti.fs_frozen_bytes);
+                  ("freezes", f.Txq_fti.Fti.fs_freezes) ])) ]
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map field
+         [ ("commits", s.Db.commits);
+           ("documents", Db.document_count t.db);
+           ("pinned_snapshots", Db.pinned_snapshots t.db);
+           ("active_connections", active_connections t) ]
+      @ fti)
+  ^ "}\n"
 
 (* --- request dispatch ---------------------------------------------------- *)
 
@@ -327,12 +371,13 @@ let serve_binary t conn =
 
 (* --- minimal HTTP/1.1 ---------------------------------------------------- *)
 
-let http_respond conn ~status ~body =
+let http_respond ?(content_type = "text/plain; charset=utf-8") conn ~status
+    ~body =
   let head =
     Printf.sprintf
-      "HTTP/1.1 %s\r\nContent-Type: text/plain; charset=utf-8\r\n\
-       Content-Length: %d\r\nConnection: close\r\n\r\n"
-      status (String.length body)
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status content_type (String.length body)
   in
   let payload = head ^ body in
   let b = Bytes.of_string payload in
@@ -386,7 +431,8 @@ let serve_http t conn =
     (match path with
      | "/metrics" -> http_respond conn ~status:"200 OK" ~body:(metrics_text t)
      | "/stats" ->
-       http_respond conn ~status:"200 OK" ~body:(stats_text t (Some conn))
+       http_respond conn ~content_type:"application/json" ~status:"200 OK"
+         ~body:(stats_json t)
      | _ ->
        conn.c_errors <- conn.c_errors + 1;
        http_respond conn ~status:"404 Not Found" ~body:"not found\n")

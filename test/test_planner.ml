@@ -1,0 +1,379 @@
+(* The cost-based planner, held to its one contract: planner-on and
+   planner-off evaluation are byte-identical — over random statement and
+   algebra corpora, on live handles and on MVCC snapshots, whichever
+   index configuration is maintained.  Alongside the differentials: unit
+   checks of the O(1) FTI cardinality counters the planner reads, an
+   estimation-accuracy property (smoothed error within a fixed factor),
+   and a regression that a statement and its rewritten form pick the same
+   plan. *)
+
+module Xml = Txq_xml.Xml
+module Print = Txq_xml.Print
+module Parse = Txq_xml.Parse
+module Timestamp = Txq_temporal.Timestamp
+module Config = Txq_db.Config
+module Db = Txq_db.Db
+module Fti = Txq_fti.Fti
+module Vnode = Txq_vxml.Vnode
+module Pattern = Txq_core.Pattern
+module Scan = Txq_core.Scan
+module Stats = Txq_planner.Stats
+module Planner = Txq_planner.Planner
+module Gen_xml = Txq_test_support.Gen_xml
+open Txq_query
+
+let ts = Timestamp.of_string
+let parse = Parse.parse_exn
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  nl = 0
+  || (hl >= nl
+      && Seq.exists
+           (fun i -> String.equal (String.sub hay i nl) needle)
+           (Seq.init (hl - nl + 1) Fun.id))
+let day = 86_400
+let base_seconds = Timestamp.to_seconds (ts "01/06/2001")
+let op_ts i = Timestamp.of_seconds (base_seconds + ((i + 1) * day))
+
+(* --- FTI counter units ---------------------------------------------------- *)
+
+(* Freeze aggressively so the counters span both tiers. *)
+let fti_config =
+  { Config.default with fti_mode = Config.Fti_both; fti_segment_postings = 8 }
+
+let counter_db () =
+  let db = Db.create ~config:fti_config () in
+  ignore
+    (Db.insert_document db ~url:"a" ~ts:(op_ts 0)
+       (parse "<doc><name>napoli</name><item>pizza</item></doc>"));
+  ignore
+    (Db.insert_document db ~url:"b" ~ts:(op_ts 1)
+       (parse "<doc><name>rome</name></doc>"));
+  ignore
+    (Db.update_document db ~url:"a" ~ts:(op_ts 2)
+       (parse "<doc><name>napoli</name></doc>"));
+  db
+
+let test_word_counters () =
+  let db = counter_db () in
+  let fti = Db.fti db in
+  (* "item" tag: one posting ever, closed by the update *)
+  Alcotest.(check int) "item history" 1 (Fti.word_postings fti "item" ~kind:Vnode.Tag);
+  Alcotest.(check int) "item open" 0 (Fti.word_open_postings fti "item" ~kind:Vnode.Tag);
+  (* "name" tag: one per document, both still open *)
+  Alcotest.(check int) "name history" 2 (Fti.word_postings fti "name" ~kind:Vnode.Tag);
+  Alcotest.(check int) "name open" 2 (Fti.word_open_postings fti "name" ~kind:Vnode.Tag);
+  (* word occurrences are counted under their own kind *)
+  Alcotest.(check int) "pizza word history" 1
+    (Fti.word_postings fti "pizza" ~kind:Vnode.Word);
+  Alcotest.(check int) "pizza tag history" 0
+    (Fti.word_postings fti "pizza" ~kind:Vnode.Tag);
+  Alcotest.(check int) "absent word" 0
+    (Fti.word_postings fti "absent" ~kind:Vnode.Word)
+
+let test_doc_fences () =
+  let db = counter_db () in
+  let fti = Db.fti db in
+  (* per-document slices must sum to the corpus-wide counter *)
+  List.iter
+    (fun (word, kind) ->
+      let total = Fti.word_postings fti word ~kind in
+      let summed =
+        List.fold_left
+          (fun n doc -> n + Fti.doc_word_postings fti word ~kind ~doc)
+          0 (Db.doc_ids db)
+      in
+      Alcotest.(check int) (word ^ " fence sum") total summed)
+    [ ("name", Vnode.Tag); ("item", Vnode.Tag); ("napoli", Vnode.Word);
+      ("pizza", Vnode.Word); ("rome", Vnode.Word) ]
+
+let test_fti_stats_invariants () =
+  let db = counter_db () in
+  let s = Fti.stats (Db.fti db) in
+  Alcotest.(check int) "tiers sum" s.Fti.fs_postings
+    (s.Fti.fs_tail_postings + s.Fti.fs_frozen_postings);
+  Alcotest.(check bool) "open bounded" true
+    (s.Fti.fs_open_postings <= s.Fti.fs_postings);
+  Alcotest.(check bool) "froze something" true (s.Fti.fs_freezes > 0);
+  Alcotest.(check bool) "words positive" true (s.Fti.fs_words > 0)
+
+(* Vacuum recounts from the surviving postings. *)
+let test_counters_survive_vacuum () =
+  let db = counter_db () in
+  ignore
+    (Db.vacuum
+       ~retention:{ Config.keep_newer_than = None; keep_versions = Some 1 }
+       db);
+  let fti = Db.fti db in
+  List.iter
+    (fun (word, kind) ->
+      let total = Fti.word_postings fti word ~kind in
+      let summed =
+        List.fold_left
+          (fun n doc -> n + Fti.doc_word_postings fti word ~kind ~doc)
+          0 (Db.doc_ids db)
+      in
+      Alcotest.(check int) (word ^ " post-vacuum fence sum") total summed;
+      Alcotest.(check bool)
+        (word ^ " post-vacuum open bound")
+        true
+        (Fti.word_open_postings fti word ~kind <= total))
+    [ ("name", Vnode.Tag); ("item", Vnode.Tag); ("napoli", Vnode.Word) ]
+
+(* --- random histories ------------------------------------------------------ *)
+
+type op = Ins of string * Xml.t | Upd of string * Xml.t | Del of string
+
+let interleave a b =
+  let rec go acc = function
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys -> go (y :: x :: acc) (xs, ys)
+  in
+  go [] (a, b)
+
+let replay config ops =
+  let db = Db.create ~config () in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Ins (u, x) -> ignore (Db.insert_document db ~url:u ~ts:(op_ts i) x)
+      | Upd (u, x) -> ignore (Db.update_document db ~url:u ~ts:(op_ts i) x)
+      | Del u -> Db.delete_document db ~url:u ~ts:(op_ts i) ())
+    ops;
+  db
+
+let ops_of ((a0, asuccs), (b0, bsuccs), h) =
+  Ins ("a", a0) :: Ins ("b", b0)
+  :: interleave
+       (List.map (fun x -> Upd ("a", x)) asuccs)
+       (List.map (fun x -> Upd ("b", x)) bsuccs)
+  @ (if h land 1 = 1 then [ Del "b" ] else [])
+  @ if h land 2 = 2 then [ Del "a" ] else []
+
+(* --- statement corpus ------------------------------------------------------ *)
+
+(* Every plan choice has statements that exercise it: multiway patterns
+   with pushdown word tests (leg ordering), absent words (the
+   provably-empty skip), snapshot/current/history modes (per-mode
+   estimates), CREATE/DELETE TIME (lifetime strategy), multi-source
+   products, and algebra trees for operand ordering and annihilation. *)
+let statements =
+  [
+    {|SELECT R FROM doc("a")//name R|};
+    {|SELECT COUNT(R) FROM doc("a")//item R|};
+    {|SELECT R FROM doc("a")[NOW]//name R|};
+    {|SELECT R FROM doc("b")[03/06/2001]//item R|};
+    {|SELECT TIME(R), R FROM doc("a")[EVERY]//name R|};
+    {|SELECT R FROM doc("a")//review R WHERE R/name = "napoli"|};
+    {|SELECT R FROM doc("a")[EVERY]//review R WHERE R/item = "pizza" AND R/name = "napoli"|};
+    {|SELECT R FROM doc("a")//review R WHERE R/name = "nosuchword"|};
+    {|SELECT R FROM doc("nosuchdoc")//name R|};
+    {|SELECT R1/name, R2 FROM doc("a")//review R1, doc("b")//item R2|};
+    {|SELECT CREATE TIME(R), DELETE TIME(R) FROM doc("a")[EVERY]//item R|};
+    {|SELECT CREATE TIME(R) FROM doc("b")//name R|};
+    {|SELECT DISTINCT R/name FROM collection("*")[EVERY]//review R|};
+    {|SELECT COUNT(R) FROM collection("*")[02/06/2001]//name R|};
+    {|SELECT R FROM doc("a")[01/06/2001 + 2 DAYS]//name R WHERE 01/06/2001 < 02/06/2001|};
+    {|doc("a")//name UNION doc("b")//item|};
+    {|doc("a")//name INTERSECT doc("b")//name|};
+    {|doc("a")//name EXCEPT doc("a")//nosuchtag|};
+    {|doc("a")//nosuchtag EXCEPT doc("a")//name|};
+    {|doc("a")//name JOIN ON DOC doc("b")//item|};
+    {|doc("a")//name LEFTJOIN ON ALWAYS doc("b")//item|};
+    {|doc("a")//name SEMIJOIN ON ANCESTOR doc("a")//item|};
+    {|doc("a")//name ANTIJOIN ON DOC doc("b")//name|};
+    {|doc("a")//name JOIN ON DOC doc("a")//nosuchtag|};
+    {|COUNT (doc("a")//name UNION doc("b")//name)|};
+    {|COUNT BY DOC (collection("*")//name = "napoli")|};
+  ]
+
+let run_to_string db q =
+  match Exec.run_string db q with
+  | Ok xml -> "ok: " ^ Print.to_string xml
+  | Error e -> "error: " ^ Exec.error_to_string e
+
+let check_differential ~what db_on db_off =
+  List.for_all
+    (fun q ->
+      let on = run_to_string db_on q
+      and off = run_to_string db_off q in
+      if not (String.equal on off) then
+        QCheck.Test.fail_reportf "%s diverged on %s\nplanner on:  %s\nplanner off: %s"
+          what q on off;
+      true)
+    statements
+
+let gen_history = Gen_xml.gen_history ~max_versions:4
+
+let print_case ((a0, asuccs), (b0, bsuccs), h, fti_mode) =
+  Printf.sprintf "h=%d fti=%d\ndoc a:\n%s\ndoc b:\n%s" h
+    (match fti_mode with
+     | Config.Fti_versions -> 0
+     | Config.Fti_deltas -> 1
+     | Config.Fti_both -> 2
+     | Config.Fti_none -> 3)
+    (String.concat "\n---\n" (List.map Print.to_string (a0 :: asuccs)))
+    (String.concat "\n---\n" (List.map Print.to_string (b0 :: bsuccs)))
+
+let arb_case =
+  QCheck.make ~print:print_case
+    QCheck.Gen.(
+      quad gen_history gen_history (int_range 0 3)
+        (oneofl [ Config.Fti_versions; Config.Fti_deltas; Config.Fti_both ]))
+
+let config_pair fti_mode =
+  let base =
+    { Config.default with fti_mode; fti_segment_postings = 8; domains = 2 }
+  in
+  (Config.with_planner true base, Config.with_planner false base)
+
+(* The tentpole differential: same operations replayed into two databases
+   whose configurations differ only in [planner]; every statement must
+   produce the same bytes. *)
+let prop_planner_differential =
+  QCheck.Test.make ~count:30 ~name:"planner on ≡ planner off" arb_case
+    (fun (a, b, h, fti_mode) ->
+      let on, off = config_pair fti_mode in
+      let ops = ops_of (a, b, h) in
+      check_differential ~what:"live db" (replay on ops) (replay off ops))
+
+(* The same contract on pinned MVCC snapshots, where Current-mode
+   estimates must fall back to history counts and lifetime strategies to
+   the snapshot-safe default. *)
+let prop_planner_differential_snapshot =
+  QCheck.Test.make ~count:20 ~name:"planner on ≡ off (snapshots)" arb_case
+    (fun (a, b, h, fti_mode) ->
+      let on, off = config_pair fti_mode in
+      let ops = ops_of (a, b, h) in
+      let snap_on = Db.snapshot (replay on ops) in
+      let snap_off = Db.snapshot (replay off ops) in
+      Fun.protect
+        ~finally:(fun () ->
+          Db.release snap_on;
+          Db.release snap_off)
+        (fun () -> check_differential ~what:"snapshot" snap_on snap_off))
+
+(* Without any index, planner and literal paths must fail identically. *)
+let test_differential_fti_none () =
+  let on, off = config_pair Config.Fti_none in
+  let ops =
+    [ Ins ("a", parse "<doc><name>x</name></doc>");
+      Ins ("b", parse "<doc><item>y</item></doc>") ]
+  in
+  ignore (check_differential ~what:"fti none" (replay on ops) (replay off ops))
+
+(* --- estimation accuracy ---------------------------------------------------- *)
+
+let accuracy_k = 32.0
+
+let smoothed_err est act =
+  let e = float_of_int (est + 1) and a = float_of_int (act + 1) in
+  Float.max (e /. a) (a /. e)
+
+let prop_estimation_accuracy =
+  QCheck.Test.make ~count:30 ~name:"scan estimates within k×" arb_case
+    (fun (a, b, h, fti_mode) ->
+      let config, _ = config_pair fti_mode in
+      let db = replay config (ops_of (a, b, h)) in
+      let p = Planner.create db in
+      if not (Stats.has_a1 (Planner.stats p)) then true
+      else
+        List.for_all
+          (fun path ->
+            match Pattern.of_path path with
+            | Error e -> QCheck.Test.fail_reportf "pattern %s: %s" path e
+            | Ok pattern ->
+              let checks =
+                [ ( Planner.Every,
+                    List.length (Scan.tpattern_scan_all db pattern) );
+                  ( Planner.Current,
+                    List.length (Scan.pattern_scan db pattern) );
+                  ( Planner.At,
+                    List.length (Scan.tpattern_scan db pattern (op_ts 2)) ) ]
+              in
+              List.for_all
+                (fun (mode, actual) ->
+                  let est = Planner.est_scan p mode pattern in
+                  let err = smoothed_err est actual in
+                  if err > accuracy_k then
+                    QCheck.Test.fail_reportf
+                      "%s (%s): est %d vs actual %d (err %.1f > %.1f)" path
+                      (Planner.mode_to_string mode)
+                      est actual err accuracy_k;
+                  true)
+                checks)
+          [ "//name"; "//item"; "//price"; "//review"; "//b" ])
+
+(* --- rewrite/planner interaction ------------------------------------------- *)
+
+(* A statement and its rewritten form must pick the same plan: EXPLAIN
+   re-runs the rewrite before costing, so pre-rewriting by hand changes
+   nothing. *)
+let test_rewritten_same_plan () =
+  let config, _ = config_pair Config.Fti_both in
+  let db =
+    replay config
+      [ Ins ("a", parse "<doc><name>napoli</name></doc>");
+        Upd ("a", parse "<doc><name>napoli</name><item>pizza</item></doc>");
+        Ins ("b", parse "<doc><name>rome</name></doc>") ]
+  in
+  List.iter
+    (fun q ->
+      match Parser.parse_statement q with
+      | Error e -> Alcotest.failf "parse %s: %s" q e
+      | Ok stmt ->
+        let original = Exec.explain_statement db stmt in
+        let rewritten =
+          Exec.explain_statement db (Rewrite.statement ~now:(Db.now db) stmt)
+        in
+        Alcotest.(check string) ("same plan: " ^ q) original rewritten)
+    [
+      {|SELECT R FROM doc("a")[NOW]//name R|};
+      {|SELECT R FROM doc("a")[01/06/2001 + 2 DAYS]//name R|};
+      {|SELECT R FROM doc("a")//review R WHERE 01/06/2001 < 02/06/2001 AND R/name = "napoli"|};
+      {|SELECT DISTINCT COUNT(R) FROM doc("a")[EVERY]//item R|};
+      {|doc("a")//name JOIN ON DOC doc("b")//name|};
+    ]
+
+(* EXPLAIN surfaces the estimates; EXPLAIN ANALYZE surfaces est vs actual
+   with the error ratio column. *)
+let test_explain_shows_estimates () =
+  let config, _ = config_pair Config.Fti_both in
+  let db =
+    replay config
+      [ Ins ("a", parse "<doc><name>napoli</name><item>pizza</item></doc>") ]
+  in
+  (match Exec.explain_string db {|SELECT R FROM doc("a")//name R|} with
+   | Error e -> Alcotest.failf "explain: %s" (Exec.error_to_string e)
+   | Ok plan ->
+     Alcotest.(check bool) "estimate line" true (contains plan "estimate:"));
+  match Exec.explain_analyze_string db {|SELECT R FROM doc("a")//name R|} with
+  | Error e -> Alcotest.failf "analyze: %s" (Exec.error_to_string e)
+  | Ok report ->
+    Alcotest.(check bool) "est_err column" true (contains report "est_err")
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "planner"
+    [
+      ( "fti counters",
+        [
+          Alcotest.test_case "word counters" `Quick test_word_counters;
+          Alcotest.test_case "doc fences" `Quick test_doc_fences;
+          Alcotest.test_case "stats invariants" `Quick test_fti_stats_invariants;
+          Alcotest.test_case "vacuum recount" `Quick test_counters_survive_vacuum;
+        ] );
+      ( "differential",
+        [
+          qt prop_planner_differential;
+          qt prop_planner_differential_snapshot;
+          Alcotest.test_case "fti none" `Quick test_differential_fti_none;
+        ] );
+      ("accuracy", [ qt prop_estimation_accuracy ]);
+      ( "plans",
+        [
+          Alcotest.test_case "rewritten same plan" `Quick test_rewritten_same_plan;
+          Alcotest.test_case "explain estimates" `Quick test_explain_shows_estimates;
+        ] );
+    ]
