@@ -2005,6 +2005,277 @@ let e20 () =
       List.iter (fun f -> Printf.eprintf "E20 FAIL: %s\n" f) fs;
       exit 1
 
+(* ------------------------------------------------------------------ E21 *)
+
+(* --check-ship turns E21 into a pass/fail gate (CI): replicas must reach
+   lag 0 at every offered write rate, the restore must land exactly the
+   primary's commit count, and the scale-out legs must finish with no
+   errors, no disconnects and no leaked pins on either node. *)
+let check_ship = ref false
+
+let e21 () =
+  section "E21  Journal shipping: catch-up lag, restore, read scale-out"
+    "A primary streams committed journal records to replicas (Db.ship /\n\
+     Replay).  Part 1 follows a live writer at several offered commit\n\
+     rates and reads the lag profile; part 2 measures point-in-time\n\
+     restore throughput; part 3 compares read QPS of one server against\n\
+     a primary+replica pair serving the same read-only workload over\n\
+     sockets.";
+  let module Server = Txq_server.Server in
+  let module Client = Txq_server.Client in
+  let module Loadgen = Txq_server.Loadgen in
+  let module Mixed = Txq_workload.Mixed in
+  let durable = Config.durable Config.default in
+  let parse = Txq_xml.Parse.parse_exn in
+  let sp =
+    spec
+      ~documents:(if !smoke then 4 else 10)
+      ~versions:(if !smoke then 3 else 6)
+      ~restaurants:(if !smoke then 5 else 10)
+      ()
+  in
+  let failures = ref [] in
+  let gate fmt =
+    Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+  in
+  (* Part 1: live follow — a writer commits at an offered rate while a
+     replica polls; lag is sampled after every pull. *)
+  let commits = if !smoke then 60 else 400 in
+  let follow offered_delay_s =
+    let primary = Load.load_db ~config:durable sp in
+    let r = Db.Replay.create ~config:durable () in
+    let writer_done = Atomic.make false in
+    let writer =
+      Thread.create
+        (fun () ->
+          for i = 1 to commits do
+            ignore
+              (Db.update_document primary
+                 ~url:(Load.url_of (i mod sp.Load.documents))
+                 (parse (Printf.sprintf "<guide><burst>%d</burst></guide>" i)));
+            if offered_delay_s > 0.0 then Thread.delay offered_delay_s
+          done;
+          Atomic.set writer_done true)
+        ()
+    in
+    let max_lag = ref 0 in
+    let pulls = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let rec follow_loop () =
+      let from = Db.Replay.applied r in
+      (* lag as seen at pull time, before this batch is applied *)
+      let backlog = Db.durable_records primary - from in
+      if backlog > !max_lag then max_lag := backlog;
+      let batch = Db.ship primary ~from () in
+      List.iter (Db.Replay.apply r) batch;
+      incr pulls;
+      let lag = Db.durable_records primary - Db.Replay.applied r in
+      if not (Atomic.get writer_done && lag = 0) then begin
+        if batch = [] then Thread.delay 0.0002;
+        follow_loop ()
+      end
+    in
+    follow_loop ();
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Thread.join writer;
+    let applied = Db.Replay.applied r in
+    let final_lag = Db.durable_records primary - applied in
+    if !check_ship && final_lag <> 0 then
+      gate "follow (delay %.4fs): final lag %d" offered_delay_s final_lag;
+    (applied, !max_lag, final_lag, !pulls, float_of_int applied /. elapsed)
+  in
+  let follow_rows =
+    List.map
+      (fun (label, delay) -> (label, follow delay))
+      [ ("unthrottled", 0.0); ("~2000/s", 0.0005); ("~500/s", 0.002) ]
+  in
+  print_table
+    ~title:(Printf.sprintf "E21a: replica follows a live writer (%d commits)" commits)
+    ~columns:[ "offered rate"; "applied"; "max lag"; "final lag"; "pulls"; "apply/s" ]
+    (List.map
+       (fun (label, (applied, max_lag, final_lag, pulls, rate)) ->
+         [
+           label; string_of_int applied; string_of_int max_lag;
+           string_of_int final_lag; string_of_int pulls;
+           Printf.sprintf "%.0f" rate;
+         ])
+       follow_rows);
+  record_json "follow"
+    (Harness.Json.Arr
+       (List.map
+          (fun (label, (applied, max_lag, final_lag, pulls, rate)) ->
+            Harness.Json.Obj
+              [
+                ("offered", Harness.Json.Str label);
+                ("applied", Harness.Json.Int applied);
+                ("max_lag", Harness.Json.Int max_lag);
+                ("final_lag", Harness.Json.Int final_lag);
+                ("pulls", Harness.Json.Int pulls);
+                ("apply_per_s", Harness.Json.Float rate);
+              ])
+          follow_rows));
+  (* Part 2: point-in-time restore throughput at the full horizon. *)
+  let restore_rows =
+    List.map
+      (fun versions ->
+        let rsp = { sp with Load.versions } in
+        let primary = Load.load_db ~config:durable rsp in
+        let records = Db.durable_records primary in
+        let restored = ref None in
+        let us =
+          time_us ~warmup:1 ~runs:(if !smoke then 3 else 5) (fun () ->
+              restored := Some (Db.restore_as_of primary ~as_of:(Db.now primary)))
+        in
+        let restored = Option.get !restored in
+        if
+          !check_ship
+          && (Db.stats restored).Db.commits <> (Db.stats primary).Db.commits
+        then
+          gate "restore at %d versions: %d commits, primary has %d" versions
+            (Db.stats restored).Db.commits (Db.stats primary).Db.commits;
+        (versions, records, us, float_of_int records /. (us /. 1e6)))
+      (if !smoke then [ 3; 6 ] else [ 4; 8; 16 ])
+  in
+  print_table ~title:"E21b: restore --as-of now (full history clone)"
+    ~columns:[ "versions/doc"; "records"; "restore time"; "records/s" ]
+    (List.map
+       (fun (v, records, us, rate) ->
+         [
+           string_of_int v; string_of_int records; fmt_us us;
+           Printf.sprintf "%.0f" rate;
+         ])
+       restore_rows);
+  record_json "restore"
+    (Harness.Json.Arr
+       (List.map
+          (fun (v, records, us, rate) ->
+            Harness.Json.Obj
+              [
+                ("versions", Harness.Json.Int v);
+                ("records", Harness.Json.Int records);
+                ("restore_us", Harness.Json.Float us);
+                ("records_per_s", Harness.Json.Float rate);
+              ])
+          restore_rows));
+  (* Part 3: read scale-out — the same read-only closed loop against one
+     server, then split across a primary+replica pair. *)
+  let clients = if !smoke then 4 else 8 in
+  let ops = if !smoke then 20 else 100 in
+  let readers = Stdlib.max 4 (clients / 2) in
+  let primary = Load.load_db ~config:durable sp in
+  let pserver =
+    Server.start ~config:{ Server.default_config with Server.readers } primary
+  in
+  let pport = Server.port pserver in
+  let solo =
+    Loadgen.closed_loop ~port:pport ~clients ~ops_per_client:ops
+      ~mix:Mixed.read_only_mix ~spec:sp ~seed:2101 ()
+  in
+  (* replica catches up over the wire, then serves half the clients *)
+  let rp = Db.Replay.create ~config:durable () in
+  let puller = Client.connect ~port:pport () in
+  let rec clone () =
+    match Client.ship puller ~from:(Db.Replay.applied rp) () with
+    | Ok ([], _) -> ()
+    | Ok (shipments, _) ->
+      List.iter (Db.Replay.apply rp) shipments;
+      clone ()
+    | Error (code, msg) -> failwith (Printf.sprintf "ship error %d: %s" code msg)
+  in
+  clone ();
+  Client.close puller;
+  let rserver =
+    Server.start
+      ~config:{ Server.default_config with Server.readers }
+      (Db.Replay.db rp)
+  in
+  let rport = Server.port rserver in
+  let half = Stdlib.max 1 (clients / 2) in
+  let primary_half = ref None and replica_half = ref None in
+  let t0 = Unix.gettimeofday () in
+  let th_p =
+    Thread.create
+      (fun () ->
+        primary_half :=
+          Some
+            (Loadgen.closed_loop ~port:pport ~clients:half ~ops_per_client:ops
+               ~mix:Mixed.read_only_mix ~spec:sp ~seed:2102 ()))
+      ()
+  and th_r =
+    Thread.create
+      (fun () ->
+        replica_half :=
+          Some
+            (Loadgen.closed_loop ~port:rport ~clients:half ~ops_per_client:ops
+               ~mix:Mixed.read_only_mix ~spec:sp ~seed:2103 ()))
+      ()
+  in
+  Thread.join th_p;
+  Thread.join th_r;
+  let pair_elapsed = Unix.gettimeofday () -. t0 in
+  let ph = Option.get !primary_half and rh = Option.get !replica_half in
+  let pair_qps = float_of_int (ph.Loadgen.r_ops + rh.Loadgen.r_ops) /. pair_elapsed in
+  (* one probe statement must render byte-identically on both nodes *)
+  let probe =
+    Printf.sprintf {|SELECT R/name FROM doc("%s")//restaurant R|} url0
+  in
+  let body_of port =
+    let c = Client.connect ~port () in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match Client.query c probe with
+    | Ok reply -> reply.Client.body
+    | Error (code, msg) -> failwith (Printf.sprintf "probe error %d: %s" code msg)
+  in
+  let identical = String.equal (body_of pport) (body_of rport) in
+  let p_leaked = Server.stop pserver in
+  let r_leaked = Server.stop rserver in
+  print_table
+    ~title:
+      (Printf.sprintf "E21c: read-only closed loop (%d clients, %d ops each)"
+         clients ops)
+    ~columns:[ "topology"; "qps"; "errors"; "disconnects"; "leaked" ]
+    [
+      [
+        "single server"; Printf.sprintf "%.0f" solo.Loadgen.r_qps;
+        string_of_int solo.Loadgen.r_errors;
+        string_of_int solo.Loadgen.r_disconnects; string_of_int p_leaked;
+      ];
+      [
+        "primary+replica"; Printf.sprintf "%.0f" pair_qps;
+        string_of_int (ph.Loadgen.r_errors + rh.Loadgen.r_errors);
+        string_of_int (ph.Loadgen.r_disconnects + rh.Loadgen.r_disconnects);
+        string_of_int r_leaked;
+      ];
+    ];
+  record_json "scale_out"
+    (Harness.Json.Obj
+       [
+         ("clients", Harness.Json.Int clients);
+         ("solo_qps", Harness.Json.Float solo.Loadgen.r_qps);
+         ("pair_qps", Harness.Json.Float pair_qps);
+         ("probe_identical", Harness.Json.Bool identical);
+         ("errors",
+          Harness.Json.Int
+            (solo.Loadgen.r_errors + ph.Loadgen.r_errors + rh.Loadgen.r_errors));
+         ("leaked_pins", Harness.Json.Int (p_leaked + r_leaked));
+       ]);
+  record_json "smoke" (Harness.Json.Bool !smoke);
+  if !check_ship then begin
+    if not identical then gate "probe result differs between primary and replica";
+    if solo.Loadgen.r_errors + ph.Loadgen.r_errors + rh.Loadgen.r_errors > 0 then
+      gate "scale-out legs answered errors";
+    if solo.Loadgen.r_disconnects + ph.Loadgen.r_disconnects
+       + rh.Loadgen.r_disconnects > 0
+    then gate "scale-out legs dropped connections";
+    if p_leaked + r_leaked > 0 then
+      gate "%d leaked pins across the pair" (p_leaked + r_leaked);
+    match !failures with
+    | [] -> Printf.printf "  ship check ok: lag 0, restore exact, pair clean\n"
+    | fs ->
+      List.iter (fun f -> Printf.eprintf "E21 FAIL: %s\n" f) fs;
+      exit 1
+  end
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -2012,7 +2283,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
   ]
 
 let () =
@@ -2026,6 +2297,7 @@ let () =
   check_mvcc := List.mem "--check-mvcc" args;
   check_serve := List.mem "--check-serve" args;
   check_plan := List.mem "--check-plan" args;
+  check_ship := List.mem "--check-ship" args;
   (* --trace FILE: stream every root span of the whole run as JSON lines.
      E14 manages its own sinks and ends with tracing off, so combining it
      with --trace in one invocation truncates the stream there. *)

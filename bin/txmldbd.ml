@@ -11,6 +11,7 @@
 open Cmdliner
 module Server = Txq_server.Server
 module Client = Txq_server.Client
+module Protocol = Txq_server.Protocol
 module Loadgen = Txq_server.Loadgen
 
 (* --- shared options ------------------------------------------------------ *)
@@ -34,38 +35,125 @@ let readers_t =
   Arg.(value & opt int 8 & info ["readers"] ~docv:"N"
          ~doc:"Reader-domain pool size: connections served concurrently.")
 
+(* Serving stores journal their commits: a primary must be shippable
+   (SHIP needs a journal) and a replica must reopen after a kill. *)
 let build_db ~docs ~versions ~seed =
   Txq_workload.Load.load_db
+    ~config:(Txq_db.Config.durable Txq_db.Config.default)
     { Txq_workload.Load.default_spec with
       Txq_workload.Load.seed; documents = docs; versions }
 
 (* --- serve --------------------------------------------------------------- *)
 
+let wait_for_sigterm () =
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.1
+  done
+
+(* The replica's pull loop: one thread polling the primary's SHIP opcode
+   and applying shipments in order.  Transport errors drop the connection
+   and retry — the stream position ([Replay.applied]) makes every retry
+   idempotent. *)
+let pull_from_primary rp ~host ~port ~poll_s stop =
+  let apply_batch c =
+    let rec go () =
+      if Atomic.get stop then ()
+      else begin
+        let from = Txq_db.Db.Replay.applied rp in
+        match Client.ship c ~from () with
+        | Ok ([], _) -> Thread.delay poll_s; go ()
+        | Ok (shipments, _) ->
+          List.iter (Txq_db.Db.Replay.apply rp) shipments;
+          go ()
+        | Stdlib.Error (code, msg) ->
+          (* E_ship_gap in particular is fatal: this replica's base
+             predates the primary's retained history *)
+          Printf.eprintf "ship failed (error %d): %s\n%!" code msg;
+          if code <> Protocol.error_code_to_int Protocol.E_ship_gap then
+            Thread.delay poll_s
+          else Atomic.set stop true
+      end
+    in
+    go ()
+  in
+  while not (Atomic.get stop) do
+    (match Client.connect ~host ~port () with
+     | exception Unix.Unix_error _ -> Thread.delay poll_s
+     | c ->
+       Fun.protect
+         ~finally:(fun () -> Client.close c)
+         (fun () -> try apply_batch c with Client.Disconnected -> ()))
+  done
+
+let replica_of_t =
+  Arg.(value & opt (some string) None & info ["replica-of"] ~docv:"HOST:PORT"
+         ~doc:"Serve as a read replica of the primary at $(docv): start \
+               empty, tail its journal over the SHIP opcode, and serve \
+               reads from the replayed store (writes are refused).")
+
+let poll_ms_t =
+  Arg.(value & opt int 50 & info ["poll-ms"] ~docv:"MS"
+         ~doc:"Replica poll interval when caught up (default 50).")
+
 let serve_cmd =
-  let run host port readers docs versions seed =
-    let db = build_db ~docs ~versions ~seed in
+  let run host port readers docs versions seed replica_of poll_ms =
     let config = { Server.default_config with Server.host; port; readers } in
-    let server = Server.start ~config db in
-    Printf.printf "listening on %s:%d (%d readers, %d documents)\n%!" host
-      (Server.port server) readers (Txq_db.Db.document_count db);
-    let stop_requested = Atomic.make false in
-    let request_stop _ = Atomic.set stop_requested true in
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
-    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
-    while not (Atomic.get stop_requested) do
-      Thread.delay 0.1
-    done;
-    let leaked = Server.stop server in
-    Printf.printf "clean shutdown: %d leaked snapshot pin(s), %d commits\n%!"
-      leaked (Txq_db.Db.stats db).Txq_db.Db.commits;
-    if leaked = 0 then `Ok () else `Error (false, "shutdown leaked snapshot pins")
+    match replica_of with
+    | None ->
+      let db = build_db ~docs ~versions ~seed in
+      let server = Server.start ~config db in
+      Printf.printf "listening on %s:%d (%d readers, %d documents)\n%!" host
+        (Server.port server) readers (Txq_db.Db.document_count db);
+      wait_for_sigterm ();
+      let leaked = Server.stop server in
+      Printf.printf "clean shutdown: %d leaked snapshot pin(s), %d commits\n%!"
+        leaked (Txq_db.Db.stats db).Txq_db.Db.commits;
+      if leaked = 0 then `Ok ()
+      else `Error (false, "shutdown leaked snapshot pins")
+    | Some target -> (
+      match String.rindex_opt target ':' with
+      | None -> `Error (true, Printf.sprintf "bad --replica-of %S" target)
+      | Some i ->
+        let phost = String.sub target 0 i in
+        (match
+           int_of_string_opt
+             (String.sub target (i + 1) (String.length target - i - 1))
+         with
+         | None -> `Error (true, Printf.sprintf "bad --replica-of %S" target)
+         | Some pport ->
+           let rp = Txq_db.Db.Replay.create () in
+           let stop = Atomic.make false in
+           let poll_s = float_of_int (Stdlib.max 1 poll_ms) /. 1000. in
+           let puller =
+             Thread.create
+               (fun () -> pull_from_primary rp ~host:phost ~port:pport ~poll_s stop)
+               ()
+           in
+           let db = Txq_db.Db.Replay.db rp in
+           let server = Server.start ~config db in
+           Printf.printf "replica of %s:%d listening on %s:%d (%d readers)\n%!"
+             phost pport host (Server.port server) readers;
+           wait_for_sigterm ();
+           Atomic.set stop true;
+           Thread.join puller;
+           let leaked = Server.stop server in
+           Printf.printf
+             "clean shutdown: %d leaked snapshot pin(s), %d records applied\n%!"
+             leaked (Txq_db.Db.Replay.applied rp);
+           if leaked = 0 then `Ok ()
+           else `Error (false, "shutdown leaked snapshot pins")))
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Build a seeded store and serve it until SIGTERM; exits \
-             non-zero if shutdown leaks a pinned snapshot.")
+       ~doc:"Serve a seeded store (or, with --replica-of, a live read \
+             replica of another daemon) until SIGTERM; exits non-zero if \
+             shutdown leaks a pinned snapshot.")
     Term.(ret (const run $ host_t $ port_t $ readers_t $ docs_t $ versions_t
-               $ seed_t))
+               $ seed_t $ replica_of_t $ poll_ms_t))
 
 (* --- protocol clients ---------------------------------------------------- *)
 
@@ -109,6 +197,38 @@ let analyze_cmd =
   client_cmd "analyze"
     ~doc:"Run a statement under tracing on the daemon and print the profile."
     (fun s -> Txq_server.Protocol.Analyze s)
+
+let url_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"URL"
+         ~doc:"Document URL.")
+
+let doc_pos =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"XML"
+         ~doc:"Document bytes (an XML string).")
+
+let insert_cmd =
+  let run host port url doc =
+    with_client host port @@ fun c -> print_reply (Client.insert c ~url doc)
+  in
+  Cmd.v
+    (Cmd.info "insert" ~doc:"Insert a new document on a running daemon.")
+    Term.(ret (const run $ host_t $ port_t $ url_pos $ doc_pos))
+
+let update_cmd =
+  let run host port url doc =
+    with_client host port @@ fun c -> print_reply (Client.update c ~url doc)
+  in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Commit a new version of a document on a running daemon.")
+    Term.(ret (const run $ host_t $ port_t $ url_pos $ doc_pos))
+
+let delete_cmd =
+  let run host port url =
+    with_client host port @@ fun c -> print_reply (Client.delete c ~url)
+  in
+  Cmd.v
+    (Cmd.info "delete" ~doc:"Logically delete a document on a running daemon.")
+    Term.(ret (const run $ host_t $ port_t $ url_pos))
 
 let plain_cmd name ~doc request =
   let run host port =
@@ -180,7 +300,7 @@ let main =
   let doc = "temporal XML database daemon" in
   Cmd.group
     (Cmd.info "txmldbd" ~version:"1.0.0" ~doc)
-    [serve_cmd; query_cmd; explain_cmd; analyze_cmd; metrics_cmd; stats_cmd;
-     smoke_cmd]
+    [serve_cmd; query_cmd; explain_cmd; analyze_cmd; insert_cmd; update_cmd;
+     delete_cmd; metrics_cmd; stats_cmd; smoke_cmd]
 
 let () = exit (Cmd.eval main)

@@ -27,6 +27,7 @@ type t = {
   group_commit_window_us : int;
   dpool_min_docs : int;
   planner : bool;
+  ship_buffer : int;
 }
 
 let no_retention = { keep_newer_than = None; keep_versions = None }
@@ -50,6 +51,7 @@ let default =
     group_commit_window_us = 2000;
     dpool_min_docs = 48;
     planner = true;
+    ship_buffer = 0;
   }
 
 let durable t = { t with durability = `Journal }
@@ -82,6 +84,8 @@ let with_group_commit ?window_us t =
 let with_dpool_min_docs n t = { t with dpool_min_docs = (if n < 0 then 0 else n) }
 
 let with_planner on t = { t with planner = on }
+
+let with_ship_buffer n t = { t with ship_buffer = (if n < 0 then 0 else n) }
 
 let maintains_version_index t =
   match t.fti_mode with

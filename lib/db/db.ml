@@ -82,6 +82,20 @@ type t = {
      synced — drained at the next mutation, under the write lock.
      (ticket, blob, cluster). *)
   mutable deferred : (int * Txq_store.Blob_store.blob * Eid.doc_id) list;
+  (* Journal shipping.  [ship_history] holds every applied journal record as
+     (group ticket, raw payload), in applied order — the index space of
+     [ship]/[Replay].  It is NOT the journal's ticket space: recovery may
+     drop an undecodable tail record the journal still counts, so shipping
+     indexes what was {e applied}, the only order a replica can follow.
+     Ticket 0 marks a record already durable (plain appends, recovered
+     records); under group commit the real ticket bounds shipping to the
+     synced prefix.  [ship_ring] optionally retains the newest
+     [Config.ship_buffer] records' logical contents so shipping can cross a
+     vacuum.  [replica] marks a handle fed by [Replay]: mutators raise,
+     like snapshots. *)
+  mutable replica : bool;
+  ship_history : (int * string) Txq_store.Vec.t;
+  ship_ring : (int, string list) Hashtbl.t;
 }
 
 (* [Config.tracing] installs the cheapest sink so spans are built at all;
@@ -143,6 +157,9 @@ let create ?(config = Config.default) ?clock () =
         next_pin_id = 0 };
     view = None;
     deferred = [];
+    replica = false;
+    ship_history = Txq_store.Vec.create ();
+    ship_ring = Hashtbl.create 8;
   }
 
 let config t = t.config
@@ -198,12 +215,16 @@ let doc_opt t id = Hashtbl.find_opt t.docs id
 (* --- MVCC snapshots ---------------------------------------------------- *)
 
 let is_snapshot t = t.view <> None
+let is_replica t = t.replica
 let snapshot_watermark t = Option.map (fun v -> v.sv_watermark) t.view
 let with_read t f = Txq_store.Rwlock.with_read t.lock f
 
 let read_only_guard t what =
   if is_snapshot t then
     invalid_arg (Printf.sprintf "Db.%s: read-only snapshot" what)
+  else if t.replica then
+    invalid_arg
+      (Printf.sprintf "Db.%s: read-only replica (writes arrive via Replay)" what)
 
 let pins_locked t f =
   Mutex.lock t.pins.pins_m;
@@ -344,6 +365,47 @@ let record_doc_time t ~doc ~version = function
 let set_dtime_count_for_tests t ~seconds count =
   Hashtbl.replace t.dtime_counts seconds count
 
+(* --- derived-index maintenance ---------------------------------------- *)
+
+(* One committed version / one deletion, as seen by every replay path: the
+   live mutators, crash recovery's pass B, and shipped-record replay all
+   maintain the FTI, delta-FTI and CreTime index through these three
+   functions, so the index state after replaying a record sequence is the
+   index state the sequence built live.  [new_tree] is lazy: only the
+   version index needs the materialized tree. *)
+
+let index_insert t ~doc ~version d ts tree =
+  Option.iter (fun fti -> Fti.index_version fti ~doc ~version tree) t.fti;
+  Option.iter (fun dfti -> Delta_fti.index_initial dfti ~doc ~version tree) t.dfti;
+  record_created_tree t d ts tree
+
+let index_commit t ~doc ~version ~ts delta new_tree =
+  Option.iter
+    (fun fti -> Fti.index_version fti ~doc ~version (Lazy.force new_tree))
+    t.fti;
+  Option.iter (fun dfti -> Delta_fti.index_delta dfti ~doc ~version delta) t.dfti;
+  match t.cretime with
+  | None -> ()
+  | Some idx ->
+    List.iter
+      (fun xid -> Cretime_index.record_created idx (Eid.make ~doc ~xid) ts)
+      (Delta.inserted_xids delta);
+    List.iter
+      (fun xid -> Cretime_index.record_deleted idx (Eid.make ~doc ~xid) ts)
+      (Delta.deleted_xids delta)
+
+let index_delete t ~doc ~version ~ts current =
+  Option.iter (fun fti -> Fti.delete_document fti ~doc ~version) t.fti;
+  Option.iter
+    (fun dfti -> Delta_fti.delete_document dfti ~doc ~version current)
+    t.dfti;
+  match t.cretime with
+  | None -> ()
+  | Some idx ->
+    List.iter
+      (fun xid -> Cretime_index.record_deleted idx (Eid.make ~doc ~xid) ts)
+      (Vnode.xids current)
+
 (* --- journaling -------------------------------------------------------- *)
 
 let blob_ref b =
@@ -352,18 +414,38 @@ let blob_ref b =
     br_length = Txq_store.Blob_store.length b;
   }
 
+(* Caller holds the write lock.  Every journaled record also lands in the
+   shipping history; [contents] (lazily) supplies its logical blob contents
+   for the optional ship ring. *)
+let ship_push t ticket payload contents =
+  let index = Txq_store.Vec.length t.ship_history in
+  Txq_store.Vec.push t.ship_history (ticket, payload);
+  let buffer = t.config.Config.ship_buffer in
+  if buffer > 0 then begin
+    (match contents () with
+     | [] -> ()
+     | cs -> Hashtbl.replace t.ship_ring index cs);
+    Hashtbl.remove t.ship_ring (index - buffer)
+  end
+
+let no_contents () = []
+
 (* Buffered under group commit (the caller syncs at the barrier, after
    the write lock is released); one record, one durability point
    otherwise.  Returns the group ticket when one was issued. *)
-let journal_append t record =
+let journal_append ?(contents = no_contents) t record =
   match t.journal with
   | None -> None
   | Some j ->
     let payload = Journal_record.encode record in
-    if t.config.Config.group_commit then
-      Some (Txq_store.Journal.append_buffered j payload)
+    if t.config.Config.group_commit then begin
+      let ticket = Txq_store.Journal.append_buffered j payload in
+      ship_push t ticket payload contents;
+      Some ticket
+    end
     else begin
       Txq_store.Journal.append j payload;
+      ship_push t 0 payload contents;
       None
     end
 
@@ -372,7 +454,10 @@ let journal_append t record =
 let journal_append_now t record =
   match t.journal with
   | None -> ()
-  | Some j -> Txq_store.Journal.append j (Journal_record.encode record)
+  | Some j ->
+    let payload = Journal_record.encode record in
+    Txq_store.Journal.append j payload;
+    ship_push t 0 payload no_contents
 
 (* caller holds the write lock *)
 let drain_deferred t =
@@ -438,6 +523,8 @@ let insert_document t ~url ?ts xml =
   (* Commit point: the version-0 blobs are on disk, nothing registered yet. *)
   ticket :=
     journal_append t
+      ~contents:(fun () ->
+        [ Txq_store.Blob_store.get t.blobs (Docstore.current_blob d) ])
       (Journal_record.Insert
          {
            r_doc = doc_id;
@@ -453,9 +540,7 @@ let insert_document t ~url ?ts xml =
   let bucket = url_bucket t url in
   bucket := doc_id :: !bucket;
   let tree = Docstore.current d in
-  Option.iter (fun fti -> Fti.index_version fti ~doc:doc_id ~version:0 tree) t.fti;
-  Option.iter (fun dfti -> Delta_fti.index_initial dfti ~doc:doc_id tree) t.dfti;
-  record_created_tree t d ts tree;
+  index_insert t ~doc:doc_id ~version:0 d ts tree;
   t.stats.commits <- t.stats.commits + 1;
   Log.debug (fun m ->
       m "insert %s as doc %d at %s (%d nodes)" url doc_id
@@ -482,6 +567,8 @@ let update_document t ~url ?ts xml =
     let on_durable cb =
       ticket :=
         journal_append t
+          ~contents:(fun () ->
+            [ Txq_store.Blob_store.get t.blobs cb.Docstore.cb_delta ])
           (Journal_record.Commit
              {
                r_doc = doc_id;
@@ -504,21 +591,7 @@ let update_document t ~url ?ts xml =
         ?doc_time xml
     in
     record_doc_time t ~doc:doc_id ~version doc_time;
-    Option.iter
-      (fun fti -> Fti.index_version fti ~doc:doc_id ~version new_tree)
-      t.fti;
-    Option.iter
-      (fun dfti -> Delta_fti.index_delta dfti ~doc:doc_id ~version delta)
-      t.dfti;
-    (match t.cretime with
-     | None -> ()
-     | Some idx ->
-       List.iter
-         (fun xid -> Cretime_index.record_created idx (Eid.make ~doc:doc_id ~xid) ts)
-         (Delta.inserted_xids delta);
-       List.iter
-         (fun xid -> Cretime_index.record_deleted idx (Eid.make ~doc:doc_id ~xid) ts)
-         (Delta.deleted_xids delta));
+    index_commit t ~doc:doc_id ~version ~ts delta (lazy new_tree);
     t.stats.commits <- t.stats.commits + 1;
     Log.debug (fun m ->
         m "update %s -> version %d at %s (%d ops)" url version
@@ -543,17 +616,7 @@ let delete_document t ~url ?ts () =
     ticket :=
       journal_append t (Journal_record.Delete { r_doc = doc_id; r_ts = seconds ts });
     Docstore.mark_deleted d ~ts;
-    Option.iter (fun fti -> Fti.delete_document fti ~doc:doc_id ~version) t.fti;
-    Option.iter
-      (fun dfti ->
-        Delta_fti.delete_document dfti ~doc:doc_id ~version (Docstore.current d))
-      t.dfti;
-    (match t.cretime with
-     | None -> ()
-     | Some idx ->
-       List.iter
-         (fun xid -> Cretime_index.record_deleted idx (Eid.make ~doc:doc_id ~xid) ts)
-         (Vnode.xids (Docstore.current d)));
+    index_delete t ~doc:doc_id ~version ~ts (Docstore.current d);
     (* Defensive eviction: entries for a deleted document stay correct
        (versions are immutable) but will never be asked for again. *)
     Vcache.evict_doc t.vcache doc_id;
@@ -749,66 +812,14 @@ let plan_base d (r : Config.retention) =
   in
   Stdlib.min (Stdlib.max b_h b_k) (n - 1)
 
-let vacuum ?retention t =
-  read_only_guard t "vacuum";
-  let r = match retention with Some r -> r | None -> t.config.Config.retention in
-  if r.Config.keep_newer_than = None && r.Config.keep_versions = None then
-    empty_vacuum_report
-  else
-    Txq_store.Rwlock.with_write t.lock @@ fun () ->
-    Trace.with_span "db.vacuum" @@ fun () ->
-    (* Vacuum frees pages; buffered commit records whose superseded blobs
-       those pages might be must reach disk first.  Syncing everything
-       appended also lets every deferred free drain. *)
-    (match t.journal with
-     | Some j when t.config.Config.group_commit -> Txq_store.Journal.sync j
-     | Some _ | None -> ());
-    drain_deferred t;
-    (* Hold-back horizon: a pinned snapshot reads any retained version of
-       any document it captured, so those documents are exempt until the
-       snapshot is released.  Documents created after every pin are fair
-       game. *)
-    let hold_below =
-      pins_locked t @@ fun () ->
-      Hashtbl.fold
-        (fun _ p acc -> Stdlib.max acc p.pin_next_doc)
-        t.pins.pin_table 0
-    in
-    (* Plan + prepare: write every base snapshot durably; nothing in memory
-       changes, so a crash anywhere in here leaves only unreachable blobs
-       for recovery's liveness scan. *)
-    let plans =
-      Trace.with_span "db.vacuum.plan" @@ fun () ->
-      List.filter_map
-        (fun id ->
-          if id < hold_below then None
-          else
-          let d = doc t id in
-          let wm = Docstore.xid_watermark d in
-          let dropped_whole =
-            match (Docstore.deleted_at d, r.Config.keep_newer_than) with
-            | Some dts, Some h -> Timestamp.(dts <= h)
-            | _ -> false
-          in
-          if dropped_whole then
-            Some
-              (Plan_drop
-                 { pd_doc = id; pd_freed = Docstore.all_blob_pages d; pd_wm = wm })
-          else
-            let base = plan_base d r in
-            if base <= Docstore.first_version d then None
-            else
-              let rb = Docstore.prepare_rebase d ~base in
-              (* the base tree re-registers in the delta-FTI; reconstructed
-                 while the full chain is still intact *)
-              let tree, _ = Docstore.reconstruct d base in
-              Some
-                (Plan_squash { ps_doc = id; ps_rebase = rb; ps_tree = tree; ps_wm = wm }))
-        (doc_ids t)
-    in
-    if plans = [] then empty_vacuum_report
-    else begin
-      let ts = Clock.now t.clock in
+(* Commit an already-planned vacuum: journal the record, apply the plans,
+   prune the derived indexes, account.  The caller holds the write lock and
+   has every new base snapshot durably written (inside the plans).  Shared
+   verbatim between [vacuum] (plans from the retention policy) and replayed
+   Vacuum records ([Replay], plans rebuilt from the shipped record), so a
+   replica's vacuum is the same code path as the primary's. *)
+let vacuum_commit t ~ts plans =
+  begin
       (* Commit point: one record covering every document. *)
       journal_append_now t
         (Journal_record.Vacuum
@@ -959,7 +970,67 @@ let vacuum ?retention t =
         vr_cretime_pruned = cretime_removed;
         vr_dtime_pruned = dtime_removed;
       }
-    end
+  end
+
+let vacuum ?retention t =
+  read_only_guard t "vacuum";
+  let r = match retention with Some r -> r | None -> t.config.Config.retention in
+  if r.Config.keep_newer_than = None && r.Config.keep_versions = None then
+    empty_vacuum_report
+  else
+    Txq_store.Rwlock.with_write t.lock @@ fun () ->
+    Trace.with_span "db.vacuum" @@ fun () ->
+    (* Vacuum frees pages; buffered commit records whose superseded blobs
+       those pages might be must reach disk first.  Syncing everything
+       appended also lets every deferred free drain. *)
+    (match t.journal with
+     | Some j when t.config.Config.group_commit -> Txq_store.Journal.sync j
+     | Some _ | None -> ());
+    drain_deferred t;
+    (* Hold-back horizon: a pinned snapshot reads any retained version of
+       any document it captured, so those documents are exempt until the
+       snapshot is released.  Documents created after every pin are fair
+       game. *)
+    let hold_below =
+      pins_locked t @@ fun () ->
+      Hashtbl.fold
+        (fun _ p acc -> Stdlib.max acc p.pin_next_doc)
+        t.pins.pin_table 0
+    in
+    (* Plan + prepare: write every base snapshot durably; nothing in memory
+       changes, so a crash anywhere in here leaves only unreachable blobs
+       for recovery's liveness scan. *)
+    let plans =
+      Trace.with_span "db.vacuum.plan" @@ fun () ->
+      List.filter_map
+        (fun id ->
+          if id < hold_below then None
+          else
+          let d = doc t id in
+          let wm = Docstore.xid_watermark d in
+          let dropped_whole =
+            match (Docstore.deleted_at d, r.Config.keep_newer_than) with
+            | Some dts, Some h -> Timestamp.(dts <= h)
+            | _ -> false
+          in
+          if dropped_whole then
+            Some
+              (Plan_drop
+                 { pd_doc = id; pd_freed = Docstore.all_blob_pages d; pd_wm = wm })
+          else
+            let base = plan_base d r in
+            if base <= Docstore.first_version d then None
+            else
+              let rb = Docstore.prepare_rebase d ~base in
+              (* the base tree re-registers in the delta-FTI; reconstructed
+                 while the full chain is still intact *)
+              let tree, _ = Docstore.reconstruct d base in
+              Some
+                (Plan_squash { ps_doc = id; ps_rebase = rb; ps_tree = tree; ps_wm = wm }))
+        (doc_ids t)
+    in
+    if plans = [] then empty_vacuum_report
+    else vacuum_commit t ~ts:(Clock.now t.clock) plans
 
 (* --- integrity --------------------------------------------------------- *)
 
@@ -1019,10 +1090,17 @@ let recover disk config =
   in
   (* The journal only hands us digest-checked payloads, but a record can
      still be logically corrupt (truncated encoder output, version skew
-     from an older writer).  Replay the longest decodable prefix: records
-     after a bad one may depend on state it would have built, so they are
-     dropped too, exactly as if the crash had happened one commit
-     earlier. *)
+     from an older writer).  Two very different situations share that
+     symptom, and the position of the bad record tells them apart:
+
+     - an undecodable {e suffix} is a torn tail — the crash caught the last
+       append(s) mid-flight; dropping it quietly is exactly recovering to a
+       commit prefix;
+     - an undecodable record with decodable records {e after} it is
+       mid-journal corruption: those later records are durable commits the
+       prefix rule would silently discard, and the store that produced them
+       cannot be reconstructed faithfully.  Refuse to open rather than
+       quietly lose committed data. *)
   let records =
     let rec prefix acc = function
       | [] -> List.rev acc
@@ -1030,6 +1108,22 @@ let recover disk config =
         match Journal_record.decode raw with
         | Ok r -> prefix (r :: acc) rest
         | Error reason ->
+          if
+            List.exists
+              (fun later ->
+                match Journal_record.decode later with
+                | Ok _ -> true
+                | Error _ -> false)
+              rest
+          then begin
+            Txq_obs.Metrics.incr "db.recover.corrupt_mid_journal";
+            failwith
+              (Printf.sprintf
+                 "Db.recover: journal record %d is undecodable (%s) but later \
+                  records decode — mid-journal corruption, not a torn tail; \
+                  refusing to open a store missing committed history"
+                 (List.length acc) reason)
+          end;
           let dropped = 1 + List.length rest in
           Txq_obs.Metrics.incr ~by:dropped "db.recover.records_dropped";
           Log.warn (fun m ->
@@ -1278,6 +1372,18 @@ let recover disk config =
           next_pin_id = 0 };
       view = None;
       deferred = [];
+      replica = false;
+      ship_history =
+        (* The applied prefix, re-shippable as-is: every recovered record is
+           durable, so each seeds the history with ticket 0. *)
+        (let history = Txq_store.Vec.create () in
+         let applied = List.length records in
+         List.iteri
+           (fun i raw ->
+             if i < applied then Txq_store.Vec.push history (0, raw))
+           raw_records;
+         history);
+      ship_ring = Hashtbl.create 8;
     }
   in
   (* Pass B: rebuild the derived indexes.  The document-time index replays
@@ -1313,54 +1419,18 @@ let recover disk config =
         (* a vacuumed chain starts at its base version, not 0 *)
         let b0 = Docstore.first_version d in
         let tree0, _ = Docstore.reconstruct d b0 in
-        Option.iter
-          (fun fti -> Fti.index_version fti ~doc:id ~version:b0 tree0)
-          t.fti;
-        Option.iter
-          (fun dfti -> Delta_fti.index_initial dfti ~doc:id ~version:b0 tree0)
-          t.dfti;
-        record_created_tree t d (Docstore.ts_of_version d b0) tree0;
+        index_insert t ~doc:id ~version:b0 d (Docstore.ts_of_version d b0) tree0;
         let map = Txq_vxml.Xidmap.of_vnode tree0 in
         for v = b0 + 1 to n - 1 do
           let delta = Docstore.read_delta d v in
           Delta.apply_forward map delta;
-          let ts = Docstore.ts_of_version d v in
-          Option.iter
-            (fun fti ->
-              Fti.index_version fti ~doc:id ~version:v
-                (Txq_vxml.Xidmap.to_vnode map))
-            t.fti;
-          Option.iter
-            (fun dfti -> Delta_fti.index_delta dfti ~doc:id ~version:v delta)
-            t.dfti;
-          match t.cretime with
-          | None -> ()
-          | Some idx ->
-            List.iter
-              (fun xid ->
-                Cretime_index.record_created idx (Eid.make ~doc:id ~xid) ts)
-              (Delta.inserted_xids delta);
-            List.iter
-              (fun xid ->
-                Cretime_index.record_deleted idx (Eid.make ~doc:id ~xid) ts)
-              (Delta.deleted_xids delta)
+          index_commit t ~doc:id ~version:v ~ts:(Docstore.ts_of_version d v)
+            delta
+            (lazy (Txq_vxml.Xidmap.to_vnode map))
         done;
         match Docstore.deleted_at d with
         | None -> ()
-        | Some dts ->
-          Option.iter (fun fti -> Fti.delete_document fti ~doc:id ~version:n) t.fti;
-          Option.iter
-            (fun dfti ->
-              Delta_fti.delete_document dfti ~doc:id ~version:n
-                (Docstore.current d))
-            t.dfti;
-          (match t.cretime with
-           | None -> ()
-           | Some idx ->
-             List.iter
-               (fun xid ->
-                 Cretime_index.record_deleted idx (Eid.make ~doc:id ~xid) dts)
-               (Vnode.xids (Docstore.current d))))
+        | Some dts -> index_delete t ~doc:id ~version:n ~ts:dts (Docstore.current d))
       (List.sort Int.compare
          (Hashtbl.fold (fun id _ acc -> id :: acc) t.docs []));
   Log.debug (fun m ->
@@ -1369,6 +1439,412 @@ let recover disk config =
   t
 
 let journal t = t.journal
+
+(* --- journal shipping -------------------------------------------------- *)
+
+exception Ship_gap of int
+
+(* Highest shippable index: the durable prefix of the shipping history.
+   Tickets are nondecreasing along the history (ticket 0 = synced at append
+   time), so the un-synced records form a suffix; scan back over it.
+   Caller holds at least the read lock. *)
+let durable_upto t =
+  match t.journal with
+  | None -> 0
+  | Some j ->
+    let synced = Txq_store.Journal.synced_count j in
+    let n = Txq_store.Vec.length t.ship_history in
+    let rec back i =
+      if i >= 0 && fst (Txq_store.Vec.get t.ship_history i) > synced then
+        back (i - 1)
+      else i + 1
+    in
+    back (n - 1)
+
+let durable_records t = with_read t @@ fun () -> durable_upto t
+
+(* Contents for a record whose ring entry (if any) is gone: regenerate them
+   from the retained chains.  [Codec]/[Delta] encoding is deterministic and
+   XID-preserving, so the regenerated bytes equal what the primary
+   originally wrote.  A record whose history a vacuum truncated cannot be
+   regenerated: the shipper gets [Ship_gap] and must re-clone — the same
+   contract as a base backup that predates the retained WAL. *)
+let fabricate_contents t index record =
+  match record with
+  | Journal_record.Delete _ | Journal_record.Vacuum _ -> []
+  | Journal_record.Insert { r_doc; _ } -> (
+    match Hashtbl.find_opt t.docs r_doc with
+    | Some d when Docstore.first_version d = 0 ->
+      [ Txq_vxml.Codec.encode (fst (Docstore.reconstruct d 0)) ]
+    | Some _ | None -> raise (Ship_gap index))
+  | Journal_record.Commit { r_doc; r_version; _ } -> (
+    match Hashtbl.find_opt t.docs r_doc with
+    | Some d
+      when r_version > Docstore.first_version d
+           && r_version < Docstore.version_count d ->
+      [ Delta.encode (Docstore.read_delta d r_version) ]
+    | Some _ | None -> raise (Ship_gap index))
+
+let ship t ~from ?(limit = 256) () =
+  (match t.journal with
+   | None ->
+     invalid_arg "Db.ship: durability is `None — there is no journal to ship"
+   | Some _ -> ());
+  if from < 0 then invalid_arg "Db.ship: negative start index";
+  with_read t @@ fun () ->
+  let stop = Stdlib.min (durable_upto t) (from + Stdlib.max 0 limit) in
+  let out = ref [] in
+  for i = stop - 1 downto from do
+    let _, payload = Txq_store.Vec.get t.ship_history i in
+    let contents =
+      match Hashtbl.find_opt t.ship_ring i with
+      | Some cs -> cs
+      | None -> fabricate_contents t i (Journal_record.decode_exn payload)
+    in
+    out :=
+      { Journal_record.sh_index = i; sh_payload = payload;
+        sh_contents = contents }
+      :: !out
+  done;
+  !out
+
+(* --- replay: replicas and point-in-time restore ------------------------ *)
+
+exception Replay_error of string
+
+let replay_fail fmt = Printf.ksprintf (fun s -> raise (Replay_error s)) fmt
+
+module Replay = struct
+  type r = {
+    rd : t;
+    (* Current-tree XID maps, built lazily per document on its first
+       replayed Commit and advanced delta-by-delta afterwards, so applying
+       a long update stream never re-parses the whole tree per record. *)
+    maps : (Eid.doc_id, Txq_vxml.Xidmap.t) Hashtbl.t;
+    mutable applied : int;
+  }
+
+  let db r = r.rd
+  let applied r = r.applied
+
+  (* A replica journals every applied record locally (plain appends: each
+     record is durable before [applied] advances) — the replica directory
+     is a self-contained store that plain [recover] reopens after a kill at
+     any record boundary. *)
+  let replica_config config =
+    { config with Config.durability = `Journal; group_commit = false }
+
+  let create ?(config = Config.default) () =
+    let rd = create ~config:(replica_config config) () in
+    rd.replica <- true;
+    { rd; maps = Hashtbl.create 64; applied = 0 }
+
+  (* Resume after a restart: wrap a [recover]ed replica store.  Its local
+     journal holds exactly the shipments it applied, in order, so the
+     shipping history's length is the resume position. *)
+  let of_db rd =
+    if is_snapshot rd then invalid_arg "Db.Replay.of_db: snapshot handle";
+    (match rd.journal with
+     | None -> invalid_arg "Db.Replay.of_db: replica stores must journal"
+     | Some _ -> ());
+    rd.replica <- true;
+    {
+      rd;
+      maps = Hashtbl.create 64;
+      applied = Txq_store.Vec.length rd.ship_history;
+    }
+
+  let detach r =
+    r.rd.replica <- false;
+    r.rd
+
+  let decode_content what decode c =
+    match decode c with
+    | Ok v -> v
+    | Error msg -> replay_fail "shipped %s does not decode: %s" what msg
+
+  let doc_of t doc what =
+    match Hashtbl.find_opt t.docs doc with
+    | Some d -> d
+    | None -> replay_fail "shipped %s names unknown document %d" what doc
+
+  (* Clock follow (and the restore monotonicity fix): the replica clock
+     tracks the newest applied timestamp, so a detached restore's next
+     commit — [commit_ts] ticks strictly past [now] — can never collide
+     with a historical dtime key or version range. *)
+  let follow_clock t s =
+    let ts = Timestamp.of_seconds s in
+    if Timestamp.(ts > Clock.now t.clock) then Clock.set t.clock ts
+
+  let apply_insert t ~doc ~url ~ts_s ~doc_time_s ~has_snapshot c0 =
+    if Hashtbl.mem t.docs doc then
+      replay_fail "shipped insert re-uses live document id %d" doc;
+    let current = decode_content "version-0 tree" Txq_vxml.Codec.decode c0 in
+    let ts = Timestamp.of_seconds ts_s in
+    let doc_time = Option.map Timestamp.of_seconds doc_time_s in
+    let current_blob = Txq_store.Blob_store.put t.blobs ~cluster:doc c0 in
+    let snapshot_blob =
+      if has_snapshot then
+        Some (Txq_store.Blob_store.put t.blobs ~cluster:doc c0)
+      else None
+    in
+    ignore
+      (journal_append t
+         ~contents:(fun () -> [ c0 ])
+         (Journal_record.Insert
+            {
+              r_doc = doc;
+              r_url = url;
+              r_ts = ts_s;
+              r_doc_time = doc_time_s;
+              r_current = blob_ref current_blob;
+              r_snapshot = Option.map blob_ref snapshot_blob;
+            })
+        : int option);
+    let d =
+      Docstore.restore ~blobs:t.blobs ~doc_id:doc ~url
+        ~entries:
+          [
+            {
+              Docstore.re_ts = ts;
+              re_delta = None;
+              re_snapshot = snapshot_blob;
+              re_doc_time = doc_time;
+            };
+          ]
+        ~current_blob ~deleted:None ()
+    in
+    Hashtbl.replace t.docs doc d;
+    let bucket = url_bucket t url in
+    bucket := doc :: !bucket;
+    t.next_doc_id <- Stdlib.max t.next_doc_id (doc + 1);
+    record_doc_time t ~doc ~version:0 doc_time;
+    index_insert t ~doc ~version:0 d ts current;
+    t.stats.commits <- t.stats.commits + 1
+
+  let apply_commit r t ~doc ~version ~ts_s ~doc_time_s ~has_snapshot c0 =
+    let d = doc_of t doc "commit" in
+    if Docstore.deleted_at d <> None then
+      replay_fail "shipped commit targets deleted document %d" doc;
+    let n = Docstore.version_count d in
+    if n <> version then
+      replay_fail "shipped commit creates version %d of document %d but %d is next"
+        version doc n;
+    let ts = Timestamp.of_seconds ts_s in
+    if Timestamp.(ts <= Docstore.ts_of_version d (n - 1)) then
+      replay_fail "shipped commit timestamp does not advance (document %d)" doc;
+    let delta = decode_content "delta" Delta.decode c0 in
+    let map =
+      match Hashtbl.find_opt r.maps doc with
+      | Some m -> m
+      | None ->
+        let m = Txq_vxml.Xidmap.of_vnode (Docstore.current d) in
+        Hashtbl.replace r.maps doc m;
+        m
+    in
+    Delta.apply_forward map delta;
+    let new_tree = Txq_vxml.Xidmap.to_vnode map in
+    let new_enc = Txq_vxml.Codec.encode new_tree in
+    (* Blobs in the order the primary wrote them (delta, current, snapshot),
+       so a replica built from scratch allocates the same shapes. *)
+    let delta_blob = Txq_store.Blob_store.put t.blobs ~cluster:doc c0 in
+    let current_blob = Txq_store.Blob_store.put t.blobs ~cluster:doc new_enc in
+    let snapshot_blob =
+      if has_snapshot then
+        Some (Txq_store.Blob_store.put t.blobs ~cluster:doc new_enc)
+      else None
+    in
+    let old_blob = Docstore.current_blob d in
+    ignore
+      (journal_append t
+         ~contents:(fun () -> [ c0 ])
+         (Journal_record.Commit
+            {
+              r_doc = doc;
+              r_version = version;
+              r_ts = ts_s;
+              r_doc_time = doc_time_s;
+              r_delta = blob_ref delta_blob;
+              r_current = blob_ref current_blob;
+              r_snapshot = Option.map blob_ref snapshot_blob;
+              r_freed = Txq_store.Blob_store.page_ids old_blob;
+            })
+        : int option);
+    Txq_store.Blob_store.free t.blobs ~cluster:doc old_blob;
+    let doc_time = Option.map Timestamp.of_seconds doc_time_s in
+    Docstore.append_restored d ~ts ?doc_time ~delta_blob ~snapshot_blob
+      ~current:new_tree ~current_blob ();
+    (* XIDs born or retired by this delta: never to be reused locally *)
+    let gen = Docstore.gen d in
+    List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Delta.inserted_xids delta);
+    List.iter (Txq_vxml.Xid.Gen.mark_used gen) (Delta.deleted_xids delta);
+    record_doc_time t ~doc ~version doc_time;
+    index_commit t ~doc ~version ~ts delta (lazy new_tree);
+    t.stats.commits <- t.stats.commits + 1
+
+  let apply_delete r t ~doc ~ts_s =
+    let d = doc_of t doc "delete" in
+    if Docstore.deleted_at d <> None then
+      replay_fail "shipped delete targets already-deleted document %d" doc;
+    let ts = Timestamp.of_seconds ts_s in
+    ignore
+      (journal_append t (Journal_record.Delete { r_doc = doc; r_ts = ts_s })
+        : int option);
+    Docstore.mark_deleted d ~ts;
+    index_delete t ~doc ~version:(Docstore.version_count d) ~ts
+      (Docstore.current d);
+    Vcache.evict_doc t.vcache doc;
+    Hashtbl.remove r.maps doc;
+    t.stats.commits <- t.stats.commits + 1
+
+  (* Rebuild the vacuum plans from the shipped record against the local
+     chains, then run the exact same commit path as a primary-side vacuum.
+     The replica's chains mirror the primary's, so [prepare_rebase] makes
+     the same snapshot-writing decisions and frees the mirrored pages. *)
+  let apply_vacuum r t ~ts_s r_docs =
+    let plans =
+      List.map
+        (fun vd ->
+          let doc = vd.Journal_record.vd_doc in
+          let d = doc_of t doc "vacuum" in
+          let wm =
+            Stdlib.max (Docstore.xid_watermark d)
+              vd.Journal_record.vd_xid_watermark
+          in
+          if vd.Journal_record.vd_drop then
+            Plan_drop
+              { pd_doc = doc; pd_freed = Docstore.all_blob_pages d; pd_wm = wm }
+          else begin
+            let base = vd.Journal_record.vd_base in
+            if
+              base <= Docstore.first_version d
+              || base >= Docstore.version_count d
+            then
+              replay_fail "shipped vacuum base %d outside document %d's chain"
+                base doc;
+            let rb = Docstore.prepare_rebase d ~base in
+            let tree, _ = Docstore.reconstruct d base in
+            Plan_squash { ps_doc = doc; ps_rebase = rb; ps_tree = tree; ps_wm = wm }
+          end)
+        r_docs
+    in
+    if plans <> [] then
+      ignore (vacuum_commit t ~ts:(Timestamp.of_seconds ts_s) plans
+               : vacuum_report);
+    List.iter
+      (function
+        | Plan_drop { pd_doc; _ } -> Hashtbl.remove r.maps pd_doc
+        | Plan_squash _ -> ())
+      plans
+
+  (* The primary's vacuum held back only for the primary's pins; pins on
+     THIS replica are invisible to it.  Block until local readers drain
+     before truncating chains — the replica-side analogue of a hot-standby
+     recovery-conflict pause.  Reader pins are per-request and short. *)
+  let wait_for_local_pins t =
+    while pinned_snapshots t > 0 do
+      Unix.sleepf 0.0005
+    done
+
+  let apply r sh =
+    let t = r.rd in
+    let { Journal_record.sh_index; sh_payload; sh_contents } = sh in
+    if sh_index < r.applied then () (* poll overlap: already applied *)
+    else if sh_index > r.applied then
+      replay_fail "shipment %d arrived but %d is next: gap in the stream"
+        sh_index r.applied
+    else begin
+      let record =
+        match Journal_record.decode sh_payload with
+        | Ok rec_ -> rec_
+        | Error msg -> raise (Replay_error msg)
+      in
+      let slots = Journal_record.content_slots record in
+      if List.length sh_contents <> slots then
+        replay_fail "shipment %d carries %d content blob(s); the record needs %d"
+          sh_index (List.length sh_contents) slots;
+      (match record with
+       | Journal_record.Vacuum _ -> wait_for_local_pins t
+       | _ -> ());
+      Txq_store.Rwlock.with_write t.lock (fun () ->
+          (match (record, sh_contents) with
+           | ( Journal_record.Insert
+                 { r_doc; r_url; r_ts; r_doc_time; r_current = _; r_snapshot },
+               [ c0 ] ) ->
+             follow_clock t r_ts;
+             apply_insert t ~doc:r_doc ~url:r_url ~ts_s:r_ts
+               ~doc_time_s:r_doc_time ~has_snapshot:(r_snapshot <> None) c0
+           | ( Journal_record.Commit
+                 { r_doc; r_version; r_ts; r_doc_time; r_snapshot; _ },
+               [ c0 ] ) ->
+             follow_clock t r_ts;
+             apply_commit r t ~doc:r_doc ~version:r_version ~ts_s:r_ts
+               ~doc_time_s:r_doc_time ~has_snapshot:(r_snapshot <> None) c0
+           | Journal_record.Delete { r_doc; r_ts }, [] ->
+             follow_clock t r_ts;
+             apply_delete r t ~doc:r_doc ~ts_s:r_ts
+           | Journal_record.Vacuum { r_ts; r_docs }, [] ->
+             follow_clock t r_ts;
+             apply_vacuum r t ~ts_s:r_ts r_docs
+           | _ -> assert false (* slot count checked above *));
+          r.applied <- r.applied + 1)
+    end
+end
+
+let apply_stream r pull =
+  let n = ref 0 in
+  let rec loop () =
+    match pull () with
+    | None -> ()
+    | Some sh ->
+      Replay.apply r sh;
+      incr n;
+      loop ()
+  in
+  loop ();
+  !n
+
+(* Clone this store as of [as_of] (transaction time, {e inclusive} — a
+   commit stamped exactly [as_of] is part of the restored state, matching
+   [version_at]'s [ve_ts <= instant] rule).  The clone replays the journal
+   prefix through [Replay] into a fresh in-memory store and is returned
+   writable; its clock sits at the newest replayed timestamp, so the next
+   commit ticks strictly past the restored watermark. *)
+let restore_as_of t ~as_of =
+  let record_seconds = function
+    | Journal_record.Insert { r_ts; _ }
+    | Journal_record.Commit { r_ts; _ }
+    | Journal_record.Delete { r_ts; _ }
+    | Journal_record.Vacuum { r_ts; _ } -> r_ts
+  in
+  let horizon = Timestamp.to_seconds as_of in
+  let rp = Replay.create ~config:t.config () in
+  let stop = ref false in
+  (try
+     while not !stop do
+       let from = Replay.applied rp in
+       match ship t ~from () with
+       | [] -> stop := true
+       | batch ->
+         List.iter
+           (fun sh ->
+             if not !stop then begin
+               let record =
+                 Journal_record.decode_exn sh.Journal_record.sh_payload
+               in
+               if record_seconds record <= horizon then Replay.apply rp sh
+               else stop := true
+             end)
+           batch
+     done
+   with Ship_gap i ->
+     failwith
+       (Printf.sprintf
+          "Db.restore_as_of: record %d's history was vacuumed away on the \
+           source; restore from a store that retains it (or raise \
+           Config.ship_buffer)"
+          i));
+  Replay.detach rp
 
 (* --- accounting ------------------------------------------------------- *)
 

@@ -48,6 +48,10 @@ val release : t -> unit
 
 val is_snapshot : t -> bool
 
+val is_replica : t -> bool
+(** [true] while the handle is fed by {!Replay}: reads work (including
+    {!snapshot}), mutators raise. *)
+
 val is_released : t -> bool
 (** [true] once a snapshot has been released; always [false] on the live
     handle. *)
@@ -233,6 +237,98 @@ val recover : Txq_store.Disk.t -> Config.t -> t
 val journal : t -> Txq_store.Journal.t option
 (** The commit journal, when the configuration enables one (its page count
     is the durability storage overhead). *)
+
+(** {1 Journal shipping}
+
+    A primary streams its committed journal records — with the logical
+    contents of the blobs they reference — to replicas that replay them
+    incrementally through {!Replay}.  Shipment indexes count {e applied}
+    records from 0 (not journal tickets: recovery may drop a torn tail
+    record the journal still counts), so a replica's resume position is
+    simply how many records it has applied. *)
+
+exception Ship_gap of int
+(** Raised by {!ship} when the record at the given index references history
+    a vacuum has already truncated, and [Config.ship_buffer] no longer
+    retains its contents.  The shipper must re-clone from the current
+    state — the same contract as a base backup predating the retained
+    WAL. *)
+
+val durable_records : t -> int
+(** How many applied records are durable (and therefore shippable).  Equals
+    the applied-record count except under group commit, where buffered
+    records are excluded until their batch syncs. *)
+
+val ship :
+  t -> from:int -> ?limit:int -> unit -> Journal_record.shipment list
+(** Shipments [from .. min (from + limit) (durable_records t)), in order
+    ([limit] defaults to 256; empty when [from] is at the durable
+    watermark).  Contents come from the ship ring when retained, otherwise
+    they are regenerated from the document chains ([Codec]/[Delta] encoding
+    is deterministic, so regenerated bytes equal the originals).  Raises
+    {!Ship_gap} when neither source survives, and [Invalid_argument] on a
+    store without a journal. *)
+
+exception Replay_error of string
+(** A shipment that cannot be applied: out-of-order index, undecodable
+    payload or contents, or a record inconsistent with the replica's state
+    (all symptoms of feeding a replica from the wrong primary or a
+    corrupted stream). *)
+
+(** A replica: a live database advancing record-by-record under shipped
+    journal records.  Reads go through the ordinary query surface of
+    {!Replay.db} — including {!snapshot} — while mutators raise; every
+    applied record is journaled locally first, so a replica killed at any
+    record boundary reopens with {!recover} and resumes with
+    {!Replay.of_db}. *)
+module Replay : sig
+  type r
+
+  val create : ?config:Config.t -> unit -> r
+  (** A fresh, empty replica.  [config] is taken from the primary but
+      forced to journaling durability with plain (non-group) appends: a
+      record must be locally durable before it counts as applied. *)
+
+  val of_db : t -> r
+  (** Resumes replication onto a {!recover}ed replica store: the recovered
+      record count is the resume position ({!applied}).  Raises
+      [Invalid_argument] on a snapshot handle or a store without a
+      journal. *)
+
+  val db : r -> t
+  (** The live replica database, for reads.  Mutators raise
+      [Invalid_argument] while the replica is attached. *)
+
+  val applied : r -> int
+  (** Records applied so far — the [from] for the next {!ship} pull. *)
+
+  val apply : r -> Journal_record.shipment -> unit
+  (** Applies one shipment at the replica's current position.  A shipment
+      below {!applied} is skipped silently (poll overlap); one beyond it
+      raises {!Replay_error} (a gap must never be papered over).  A
+      [Vacuum] record first waits for local snapshot pins to drain — the
+      primary's vacuum could not see this replica's readers. *)
+
+  val detach : r -> t
+  (** Ends replication and returns the store as an ordinary writable
+      database (promotion).  Its clock sits at the newest applied
+      timestamp, so the first post-promotion commit is stamped strictly
+      after everything replicated. *)
+end
+
+val apply_stream : Replay.r -> (unit -> Journal_record.shipment option) -> int
+(** Pulls shipments until the source returns [None], applying each;
+    returns how many were applied.  The building block for a poll loop:
+    [apply_stream r (next (ship primary ~from:(Replay.applied r) ()))]. *)
+
+val restore_as_of : t -> as_of:Txq_temporal.Timestamp.t -> t
+(** Point-in-time restore: a fresh store holding exactly the commits whose
+    transaction time is at or before [as_of] ({e inclusive}, matching
+    [version_at]'s boundary rule), built by replaying the primary's
+    shipped records.  The result is writable; its clock resumes after the
+    restored watermark, so new commits never collide with restored
+    history.  Raises [Failure] when the needed history was vacuumed away
+    on the source (see {!Ship_gap}). *)
 
 (** {1 Accounting} *)
 

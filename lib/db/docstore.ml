@@ -540,6 +540,29 @@ let restore ~blobs ~doc_id ~url ?(base = 0) ?(xid_watermark = 0) ~entries
     Txq_vxml.Xid.Gen.mark_used gen (Txq_vxml.Xid.of_int xid_watermark);
   t
 
+(* Incremental replay (journal shipping): push one already-persisted version
+   onto a restored store.  The caller has written the delta/current/snapshot
+   blobs and decoded the new current tree; freeing the superseded current
+   blob and advancing the XID generator stay on the caller's side, mirroring
+   the split [restore] relies on. *)
+let append_restored t ~ts ?doc_time ~delta_blob ~snapshot_blob ~current
+    ~current_blob () =
+  read_only_guard t "append_restored";
+  (match t.deleted with
+   | Some _ ->
+     invalid_arg
+       (Printf.sprintf "Docstore.append_restored: document %s is deleted" t.url)
+   | None -> ());
+  (match Vec.last t.entries with
+   | Some last when Timestamp.(ts <= last.ve_ts) ->
+     invalid_arg "Docstore.append_restored: timestamp does not advance"
+   | Some _ | None -> ());
+  t.current <- current;
+  t.current_blob <- current_blob;
+  Vec.push t.entries
+    { ve_ts = ts; ve_delta = Some delta_blob; ve_snapshot = snapshot_blob;
+      ve_doc_time = doc_time }
+
 let total_pages t =
   let snap_pages =
     Vec.fold_left

@@ -222,6 +222,23 @@ val restore :
     prefix.  Raises [Invalid_argument] on an empty [entries] and [Failure]
     if a blob fails to decode. *)
 
+val append_restored :
+  t ->
+  ts:Txq_temporal.Timestamp.t ->
+  ?doc_time:Txq_temporal.Timestamp.t ->
+  delta_blob:Txq_store.Blob_store.blob ->
+  snapshot_blob:Txq_store.Blob_store.blob option ->
+  current:Txq_vxml.Vnode.t ->
+  current_blob:Txq_store.Blob_store.blob ->
+  unit ->
+  unit
+(** Incremental counterpart of {!restore} for journal shipping: appends one
+    version whose blobs the caller already wrote, replacing the current
+    tree/blob.  The caller frees the superseded current blob and advances
+    the XID generator (via {!gen}), exactly as around {!restore}.  Raises
+    [Invalid_argument] on a deleted document, a non-advancing timestamp, or
+    a read-only view. *)
+
 val delta_pages : t -> int
 (** Pages holding delta blobs (storage accounting). *)
 

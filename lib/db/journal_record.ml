@@ -207,6 +207,63 @@ let decode s =
 let decode_exn s =
   match decode s with Ok r -> r | Error msg -> failwith msg
 
+let content_slots = function
+  | Insert _ -> 1 (* the version-0 tree, [Codec]-encoded *)
+  | Commit _ -> 1 (* the delta v-1 → v, [Delta]-encoded *)
+  | Delete _ | Vacuum _ -> 0
+
+type shipment = {
+  sh_index : int;
+  sh_payload : string;
+  sh_contents : string list;
+}
+
+let encode_shipment { sh_index; sh_payload; sh_contents } =
+  let buf = Buffer.create (128 + String.length sh_payload) in
+  add_int buf sh_index;
+  add_string buf sh_payload;
+  add_int buf (List.length sh_contents);
+  List.iter (add_string buf) sh_contents;
+  Buffer.contents buf
+
+let decode_shipment s =
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > String.length s then
+      raise (Bad (Printf.sprintf "truncated %s at byte %d" what !pos))
+  in
+  let get_int what =
+    need 8 what;
+    let n = Int64.to_int (String.get_int64_be s !pos) in
+    pos := !pos + 8;
+    n
+  in
+  let get_len what =
+    let n = get_int what in
+    if n < 0 || n > String.length s - !pos then
+      raise (Bad (Printf.sprintf "bad %s length %d" what n));
+    n
+  in
+  let get_string what =
+    let n = get_len what in
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  match
+    let sh_index = get_int "index" in
+    if sh_index < 0 then
+      raise (Bad (Printf.sprintf "negative shipment index %d" sh_index));
+    let sh_payload = get_string "payload" in
+    let n = get_len "contents" in
+    let sh_contents = List.init n (fun _ -> get_string "content") in
+    if !pos <> String.length s then
+      raise (Bad (Printf.sprintf "%d trailing bytes" (String.length s - !pos)));
+    { sh_index; sh_payload; sh_contents }
+  with
+  | sh -> Ok sh
+  | exception Bad msg -> Error ("Journal_record.decode_shipment: " ^ msg)
+
 let equal (a : t) (b : t) = a = b
 
 let pp_blob_ref ppf { br_pages; br_length } =

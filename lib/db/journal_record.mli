@@ -64,3 +64,28 @@ val decode_exn : string -> t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {1 Shipping}
+
+    A {e shipment} is one committed journal record as sent to a replica:
+    the record payload plus the {e logical contents} of the blobs it
+    references, since the primary's page numbers mean nothing on the
+    replica's disk.  The replica re-writes the blobs locally and appends
+    its own (re-pointed) record, so a replica store is a self-contained
+    database that plain [Db.recover] can reopen. *)
+
+type shipment = {
+  sh_index : int;  (** position in the primary's applied-record order *)
+  sh_payload : string;  (** the encoded {!t} as the primary journaled it *)
+  sh_contents : string list;
+      (** one entry per {!content_slots} slot of the decoded payload:
+          [Insert] ships the [Codec]-encoded version-0 tree, [Commit]
+          ships the [Delta]-encoded delta (the replica derives the new
+          current tree by applying it) *)
+}
+
+val content_slots : t -> int
+(** How many content strings a shipment of this record must carry. *)
+
+val encode_shipment : shipment -> string
+val decode_shipment : string -> (shipment, string) result

@@ -37,6 +37,9 @@ let request ?on_chunk t req =
          | Some f -> f s
          | None -> Buffer.add_string buf s);
         await ()
+      | Ok (P.Shipment _) ->
+        (* shipments only answer SHIP, which goes through [ship] *)
+        raise Disconnected
       | Ok (P.Done { rows; watermark; ts }) ->
         Ok { rows; watermark; ts; body = Buffer.contents buf }
       | Ok P.Pong -> Ok { rows = 0; watermark = 0; ts = 0; body = "" }
@@ -45,6 +48,31 @@ let request ?on_chunk t req =
   await ()
 
 let ping t = match request t P.Ping with Ok _ -> true | Stdlib.Error _ -> false
+
+let ship t ~from ?(max = 0) () =
+  (try P.write_request t.c_fd (P.Ship { from; max })
+   with Unix.Unix_error _ -> raise Disconnected);
+  let shipments = ref [] in
+  let rec await () =
+    match P.read_frame ~max_frame:t.max_frame t.c_fd with
+    | `Timeout -> await ()
+    | `Eof | `Too_large _ -> raise Disconnected
+    | exception Unix.Unix_error _ -> raise Disconnected
+    | `Frame (opcode, body) -> (
+      match P.decode_response opcode body with
+      | Stdlib.Error _ -> raise Disconnected
+      | Ok (P.Shipment s) -> (
+        match Txq_db.Journal_record.decode_shipment s with
+        | Ok sh ->
+          shipments := sh :: !shipments;
+          await ()
+        | Stdlib.Error _ -> raise Disconnected)
+      | Ok (P.Done { rows; watermark; ts }) ->
+        Ok (List.rev !shipments, { rows; watermark; ts; body = "" })
+      | Ok (P.Error (code, msg)) -> Stdlib.Error (code, msg)
+      | Ok (P.Chunk _ | P.Pong) -> raise Disconnected)
+  in
+  await ()
 
 let query ?on_chunk t stmt = request ?on_chunk t (P.Query stmt)
 let insert t ~url doc = request t (P.Insert (url, doc))

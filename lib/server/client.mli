@@ -40,3 +40,12 @@ val update : t -> url:string -> string -> (reply, int * string) result
 val delete : t -> url:string -> (reply, int * string) result
 val metrics : t -> (reply, int * string) result
 val stats : t -> (reply, int * string) result
+
+val ship :
+  t -> from:int -> ?max:int -> unit ->
+  (Txq_db.Journal_record.shipment list * reply, int * string) result
+(** One SHIP pull: decoded shipments in order plus the terminal reply —
+    [reply.rows] is the count shipped, [reply.watermark] the primary's
+    durable record total (lag = watermark − from − rows).  [max = 0]
+    (the default) lets the server choose its batch size.  An
+    [E_ship_gap] error means the replica must re-clone. *)

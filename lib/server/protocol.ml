@@ -8,12 +8,14 @@ type request =
   | Delete of string
   | Metrics
   | Stats
+  | Ship of { from : int; max : int }
 
 type response =
   | Done of { rows : int; watermark : int; ts : int }
   | Chunk of string
   | Error of int * string
   | Pong
+  | Shipment of string
 
 type error_code =
   | E_parse
@@ -24,6 +26,7 @@ type error_code =
   | E_conflict
   | E_shutting_down
   | E_too_large
+  | E_ship_gap
 
 let error_code_to_int = function
   | E_parse -> 1
@@ -34,6 +37,7 @@ let error_code_to_int = function
   | E_conflict -> 6
   | E_shutting_down -> 7
   | E_too_large -> 8
+  | E_ship_gap -> 9
 
 let error_code_of_int = function
   | 1 -> Some E_parse
@@ -44,6 +48,7 @@ let error_code_of_int = function
   | 6 -> Some E_conflict
   | 7 -> Some E_shutting_down
   | 8 -> Some E_too_large
+  | 9 -> Some E_ship_gap
   | _ -> None
 
 let default_max_frame = 4 * 1024 * 1024
@@ -59,10 +64,12 @@ let op_update = 0x11
 let op_delete = 0x12
 let op_metrics = 0x20
 let op_stats = 0x21
+let op_ship = 0x30
 let op_done = 0x80
 let op_chunk = 0x81
 let op_error = 0x82
 let op_pong = 0x83
+let op_shipment = 0x84
 
 (* url ++ document, with a u16 BE url-length prefix *)
 let encode_url_doc url doc =
@@ -95,6 +102,11 @@ let encode_request = function
   | Delete url -> (op_delete, url)
   | Metrics -> (op_metrics, "")
   | Stats -> (op_stats, "")
+  | Ship { from; max } ->
+    let b = Buffer.create 12 in
+    Buffer.add_int64_be b (Int64.of_int from);
+    Buffer.add_int32_be b (Int32.of_int max);
+    (op_ship, Buffer.contents b)
 
 let decode_request opcode body =
   match opcode with
@@ -109,11 +121,21 @@ let decode_request opcode body =
   | op when op = op_delete -> Ok (Delete body)
   | op when op = op_metrics -> Ok Metrics
   | op when op = op_stats -> Ok Stats
+  | op when op = op_ship ->
+    if String.length body <> 12 then
+      Stdlib.Error "SHIP frame body must be 12 bytes"
+    else begin
+      let from = Int64.to_int (String.get_int64_be body 0) in
+      let max = Int32.to_int (String.get_int32_be body 8) in
+      if from < 0 || max < 0 then Stdlib.Error "negative SHIP field"
+      else Ok (Ship { from; max })
+    end
   | op -> Stdlib.Error (Printf.sprintf "unknown request opcode 0x%02x" op)
 
 let encode_response = function
   | Pong -> (op_pong, "")
   | Chunk s -> (op_chunk, s)
+  | Shipment s -> (op_shipment, s)
   | Error (code, msg) ->
     let b = Buffer.create (1 + String.length msg) in
     Buffer.add_uint8 b (code land 0xff);
@@ -130,6 +152,7 @@ let decode_response opcode body =
   match opcode with
   | op when op = op_pong -> Ok Pong
   | op when op = op_chunk -> Ok (Chunk body)
+  | op when op = op_shipment -> Ok (Shipment body)
   | op when op = op_error ->
     if String.length body < 1 then Stdlib.Error "truncated error frame"
     else

@@ -26,6 +26,12 @@ type request =
   | Delete of string
   | Metrics
   | Stats
+  | Ship of { from : int; max : int }
+      (** journal shipping pull: records [from ..], at most [max] per
+          reply ([max = 0] lets the server pick its default batch).
+          Answered by [Shipment] frames then [Done], whose [rows] is the
+          number shipped and [watermark] the primary's durable record
+          count — the replica's lag is [watermark - (from + rows)]. *)
 
 type response =
   | Done of { rows : int; watermark : int; ts : int }
@@ -36,6 +42,9 @@ type response =
   | Chunk of string
   | Error of int * string  (** {!error_code} value and rendered message *)
   | Pong
+  | Shipment of string
+      (** one encoded [Journal_record.shipment] (see
+          [Journal_record.decode_shipment]) *)
 
 (** Error codes, stable across releases (the message text is not). *)
 type error_code =
@@ -47,6 +56,9 @@ type error_code =
   | E_conflict  (** 6 — write refused (duplicate URL, no such URL, …) *)
   | E_shutting_down  (** 7 *)
   | E_too_large  (** 8 — frame exceeds the server's limit *)
+  | E_ship_gap
+      (** 9 — the requested journal records were vacuumed away on the
+          primary; the replica must re-clone from current state *)
 
 val error_code_to_int : error_code -> int
 val error_code_of_int : int -> error_code option

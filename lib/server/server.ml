@@ -57,6 +57,9 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   conns_mu : Mutex.t;
   next_conn : int Atomic.t;
+  (* Highest record index any SHIP reply has reached (from + sent):
+     feeds the replica-lag gauge without tracking replicas by name. *)
+  last_shipped : int Atomic.t;
 }
 
 let port t = t.bound_port
@@ -231,6 +234,39 @@ let handle_delete t conn url =
     send conn (write_result t ~ts)
   | exception Invalid_argument msg -> send_error conn P.E_conflict msg
 
+(* --- journal shipping ----------------------------------------------------- *)
+
+(* One SHIP pull: the shipments as individual frames, then DONE carrying
+   the primary's durable watermark so the replica knows its lag without a
+   second round trip. *)
+let handle_ship t conn ~from ~max =
+  let limit = if max = 0 then 256 else Stdlib.min max 4096 in
+  match Db.ship t.db ~from ~limit () with
+  | shipments ->
+    List.iter
+      (fun sh ->
+        send conn (P.Shipment (Txq_db.Journal_record.encode_shipment sh)))
+      shipments;
+    let watermark = Db.durable_records t.db in
+    let sent = List.length shipments in
+    let upto = from + sent in
+    (* monotone max: concurrent pulls for older ranges must not regress it *)
+    let rec bump () =
+      let seen = Atomic.get t.last_shipped in
+      if upto > seen && not (Atomic.compare_and_set t.last_shipped seen upto)
+      then bump ()
+    in
+    bump ();
+    Metrics.set_gauge "server.replica_lag"
+      (Stdlib.max 0 (watermark - Atomic.get t.last_shipped));
+    send conn
+      (P.Done { rows = sent; watermark; ts = Timestamp.to_seconds (Db.now t.db) })
+  | exception Db.Ship_gap i ->
+    send_error conn P.E_ship_gap
+      (Printf.sprintf
+         "record %d was vacuumed away; re-clone from current state" i)
+  | exception Invalid_argument msg -> send_error conn P.E_unsupported msg
+
 (* --- metrics and stats --------------------------------------------------- *)
 
 let metrics_text t =
@@ -272,6 +308,13 @@ let stats_text t conn =
   addf "documents: %d\n" (Db.document_count t.db);
   addf "pinned snapshots: %d\n" (Db.pinned_snapshots t.db);
   addf "active connections: %d\n" (active_connections t);
+  (match Db.journal t.db with
+   | Some _ ->
+     let durable = Db.durable_records t.db in
+     addf "durable records: %d\n" durable;
+     addf "replica lag: %d\n"
+       (Stdlib.max 0 (durable - Atomic.get t.last_shipped))
+   | None -> ());
   (match fti_stats t with
    | Some f ->
      addf "fti words: %d\n" f.Txq_fti.Fti.fs_words;
@@ -310,6 +353,19 @@ let stats_json t =
                   ("frozen_bytes", f.Txq_fti.Fti.fs_frozen_bytes);
                   ("freezes", f.Txq_fti.Fti.fs_freezes) ])) ]
   in
+  let ship =
+    match Db.journal t.db with
+    | None -> []
+    | Some _ ->
+      let durable = Db.durable_records t.db in
+      let shipped = Atomic.get t.last_shipped in
+      [ Printf.sprintf "%S: {%s}" "ship"
+          (String.concat ", "
+             (List.map field
+                [ ("durable_records", durable);
+                  ("last_shipped", shipped);
+                  ("replica_lag", Stdlib.max 0 (durable - shipped)) ])) ]
+  in
   "{"
   ^ String.concat ", "
       (List.map field
@@ -317,7 +373,7 @@ let stats_json t =
            ("documents", Db.document_count t.db);
            ("pinned_snapshots", Db.pinned_snapshots t.db);
            ("active_connections", active_connections t) ]
-      @ fti)
+      @ fti @ ship)
   ^ "}\n"
 
 (* --- request dispatch ---------------------------------------------------- *)
@@ -341,6 +397,7 @@ let handle_request t conn = function
   | P.Stats ->
     send_text t conn (stats_text t (Some conn));
     send conn (P.Done { rows = 0; watermark = 0; ts = 0 })
+  | P.Ship { from; max } -> handle_ship t conn ~from ~max
 
 let serve_binary t conn =
   let rec loop () =
@@ -545,6 +602,7 @@ let start ?(config = default_config) db =
       conns = Hashtbl.create 16;
       conns_mu = Mutex.create ();
       next_conn = Atomic.make 1;
+      last_shipped = Atomic.make 0;
     }
   in
   t.workers <- List.init config.readers (fun _ -> Domain.spawn (fun () -> worker_loop t));

@@ -8,6 +8,7 @@ type t = {
   mutable last_accessed : int;
   mutable fault_countdown : int; (* 0 = disarmed; n > 0: the n-th write tears *)
   mutable crashed : bool;
+  mutable fs_ops : int; (* filesystem operations performed (save_to_dir) *)
   stats : Io_stats.t;
 }
 
@@ -18,6 +19,7 @@ let create () =
     last_accessed = -1;
     fault_countdown = 0;
     crashed = false;
+    fs_ops = 0;
     stats = Io_stats.create ();
   }
 
@@ -89,3 +91,135 @@ let clear_fault t =
 let crashed t = t.crashed
 
 let stats t = t.stats
+
+(* Filesystem operations share the page-write fault machinery: the same
+   countdown arms them, the same [Crash] fires, and a fired fault leaves the
+   operation half-done — a torn chunk writes a prefix, a torn rename never
+   happens.  Returns [true] when this operation is the one that tears; the
+   caller performs its partial effect and raises [Crash]. *)
+let fs_op t =
+  if t.crashed then raise Crash;
+  t.fs_ops <- t.fs_ops + 1;
+  if t.fault_countdown > 0 then begin
+    t.fault_countdown <- t.fault_countdown - 1;
+    if t.fault_countdown = 0 then begin
+      t.crashed <- true;
+      true
+    end
+    else false
+  end
+  else false
+
+let fs_ops t = t.fs_ops
+
+let save_chunk_pages = 256
+let manifest_name = "MANIFEST"
+let pages_name = "pages.bin"
+
+let remove_dir_recursive dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then invalid_arg "Disk: unexpected subdirectory"
+        else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let save_to_dir t dir =
+  if Sys.file_exists dir then
+    invalid_arg (Printf.sprintf "Disk.save_to_dir: %s already exists" dir);
+  let tmp = dir ^ ".tmp" in
+  (* A leftover staging directory is the debris of a crashed save; a new
+     save replaces it. *)
+  remove_dir_recursive tmp;
+  if fs_op t then begin
+    (* torn mkdir: the directory exists, nothing is in it *)
+    Sys.mkdir tmp 0o755;
+    raise Crash
+  end;
+  Sys.mkdir tmp 0o755;
+  let oc = open_out_bin (Filename.concat tmp pages_name) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let id = ref 0 in
+      while !id < t.used do
+        let stop = Stdlib.min t.used (!id + save_chunk_pages) in
+        if fs_op t then begin
+          (* torn chunk: a prefix of it lands *)
+          let keep = (stop - !id + 1) / 2 in
+          for i = !id to !id + keep - 1 do
+            output_bytes oc t.pages.(i)
+          done;
+          flush oc;
+          raise Crash
+        end;
+        for i = !id to stop - 1 do
+          output_bytes oc t.pages.(i)
+        done;
+        id := stop
+      done;
+      flush oc);
+  let manifest = Printf.sprintf "txq-disk 1\npages %d\n" t.used in
+  let oc = open_out_bin (Filename.concat tmp manifest_name) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if fs_op t then begin
+        (* torn manifest: half of it lands *)
+        output_string oc (String.sub manifest 0 (String.length manifest / 2));
+        flush oc;
+        raise Crash
+      end;
+      output_string oc manifest;
+      flush oc);
+  if fs_op t then
+    (* torn rename: it simply never happens; [dir] does not appear *)
+    raise Crash;
+  Sys.rename tmp dir
+
+let load_failure dir msg =
+  failwith (Printf.sprintf "Disk.load_from_dir: %s: %s" dir msg)
+
+let load_from_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    load_failure dir "no such directory";
+  let manifest_path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists manifest_path) then
+    load_failure dir "missing MANIFEST (incomplete clone?)";
+  let manifest =
+    let ic = open_in_bin manifest_path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let pages =
+    match
+      try Some (Scanf.sscanf manifest "txq-disk %d\npages %d" (fun v n -> (v, n)))
+      with Scanf.Scan_failure _ | End_of_file -> None
+    with
+    | Some (1, n) when n >= 0 -> n
+    | Some _ -> load_failure dir "unsupported format version"
+    | None -> load_failure dir "malformed MANIFEST"
+  in
+  let pages_path = Filename.concat dir pages_name in
+  if not (Sys.file_exists pages_path) then load_failure dir "missing pages.bin";
+  let t = create () in
+  let ic = open_in_bin pages_path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      if in_channel_length ic <> pages * page_size then
+        load_failure dir
+          (Printf.sprintf "pages.bin holds %d bytes, MANIFEST promises %d"
+             (in_channel_length ic) (pages * page_size));
+      ensure_capacity t pages;
+      for i = 0 to pages - 1 do
+        let page = Bytes.create page_size in
+        really_input ic page 0 page_size;
+        t.pages.(i) <- page
+      done;
+      t.used <- pages);
+  t

@@ -41,7 +41,9 @@ val write : t -> int -> bytes -> unit
 
 val fail_after_writes : t -> int -> unit
 (** Arms the fault: the [n]-th write from now fails ([n >= 1]).  Raises
-    [Invalid_argument] on [n < 1]. *)
+    [Invalid_argument] on [n < 1].  Filesystem operations of {!save_to_dir}
+    count against the same countdown, with the analogous torn semantics: a
+    torn chunk write lands a prefix, a torn rename never happens. *)
 
 val clear_fault : t -> unit
 (** Disarms any pending fault and clears the crashed state. *)
@@ -49,3 +51,27 @@ val clear_fault : t -> unit
 val crashed : t -> bool
 
 val stats : t -> Io_stats.t
+
+(** {1 Directory persistence}
+
+    [restore --as-of] clones a store into a real directory on the host
+    filesystem.  The clone is crash-safe: pages and a manifest are staged
+    into [dir ^ ".tmp"] and the staging directory is renamed into place as
+    the last step, so [dir] either appears complete or not at all.  Every
+    filesystem step runs through the same fault-injection countdown as page
+    writes (see {!fail_after_writes}), and {!fs_ops} counts the steps so a
+    sweep can arm a fault at each one. *)
+
+val save_to_dir : t -> string -> unit
+(** Writes the disk image to a fresh directory [dir] ([pages.bin] +
+    [MANIFEST]).  Raises [Invalid_argument] if [dir] already exists, and
+    {!Crash} when an armed fault fires mid-save (leaving at most the
+    staging directory behind; a later save reclaims it). *)
+
+val load_from_dir : string -> t
+(** Reads a directory written by {!save_to_dir} into a fresh disk.  Raises
+    [Failure] with a diagnostic on a missing, incomplete or malformed
+    clone — in particular on the staging debris of a crashed save. *)
+
+val fs_ops : t -> int
+(** Filesystem operations performed by {!save_to_dir} calls so far. *)

@@ -182,6 +182,99 @@ let group_sync t ~sleep ticket =
   in
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) loop
 
+(* Tailing cursor.
+
+   Scans the disk for journal pages and yields committed records one at a
+   time, in sequence order, remembering where it stopped.  The distinctions
+   it draws rest on the flush discipline: pages land on disk strictly in
+   append order, so once a {e later} sequence number is complete on disk,
+   every page an earlier sequence number will ever have is already there —
+   an incomplete earlier record is a burned sequence number ([Tail_gap]),
+   never a record still in flight.  Conversely an incomplete record with
+   nothing complete beyond it may simply not have been flushed yet
+   ([Tail_wait]): more bytes may arrive, or — after a crash — never will.
+
+   Positive page decodes are cached (journal pages are never rewritten);
+   pages that decode to [None] are re-examined on every call, since a freed
+   blob page can be reallocated to the journal later.  The 4-byte magic
+   check rejects non-journal pages before any digest work. *)
+
+type tail = Tail_record of string | Tail_wait | Tail_gap of int
+
+type tailer = {
+  tl_pool : Buffer_pool.t;
+  tl_seen : (int, unit) Hashtbl.t;  (* page ids known to be journal pages *)
+  tl_by_seq : (int, int * string array) Hashtbl.t;  (* undelivered records *)
+  mutable tl_page_ids : int list;  (* newest first *)
+  mutable tl_pages : int;
+  mutable tl_max_seq : int;
+  mutable tl_next_seq : int;
+}
+
+let tailer pool =
+  {
+    tl_pool = pool;
+    tl_seen = Hashtbl.create 64;
+    tl_by_seq = Hashtbl.create 64;
+    tl_page_ids = [];
+    tl_pages = 0;
+    tl_max_seq = -1;
+    tl_next_seq = 0;
+  }
+
+let tailer_scan tl =
+  let n = Buffer_pool.page_count tl.tl_pool in
+  for id = 0 to n - 1 do
+    if not (Hashtbl.mem tl.tl_seen id) then
+      match decode_page (Buffer_pool.read tl.tl_pool id) with
+      | None -> ()
+      | Some (seq, index, count, chunk) ->
+        Hashtbl.replace tl.tl_seen id ();
+        tl.tl_page_ids <- id :: tl.tl_page_ids;
+        tl.tl_pages <- tl.tl_pages + 1;
+        if seq > tl.tl_max_seq then tl.tl_max_seq <- seq;
+        if seq >= tl.tl_next_seq then (
+          match Hashtbl.find_opt tl.tl_by_seq seq with
+          | Some (c, slots) when c = count ->
+            if index < Array.length slots then slots.(index) <- chunk
+          | Some (_, slots) ->
+            (* A digest-valid page disagreeing on the record's shape cannot
+               arise from this writer; treat the record as unreadable. *)
+            Hashtbl.replace tl.tl_by_seq seq (-1, slots)
+          | None ->
+            let slots = Array.make count "" in
+            slots.(index) <- chunk;
+            Hashtbl.replace tl.tl_by_seq seq (count, slots))
+  done
+
+(* every page present?  (the empty string cannot occur as a chunk of a
+   committed record: all chunks but possibly none are non-empty, and a
+   record is non-empty) *)
+let tailer_complete (c, slots) = c > 0 && Array.for_all (fun s -> s <> "") slots
+
+let tail_next tl =
+  tailer_scan tl;
+  let seq = tl.tl_next_seq in
+  match Hashtbl.find_opt tl.tl_by_seq seq with
+  | Some ((_, slots) as entry) when tailer_complete entry ->
+    tl.tl_next_seq <- seq + 1;
+    Hashtbl.remove tl.tl_by_seq seq;
+    Tail_record (String.concat "" (Array.to_list slots))
+  | _ ->
+    let beyond =
+      Hashtbl.fold
+        (fun s entry acc -> acc || (s > seq && tailer_complete entry))
+        tl.tl_by_seq false
+    in
+    if beyond then begin
+      tl.tl_next_seq <- seq + 1;
+      Hashtbl.remove tl.tl_by_seq seq;
+      Tail_gap seq
+    end
+    else Tail_wait
+
+let tailer_position tl = tl.tl_next_seq
+
 type recovery = {
   journal : t;
   records : string list;
@@ -189,54 +282,27 @@ type recovery = {
 }
 
 let recover pool =
-  let n = Buffer_pool.page_count pool in
-  let by_seq : (int, (int * string array)) Hashtbl.t = Hashtbl.create 64 in
-  let pages = ref [] in
-  let max_seq = ref (-1) in
-  for id = 0 to n - 1 do
-    match decode_page (Buffer_pool.read pool id) with
-    | None -> ()
-    | Some (seq, index, count, chunk) ->
-      pages := id :: !pages;
-      if seq > !max_seq then max_seq := seq;
-      let slots =
-        match Hashtbl.find_opt by_seq seq with
-        | Some (c, slots) when c = count -> slots
-        | Some _ ->
-          (* A digest-valid page disagreeing on the record's shape cannot
-             arise from this writer; treat the record as unreadable. *)
-          let slots = Array.make count "" in
-          Hashtbl.replace by_seq seq (-1, slots);
-          slots
-        | None ->
-          let slots = Array.make count "" in
-          Hashtbl.replace by_seq seq (count, slots);
-          slots
-      in
-      if index < Array.length slots then slots.(index) <- chunk
-  done;
+  let tl = tailer pool in
   let records = ref [] in
   let committed = ref 0 in
-  for seq = 0 to !max_seq do
-    match Hashtbl.find_opt by_seq seq with
-    | None -> () (* burned sequence number: the append never completed *)
-    | Some (c, slots) ->
-      (* every page present?  (the empty string cannot occur as a chunk of a
-         committed record: all chunks but possibly none are non-empty, and a
-         record is non-empty) *)
-      if c > 0 && Array.for_all (fun s -> s <> "") slots then begin
-        records := String.concat "" (Array.to_list slots) :: !records;
-        incr committed
-      end
-  done;
+  let rec drain () =
+    match tail_next tl with
+    | Tail_record r ->
+      records := r :: !records;
+      incr committed;
+      drain ()
+    | Tail_gap _ -> drain () (* burned sequence number: the append never completed *)
+    | Tail_wait -> ()
+  in
+  drain ();
   let journal =
     {
       pool;
       m = Mutex.create ();
       cond = Condition.create ();
-      next_seq = !max_seq + 1;
+      next_seq = tl.tl_max_seq + 1;
       records = !committed;
-      pages = List.length !pages;
+      pages = tl.tl_pages;
       pending = [];
       appended = !committed;
       synced = !committed;
@@ -244,4 +310,8 @@ let recover pool =
       dead = false;
     }
   in
-  { journal; records = List.rev !records; journal_pages = List.rev !pages }
+  {
+    journal;
+    records = List.rev !records;
+    journal_pages = List.sort compare tl.tl_page_ids;
+  }

@@ -66,6 +66,46 @@ val record_count : t -> int
 val page_count : t -> int
 (** Pages owned by the journal (its storage overhead). *)
 
+(** {1 Tailing}
+
+    A {!tailer} is a resumable cursor over the committed records of a disk's
+    journal: it scans for journal pages, yields records in sequence order,
+    and remembers where it stopped so the next call continues from there —
+    the read side of journal shipping.  Crucially it distinguishes "nothing
+    further is committed {e yet}" from "this sequence number can never
+    complete":
+
+    - {!Tail_wait}: the next sequence number has no complete record and
+      nothing complete exists beyond it.  Either the tail is still being
+      written (keep polling) or a crash tore it (recovery drops it).
+    - [Tail_gap seq]: [seq] is incomplete but a {e later} sequence number is
+      complete on disk.  Since flushes land strictly in append order, [seq]
+      was burned by an append that never finished; it can never complete and
+      the cursor steps over it.
+
+    The distinction is physical (page-level).  Whether a record that {e is}
+    complete carries a decodable payload is the layer above's concern. *)
+
+type tail =
+  | Tail_record of string  (** the next committed record, in order *)
+  | Tail_wait  (** nothing further committed; poll again for more bytes *)
+  | Tail_gap of int  (** this sequence number was burned; stepped over it *)
+
+type tailer
+
+val tailer : Buffer_pool.t -> tailer
+(** A cursor positioned before the first record.  Safe on a disk without
+    journal pages (every call returns {!Tail_wait} until pages appear). *)
+
+val tail_next : tailer -> tail
+(** Advances past the returned record or gap; {!Tail_wait} does not move
+    the cursor.  Each call rescans pages not yet known to be journal pages
+    (a cheap magic-tag check filters non-journal pages), so new appends are
+    picked up. *)
+
+val tailer_position : tailer -> int
+(** The sequence number the next {!tail_next} will consider. *)
+
 type recovery = {
   journal : t;  (** positioned to append after the last record *)
   records : string list;  (** committed payloads, in append order *)

@@ -510,6 +510,33 @@ let test_corrupt_tail_recovery () =
   Alcotest.(check (option int)) "dropped records counted" (Some 2)
     (Txq_obs.Metrics.counter_value "db.recover.records_dropped")
 
+(* The converse shape: garbage followed by records that still decode is not
+   a torn tail — it is mid-journal corruption, and silently dropping the
+   decodable suffix would throw away committed history.  Recovery must
+   refuse to open the store and count the refusal.  Regression: the
+   torn-tail fix above initially truncated here too, resurrecting an old
+   state as if the later commits had never happened. *)
+let test_corrupt_mid_journal_refused () =
+  let config = { Config.default with durability = `Journal } in
+  let db = Db.create ~config () in
+  ignore (Db.insert_document db ~url:"u" ~ts:(ts "01/06/2001") (parse "<a>one</a>"));
+  ignore (Db.update_document db ~url:"u" ~ts:(ts "02/06/2001") (parse "<a>two</a>"));
+  let j = Option.get (Db.journal db) in
+  Journal.append j "garbage: not a journal record";
+  (* a decodable record after the garbage: this is not a tail *)
+  Journal.append j
+    (Journal_record.encode
+       (Journal_record.Delete
+          { r_doc = 0; r_ts = Timestamp.to_seconds (ts "03/06/2001") }));
+  Txq_obs.Metrics.reset ();
+  (match Db.recover (Db.disk db) config with
+   | (_ : Db.t) -> Alcotest.fail "expected recovery to refuse the store"
+   | exception Failure _ -> ());
+  Alcotest.(check (option int)) "refusal counted" (Some 1)
+    (Txq_obs.Metrics.counter_value "db.recover.corrupt_mid_journal");
+  Alcotest.(check (option int)) "nothing quietly dropped" None
+    (Txq_obs.Metrics.counter_value "db.recover.records_dropped")
+
 (* A non-durable database leaves no journal: recovery finds an empty store. *)
 let test_recover_without_journal () =
   let db = Db.create () in
@@ -577,6 +604,8 @@ let () =
             test_document_time_recovery;
           Alcotest.test_case "corrupt journal tail truncates replay" `Quick
             test_corrupt_tail_recovery;
+          Alcotest.test_case "mid-journal corruption refuses to open" `Quick
+            test_corrupt_mid_journal_refused;
           Alcotest.test_case "no journal, no state" `Quick
             test_recover_without_journal;
         ] );

@@ -284,6 +284,145 @@ let prop_bptree_vs_map =
              (M.filter (fun k _ -> Int64.compare 100L k <= 0 && Int64.compare k 300L < 0) model)
       && Bptree.entry_count t = M.cardinal model)
 
+(* --- journal tailer ---------------------------------------------------- *)
+
+let mk_journal () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~capacity:32 disk in
+  (disk, Journal.create pool)
+
+(* The tailer streams records in append order, reports Tail_wait at the
+   committed frontier, and resumes when more records land. *)
+let test_tailer_streams () =
+  let disk, j = mk_journal () in
+  Journal.append j "one";
+  Journal.append j (String.make 9_000 'x');
+  let tl = Journal.tailer (Buffer_pool.create ~capacity:32 disk) in
+  Alcotest.(check int) "starts at 0" 0 (Journal.tailer_position tl);
+  (match Journal.tail_next tl with
+   | Journal.Tail_record s -> Alcotest.(check string) "first" "one" s
+   | _ -> Alcotest.fail "expected a record");
+  (match Journal.tail_next tl with
+   | Journal.Tail_record s ->
+     Alcotest.(check int) "multi-page record" 9_000 (String.length s)
+   | _ -> Alcotest.fail "expected a record");
+  (match Journal.tail_next tl with
+   | Journal.Tail_wait -> ()
+   | _ -> Alcotest.fail "expected Tail_wait at the frontier");
+  Alcotest.(check int) "wait does not advance" 2 (Journal.tailer_position tl);
+  Journal.append j "three";
+  (match Journal.tail_next tl with
+   | Journal.Tail_record s -> Alcotest.(check string) "resumes" "three" s
+   | _ -> Alcotest.fail "expected the new record")
+
+(* A torn append burns its sequence number: the tailer distinguishes the
+   still-torn frontier (Tail_wait) from a burned number with a committed
+   record beyond it (Tail_gap), and steps over the latter exactly once. *)
+let test_tailer_gap_vs_wait () =
+  let disk, j = mk_journal () in
+  Journal.append j "first";
+  Disk.fail_after_writes disk 2;
+  (match Journal.append j (String.make 9_000 'y') with
+   | () -> Alcotest.fail "expected a crash"
+   | exception Disk.Crash -> ());
+  Disk.clear_fault disk;
+  let tl = Journal.tailer (Buffer_pool.create ~capacity:32 disk) in
+  (match Journal.tail_next tl with
+   | Journal.Tail_record s -> Alcotest.(check string) "first" "first" s
+   | _ -> Alcotest.fail "expected a record");
+  (* nothing beyond the torn record yet: could still be an append in flight *)
+  (match Journal.tail_next tl with
+   | Journal.Tail_wait -> ()
+   | _ -> Alcotest.fail "expected Tail_wait on the torn frontier");
+  (* a record lands beyond the torn one: now it is provably a gap *)
+  let r = Journal.recover (Buffer_pool.create ~capacity:32 disk) in
+  Journal.append r.Journal.journal "second";
+  (match Journal.tail_next tl with
+   | Journal.Tail_gap seq -> Alcotest.(check int) "burned seq" 1 seq
+   | _ -> Alcotest.fail "expected Tail_gap");
+  (match Journal.tail_next tl with
+   | Journal.Tail_record s -> Alcotest.(check string) "after gap" "second" s
+   | _ -> Alcotest.fail "expected the record after the gap")
+
+(* --- disk directory save/load ------------------------------------------ *)
+
+let fill_disk () =
+  let d = Disk.create () in
+  let st = Random.State.make [| 0xd15c; 7 |] in
+  for _ = 1 to 100 do
+    let p = Disk.alloc d in
+    let b = Bytes.init (1 + Random.State.int st Disk.page_size) (fun _ ->
+        Char.chr (Random.State.int st 256)) in
+    Disk.write d p b
+  done;
+  d
+
+let disks_equal a b =
+  Disk.page_count a = Disk.page_count b
+  && List.for_all
+       (fun i -> Bytes.equal (Disk.read a i) (Disk.read b i))
+       (List.init (Disk.page_count a) Fun.id)
+
+let in_tmp f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "txq-store-test-%d" (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists dir then rm dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let test_save_load_roundtrip () =
+  in_tmp @@ fun dir ->
+  let d = fill_disk () in
+  let target = Filename.concat dir "image" in
+  Disk.save_to_dir d target;
+  Alcotest.(check bool) "round-trips" true
+    (disks_equal d (Disk.load_from_dir target));
+  (* the target is create-only: a second save must refuse, not clobber *)
+  (match Disk.save_to_dir d target with
+   | () -> Alcotest.fail "expected Invalid_argument on an existing target"
+   | exception Invalid_argument _ -> ());
+  (match Disk.load_from_dir (Filename.concat dir "nowhere") with
+   | (_ : Disk.t) -> Alcotest.fail "expected Failure on a missing image"
+   | exception Failure _ -> ())
+
+(* Crash the save at every filesystem-operation boundary (torn mkdir, torn
+   chunk, torn manifest, torn rename): the target directory must never
+   appear — all the debris a crash may leave is the staging directory,
+   which the next save sweeps away. *)
+let test_save_crash_sweep () =
+  in_tmp @@ fun dir ->
+  let d = fill_disk () in
+  let before = Disk.fs_ops d in
+  Disk.save_to_dir d (Filename.concat dir "count");
+  let full_ops = Disk.fs_ops d - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "save is multi-step (%d fs ops)" full_ops)
+    true (full_ops >= 3);
+  let target = Filename.concat dir "image" in
+  for i = 1 to full_ops do
+    Disk.fail_after_writes d i;
+    (match Disk.save_to_dir d target with
+     | () -> Alcotest.failf "fs op %d of %d did not crash the save" i full_ops
+     | exception Disk.Crash -> ());
+    Disk.clear_fault d;
+    if Sys.file_exists target then
+      Alcotest.failf "crash at fs op %d exposed a torn target directory" i
+  done;
+  (* the retry after the last crash succeeds over the leftover staging *)
+  Disk.save_to_dir d target;
+  Alcotest.(check bool) "uncrashed retry round-trips" true
+    (disks_equal d (Disk.load_from_dir target))
+
 let () =
   Alcotest.run "store"
     [
@@ -292,6 +431,15 @@ let () =
           Alcotest.test_case "alloc/read/write" `Quick test_disk_alloc_rw;
           Alcotest.test_case "bounds" `Quick test_disk_bounds;
           Alcotest.test_case "seek accounting" `Quick test_disk_seek_accounting;
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_save_load_roundtrip;
+          Alcotest.test_case "save crash sweep" `Quick test_save_crash_sweep;
+        ] );
+      ( "journal tailer",
+        [
+          Alcotest.test_case "streams records in order" `Quick
+            test_tailer_streams;
+          Alcotest.test_case "gap vs wait" `Quick test_tailer_gap_vs_wait;
         ] );
       ( "buffer_pool",
         [
